@@ -1,0 +1,74 @@
+// Figure 4 — memory footprint during analysis: SAINTDroid (lazy CLVM) vs
+// CID (eager whole-world loading) over a real-world sample.
+//
+// The paper reports SAINTDroid averaging 329 MB (119 MB - 898 MB) against
+// CID's 1.3 GB — about 4x — and attributes the gap to incremental class
+// loading. Our meter counts bytes *materialized* by each provider, so the
+// same mechanism produces the gap here; the target is the ratio, not the
+// absolute megabytes.
+//
+// Pass a sample size as argv[1] (default 400 corpus apps).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "adf/repository.hpp"
+#include "baselines/cid.hpp"
+#include "core/saintdroid.hpp"
+#include "support/stats.hpp"
+#include "workload/corpus.hpp"
+
+namespace sd = saintdroid;
+
+int main(int argc, char** argv) {
+  const auto& repo = sd::FrameworkRepository::standard();
+  const sd::RealWorldCorpus corpus{repo};
+  int sample = 400;
+  if (argc > 1) sample = std::atoi(argv[1]);
+  sample = std::min(sample, corpus.size());
+
+  sd::SaintDroid saint{repo};
+  sd::CidAnalyzer cid{repo};
+
+  sd::OnlineStats saint_kb;
+  sd::OnlineStats cid_kb;
+  sd::OnlineStats saint_classes;
+  sd::OnlineStats cid_classes;
+  int cid_failures = 0;
+
+  for (int i = 0; i < sample; ++i) {
+    const sd::BenchApp app = corpus.generate(i);
+    const sd::AnalysisResult rs = saint.analyze(app.apk);
+    const sd::AnalysisResult rc = cid.analyze(app.apk);
+    saint_kb.add(static_cast<double>(rs.usage.peak_bytes) / 1024.0);
+    saint_classes.add(static_cast<double>(rs.usage.loaded_classes));
+    if (!rc.completed) {
+      ++cid_failures;
+      continue;
+    }
+    cid_kb.add(static_cast<double>(rc.usage.peak_bytes) / 1024.0);
+    cid_classes.add(static_cast<double>(rc.usage.loaded_classes));
+  }
+
+  std::printf("Fig. 4: peak materialized memory during analysis "
+              "(%d real-world apps)\n\n", sample);
+  std::printf("SAINTDroid: avg %8.0f KiB (range %.0f - %.0f), avg %.0f "
+              "classes loaded\n",
+              saint_kb.mean(), saint_kb.min(), saint_kb.max(),
+              saint_classes.mean());
+  std::printf("CID:        avg %8.0f KiB (range %.0f - %.0f), avg %.0f "
+              "classes loaded%s\n",
+              cid_kb.mean(), cid_kb.min(), cid_kb.max(), cid_classes.mean(),
+              cid_failures
+                  ? (" [" + std::to_string(cid_failures) +
+                     " apps too large for CID, excluded]")
+                        .c_str()
+                  : "");
+  if (saint_kb.mean() > 0)
+    std::printf("\nratio: CID uses %.1fx the memory of SAINTDroid\n",
+                cid_kb.mean() / saint_kb.mean());
+  std::printf("\npaper target: ~4x (329 MB vs 1.3 GB on their corpus); the "
+              "ratio is the reproduction target, driven by lazy vs eager "
+              "class loading.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Table I — the mismatch taxonomy, regenerated from live detections.
+//
+// One demonstration app per row: the paper's Listing 1 (API invocation),
+// Listing 2 (API callback, Simple Solitaire's Fragment.onAttach) and
+// Listing 3 (permission misuse). Each row is backed by an actual
+// SAINTDroid detection on the demo app, not by a hard-coded string.
+#include <cstdio>
+
+#include "adf/repository.hpp"
+#include "core/saintdroid.hpp"
+#include "workload/app_builder.hpp"
+
+namespace sd = saintdroid;
+
+namespace {
+
+struct Row {
+  const char* mismatch;
+  const char* abbr;
+  const char* app_level;
+  const char* device_level;
+  const char* results_in;
+  sd::MismatchKind kind;
+  sd::AppBuilder::Built built;
+};
+
+}  // namespace
+
+int main() {
+  const auto& repo = sd::FrameworkRepository::standard();
+  const auto& spec = repo.spec();
+  namespace cat = sd::catalog;
+
+  // Listing 1: minSdk 21, target 28, unguarded getColorStateList (API 23).
+  sd::AppBuilder listing1{"listing1", "com.example.listing1", spec};
+  listing1.sdk(21, 28);
+  listing1.api_call(cat::get_color_state_list());
+
+  // Listing 2: Simple Solitaire — overrides Fragment.onAttach(Context).
+  sd::AppBuilder listing2{"listing2", "com.example.listing2", spec};
+  listing2.sdk(14, 27);
+  listing2.callback_override(cat::on_attach_context());
+
+  // Listing 3: target >= 23, dangerous permission, no runtime protocol.
+  sd::AppBuilder listing3{"listing3", "com.example.listing3", spec};
+  listing3.sdk(19, 26);
+  listing3.permission_use(cat::camera_open());
+
+  Row rows[] = {
+      {"API invocation (App->API)", "API", ">= a", "< a",
+       "app invokes method introduced/updated in a",
+       sd::MismatchKind::kApiInvocation, listing1.build()},
+      {"API callback (API->App)", "APC", ">= a", "< a",
+       "app overrides a callback introduced/updated in a",
+       sd::MismatchKind::kApiCallback, listing2.build()},
+      {"Permission-induced", "PRM", ">= 23 | < 23", "< 23 | >= 23",
+       "app misuses runtime permission checking",
+       sd::MismatchKind::kPermissionRequest, listing3.build()},
+  };
+
+  sd::SaintDroid tool{repo};
+  std::printf("Table I: API- and permission-induced compatibility issues\n\n");
+  std::printf("%-28s %-5s %-13s %-13s %s\n", "Mismatch", "Abbr", "App level",
+              "Device level", "Results in");
+
+  bool all_demonstrated = true;
+  for (const auto& row : rows) {
+    const sd::AnalysisResult result = tool.analyze(row.built.apk);
+    bool demonstrated = false;
+    for (const auto& m : result.mismatches) {
+      const bool permission_family =
+          row.kind == sd::MismatchKind::kPermissionRequest &&
+          (m.kind == sd::MismatchKind::kPermissionRequest ||
+           m.kind == sd::MismatchKind::kPermissionRevocation);
+      if (m.kind == row.kind || permission_family) demonstrated = true;
+    }
+    all_demonstrated &= demonstrated;
+    std::printf("%-28s %-5s %-13s %-13s %s\n", row.mismatch, row.abbr,
+                row.app_level, row.device_level, row.results_in);
+    std::printf("  demo: %s -> %s\n", row.built.apk.name.c_str(),
+                demonstrated ? result.mismatches.front().to_string().c_str()
+                             : "NOT DETECTED (regression!)");
+  }
+  std::printf("\n%s\n", all_demonstrated
+                            ? "all three rows demonstrated by live detections"
+                            : "ERROR: some rows not demonstrated");
+  return all_demonstrated ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Table IV — detection-capability matrix, derived from live runs.
+//
+// One canonical app per mismatch family; a tool gets a check mark for a
+// family only if it actually reports a true detection on that app (its
+// static detects() claim is cross-checked against the live behaviour).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "adf/repository.hpp"
+#include "baselines/cid.hpp"
+#include "baselines/cider.hpp"
+#include "baselines/lint.hpp"
+#include "core/saintdroid.hpp"
+#include "workload/app_builder.hpp"
+#include "workload/ground_truth.hpp"
+
+namespace sd = saintdroid;
+
+int main() {
+  const auto& repo = sd::FrameworkRepository::standard();
+  const auto& spec = repo.spec();
+  namespace cat = sd::catalog;
+
+  sd::AppBuilder api_app{"api-demo", "com.demo.api", spec};
+  api_app.sdk(21, 28);
+  api_app.api_call(cat::get_color_state_list());
+
+  sd::AppBuilder apc_app{"apc-demo", "com.demo.apc", spec};
+  apc_app.sdk(14, 27);
+  apc_app.callback_override(cat::on_attach_context());
+
+  sd::AppBuilder prm_app{"prm-demo", "com.demo.prm", spec};
+  prm_app.sdk(19, 26);
+  prm_app.permission_use(cat::camera_open());
+
+  struct Family {
+    const char* name;
+    sd::MismatchKind kind;
+    sd::AppBuilder::Built built;
+  };
+  Family families[] = {
+      {"API", sd::MismatchKind::kApiInvocation, api_app.build()},
+      {"APC", sd::MismatchKind::kApiCallback, apc_app.build()},
+      {"PRM", sd::MismatchKind::kPermissionRequest, prm_app.build()},
+  };
+
+  std::vector<std::unique_ptr<sd::Analyzer>> tools;
+  tools.push_back(std::make_unique<sd::CidAnalyzer>(repo));
+  tools.push_back(std::make_unique<sd::CiderAnalyzer>());
+  tools.push_back(std::make_unique<sd::LintAnalyzer>(repo));
+  tools.push_back(std::make_unique<sd::SaintDroid>(repo));
+
+  std::printf("Table IV: detection capability (live-run derived)\n\n");
+  std::printf("%-12s %6s %6s %6s\n", "", "API", "APC", "PRM");
+  bool matrix_matches_claims = true;
+  for (const auto& tool : tools) {
+    std::printf("%-12s", std::string{tool->name()}.c_str());
+    for (const auto& family : families) {
+      const sd::AnalysisResult result = tool->analyze(family.built.apk);
+      const sd::Score s =
+          sd::score_detections(family.built.truth, result.mismatches,
+                               family.kind);
+      const bool live = s.tp > 0;
+      matrix_matches_claims &= live == tool->detects(family.kind);
+      std::printf(" %6s", live ? "yes" : "no");
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper Table IV: CID API-only; CIDER APC-only; IctApiFinder "
+              "API-only (tool unavailable, not reimplemented); Lint "
+              "API-only; SAINTDroid all three.\n");
+  std::printf("%s\n", matrix_matches_claims
+                          ? "live matrix matches each tool's declared "
+                            "capabilities"
+                          : "ERROR: live matrix contradicts declared "
+                            "capabilities");
+  return matrix_matches_claims ? 0 : 1;
+}

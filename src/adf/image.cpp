@@ -1,0 +1,103 @@
+#include "adf/image.hpp"
+
+#include <unordered_map>
+
+#include "dex/builder.hpp"
+#include "support/errors.hpp"
+
+namespace saintdroid {
+
+DexFile emit_framework_image(const FrameworkSpec& spec, int level) {
+  SD_EXPECTS(level >= kMinApiLevel && level <= kMaxApiLevel);
+
+  // Index the spec so super/interface/call existence checks are O(1).
+  std::unordered_map<std::string, const ClassSpec*> by_name;
+  by_name.reserve(spec.classes.size());
+  for (const auto& cls : spec.classes) by_name.emplace(cls.name, &cls);
+
+  const auto class_alive = [&](const std::string& name) {
+    const auto it = by_name.find(name);
+    return it != by_name.end() && it->second->life.exists_at(level);
+  };
+  const auto method_alive = [&](const CallSpec& call) {
+    const auto it = by_name.find(call.cls);
+    if (it == by_name.end() || !it->second->life.exists_at(level))
+      return false;
+    for (const auto& m : it->second->methods)
+      if (m.name == call.name && m.params == call.params &&
+          m.life.exists_at(level))
+        return true;
+    return false;
+  };
+
+  DexBuilder builder;
+  for (const auto& cls : spec.classes) {
+    if (!cls.life.exists_at(level)) continue;
+
+    // A class can outlive its declared superclass in a mis-specified spec;
+    // degrade to Object rather than emitting a dangling reference.
+    std::string super = cls.super;
+    if (!super.empty() && !class_alive(super)) super = "java/lang/Object";
+    if (cls.is_interface) super = "";
+
+    std::vector<std::string> interfaces;
+    for (const auto& iface : cls.interfaces)
+      if (class_alive(iface)) interfaces.push_back(iface);
+
+    auto& cb = builder.add_class(
+        cls.name, super, interfaces,
+        kAccPublic | (cls.is_interface ? kAccInterface | kAccAbstract : 0));
+
+    std::vector<const MethodSpec*> live_callbacks;
+    for (const auto& m : cls.methods) {
+      if (!m.life.exists_at(level)) continue;
+      if (m.callback) live_callbacks.push_back(&m);
+
+      if (cls.is_interface) {
+        cb.add_abstract_method(m.name, m.return_type, m.params);
+        continue;
+      }
+
+      auto& mb = cb.add_method(m.name, m.return_type, m.params,
+                               kAccPublic | (m.is_static ? kAccStatic : 0));
+      mb.registers(4);
+      if (!m.permission.empty()) {
+        mb.const_string(0, m.permission);
+        mb.invoke_static(kPermissionEnforcerClass, kPermissionEnforcerMethod,
+                         "V", {"java/lang/String"}, {0});
+      }
+      for (const auto& call : m.calls) {
+        if (!method_alive(call)) continue;  // framework evolved past it
+        mb.invoke(call.is_static ? InvokeKind::kStatic : InvokeKind::kVirtual,
+                  call.cls, call.name, call.return_type, call.params);
+      }
+      if (m.return_type == "V") {
+        mb.return_void();
+      } else {
+        mb.const_int(1, 0);
+        mb.return_reg(1);
+      }
+    }
+
+    // Dispatcher: the framework-side invocations of this class's callbacks.
+    // For interfaces the dispatch is an invoke-interface from a synthetic
+    // static method (mirroring how e.g. View internals call
+    // OnClickListener.onClick).
+    if (!live_callbacks.empty()) {
+      auto& mb = cb.add_method(
+          kCallbackDispatcherName, "V", {},
+          kAccPublic | kAccSynthetic | (cls.is_interface ? kAccStatic : 0));
+      mb.registers(2);
+      for (const auto* cb_method : live_callbacks)
+        mb.invoke(cls.is_interface ? InvokeKind::kInterface
+                                   : InvokeKind::kVirtual,
+                  cls.name, cb_method->name, cb_method->return_type,
+                  cb_method->params);
+      mb.return_void();
+    }
+  }
+
+  return builder.build();
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,21 @@
+// Per-level framework image emission.
+//
+// Given the framework spec and an API level, emits the framework as it
+// exists at that level into a single SDEX container: only classes and
+// methods alive at the level are present, permission enforcement appears as
+// real bytecode (const-string + enforcePermission call), framework-internal
+// calls appear as invoke instructions, and every class with callbacks gets
+// a dispatcher method that virtually invokes them — the signal ARM mines
+// for automatic callback discovery.
+#pragma once
+
+#include "adf/spec.hpp"
+#include "dex/dexfile.hpp"
+
+namespace saintdroid {
+
+/// Emits the framework image for `level` (must be within the modelled
+/// range). Deterministic: equal inputs produce identical containers.
+DexFile emit_framework_image(const FrameworkSpec& spec, int level);
+
+}  // namespace saintdroid

@@ -1,0 +1,51 @@
+#include "adf/permissions.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace saintdroid {
+
+namespace {
+// The 26 permissions in the dangerous protection level across the modelled
+// API range, grouped as Android documents them (calendar, camera, contacts,
+// location, microphone, phone, sensors, sms, storage).
+constexpr std::array<std::string_view, 26> kDangerous = {
+    "android.permission.READ_CALENDAR",
+    "android.permission.WRITE_CALENDAR",
+    "android.permission.CAMERA",
+    "android.permission.READ_CONTACTS",
+    "android.permission.WRITE_CONTACTS",
+    "android.permission.GET_ACCOUNTS",
+    "android.permission.ACCESS_FINE_LOCATION",
+    "android.permission.ACCESS_COARSE_LOCATION",
+    "android.permission.RECORD_AUDIO",
+    "android.permission.READ_PHONE_STATE",
+    "android.permission.READ_PHONE_NUMBERS",
+    "android.permission.CALL_PHONE",
+    "android.permission.ANSWER_PHONE_CALLS",
+    "android.permission.READ_CALL_LOG",
+    "android.permission.WRITE_CALL_LOG",
+    "android.permission.ADD_VOICEMAIL",
+    "android.permission.USE_SIP",
+    "android.permission.PROCESS_OUTGOING_CALLS",
+    "android.permission.BODY_SENSORS",
+    "android.permission.SEND_SMS",
+    "android.permission.RECEIVE_SMS",
+    "android.permission.READ_SMS",
+    "android.permission.RECEIVE_WAP_PUSH",
+    "android.permission.RECEIVE_MMS",
+    "android.permission.READ_EXTERNAL_STORAGE",
+    "android.permission.WRITE_EXTERNAL_STORAGE",
+};
+}  // namespace
+
+std::span<const std::string_view> dangerous_permissions() {
+  return kDangerous;
+}
+
+bool is_dangerous_permission(std::string_view permission) {
+  return std::find(kDangerous.begin(), kDangerous.end(), permission) !=
+         kDangerous.end();
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,19 @@
+// The Android dangerous-permission catalogue.
+//
+// As of the API levels modelled here, Android classifies 26 permissions as
+// dangerous (paper §II-C); only these participate in the runtime permission
+// system introduced at API level 23 and therefore in PRM mismatches.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace saintdroid {
+
+/// All 26 dangerous permissions, in "android.permission.X" form.
+std::span<const std::string_view> dangerous_permissions();
+
+/// True when `permission` is in the dangerous catalogue.
+bool is_dangerous_permission(std::string_view permission);
+
+}  // namespace saintdroid

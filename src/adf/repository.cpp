@@ -1,0 +1,42 @@
+#include "adf/repository.hpp"
+
+#include <algorithm>
+
+#include "support/errors.hpp"
+
+namespace saintdroid {
+
+FrameworkRepository::FrameworkRepository(FrameworkConfig cfg)
+    : cfg_(cfg), spec_(build_framework_spec(cfg_)) {}
+
+const DexFile& FrameworkRepository::image(int level) const {
+  const int clamped = clamp_level(level);
+  auto& slot = images_[static_cast<std::size_t>(clamped)];
+  if (!slot) slot = emit_framework_image(spec_, clamped);
+  return *slot;
+}
+
+const FrameworkClassIndex& FrameworkRepository::class_index(int level) const {
+  const int clamped = clamp_level(level);
+  auto& slot = indexes_[static_cast<std::size_t>(clamped)];
+  if (!slot) {
+    const DexFile& dex = image(clamped);
+    FrameworkClassIndex index;
+    index.reserve(dex.classes().size());
+    for (const auto& cls : dex.classes())
+      index.emplace(dex.type_name(cls.type), &cls);
+    slot = std::move(index);
+  }
+  return *slot;
+}
+
+int FrameworkRepository::clamp_level(int level) {
+  return std::clamp(level, kMinApiLevel, kMaxApiLevel);
+}
+
+const FrameworkRepository& FrameworkRepository::standard() {
+  static const FrameworkRepository repo{FrameworkConfig{}};
+  return repo;
+}
+
+}  // namespace saintdroid

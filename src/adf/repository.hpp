@@ -1,0 +1,58 @@
+// FrameworkRepository: builds and caches the per-level framework images.
+//
+// This is the artifact the paper's ARM constructs "once for a given
+// framework ... as a reusable model upon which the compatibility analysis
+// of all apps relies" (§III-B). Images are built lazily per level and
+// cached for the repository's lifetime; standard() provides a process-wide
+// immutable default so tests and benches share one build.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "adf/image.hpp"
+#include "adf/synthetic.hpp"
+
+namespace saintdroid {
+
+/// Name -> definition lookup over one framework image; built once per
+/// level and shared by every analysis against that level.
+using FrameworkClassIndex =
+    std::unordered_map<std::string, const ClassDef*>;
+
+class FrameworkRepository {
+ public:
+  explicit FrameworkRepository(FrameworkConfig cfg = {});
+
+  const FrameworkSpec& spec() const { return spec_; }
+  const FrameworkConfig& config() const { return cfg_; }
+
+  /// The framework image at `level`, built on first request. Not
+  /// thread-safe (all analyses here are single-threaded per process).
+  const DexFile& image(int level) const;
+
+  /// Class-name index over image(level); built once and cached alongside
+  /// the image, so per-app loaders need not rescan the framework's class
+  /// table.
+  const FrameworkClassIndex& class_index(int level) const;
+
+  /// Clamps an arbitrary requested level into the modelled range — apps may
+  /// declare targets outside it.
+  static int clamp_level(int level);
+
+  /// Process-wide repository with the default configuration; built on first
+  /// use and immutable afterwards.
+  static const FrameworkRepository& standard();
+
+ private:
+  FrameworkConfig cfg_;
+  FrameworkSpec spec_;
+  mutable std::array<std::optional<DexFile>, kMaxApiLevel + 1> images_;
+  mutable std::array<std::optional<FrameworkClassIndex>, kMaxApiLevel + 1>
+      indexes_;
+};
+
+}  // namespace saintdroid

@@ -1,0 +1,869 @@
+#include "adf/spec.hpp"
+
+namespace saintdroid {
+
+const ClassSpec* FrameworkSpec::find_class(const std::string& name) const {
+  for (const auto& cls : classes)
+    if (cls.name == name) return &cls;
+  return nullptr;
+}
+
+const MethodSpec* FrameworkSpec::find_method(const std::string& cls,
+                                             const std::string& method) const {
+  const ClassSpec* spec = find_class(cls);
+  if (!spec) return nullptr;
+  for (const auto& m : spec->methods)
+    if (m.name == method) return &m;
+  return nullptr;
+}
+
+bool is_framework_class_name(const std::string& class_name) {
+  // android.support.* is the compat library: it ships *inside* APKs and is
+  // analyzed as app code by every tool in the study.
+  if (class_name.rfind("android/support/", 0) == 0) return false;
+  return class_name.rfind("android/", 0) == 0 ||
+         class_name.rfind("java/", 0) == 0 ||
+         class_name.rfind("com/android/", 0) == 0;
+}
+
+namespace {
+
+MethodSpec method(std::string name, std::string ret,
+                  std::vector<std::string> params, int introduced,
+                  int removed = 0) {
+  MethodSpec m;
+  m.name = std::move(name);
+  m.return_type = std::move(ret);
+  m.params = std::move(params);
+  m.life = {introduced, removed};
+  return m;
+}
+
+MethodSpec callback(std::string name, std::vector<std::string> params,
+                    int introduced, int removed = 0) {
+  MethodSpec m = method(std::move(name), "V", std::move(params), introduced,
+                        removed);
+  m.callback = true;
+  return m;
+}
+
+MethodSpec guarded(MethodSpec m, std::string permission) {
+  m.permission = std::move(permission);
+  return m;
+}
+
+MethodSpec static_method(MethodSpec m) {
+  m.is_static = true;
+  return m;
+}
+
+MethodSpec with_calls(MethodSpec m, std::vector<CallSpec> calls) {
+  m.calls = std::move(calls);
+  return m;
+}
+
+ClassSpec cls(std::string name, std::string super, int introduced,
+              int removed = 0) {
+  ClassSpec c;
+  c.name = std::move(name);
+  c.super = std::move(super);
+  c.life = {introduced, removed};
+  return c;
+}
+
+}  // namespace
+
+FrameworkSpec curated_framework_spec() {
+  FrameworkSpec fw;
+
+  // --- roots and placeholder value types -----------------------------------
+  {
+    ClassSpec object = cls("java/lang/Object", "", 2);
+    object.methods = {
+        method("<init>", "V", {}, 2),
+        method("toString", "java/lang/String", {}, 2),
+        method("hashCode", "I", {}, 2),
+        method("equals", "Z", {"java/lang/Object"}, 2),
+    };
+    fw.classes.push_back(std::move(object));
+  }
+  {
+    // Reflection surface: Class.forName is how apps late-bind by name.
+    ClassSpec klass = cls("java/lang/Class", "java/lang/Object", 2);
+    klass.methods = {
+        static_method(method("forName", "java/lang/Class",
+                             {"java/lang/String"}, 2)),
+        method("newInstance", "java/lang/Object", {}, 2),
+    };
+    fw.classes.push_back(std::move(klass));
+  }
+  for (const char* name :
+       {"java/lang/String", "java/io/File", "android/os/Bundle",
+        "android/os/IBinder", "android/net/Uri", "android/database/Cursor",
+        "android/graphics/Canvas", "android/graphics/drawable/Drawable",
+        "android/content/res/ColorStateList", "android/content/ContentValues",
+        "android/view/WindowInsets", "android/view/ViewStructure",
+        "android/location/Location", "android/app/ActionBar",
+        "android/app/Notification", "android/webkit/WebMessage",
+        "android/webkit/WebResourceRequest", "android/webkit/ValueCallback",
+        "android/app/job/JobInfo"}) {
+    ClassSpec c = cls(name, "java/lang/Object", 2);
+    c.methods = {method("<init>", "V", {}, 2)};
+    fw.classes.push_back(std::move(c));
+  }
+
+  // Build.VERSION carries the SDK_INT field read by guards; it has no
+  // interesting methods but must be loadable.
+  fw.classes.push_back(cls("android/os/Build$VERSION", "java/lang/Object", 2));
+
+  // Permission enforcement shim mined by the ARM for the permission map.
+  {
+    ClassSpec pc = cls(kPermissionEnforcerClass, "java/lang/Object", 2);
+    pc.methods = {static_method(
+        method(kPermissionEnforcerMethod, "V", {"java/lang/String"}, 2))};
+    fw.classes.push_back(std::move(pc));
+  }
+
+  // --- context chain --------------------------------------------------------
+  {
+    ClassSpec context = cls("android/content/Context", "java/lang/Object", 2);
+    context.methods = {
+        method("<init>", "V", {}, 2),
+        method("getSystemService", "java/lang/Object", {"java/lang/String"},
+               2),
+        method("getDrawable", "android/graphics/drawable/Drawable", {"I"},
+               21),
+        method("getColor", "I", {"I"}, 23),
+        // Listing 1 of the paper: introduced at API level 23.
+        method("getColorStateList", "android/content/res/ColorStateList",
+               {"I"}, 23),
+        method("checkSelfPermission", "I", {"java/lang/String"}, 23),
+        method("getExternalFilesDir", "java/io/File", {"java/lang/String"},
+               8),
+        method("openFileOutput", "java/lang/Object", {"java/lang/String"}, 2),
+        method("getSharedPreferences", "java/lang/Object",
+               {"java/lang/String", "I"}, 2),
+        method("startActivity", "V", {"android/content/Intent"}, 2),
+        method("sendBroadcast", "V", {"android/content/Intent"}, 2),
+        method("getContentResolver", "android/content/ContentResolver", {}, 2),
+        method("registerReceiver", "android/content/Intent",
+               {"android/content/BroadcastReceiver",
+                "android/content/IntentFilter"},
+               2),
+    };
+    fw.classes.push_back(std::move(context));
+
+    ClassSpec wrapper =
+        cls("android/content/ContextWrapper", "android/content/Context", 2);
+    wrapper.methods = {method("<init>", "V", {}, 2),
+                       method("getBaseContext", "android/content/Context", {},
+                              2)};
+    fw.classes.push_back(std::move(wrapper));
+
+    ClassSpec theme_wrapper = cls("android/view/ContextThemeWrapper",
+                                  "android/content/ContextWrapper", 2);
+    theme_wrapper.methods = {method("<init>", "V", {}, 2),
+                             method("setTheme", "V", {"I"}, 2)};
+    fw.classes.push_back(std::move(theme_wrapper));
+  }
+
+  // --- Activity -------------------------------------------------------------
+  {
+    ClassSpec activity =
+        cls("android/app/Activity", "android/view/ContextThemeWrapper", 2);
+    activity.methods = {
+        method("<init>", "V", {}, 2),
+        callback("onCreate", {"android/os/Bundle"}, 2),
+        callback("onStart", {}, 2),
+        callback("onResume", {}, 2),
+        callback("onPause", {}, 2),
+        callback("onStop", {}, 2),
+        callback("onDestroy", {}, 2),
+        callback("onSaveInstanceState", {"android/os/Bundle"}, 2),
+        callback("onAttachedToWindow", {}, 5),
+        callback("onBackPressed", {}, 5),
+        callback("onMultiWindowModeChanged", {"Z"}, 24),
+        callback("onPictureInPictureModeChanged", {"Z"}, 24),
+        callback("onTopResumedActivityChanged", {"Z"}, 29),
+        // The runtime-permission result hook introduced with Android M.
+        callback("onRequestPermissionsResult",
+                 {"I", "[Ljava/lang/String;", "[I"}, 23),
+        // Offline Calendar example in the paper: introduced at API 11.
+        method("getFragmentManager", "android/app/FragmentManager", {}, 11),
+        method("findViewById", "android/view/View", {"I"}, 2),
+        method("requestPermissions", "V", {"[Ljava/lang/String;", "I"}, 23),
+        method("isInMultiWindowMode", "Z", {}, 24),
+        method("setContentView", "V", {"I"}, 2),
+        method("getActionBar", "android/app/ActionBar", {}, 11),
+        method("invalidateOptionsMenu", "V", {}, 11),
+        method("recreate", "V", {}, 11),
+        method("isDestroyed", "Z", {}, 17),
+        method("requestWindowFeature", "Z", {"I"}, 2),
+        method("finish", "V", {}, 2),
+        method("getIntent", "android/content/Intent", {}, 2),
+        method("runOnUiThread", "V", {"java/lang/Object"}, 2),
+    };
+    fw.classes.push_back(std::move(activity));
+  }
+
+  // --- Fragment (the Simple Solitaire example) -------------------------------
+  {
+    ClassSpec fragment = cls("android/app/Fragment", "java/lang/Object", 11);
+    fragment.methods = {
+        method("<init>", "V", {}, 11),
+        // onAttach(Activity): present since fragments exist.
+        callback("onAttach", {"android/app/Activity"}, 11),
+        callback("onCreate", {"android/os/Bundle"}, 11),
+        callback("onCreateView", {"android/os/Bundle"}, 11),
+        callback("onDestroy", {}, 11),
+        callback("onDetach", {}, 11),
+        method("getActivity", "android/app/Activity", {}, 11),
+        method("getContext", "android/content/Context", {}, 23),
+        method("isAdded", "Z", {}, 11),
+    };
+    // onAttach(Context) was introduced at API level 23 (Listing 2).
+    {
+      MethodSpec on_attach_ctx =
+          callback("onAttach", {"android/content/Context"}, 23);
+      fragment.methods.push_back(std::move(on_attach_ctx));
+    }
+    fw.classes.push_back(std::move(fragment));
+
+    ClassSpec fm = cls("android/app/FragmentManager", "java/lang/Object", 11);
+    fm.methods = {
+        method("beginTransaction", "java/lang/Object", {}, 11),
+        method("executePendingTransactions", "Z", {}, 11),
+        method("isStateSaved", "Z", {}, 26),
+    };
+    fw.classes.push_back(std::move(fm));
+  }
+
+  // --- Service ----------------------------------------------------------------
+  {
+    ClassSpec service =
+        cls("android/app/Service", "android/content/ContextWrapper", 2);
+    service.methods = {
+        method("<init>", "V", {}, 2),
+        callback("onCreate", {}, 2),
+        callback("onStartCommand", {"android/content/Intent", "I", "I"}, 5),
+        callback("onBind", {"android/content/Intent"}, 2),
+        callback("onTrimMemory", {"I"}, 14),
+        callback("onTaskRemoved", {"android/content/Intent"}, 14),
+        callback("onDestroy", {}, 2),
+        method("stopSelf", "V", {}, 2),
+        method("startForeground", "V", {"I", "android/app/Notification"}, 5),
+        method("stopForeground", "V", {"I"}, 24),
+    };
+    fw.classes.push_back(std::move(service));
+
+    ClassSpec receiver =
+        cls("android/content/BroadcastReceiver", "java/lang/Object", 2);
+    receiver.methods = {
+        method("<init>", "V", {}, 2),
+        callback("onReceive",
+                 {"android/content/Context", "android/content/Intent"}, 2),
+        method("goAsync", "java/lang/Object", {}, 11),
+    };
+    fw.classes.push_back(std::move(receiver));
+
+    ClassSpec filter =
+        cls("android/content/IntentFilter", "java/lang/Object", 2);
+    filter.methods = {method("<init>", "V", {}, 2),
+                      method("addAction", "V", {"java/lang/String"}, 2)};
+    fw.classes.push_back(std::move(filter));
+  }
+
+  // --- View / WebView (the FOSDEM example, CIDER's modelled classes) ---------
+  {
+    ClassSpec view = cls("android/view/View", "java/lang/Object", 2);
+    view.methods = {
+        method("<init>", "V", {"android/content/Context"}, 2),
+        callback("onDraw", {"android/graphics/Canvas"}, 2),
+        callback("onMeasure", {"I", "I"}, 2),
+        callback("onLayout", {"Z", "I", "I", "I", "I"}, 2),
+        // FOSDEM example: introduced at API level 21.
+        callback("drawableHotspotChanged", {"F", "F"}, 21),
+        callback("onApplyWindowInsets", {"android/view/WindowInsets"}, 20),
+        callback("onProvideStructure", {"android/view/ViewStructure"}, 23),
+        callback("onPointerCaptureChange", {"Z"}, 26),
+        method("setBackground", "V",
+               {"android/graphics/drawable/Drawable"}, 16),
+        method("setBackgroundDrawable", "V",
+               {"android/graphics/drawable/Drawable"}, 2),
+        method("performClick", "Z", {}, 2),
+        method("invalidate", "V", {}, 2),
+        method("requestApplyInsets", "V", {}, 20),
+        method("setElevation", "V", {"F"}, 21),
+        method("getForeground", "android/graphics/drawable/Drawable", {}, 23),
+        method("setOnClickListener", "V", {"android/view/View$OnClickListener"},
+               2),
+        method("getContext", "android/content/Context", {}, 2),
+    };
+    fw.classes.push_back(std::move(view));
+
+    ClassSpec click_listener =
+        cls("android/view/View$OnClickListener", "", 2);
+    click_listener.is_interface = true;
+    click_listener.methods = {callback("onClick", {"android/view/View"}, 2)};
+    fw.classes.push_back(std::move(click_listener));
+
+    ClassSpec linear_layout =
+        cls("android/widget/LinearLayout", "android/view/View", 2);
+    linear_layout.methods = {
+        method("<init>", "V", {"android/content/Context"}, 2),
+        method("setOrientation", "V", {"I"}, 2),
+    };
+    fw.classes.push_back(std::move(linear_layout));
+
+    ClassSpec webview = cls("android/webkit/WebView", "android/view/View", 2);
+    webview.methods = {
+        method("<init>", "V", {"android/content/Context"}, 2),
+        method("loadUrl", "V", {"java/lang/String"}, 2),
+        method("evaluateJavascript", "V",
+               {"java/lang/String", "android/webkit/ValueCallback"}, 19),
+        method("createWebMessageChannel", "java/lang/Object", {}, 23),
+        method("postWebMessage", "V",
+               {"android/webkit/WebMessage", "android/net/Uri"}, 23),
+        method("setWebViewClient", "V", {"android/webkit/WebViewClient"}, 2),
+        method("getSettings", "java/lang/Object", {}, 2),
+    };
+    fw.classes.push_back(std::move(webview));
+
+    ClassSpec webview_client =
+        cls("android/webkit/WebViewClient", "java/lang/Object", 2);
+    webview_client.methods = {
+        method("<init>", "V", {}, 2),
+        callback("onPageFinished",
+                 {"android/webkit/WebView", "java/lang/String"}, 2),
+        callback("onReceivedError",
+                 {"android/webkit/WebView", "I", "java/lang/String"}, 2),
+        callback("onPageCommitVisible",
+                 {"android/webkit/WebView", "java/lang/String"}, 23),
+        callback("shouldOverrideUrlLoading",
+                 {"android/webkit/WebView",
+                  "android/webkit/WebResourceRequest"},
+                 24),
+    };
+    fw.classes.push_back(std::move(webview_client));
+  }
+
+  // --- Intent -----------------------------------------------------------------
+  {
+    ClassSpec intent = cls("android/content/Intent", "java/lang/Object", 2);
+    intent.methods = {
+        method("<init>", "V", {"java/lang/String"}, 2),
+        method("setAction", "android/content/Intent", {"java/lang/String"}, 2),
+        method("putExtra", "android/content/Intent",
+               {"java/lang/String", "java/lang/String"}, 2),
+        method("getStringExtra", "java/lang/String", {"java/lang/String"}, 2),
+        method("addFlags", "android/content/Intent", {"I"}, 2),
+    };
+    fw.classes.push_back(std::move(intent));
+  }
+
+  // --- permission-requiring APIs ----------------------------------------------
+  {
+    ClassSpec resolver =
+        cls("android/content/ContentResolver", "java/lang/Object", 2);
+    resolver.methods = {
+        guarded(method("query", "android/database/Cursor",
+                       {"android/net/Uri", "java/lang/String"}, 2),
+                "android.permission.READ_EXTERNAL_STORAGE"),
+        guarded(method("insert", "android/net/Uri",
+                       {"android/net/Uri", "android/content/ContentValues"},
+                       2),
+                "android.permission.WRITE_EXTERNAL_STORAGE"),
+        guarded(method("delete", "I", {"android/net/Uri"}, 2),
+                "android.permission.WRITE_EXTERNAL_STORAGE"),
+        guarded(method("openInputStream", "java/lang/Object",
+                       {"android/net/Uri"}, 2),
+                "android.permission.READ_EXTERNAL_STORAGE"),
+    };
+    fw.classes.push_back(std::move(resolver));
+
+    // MediaStore.Images.Media.insertImage calls ContentResolver.insert
+    // internally — a *transitive* WRITE_EXTERNAL_STORAGE requirement that
+    // first-level analyses miss (paper §III-A advantage 3).
+    ClassSpec media =
+        cls("android/provider/MediaStore$Images$Media", "java/lang/Object", 2);
+    media.methods = {
+        static_method(with_calls(
+            method("insertImage", "java/lang/String",
+                   {"android/content/ContentResolver", "java/lang/String"},
+                   2),
+            {CallSpec{"android/content/ContentResolver", "insert",
+                      "android/net/Uri",
+                      {"android/net/Uri", "android/content/ContentValues"},
+                      false}})),
+        static_method(with_calls(
+            method("getBitmap", "java/lang/Object",
+                   {"android/content/ContentResolver", "android/net/Uri"}, 2),
+            {CallSpec{"android/content/ContentResolver", "openInputStream",
+                      "java/lang/Object",
+                      {"android/net/Uri"},
+                      false}})),
+    };
+    fw.classes.push_back(std::move(media));
+
+    ClassSpec location =
+        cls("android/location/LocationManager", "java/lang/Object", 2);
+    location.methods = {
+        guarded(method("getLastKnownLocation", "android/location/Location",
+                       {"java/lang/String"}, 2),
+                "android.permission.ACCESS_FINE_LOCATION"),
+        guarded(method("requestLocationUpdates", "V",
+                       {"java/lang/String", "J", "F", "java/lang/Object"}, 2),
+                "android.permission.ACCESS_FINE_LOCATION"),
+        method("isProviderEnabled", "Z", {"java/lang/String"}, 2),
+    };
+    fw.classes.push_back(std::move(location));
+
+    ClassSpec camera = cls("android/hardware/Camera", "java/lang/Object", 2);
+    camera.methods = {
+        static_method(guarded(
+            method("open", "android/hardware/Camera", {}, 2),
+            "android.permission.CAMERA")),
+        method("release", "V", {}, 2),
+        method("startPreview", "V", {}, 2),
+    };
+    fw.classes.push_back(std::move(camera));
+
+    ClassSpec recorder =
+        cls("android/media/MediaRecorder", "java/lang/Object", 2);
+    recorder.methods = {
+        method("<init>", "V", {}, 2),
+        guarded(method("setAudioSource", "V", {"I"}, 2),
+                "android.permission.RECORD_AUDIO"),
+        method("prepare", "V", {}, 2),
+        method("start", "V", {}, 2),
+    };
+    fw.classes.push_back(std::move(recorder));
+
+    ClassSpec telephony =
+        cls("android/telephony/TelephonyManager", "java/lang/Object", 2);
+    telephony.methods = {
+        guarded(method("getDeviceId", "java/lang/String", {}, 2),
+                "android.permission.READ_PHONE_STATE"),
+        guarded(method("getLine1Number", "java/lang/String", {}, 2),
+                "android.permission.READ_PHONE_STATE"),
+        method("getNetworkType", "I", {}, 2),
+    };
+    fw.classes.push_back(std::move(telephony));
+
+    ClassSpec sms = cls("android/telephony/SmsManager", "java/lang/Object", 4);
+    sms.methods = {
+        static_method(
+            method("getDefault", "android/telephony/SmsManager", {}, 4)),
+        guarded(method("sendTextMessage", "V",
+                       {"java/lang/String", "java/lang/String",
+                        "java/lang/String"},
+                       4),
+                "android.permission.SEND_SMS"),
+    };
+    fw.classes.push_back(std::move(sms));
+
+    ClassSpec contacts =
+        cls("android/provider/ContactsContract", "java/lang/Object", 5);
+    contacts.methods = {
+        static_method(guarded(
+            method("queryContacts", "android/database/Cursor",
+                   {"android/content/ContentResolver"}, 5),
+            "android.permission.READ_CONTACTS")),
+    };
+    fw.classes.push_back(std::move(contacts));
+  }
+
+  // --- forward-compatibility material: a removed class ------------------------
+  {
+    // Apache HTTP client: bundled since API 8, removed from the platform at
+    // API 23 — the real-world source of forward-compatibility crashes.
+    ClassSpec http =
+        cls("android/net/http/AndroidHttpClient", "java/lang/Object", 8, 23);
+    http.methods = {
+        static_method(method("newInstance", "android/net/http/AndroidHttpClient",
+                             {"java/lang/String"}, 8, 23)),
+        method("execute", "java/lang/Object", {"java/lang/String"}, 8, 23),
+        method("close", "V", {}, 8, 23),
+    };
+    fw.classes.push_back(std::move(http));
+  }
+
+  // --- misc newer surface -------------------------------------------------------
+  {
+    ClassSpec notif_builder =
+        cls("android/app/Notification$Builder", "java/lang/Object", 11);
+    notif_builder.methods = {
+        method("<init>", "V", {"android/content/Context"}, 11),
+        method("setChannelId", "android/app/Notification$Builder",
+               {"java/lang/String"}, 26),
+        method("build", "android/app/Notification", {}, 16),
+        method("getNotification", "android/app/Notification", {}, 11),
+        method("setContentTitle", "android/app/Notification$Builder",
+               {"java/lang/String"}, 11),
+    };
+    fw.classes.push_back(std::move(notif_builder));
+
+    ClassSpec channel =
+        cls("android/app/NotificationChannel", "java/lang/Object", 26);
+    channel.methods = {
+        method("<init>", "V", {"java/lang/String", "java/lang/String", "I"},
+               26),
+        method("setDescription", "V", {"java/lang/String"}, 26),
+    };
+    fw.classes.push_back(std::move(channel));
+
+    ClassSpec bluetooth =
+        cls("android/bluetooth/BluetoothAdapter", "java/lang/Object", 5);
+    bluetooth.methods = {
+        static_method(method("getDefaultAdapter",
+                             "android/bluetooth/BluetoothAdapter", {}, 5)),
+        method("enable", "Z", {}, 5),
+        method("startLeScan", "Z", {"java/lang/Object"}, 18),
+        method("getBluetoothLeScanner", "java/lang/Object", {}, 21),
+    };
+    fw.classes.push_back(std::move(bluetooth));
+
+    ClassSpec job_scheduler =
+        cls("android/app/job/JobScheduler", "java/lang/Object", 21);
+    job_scheduler.methods = {
+        method("schedule", "I", {"android/app/job/JobInfo"}, 21),
+        method("cancelAll", "V", {}, 21),
+    };
+    fw.classes.push_back(std::move(job_scheduler));
+
+    ClassSpec strict_mode = cls("android/os/StrictMode", "java/lang/Object", 9);
+    strict_mode.methods = {
+        static_method(method("enableDefaults", "V", {}, 9)),
+    };
+    fw.classes.push_back(std::move(strict_mode));
+
+    ClassSpec preference_activity =
+        cls("android/preference/PreferenceActivity", "android/app/Activity",
+            2);
+    preference_activity.methods = {
+        method("<init>", "V", {}, 2),
+        method("addPreferencesFromResource", "V", {"I"}, 2),
+    };
+    fw.classes.push_back(std::move(preference_activity));
+  }
+
+  // --- widgets ----------------------------------------------------------------
+  {
+    ClassSpec text_view = cls("android/widget/TextView", "android/view/View", 2);
+    text_view.methods = {
+        method("<init>", "V", {"android/content/Context"}, 2),
+        method("setText", "V", {"java/lang/String"}, 2),
+        // The Context-less overload arrived with API 23.
+        method("setTextAppearance", "V", {"I"}, 23),
+        method("setLetterSpacing", "V", {"F"}, 21),
+        method("setAutoSizeTextTypeWithDefaults", "V", {"I"}, 26),
+        method("getText", "java/lang/String", {}, 2),
+    };
+    fw.classes.push_back(std::move(text_view));
+
+    ClassSpec image_view =
+        cls("android/widget/ImageView", "android/view/View", 2);
+    image_view.methods = {
+        method("<init>", "V", {"android/content/Context"}, 2),
+        method("setImageDrawable", "V",
+               {"android/graphics/drawable/Drawable"}, 2),
+        method("setImageTintList", "V",
+               {"android/content/res/ColorStateList"}, 21),
+    };
+    fw.classes.push_back(std::move(image_view));
+
+    ClassSpec toast = cls("android/widget/Toast", "java/lang/Object", 2);
+    toast.methods = {
+        static_method(method("makeText", "android/widget/Toast",
+                             {"android/content/Context", "java/lang/String",
+                              "I"},
+                             2)),
+        method("show", "V", {}, 2),
+        method("addCallback", "V", {"java/lang/Object"}, 29),
+    };
+    fw.classes.push_back(std::move(toast));
+  }
+
+  // --- system services ----------------------------------------------------------
+  {
+    ClassSpec alarms = cls("android/app/AlarmManager", "java/lang/Object", 2);
+    alarms.methods = {
+        method("set", "V", {"I", "J", "java/lang/Object"}, 2),
+        method("setExact", "V", {"I", "J", "java/lang/Object"}, 19),
+        method("setExactAndAllowWhileIdle", "V",
+               {"I", "J", "java/lang/Object"}, 23),
+        method("cancel", "V", {"java/lang/Object"}, 2),
+    };
+    fw.classes.push_back(std::move(alarms));
+
+    ClassSpec notif_mgr =
+        cls("android/app/NotificationManager", "java/lang/Object", 2);
+    notif_mgr.methods = {
+        method("notify", "V", {"I", "android/app/Notification"}, 2),
+        method("cancel", "V", {"I"}, 2),
+        method("createNotificationChannel", "V",
+               {"android/app/NotificationChannel"}, 26),
+        method("getActiveNotifications", "java/lang/Object", {}, 23),
+        method("areNotificationsEnabled", "Z", {}, 24),
+    };
+    fw.classes.push_back(std::move(notif_mgr));
+
+    ClassSpec connectivity =
+        cls("android/net/ConnectivityManager", "java/lang/Object", 2);
+    connectivity.methods = {
+        method("getActiveNetworkInfo", "java/lang/Object", {}, 2),
+        method("getActiveNetwork", "java/lang/Object", {}, 23),
+        method("registerDefaultNetworkCallback", "V", {"java/lang/Object"},
+               24),
+    };
+    fw.classes.push_back(std::move(connectivity));
+
+    ClassSpec audio = cls("android/media/AudioManager", "java/lang/Object", 2);
+    audio.methods = {
+        method("requestAudioFocus", "I", {"java/lang/Object"}, 8),
+        method("abandonAudioFocusRequest", "I", {"java/lang/Object"}, 26),
+        method("setStreamVolume", "V", {"I", "I", "I"}, 2),
+    };
+    fw.classes.push_back(std::move(audio));
+
+    // BLE scanning requires fine location — a real dangerous-permission
+    // fact behind a newer API surface.
+    ClassSpec le_scanner = cls("android/bluetooth/le/BluetoothLeScanner",
+                               "java/lang/Object", 21);
+    le_scanner.methods = {
+        guarded(method("startScan", "V", {"java/lang/Object"}, 21),
+                "android.permission.ACCESS_FINE_LOCATION"),
+        method("stopScan", "V", {"java/lang/Object"}, 21),
+    };
+    fw.classes.push_back(std::move(le_scanner));
+
+    ClassSpec print_mgr =
+        cls("android/print/PrintManager", "java/lang/Object", 19);
+    print_mgr.methods = {
+        method("print", "java/lang/Object",
+               {"java/lang/String", "java/lang/Object"}, 19),
+    };
+    fw.classes.push_back(std::move(print_mgr));
+  }
+
+  // --- plumbing -------------------------------------------------------------------
+  {
+    ClassSpec handler = cls("android/os/Handler", "java/lang/Object", 2);
+    handler.methods = {
+        method("<init>", "V", {}, 2),
+        method("post", "Z", {"java/lang/Object"}, 2),
+        method("postDelayed", "Z", {"java/lang/Object", "J"}, 2),
+    };
+    fw.classes.push_back(std::move(handler));
+
+    ClassSpec prefs =
+        cls("android/content/SharedPreferences", "java/lang/Object", 2);
+    prefs.methods = {
+        method("getString", "java/lang/String",
+               {"java/lang/String", "java/lang/String"}, 2),
+        method("edit", "android/content/SharedPreferences$Editor", {}, 2),
+    };
+    fw.classes.push_back(std::move(prefs));
+
+    ClassSpec editor = cls("android/content/SharedPreferences$Editor",
+                           "java/lang/Object", 2);
+    editor.methods = {
+        method("putString", "android/content/SharedPreferences$Editor",
+               {"java/lang/String", "java/lang/String"}, 2),
+        method("commit", "Z", {}, 2),
+        method("apply", "V", {}, 9),
+    };
+    fw.classes.push_back(std::move(editor));
+
+    ClassSpec window = cls("android/view/Window", "java/lang/Object", 2);
+    window.methods = {
+        method("setStatusBarColor", "V", {"I"}, 21),
+        method("setNavigationBarColor", "V", {"I"}, 21),
+        method("addFlags", "V", {"I"}, 2),
+    };
+    fw.classes.push_back(std::move(window));
+
+    ClassSpec cookies =
+        cls("android/webkit/CookieManager", "java/lang/Object", 2);
+    cookies.methods = {
+        static_method(method("getInstance", "android/webkit/CookieManager",
+                             {}, 2)),
+        method("removeAllCookies", "V", {"java/lang/Object"}, 21),
+        method("removeAllCookie", "V", {}, 2),
+        method("setAcceptThirdPartyCookies", "V",
+               {"android/webkit/WebView", "Z"}, 21),
+    };
+    fw.classes.push_back(std::move(cookies));
+
+    ClassSpec display = cls("android/view/Display", "java/lang/Object", 2);
+    display.methods = {
+        method("getRealSize", "V", {"java/lang/Object"}, 17),
+        method("getWidth", "I", {}, 2),
+    };
+    fw.classes.push_back(std::move(display));
+  }
+
+  // --- more system services (camera2, power, vibration, packages) -------------
+  {
+    // The camera2 stack arrived at API 21; openCamera needs CAMERA.
+    ClassSpec camera2 = cls("android/hardware/camera2/CameraManager",
+                            "java/lang/Object", 21);
+    camera2.methods = {
+        guarded(method("openCamera", "V",
+                       {"java/lang/String", "java/lang/Object"}, 21),
+                "android.permission.CAMERA"),
+        method("getCameraIdList", "java/lang/Object", {}, 21),
+        method("getCameraCharacteristics", "java/lang/Object",
+               {"java/lang/String"}, 21),
+    };
+    fw.classes.push_back(std::move(camera2));
+
+    ClassSpec power = cls("android/os/PowerManager", "java/lang/Object", 2);
+    power.methods = {
+        method("newWakeLock", "java/lang/Object", {"I", "java/lang/String"},
+               2),
+        method("isInteractive", "Z", {}, 20),
+        method("isIgnoringBatteryOptimizations", "Z", {"java/lang/String"},
+               23),
+    };
+    fw.classes.push_back(std::move(power));
+
+    ClassSpec keyguard =
+        cls("android/app/KeyguardManager", "java/lang/Object", 2);
+    keyguard.methods = {
+        method("isKeyguardLocked", "Z", {}, 16),
+        method("isDeviceSecure", "Z", {}, 23),
+    };
+    fw.classes.push_back(std::move(keyguard));
+
+    ClassSpec vibrator = cls("android/os/Vibrator", "java/lang/Object", 2);
+    vibrator.methods = {
+        method("vibrate", "V", {"J"}, 2),
+        // VibrationEffect-based API arrived at 26.
+        method("vibrate", "V", {"android/os/VibrationEffect"}, 26),
+        method("hasAmplitudeControl", "Z", {}, 26),
+        method("cancel", "V", {}, 2),
+    };
+    fw.classes.push_back(std::move(vibrator));
+    fw.classes.push_back(cls("android/os/VibrationEffect",
+                             "java/lang/Object", 26));
+
+    ClassSpec activity_mgr =
+        cls("android/app/ActivityManager", "java/lang/Object", 2);
+    activity_mgr.methods = {
+        method("getRunningAppProcesses", "java/lang/Object", {}, 3),
+        method("getAppTasks", "java/lang/Object", {}, 21),
+        method("isInLockTaskMode", "Z", {}, 21, 23),  // replaced at 23
+        method("getLockTaskModeState", "I", {}, 23),
+        method("clearApplicationUserData", "Z", {}, 19),
+    };
+    fw.classes.push_back(std::move(activity_mgr));
+
+    ClassSpec package_mgr =
+        cls("android/content/pm/PackageManager", "java/lang/Object", 2);
+    package_mgr.methods = {
+        method("getPackageInfo", "java/lang/Object",
+               {"java/lang/String", "I"}, 2),
+        method("hasSystemFeature", "Z", {"java/lang/String"}, 5),
+        method("getApplicationInfo", "java/lang/Object",
+               {"java/lang/String", "I"}, 2),
+    };
+    fw.classes.push_back(std::move(package_mgr));
+
+    ClassSpec clipboard =
+        cls("android/content/ClipboardManager", "java/lang/Object", 11);
+    clipboard.methods = {
+        method("setPrimaryClip", "V", {"java/lang/Object"}, 11),
+        method("hasPrimaryClip", "Z", {}, 11),
+        callback("onPrimaryClipChanged", {}, 11),
+    };
+    fw.classes.push_back(std::move(clipboard));
+
+    ClassSpec web_settings =
+        cls("android/webkit/WebSettings", "java/lang/Object", 2);
+    web_settings.methods = {
+        method("setJavaScriptEnabled", "V", {"Z"}, 2),
+        method("setMixedContentMode", "V", {"I"}, 21),
+        method("setSafeBrowsingEnabled", "V", {"Z"}, 26),
+    };
+    fw.classes.push_back(std::move(web_settings));
+
+    ClassSpec popup = cls("android/widget/PopupMenu", "java/lang/Object", 11);
+    popup.methods = {
+        method("<init>", "V",
+               {"android/content/Context", "android/view/View"}, 11),
+        method("show", "V", {}, 11),
+        method("setGravity", "V", {"I"}, 19),
+        callback("onDismiss", {"android/widget/PopupMenu"}, 14),
+    };
+    fw.classes.push_back(std::move(popup));
+
+    ClassSpec job_info_builder =
+        cls("android/app/job/JobInfo$Builder", "java/lang/Object", 21);
+    job_info_builder.methods = {
+        method("<init>", "V", {"I", "java/lang/Object"}, 21),
+        method("setRequiredNetworkType", "android/app/job/JobInfo$Builder",
+               {"I"}, 21),
+        method("setRequiresBatteryNotLow", "android/app/job/JobInfo$Builder",
+               {"Z"}, 26),
+        method("build", "android/app/job/JobInfo", {}, 21),
+    };
+    fw.classes.push_back(std::move(job_info_builder));
+
+    ClassSpec nfc = cls("android/nfc/NfcAdapter", "java/lang/Object", 9);
+    nfc.methods = {
+        static_method(method("getDefaultAdapter", "android/nfc/NfcAdapter",
+                             {"android/content/Context"}, 10)),
+        method("isEnabled", "Z", {}, 9),
+        method("enableReaderMode", "V",
+               {"android/app/Activity", "java/lang/Object", "I"}, 19),
+    };
+    fw.classes.push_back(std::move(nfc));
+
+    // Shared-element transitions: callback-bearing surface introduced 21.
+    ClassSpec shared_element =
+        cls("android/app/SharedElementCallback", "java/lang/Object", 21);
+    shared_element.methods = {
+        method("<init>", "V", {}, 21),
+        callback("onSharedElementStart", {"java/lang/Object"}, 21),
+        callback("onSharedElementEnd", {"java/lang/Object"}, 21),
+        callback("onMapSharedElements", {"java/lang/Object"}, 21),
+    };
+    fw.classes.push_back(std::move(shared_element));
+  }
+
+  // --- Application-level callbacks ---------------------------------------------
+  {
+    ClassSpec application =
+        cls("android/app/Application", "android/content/ContextWrapper", 2);
+    application.methods = {
+        method("<init>", "V", {}, 2),
+        callback("onCreate", {}, 2),
+        callback("onTrimMemory", {"I"}, 14),
+        callback("onConfigurationChanged", {"java/lang/Object"}, 2),
+        method("registerActivityLifecycleCallbacks", "V",
+               {"java/lang/Object"}, 14),
+    };
+    fw.classes.push_back(std::move(application));
+  }
+  {
+    // Extra Activity callbacks that real apps commonly override.
+    ClassSpec* activity = nullptr;
+    for (auto& existing : fw.classes)
+      if (existing.name == "android/app/Activity") activity = &existing;
+    if (activity) {
+      activity->methods.push_back(callback("onWindowFocusChanged", {"Z"}, 2));
+      activity->methods.push_back(
+          callback("onActivityResult",
+                   {"I", "I", "android/content/Intent"}, 2));
+      activity->methods.push_back(
+          callback("onNewIntent", {"android/content/Intent"}, 2));
+      activity->methods.push_back(
+          callback("onConfigurationChanged", {"java/lang/Object"}, 2));
+    }
+  }
+
+  return fw;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,109 @@
+// Framework specification: the ground truth from which per-level framework
+// images are emitted.
+//
+// The spec plays the role of the real Android source tree that the paper's
+// ARM mines: every class and method carries a lifecycle (introduced /
+// removed level), methods may require a permission (enforced in their
+// emitted body, the way the real framework calls into enforcePermission),
+// and method bodies may call other framework methods — which is what makes
+// "deep in the ADF" analysis (transitive permissions, callback dispatch)
+// meaningful. The curated portion encodes real Android facts used by the
+// paper's examples; the synthetic portion (synthetic.hpp) provides bulk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dex/ids.hpp"
+#include "support/interval.hpp"
+
+namespace saintdroid {
+
+/// Lifetime of an API element. `removed` of 0 means never removed; the
+/// element exists at level L iff introduced <= L && (removed == 0 ||
+/// L < removed).
+struct Lifecycle {
+  int introduced = kMinApiLevel;
+  int removed = 0;
+
+  bool exists_at(int level) const {
+    return introduced <= level && (removed == 0 || level < removed);
+  }
+
+  /// The closed interval of levels at which the element exists, clamped to
+  /// the modelled range.
+  ApiInterval existence() const {
+    return ApiInterval{introduced, removed == 0 ? kMaxApiLevel : removed - 1};
+  }
+};
+
+/// A call emitted in a framework method body (framework-internal edge).
+struct CallSpec {
+  std::string cls;
+  std::string name;
+  std::string return_type = "V";
+  std::vector<std::string> params;
+  bool is_static = false;
+};
+
+/// One framework method.
+struct MethodSpec {
+  std::string name;
+  std::string return_type = "V";
+  std::vector<std::string> params;
+  Lifecycle life;
+  /// True for methods the framework invokes on app subclasses (lifecycle
+  /// and event handlers). Emitted with a framework-side dispatch call so
+  /// ARM can mine the callback set automatically.
+  bool callback = false;
+  /// Permission enforced directly in this method's body ("" = none).
+  std::string permission;
+  /// Framework-internal calls in the body (source of transitive
+  /// permission requirements and deep-ADF structure).
+  std::vector<CallSpec> calls;
+  bool is_static = false;
+};
+
+/// One framework class.
+struct ClassSpec {
+  std::string name;
+  std::string super = "java/lang/Object";
+  std::vector<std::string> interfaces;
+  Lifecycle life;
+  bool is_interface = false;
+  std::vector<MethodSpec> methods;
+};
+
+/// The whole framework.
+struct FrameworkSpec {
+  std::vector<ClassSpec> classes;
+
+  const ClassSpec* find_class(const std::string& name) const;
+  const MethodSpec* find_method(const std::string& cls,
+                                const std::string& method) const;
+};
+
+/// The curated portion of the framework: ~40 classes mirroring real Android
+/// with the exact lifecycle facts the paper's examples rely on
+/// (getColorStateList@23, Fragment.onAttach(Context)@23,
+/// getFragmentManager@11, View.drawableHotspotChanged@21,
+/// AndroidHttpClient removed@23, ...).
+FrameworkSpec curated_framework_spec();
+
+/// Internal name of the framework class whose static method framework
+/// bodies call to enforce a permission; ARM's permission-map mining scans
+/// for calls to it (the same signal PScout mined from the real framework).
+inline constexpr const char* kPermissionEnforcerClass =
+    "android/content/pm/PermissionChecker";
+inline constexpr const char* kPermissionEnforcerMethod = "enforcePermission";
+
+/// Name of the synthesized per-class dispatcher whose body virtually
+/// invokes every callback of the class; ARM mines the callback set from
+/// these invocations.
+inline constexpr const char* kCallbackDispatcherName = "__dispatchCallbacks";
+
+/// True if `class_name` belongs to the framework namespace (android/*,
+/// java/*, com/android/*). App code and bundled libraries live elsewhere.
+bool is_framework_class_name(const std::string& class_name);
+
+}  // namespace saintdroid

@@ -1,0 +1,127 @@
+#include "adf/synthetic.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "adf/permissions.hpp"
+#include "support/rng.hpp"
+
+namespace saintdroid {
+
+namespace {
+
+/// Introduction levels skew early: most of the framework predates the
+/// modelled window, and each release adds a thinner slice (the paper's
+/// Fig. 1 intuition). u^2 over the range gives that skew.
+int draw_intro_level(Rng& rng, int floor_level) {
+  const double u = rng.uniform01();
+  const int span = kMaxApiLevel - floor_level;
+  return floor_level + static_cast<int>(u * u * static_cast<double>(span));
+}
+
+}  // namespace
+
+void add_synthetic_bulk(FrameworkSpec& spec, const FrameworkConfig& cfg) {
+  Rng rng{cfg.seed};
+  const auto dangerous = dangerous_permissions();
+
+  // Track the generated classes (name, introduced level, concrete method
+  // names) so later classes can subclass and call into earlier ones.
+  struct BulkClass {
+    std::string name;
+    int introduced;
+    std::vector<CallSpec> callable;  // ready-made call specs into this class
+  };
+  std::vector<BulkClass> generated;
+  generated.reserve(static_cast<std::size_t>(cfg.bulk_classes));
+
+  for (int i = 0; i < cfg.bulk_classes; ++i) {
+    const int pkg =
+        static_cast<int>(rng.uniform(0, cfg.bulk_packages - 1));
+    const std::string name = "android/synth/p" + std::to_string(pkg) + "/C" +
+                             std::to_string(i);
+
+    // Pick a superclass: mostly Object, sometimes an earlier bulk class or
+    // View (deep hierarchies exercise virtual resolution).
+    std::string super = "java/lang/Object";
+    int floor_level = kMinApiLevel;
+    const double super_draw = rng.uniform01();
+    if (!generated.empty() && super_draw < 0.25) {
+      const auto& base = rng.pick(generated);
+      super = base.name;
+      floor_level = base.introduced;
+    } else if (super_draw < 0.32) {
+      super = "android/view/View";
+    }
+
+    ClassSpec cls;
+    cls.name = name;
+    cls.super = super;
+    cls.life.introduced = draw_intro_level(rng, floor_level);
+
+    const int method_count =
+        static_cast<int>(rng.uniform(2, cfg.max_methods_per_class));
+    std::vector<CallSpec> callable;
+    for (int j = 0; j < method_count; ++j) {
+      MethodSpec m;
+      const bool is_callback = rng.chance(cfg.callback_fraction);
+      // Per-class unique names: a generated method must never shadow a
+      // same-signature method of a generated ancestor, or virtual dispatch
+      // would change which lifecycle applies at a given level.
+      m.name = (is_callback ? "onEvent" : "op") + std::to_string(j) + "_" +
+               std::to_string(i);
+      m.callback = is_callback;
+      // Callbacks are void, like the overwhelming majority of framework
+      // event handlers (and the CallbackUse seeding surface assumes it).
+      m.return_type = !is_callback && rng.chance(0.3) ? "I" : "V";
+      if (rng.chance(0.4)) m.params.push_back("I");
+      if (rng.chance(0.2)) m.params.push_back("java/lang/String");
+      m.life.introduced = draw_intro_level(rng, cls.life.introduced);
+      if (rng.chance(cfg.removal_fraction) &&
+          m.life.introduced < kMaxApiLevel - 1) {
+        m.life.removed = static_cast<int>(
+            rng.uniform(m.life.introduced + 2, kMaxApiLevel));
+      }
+      if (!is_callback && rng.chance(cfg.permission_fraction))
+        m.permission = std::string{dangerous[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(dangerous.size()) - 1))]};
+      m.is_static = !is_callback && rng.chance(0.2);
+
+      // Framework-internal call chain: call into earlier bulk classes.
+      if (!generated.empty()) {
+        int calls = 0;
+        while (rng.chance(cfg.calls_per_method /
+                          (1.0 + static_cast<double>(calls))) &&
+               calls < 4) {
+          const auto& target = rng.pick(generated);
+          if (!target.callable.empty())
+            m.calls.push_back(rng.pick(target.callable));
+          ++calls;
+        }
+      }
+
+      if (!is_callback) {
+        CallSpec as_call;
+        as_call.cls = name;
+        as_call.name = m.name;
+        as_call.return_type = m.return_type;
+        as_call.params = m.params;
+        as_call.is_static = m.is_static;
+        callable.push_back(std::move(as_call));
+      }
+      cls.methods.push_back(std::move(m));
+    }
+
+    generated.push_back(BulkClass{name, cls.life.introduced,
+                                  std::move(callable)});
+    spec.classes.push_back(std::move(cls));
+  }
+}
+
+FrameworkSpec build_framework_spec(const FrameworkConfig& cfg) {
+  FrameworkSpec spec = curated_framework_spec();
+  add_synthetic_bulk(spec, cfg);
+  return spec;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,44 @@
+// Synthetic framework bulk.
+//
+// The curated spec covers the API surface the paper's examples touch; the
+// bulk generator provides the *scale* of a real ADF — thousands of classes
+// whose hierarchy, lifecycles, callbacks, permission enforcement and
+// internal call chains are drawn deterministically from a seed. Bulk is
+// what makes the eager-loading baselines pay realistic time/memory costs
+// (RQ3) and gives the corpus generator a wide API surface to draw usages
+// from.
+#pragma once
+
+#include <cstdint>
+
+#include "adf/spec.hpp"
+
+namespace saintdroid {
+
+/// Knobs for framework generation. Defaults produce a framework of roughly
+/// a thousand classes — large enough that eager loading visibly dominates
+/// lazy loading, small enough to build 28 per-level images in seconds.
+struct FrameworkConfig {
+  std::uint64_t seed = 0xADFULL;
+  int bulk_classes = 2200;
+  int bulk_packages = 60;
+  int max_methods_per_class = 10;
+  /// Fraction of bulk methods that are framework-invoked callbacks.
+  double callback_fraction = 0.12;
+  /// Fraction of bulk methods that directly enforce a dangerous permission.
+  double permission_fraction = 0.04;
+  /// Fraction of bulk methods that are removed at some later level.
+  double removal_fraction = 0.05;
+  /// Average framework-internal calls per generated method body.
+  double calls_per_method = 1.2;
+};
+
+/// Appends `cfg.bulk_classes` generated classes to `spec`. Deterministic in
+/// `cfg.seed`. Generated names live under "android/synth/p<i>/C<j>".
+void add_synthetic_bulk(FrameworkSpec& spec, const FrameworkConfig& cfg);
+
+/// curated_framework_spec() plus synthetic bulk — the spec the repository
+/// builds images from.
+FrameworkSpec build_framework_spec(const FrameworkConfig& cfg);
+
+}  // namespace saintdroid

@@ -1,0 +1,38 @@
+// Dominator analysis over SDEX CFGs (Cooper-Harvey-Kennedy).
+//
+// Infrastructure for the precision/overhead trade-off the paper names as
+// future work (§VIII): a guard *dominating* a call site protects every
+// path to it, which is a cheaper (if slightly less precise) alternative to
+// the full interval dataflow, and the building block for structured
+// repair insertion by the advisor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace saintdroid {
+
+/// Immediate-dominator tree for one CFG.
+class Dominators {
+ public:
+  /// Computes dominators with the entry block as root. Unreachable blocks
+  /// get kNoBlock as their immediate dominator.
+  static Dominators compute(const Cfg& cfg);
+
+  /// Immediate dominator of `block` (kNoBlock for the entry and for
+  /// unreachable blocks).
+  std::uint32_t idom(std::uint32_t block) const { return idom_[block]; }
+
+  /// True when `a` dominates `b` (reflexive).
+  bool dominates(std::uint32_t a, std::uint32_t b) const;
+
+  std::size_t block_count() const { return idom_.size(); }
+
+ private:
+  std::vector<std::uint32_t> idom_;
+  std::vector<std::uint32_t> order_;  // reverse-postorder number per block
+};
+
+}  // namespace saintdroid

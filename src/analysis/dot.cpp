@@ -1,0 +1,53 @@
+#include "analysis/dot.hpp"
+
+#include <sstream>
+
+#include "dex/disasm.hpp"
+
+namespace saintdroid {
+
+namespace {
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\l";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string cfg_to_dot(const DexFile& dex, const MethodCode& code,
+                       const Cfg& cfg, const std::string& graph_name,
+                       const GuardResult* guards) {
+  std::ostringstream out;
+  out << "digraph \"" << dot_escape(graph_name) << "\" {\n"
+      << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (std::uint32_t b = 0; b < cfg.block_count(); ++b) {
+    const BasicBlock& block = cfg.block(b);
+    std::string label = "B" + std::to_string(b);
+    if (guards && b < guards->block_intervals.size())
+      label += " " + guards->block_intervals[b].to_string();
+    label += "\n";
+    for (std::uint32_t i = block.first; i <= block.last; ++i)
+      label += "@" + std::to_string(i) + ": " +
+               disassemble(dex, code.insns[i]) + "\n";
+    out << "  b" << b << " [label=\"" << dot_escape(label) << "\"];\n";
+    if (block.fallthrough != kNoBlock)
+      out << "  b" << b << " -> b" << block.fallthrough
+          << " [label=\"fall\"];\n";
+    if (block.taken != kNoBlock)
+      out << "  b" << b << " -> b" << block.taken << " [label=\"taken\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,18 @@
+// Graphviz (DOT) rendering of CFGs — a debugging aid for inspecting how
+// the guard analysis sees a method.
+#pragma once
+
+#include <string>
+
+#include "analysis/cfg.hpp"
+#include "analysis/guards.hpp"
+
+namespace saintdroid {
+
+/// Renders the CFG of one method body as a DOT digraph. When `guards` is
+/// non-null its per-block intervals are included in the node labels.
+std::string cfg_to_dot(const DexFile& dex, const MethodCode& code,
+                       const Cfg& cfg, const std::string& graph_name,
+                       const GuardResult* guards = nullptr);
+
+}  // namespace saintdroid

@@ -1,0 +1,248 @@
+#include "analysis/guards.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "dex/ids.hpp"
+#include "support/errors.hpp"
+
+namespace saintdroid {
+
+CmpOp negate_cmp(CmpOp cmp) {
+  switch (cmp) {
+    case CmpOp::kEq: return CmpOp::kNe;
+    case CmpOp::kNe: return CmpOp::kEq;
+    case CmpOp::kLt: return CmpOp::kGe;
+    case CmpOp::kLe: return CmpOp::kGt;
+    case CmpOp::kGt: return CmpOp::kLe;
+    case CmpOp::kGe: return CmpOp::kLt;
+  }
+  SD_EXPECTS(false);
+  return CmpOp::kEq;
+}
+
+ApiInterval refine_interval(ApiInterval in, CmpOp cmp, std::int32_t literal) {
+  if (in.empty()) return in;
+  switch (cmp) {
+    case CmpOp::kLt:
+      return in.intersect(ApiInterval{kMinApiLevel, literal - 1});
+    case CmpOp::kLe:
+      return in.intersect(ApiInterval{kMinApiLevel, literal});
+    case CmpOp::kGt:
+      return in.intersect(ApiInterval{literal + 1, kMaxApiLevel});
+    case CmpOp::kGe:
+      return in.intersect(ApiInterval{literal, kMaxApiLevel});
+    case CmpOp::kEq:
+      return in.intersect(ApiInterval{literal, literal});
+    case CmpOp::kNe:
+      // {SDK_INT != k} is not contiguous unless k is an endpoint.
+      if (literal == in.lo()) return ApiInterval{in.lo() + 1, in.hi()};
+      if (literal == in.hi()) return ApiInterval{in.lo(), in.hi() - 1};
+      return in;  // sound over-approximation
+  }
+  SD_EXPECTS(false);
+  return in;
+}
+
+namespace {
+
+struct BlockState {
+  ApiInterval interval = ApiInterval::empty_interval();
+  std::vector<RegFact> regs;
+  // Facts about instance fields (keyed by field-ref pool index),
+  // object-insensitive. Small: only fields assigned interesting facts.
+  std::unordered_map<std::uint32_t, RegFact> fields;
+  bool reached = false;
+};
+
+/// Join of register facts: keep only agreements.
+void join_regs(std::vector<RegFact>& into, const std::vector<RegFact>& from) {
+  for (std::size_t i = 0; i < into.size(); ++i)
+    if (!(into[i] == from[i])) into[i] = RegFact::unknown();
+}
+
+/// Join of field facts: keep only entries present and equal on both sides.
+void join_fields(std::unordered_map<std::uint32_t, RegFact>& into,
+                 const std::unordered_map<std::uint32_t, RegFact>& from) {
+  for (auto it = into.begin(); it != into.end();) {
+    const auto other = from.find(it->first);
+    if (other == from.end() || !(other->second == it->second))
+      it = into.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace
+
+GuardResult analyze_guards(const DexFile& dex, const MethodCode& code,
+                           const Cfg& cfg, ApiInterval entry,
+                           const GuardOptions& options) {
+  const auto block_count = cfg.block_count();
+  std::vector<BlockState> in_states(block_count);
+  const std::size_t reg_count = code.register_count;
+
+  in_states[Cfg::entry()].interval = entry;
+  in_states[Cfg::entry()].regs.assign(reg_count, RegFact::unknown());
+  in_states[Cfg::entry()].reached = true;
+
+  std::deque<std::uint32_t> worklist{Cfg::entry()};
+  std::vector<bool> queued(block_count, false);
+  queued[Cfg::entry()] = true;
+
+  // Caps iterations; the lattice is finite so this is belt-and-braces
+  // against transfer-function bugs rather than a semantic limit.
+  std::size_t iterations = 0;
+  const std::size_t iteration_cap = block_count * 64 + 1024;
+
+  const auto propagate =
+      [&](std::uint32_t to, ApiInterval interval,
+          const std::vector<RegFact>& regs,
+          const std::unordered_map<std::uint32_t, RegFact>& fields) {
+        BlockState& dst = in_states[to];
+        bool changed = false;
+        if (!dst.reached) {
+          dst.interval = interval;
+          dst.regs = regs;
+          dst.fields = fields;
+          dst.reached = true;
+          changed = true;
+        } else {
+          const ApiInterval merged = dst.interval.hull(interval);
+          if (!(merged == dst.interval)) {
+            dst.interval = merged;
+            changed = true;
+          }
+          std::vector<RegFact> before = dst.regs;
+          join_regs(dst.regs, regs);
+          if (before != dst.regs) changed = true;
+          const std::size_t field_count_before = dst.fields.size();
+          join_fields(dst.fields, fields);
+          if (dst.fields.size() != field_count_before) changed = true;
+        }
+        if (changed && !queued[to]) {
+          worklist.push_back(to);
+          queued[to] = true;
+        }
+      };
+
+  while (!worklist.empty() && iterations++ < iteration_cap) {
+    const auto b = worklist.front();
+    worklist.pop_front();
+    queued[b] = false;
+
+    const BasicBlock& block = cfg.block(b);
+    ApiInterval interval = in_states[b].interval;
+    std::vector<RegFact> regs = in_states[b].regs;
+    std::unordered_map<std::uint32_t, RegFact> fields = in_states[b].fields;
+
+    // Transfer through the block body.
+    for (std::uint32_t i = block.first; i <= block.last; ++i) {
+      const Instruction& insn = code.insns[i];
+      switch (insn.op) {
+        case Opcode::kConst:
+          if (insn.reg_a < regs.size())
+            regs[insn.reg_a] = RegFact::constant(insn.literal);
+          break;
+        case Opcode::kMove:
+          if (insn.reg_a < regs.size() && insn.reg_b < regs.size())
+            regs[insn.reg_a] = options.track_registers
+                                   ? regs[insn.reg_b]
+                                   : RegFact::unknown();
+          break;
+        case Opcode::kSget:
+          if (insn.reg_a < regs.size()) {
+            const FieldId field = dex.field_id_at(insn.index);
+            regs[insn.reg_a] = field == kSdkIntField ? RegFact::sdk_int()
+                                                     : RegFact::unknown();
+          }
+          break;
+        case Opcode::kIput:
+          // Cache into an instance field (object-insensitive).
+          if (options.track_fields && insn.reg_a < regs.size() &&
+              regs[insn.reg_a].kind != RegFact::Kind::kUnknown)
+            fields[insn.index] = regs[insn.reg_a];
+          else
+            fields.erase(insn.index);
+          break;
+        case Opcode::kIget:
+          if (insn.reg_a < regs.size()) {
+            const auto it = fields.find(insn.index);
+            regs[insn.reg_a] = options.track_fields && it != fields.end()
+                                   ? it->second
+                                   : RegFact::unknown();
+          }
+          break;
+        case Opcode::kConstString:
+        case Opcode::kMoveResult:
+        case Opcode::kNewInstance:
+        case Opcode::kLoadClass:
+          if (insn.reg_a < regs.size())
+            regs[insn.reg_a] = RegFact::unknown();
+          break;
+        default:
+          break;
+      }
+    }
+
+    // Edge refinement at a conditional on SDK_INT.
+    const Instruction& last = code.insns[block.last];
+    ApiInterval taken_interval = interval;
+    ApiInterval fall_interval = interval;
+    if (options.enabled && last.op == Opcode::kIfCmp) {
+      const auto fact_of = [&](std::uint16_t reg) {
+        return reg < regs.size() ? regs[reg] : RegFact::unknown();
+      };
+      const RegFact lhs = fact_of(last.reg_a);
+      // Normalize to the form "SDK_INT <cmp> literal".
+      bool recognized = false;
+      CmpOp cmp = last.cmp;
+      std::int32_t literal = 0;
+      if (lhs.kind == RegFact::Kind::kSdkInt) {
+        if (last.cmp_with_literal) {
+          literal = last.literal;
+          recognized = true;
+        } else if (options.track_registers) {
+          const RegFact rhs = fact_of(last.reg_b);
+          if (rhs.kind == RegFact::Kind::kConst) {
+            literal = rhs.value;
+            recognized = true;
+          }
+        }
+      } else if (!last.cmp_with_literal && options.track_registers &&
+                 lhs.kind == RegFact::Kind::kConst) {
+        const RegFact rhs = fact_of(last.reg_b);
+        if (rhs.kind == RegFact::Kind::kSdkInt) {
+          // k <cmp> SDK_INT  ==  SDK_INT <mirrored cmp> k
+          literal = lhs.value;
+          switch (last.cmp) {
+            case CmpOp::kLt: cmp = CmpOp::kGt; break;
+            case CmpOp::kLe: cmp = CmpOp::kGe; break;
+            case CmpOp::kGt: cmp = CmpOp::kLt; break;
+            case CmpOp::kGe: cmp = CmpOp::kLe; break;
+            default: break;  // eq/ne are symmetric
+          }
+          recognized = true;
+        }
+      }
+      if (recognized) {
+        taken_interval = refine_interval(interval, cmp, literal);
+        fall_interval = refine_interval(interval, negate_cmp(cmp), literal);
+      }
+    }
+
+    if (block.taken != kNoBlock)
+      propagate(block.taken, taken_interval, regs, fields);
+    if (block.fallthrough != kNoBlock)
+      propagate(block.fallthrough, fall_interval, regs, fields);
+  }
+
+  GuardResult result;
+  result.block_intervals.reserve(block_count);
+  for (const auto& state : in_states)
+    result.block_intervals.push_back(
+        state.reached ? state.interval : ApiInterval::empty_interval());
+  return result;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,71 @@
+// SDK_INT guard analysis: a forward interval dataflow on the CFG.
+//
+// Computes, per basic block, the closed interval of device API levels under
+// which the block may execute, starting from a context interval (the app's
+// declared [minSdk, maxSdk], or a narrower caller context when analyzing a
+// callee interprocedurally — the context sensitivity that sets SAINTDroid
+// apart from CID/Lint, §V-A). Register facts track which registers hold
+// SDK_INT or constants so that guards written through temporaries and
+// register-register comparisons refine correctly; joins take the interval
+// hull, the sound direction for "may execute under".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "support/interval.hpp"
+
+namespace saintdroid {
+
+/// What the analysis knows about one register's value.
+struct RegFact {
+  enum class Kind : std::uint8_t { kUnknown = 0, kSdkInt, kConst };
+  Kind kind = Kind::kUnknown;
+  std::int32_t value = 0;  // kConst only
+
+  friend bool operator==(const RegFact&, const RegFact&) = default;
+
+  static RegFact unknown() { return {}; }
+  static RegFact sdk_int() { return {Kind::kSdkInt, 0}; }
+  static RegFact constant(std::int32_t v) { return {Kind::kConst, v}; }
+};
+
+/// Options controlling guard recognition; the baselines dial features off
+/// to reproduce their documented blind spots.
+struct GuardOptions {
+  /// Track SDK_INT through move instructions and register-register
+  /// comparisons. Lint's simple lexical check does not (paper §VII).
+  bool track_registers = true;
+  /// Track SDK_INT cached in instance fields (iput/iget of the same
+  /// field) — the `this.sdkLevel = Build.VERSION.SDK_INT` idiom.
+  /// Object-insensitive, the standard approximation for this tool class.
+  bool track_fields = true;
+  /// Recognize guards at all. Turning this off yields the no-guard
+  /// ablation.
+  bool enabled = true;
+};
+
+/// Result of analyzing one method body.
+struct GuardResult {
+  /// Per-block interval of levels under which the block may execute.
+  std::vector<ApiInterval> block_intervals;
+
+  /// Convenience: the interval for the block containing `insn_index`.
+  ApiInterval at(const Cfg& cfg, std::uint32_t insn_index) const {
+    return block_intervals[cfg.block_of(insn_index)];
+  }
+};
+
+/// Runs the dataflow. `entry` is the interval assumed at method entry.
+GuardResult analyze_guards(const DexFile& dex, const MethodCode& code,
+                           const Cfg& cfg, ApiInterval entry,
+                           const GuardOptions& options = {});
+
+/// Refines `in` with the constraint `SDK_INT <cmp> literal` (taken branch).
+ApiInterval refine_interval(ApiInterval in, CmpOp cmp, std::int32_t literal);
+
+/// The comparison that holds on the fallthrough (not-taken) edge.
+CmpOp negate_cmp(CmpOp cmp);
+
+}  // namespace saintdroid

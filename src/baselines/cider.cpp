@@ -1,0 +1,128 @@
+#include "baselines/cider.hpp"
+
+#include <unordered_map>
+
+#include "support/interval.hpp"
+#include "support/meter.hpp"
+
+namespace saintdroid {
+
+PiGraphModels default_pi_graph_models() {
+  PiGraphModels models;
+  // Compiled from the documentation, as CIDER's authors did — including
+  // the documentation's gaps: onPictureInPictureModeChanged,
+  // onTopResumedActivityChanged, Fragment.onCreateView,
+  // Service.onTaskRemoved and WebViewClient.shouldOverrideUrlLoading are
+  // absent, and Service.onTrimMemory carries the documentation's wrong
+  // introduction level (13; the framework actually added it at 14).
+  models["android/app/Activity"] = {
+      {"onCreate", "(Landroid/os/Bundle;)V", 2},
+      {"onStart", "()V", 2},
+      {"onResume", "()V", 2},
+      {"onPause", "()V", 2},
+      {"onStop", "()V", 2},
+      {"onDestroy", "()V", 2},
+      {"onSaveInstanceState", "(Landroid/os/Bundle;)V", 2},
+      {"onAttachedToWindow", "()V", 5},
+      {"onBackPressed", "()V", 5},
+      {"onMultiWindowModeChanged", "(Z)V", 24},
+      {"onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V", 23},
+  };
+  models["android/app/Fragment"] = {
+      {"onAttach", "(Landroid/app/Activity;)V", 11},
+      {"onAttach", "(Landroid/content/Context;)V", 23},
+      {"onCreate", "(Landroid/os/Bundle;)V", 11},
+      {"onDestroy", "()V", 11},
+      {"onDetach", "()V", 11},
+  };
+  models["android/app/Service"] = {
+      {"onCreate", "()V", 2},
+      {"onStartCommand", "(Landroid/content/Intent;II)V", 5},
+      {"onBind", "(Landroid/content/Intent;)V", 2},
+      {"onTrimMemory", "(I)V", 13},  // documentation error
+      {"onDestroy", "()V", 2},
+  };
+  models["android/webkit/WebViewClient"] = {
+      {"onPageFinished", "(Landroid/webkit/WebView;Ljava/lang/String;)V", 2},
+      {"onReceivedError", "(Landroid/webkit/WebView;ILjava/lang/String;)V",
+       2},
+      {"onPageCommitVisible",
+       "(Landroid/webkit/WebView;Ljava/lang/String;)V", 23},
+  };
+  return models;
+}
+
+CiderAnalyzer::CiderAnalyzer(PiGraphModels models)
+    : models_(std::move(models)) {}
+
+AnalysisResult CiderAnalyzer::analyze(const Apk& apk) {
+  AnalysisResult result;
+  const Stopwatch watch;
+
+  const ApiInterval app_range =
+      apk.manifest.supported_range().intersect(ApiInterval::full());
+
+  // Index the app's own classes so the ancestor walk can pass through
+  // app-level intermediate classes before reaching a modelled one.
+  const DexFile& dex = apk.dexes.front();
+  std::unordered_map<std::string, const ClassDef*> app_classes;
+  for (const auto& cls : dex.classes())
+    app_classes.emplace(dex.type_name(cls.type), &cls);
+
+  // Memory accounting: CIDER loads the whole app (no framework — the
+  // PI-graph models replace it).
+  MemoryMeter memory;
+  memory.allocate(dex.footprint_bytes());
+
+  for (const auto& cls : dex.classes()) {
+    // Find the nearest modelled ancestor, walking through app classes.
+    const std::vector<PiGraphEntry>* model = nullptr;
+    std::string super;
+    {
+      const ClassDef* cd = &cls;
+      for (int hops = 0; cd && hops < 64; ++hops) {
+        super = cd->super_type == kNoIndex ? ""
+                                           : dex.type_name(cd->super_type);
+        if (super.empty()) break;
+        if (const auto it = models_.find(super); it != models_.end()) {
+          model = &it->second;
+          break;
+        }
+        const auto app_it = app_classes.find(super);
+        cd = app_it == app_classes.end() ? nullptr : app_it->second;
+      }
+    }
+    if (!model) continue;
+
+    for (const auto& m : cls.methods) {
+      const std::string name = dex.string_at(m.name);
+      const std::string descriptor = dex.descriptor_of(m.proto);
+      for (const auto& entry : *model) {
+        if (entry.name != name || entry.descriptor != descriptor) continue;
+        if (app_range.lo() >= entry.documented_introduced) continue;
+        Mismatch mm;
+        mm.kind = MismatchKind::kApiCallback;
+        mm.location = dex.method_id(cls, m);
+        mm.subject = MethodId{super, entry.name, entry.descriptor};
+        mm.problem_levels =
+            ApiInterval{app_range.lo(),
+                        std::min(app_range.hi(),
+                                 entry.documented_introduced - 1)};
+        mm.note = "PI-graph: documented introduction at API level " +
+                  std::to_string(entry.documented_introduced);
+        result.mismatches.push_back(std::move(mm));
+      }
+    }
+  }
+
+  result.usage.seconds = watch.seconds();
+  result.usage.peak_bytes = memory.peak_bytes();
+  result.usage.loaded_classes = dex.classes().size();
+  return result;
+}
+
+bool CiderAnalyzer::detects(MismatchKind kind) const {
+  return kind == MismatchKind::kApiCallback;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,52 @@
+// CIDER baseline (Huang et al., "Understanding and Detecting Callback
+// Compatibility Issues for Android Applications"), reimplemented from the
+// paper's description:
+//
+//   * detects API *callback* (APC) mismatches only (Table IV);
+//   * relies on hand-built PI-graph models of exactly four framework
+//     classes — Activity, Fragment, Service, WebView (plus their
+//     documented client classes) — so overrides anywhere else in the API
+//     are invisible (§V-A);
+//   * its callback list is compiled from the Android documentation, which
+//     is known to be incomplete (Wu et al.), so a handful of real
+//     callbacks are missing from the model and one documented level is
+//     wrong — reproducing its documented accuracy profile;
+//   * backward incompatibility only.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/analyzer.hpp"
+
+namespace saintdroid {
+
+/// One modelled callback entry in a PI-graph.
+struct PiGraphEntry {
+  std::string name;
+  std::string descriptor;
+  int documented_introduced = 2;  ///< as the documentation states it
+};
+
+/// The hand-built models: modelled class -> callback entries.
+using PiGraphModels =
+    std::unordered_map<std::string, std::vector<PiGraphEntry>>;
+
+/// The four-class model set described in the paper (with its documentation
+/// gaps baked in).
+PiGraphModels default_pi_graph_models();
+
+class CiderAnalyzer final : public Analyzer {
+ public:
+  explicit CiderAnalyzer(PiGraphModels models = default_pi_graph_models());
+
+  std::string_view name() const override { return "CIDER"; }
+  AnalysisResult analyze(const Apk& apk) override;
+  bool detects(MismatchKind kind) const override;
+
+ private:
+  PiGraphModels models_;
+};
+
+}  // namespace saintdroid

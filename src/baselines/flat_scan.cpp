@@ -1,0 +1,56 @@
+#include "baselines/flat_scan.hpp"
+
+#include "adf/spec.hpp"
+#include "analysis/cfg.hpp"
+
+namespace saintdroid {
+
+std::vector<ApiCallSite> flat_scan(const Apk& apk, ClassHierarchy& hierarchy,
+                                   const ApiDatabase& db,
+                                   const FlatScanOptions& options) {
+  std::vector<ApiCallSite> sites;
+  const ApiInterval app_range =
+      apk.manifest.supported_range().intersect(ApiInterval::full());
+
+  const DexFile& dex = apk.dexes.front();
+  for (const auto& cls_def : dex.classes()) {
+    for (const auto& m : cls_def.methods) {
+      if (!m.code || m.code->insns.empty()) continue;
+      const MethodId caller = dex.method_id(cls_def, m);
+      const Cfg cfg = Cfg::build(*m.code);
+      const GuardResult guards =
+          analyze_guards(dex, *m.code, cfg, app_range, options.guards);
+
+      const auto& insns = m.code->insns;
+      for (std::uint32_t i = 0; i < insns.size(); ++i) {
+        const Instruction& insn = insns[i];
+        if (insn.op != Opcode::kInvoke) continue;
+        const ApiInterval interval = guards.at(cfg, i);
+        if (interval.empty()) continue;
+
+        const MethodId declared = dex.method_id_at(insn.index);
+        if (!is_framework_class_name(declared.class_name))
+          continue;  // app/library receiver: these tools do not resolve it
+
+        MethodId resolved = declared;
+        if (options.resolve_framework_receivers &&
+            !db.defined_levels(declared)) {
+          // The declared class is framework but doesn't itself declare the
+          // method; resolve through the framework hierarchy (e.g. an
+          // Activity receiver for a Context-declared method).
+          const auto res = hierarchy.resolve(declared.class_name,
+                                             declared.name,
+                                             declared.descriptor);
+          if (res && res->declaring_class->from_framework)
+            resolved = res->id;
+        }
+        if (!db.defined_levels(resolved)) continue;  // unknown to the API DB
+
+        sites.push_back(ApiCallSite{caller, i, declared, resolved, interval});
+      }
+    }
+  }
+  return sites;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,38 @@
+// Flat (whole-program, non-reachability) API usage scan shared by the CID
+// and Lint baselines.
+//
+// Both tools load all app code and examine every method without an
+// entry-point reachability analysis and without propagating guard context
+// across calls (paper §II-D, §VII). The scan therefore analyzes each
+// method independently under the full manifest range — which both finds
+// mismatches in dead code (false alarms SAINTDroid avoids) and misses the
+// protection of guards placed in callers.
+#pragma once
+
+#include <vector>
+
+#include "analysis/guards.hpp"
+#include "core/arm.hpp"
+#include "core/aum.hpp"
+#include "dex/apk.hpp"
+#include "hierarchy/hierarchy.hpp"
+
+namespace saintdroid {
+
+struct FlatScanOptions {
+  GuardOptions guards;
+  /// Resolve calls whose declared receiver is a framework class through the
+  /// framework hierarchy. Calls on *app* receiver classes are never
+  /// resolved into the framework by these tools (SAINTDroid's hierarchy
+  /// analysis is what catches inherited-API usage through app subclasses).
+  bool resolve_framework_receivers = true;
+};
+
+/// Scans every method of the APK's main dex and returns the framework API
+/// call sites found, each annotated with its intraprocedural guard
+/// interval under the app's full manifest range.
+std::vector<ApiCallSite> flat_scan(const Apk& apk, ClassHierarchy& hierarchy,
+                                   const ApiDatabase& db,
+                                   const FlatScanOptions& options);
+
+}  // namespace saintdroid

@@ -1,0 +1,87 @@
+#include "baselines/lint.hpp"
+
+#include "baselines/flat_scan.hpp"
+#include "clvm/clvm.hpp"
+#include "core/amd.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "support/meter.hpp"
+
+namespace saintdroid {
+
+LintAnalyzer::LintAnalyzer(const FrameworkRepository& repo,
+                           LintOptions options)
+    : repo_(&repo), options_(options), db_(ApiDatabase::mine(repo)) {}
+
+AnalysisResult LintAnalyzer::analyze(const Apk& apk) {
+  AnalysisResult result;
+  const Stopwatch watch;
+
+  if (!apk.manifest.buildable) {
+    result.completed = false;
+    result.failure_reason =
+        "Lint requires source; the app does not build with current "
+        "toolchains";
+    result.usage.seconds = watch.seconds();
+    return result;
+  }
+  if (apk.dex_loc() > options_.max_app_loc) {
+    result.completed = false;
+    result.failure_reason = "Lint crashed during analysis (app too large)";
+    result.usage.seconds = watch.seconds();
+    return result;
+  }
+
+  // The build step: Lint analyzes source as part of compiling the app, so
+  // it pays a full (de)serialization of the program per round.
+  std::uint64_t build_checksum = 0;
+  for (int round = 0; round < options_.build_rounds; ++round) {
+    for (const auto& dex : apk.dexes) {
+      const auto bytes = dex.serialize();
+      const DexFile reparsed = DexFile::parse(bytes);
+      build_checksum += reparsed.instruction_count();
+    }
+  }
+  (void)build_checksum;
+
+  const int level = FrameworkRepository::clamp_level(apk.manifest.target_sdk);
+  // Lint sees the SDK the project compiles against; memory-wise it holds
+  // the app plus the compile-time API stubs (we account the app only —
+  // Lint is not part of the Fig. 4 comparison).
+  ClassLoaderVm provider{apk, repo_->image(level), /*include_secondary=*/false,
+                         &repo_->class_index(level)};
+  ClassHierarchy hierarchy{provider};
+
+  FlatScanOptions scan;
+  scan.guards.track_registers = false;  // lexical SDK_INT recognition only
+  scan.guards.track_fields = false;
+  // Lint matches calls against its api-versions.xml by the declared
+  // receiver; it does not resolve through the class hierarchy.
+  scan.resolve_framework_receivers = false;
+  UsageModel model;
+  model.api_calls = flat_scan(apk, hierarchy, db_, scan);
+  if (options_.stale_database) {
+    // Drop everything its stale database has no entry for.
+    std::erase_if(model.api_calls, [](const ApiCallSite& site) {
+      return site.resolved_target.class_name.rfind("android/synth/", 0) == 0;
+    });
+  }
+
+  AmdOptions amd_options;
+  amd_options.detect_api = true;
+  amd_options.detect_callbacks = false;
+  amd_options.detect_permissions = false;
+  amd_options.detect_forward = false;
+  const Amd amd{db_, amd_options};
+  result.mismatches = amd.detect(apk.manifest, model);
+
+  result.usage.seconds = watch.seconds();
+  result.usage.peak_bytes = provider.memory().peak_bytes();
+  result.usage.loaded_classes = provider.loaded_class_count();
+  return result;
+}
+
+bool LintAnalyzer::detects(MismatchKind kind) const {
+  return kind == MismatchKind::kApiInvocation;
+}
+
+}  // namespace saintdroid

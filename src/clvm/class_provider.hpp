@@ -1,0 +1,55 @@
+// ClassProvider: the loading boundary between analyses and bytecode.
+//
+// Every analyzer obtains classes exclusively through this interface, which
+// is what lets the Fig. 4 memory experiment emerge from the code instead of
+// being hard-coded: SAINTDroid plugs in the lazy ClassLoaderVm, CID plugs
+// in the EagerLoader, and both account the bytes they materialize through
+// the same MemoryMeter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dex/apk.hpp"
+#include "dex/dexfile.hpp"
+#include "support/meter.hpp"
+
+namespace saintdroid {
+
+/// A class materialized for analysis. Non-owning views into the container
+/// that defines it; valid for the provider's lifetime.
+struct LoadedClass {
+  std::string name;        ///< slashed internal name
+  std::string super_name;  ///< "" for root classes
+  std::vector<std::string> interface_names;
+  const DexFile* dex = nullptr;     ///< container the class lives in
+  const ClassDef* def = nullptr;    ///< definition within `dex`
+  bool from_framework = false;      ///< true when loaded from the ADF image
+  std::uint64_t footprint = 0;      ///< bytes accounted when loaded
+};
+
+/// Abstract class source. Implementations: ClassLoaderVm (lazy, clvm/),
+/// EagerLoader (whole-world, clvm/).
+class ClassProvider {
+ public:
+  virtual ~ClassProvider() = default;
+
+  /// Returns the class named `name`, materializing it if necessary, or
+  /// nullptr when it cannot be found in the app package or the framework
+  /// image (e.g. truly dynamic code generated only at runtime). The
+  /// returned pointer is stable for the provider's lifetime.
+  virtual const LoadedClass* load(const std::string& name) = 0;
+
+  /// Classes materialized so far.
+  virtual std::uint64_t loaded_class_count() const = 0;
+
+  /// Memory accounting for everything materialized through this provider.
+  virtual const MemoryMeter& memory() const = 0;
+};
+
+/// Approximate in-memory footprint of one class definition (the unit the
+/// providers charge to their MemoryMeter).
+std::uint64_t class_footprint_bytes(const DexFile& dex, const ClassDef& cls);
+
+}  // namespace saintdroid

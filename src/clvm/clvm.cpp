@@ -1,0 +1,125 @@
+#include "clvm/clvm.hpp"
+
+namespace saintdroid {
+
+std::uint64_t class_footprint_bytes(const DexFile& dex, const ClassDef& cls) {
+  std::uint64_t bytes =
+      sizeof(ClassDef) + cls.interfaces.size() * sizeof(std::uint32_t);
+  bytes += dex.type_name(cls.type).size();
+  for (const auto& m : cls.methods) {
+    bytes += sizeof(MethodDef) + dex.string_at(m.name).size();
+    if (m.code) {
+      bytes += sizeof(MethodCode);
+      for (const auto& insn : m.code->insns)
+        bytes += sizeof(Instruction) + insn.args.size() * sizeof(std::uint16_t);
+    }
+  }
+  return bytes;
+}
+
+namespace {
+
+LoadedClass make_loaded(const DexFile& dex, const ClassDef& def,
+                        bool from_framework) {
+  LoadedClass lc;
+  lc.name = dex.type_name(def.type);
+  lc.super_name =
+      def.super_type == kNoIndex ? "" : dex.type_name(def.super_type);
+  lc.interface_names.reserve(def.interfaces.size());
+  for (const auto iface : def.interfaces)
+    lc.interface_names.push_back(dex.type_name(iface));
+  lc.dex = &dex;
+  lc.def = &def;
+  lc.from_framework = from_framework;
+  lc.footprint = class_footprint_bytes(dex, def);
+  return lc;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ClassLoaderVm
+
+ClassLoaderVm::ClassLoaderVm(const Apk& apk, const DexFile& framework,
+                             bool include_secondary_dexes,
+                             const ClassNameIndex* framework_index)
+    : apk_(&apk), framework_(&framework) {
+  const std::size_t dex_limit =
+      include_secondary_dexes ? apk.dexes.size() : std::size_t{1};
+  for (std::size_t d = 0; d < dex_limit; ++d)
+    for (const auto& cls : apk.dexes[d].classes())
+      index_.emplace(apk.dexes[d].type_name(cls.type),
+                     Source{&apk.dexes[d], &cls, false});
+  if (framework_index) {
+    framework_index_ = framework_index;
+  } else {
+    owned_framework_index_.reserve(framework.classes().size());
+    for (const auto& cls : framework.classes())
+      owned_framework_index_.emplace(framework.type_name(cls.type), &cls);
+    framework_index_ = &owned_framework_index_;
+  }
+}
+
+const LoadedClass* ClassLoaderVm::load(const std::string& name) {
+  if (const auto it = cache_.find(name); it != cache_.end())
+    return it->second.get();
+  // App classes shadow framework classes of the same name (same as the
+  // runtime's delegation order for the packaged classloader path we model).
+  Source src;
+  if (const auto it = index_.find(name); it != index_.end()) {
+    src = it->second;
+  } else if (const auto fit = framework_index_->find(name);
+             fit != framework_index_->end()) {
+    src = Source{framework_, fit->second, true};
+  } else {
+    return nullptr;
+  }
+  auto loaded =
+      std::make_unique<LoadedClass>(make_loaded(*src.dex, *src.def,
+                                                src.framework));
+  memory_.allocate(loaded->footprint);
+  const auto [it, inserted] = cache_.emplace(name, std::move(loaded));
+  return it->second.get();
+}
+
+std::uint64_t ClassLoaderVm::loaded_class_count() const {
+  return cache_.size();
+}
+
+const MemoryMeter& ClassLoaderVm::memory() const { return memory_; }
+
+// ---------------------------------------------------------------------------
+// EagerLoader
+
+EagerLoader::EagerLoader(const Apk& apk, const DexFile& framework,
+                         bool include_secondary_dexes, bool load_framework) {
+  const std::size_t dex_limit =
+      include_secondary_dexes ? apk.dexes.size() : std::size_t{1};
+  for (std::size_t d = 0; d < dex_limit; ++d)
+    materialize(apk.dexes[d], false);
+  if (load_framework) materialize(framework, true);
+}
+
+void EagerLoader::materialize(const DexFile& dex, bool from_framework) {
+  for (const auto& cls : dex.classes()) {
+    auto loaded =
+        std::make_unique<LoadedClass>(make_loaded(dex, cls, from_framework));
+    const auto& name = loaded->name;
+    if (cache_.contains(name)) continue;  // first definition wins
+    memory_.allocate(loaded->footprint);
+    cache_.emplace(name, std::move(loaded));
+  }
+}
+
+const LoadedClass* EagerLoader::load(const std::string& name) {
+  const auto it = cache_.find(name);
+  return it == cache_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t EagerLoader::loaded_class_count() const {
+  return cache_.size();
+}
+
+const MemoryMeter& EagerLoader::memory() const { return memory_; }
+
+}  // namespace saintdroid

@@ -1,0 +1,137 @@
+#include "core/advisor.hpp"
+
+#include <sstream>
+
+#include "support/interval.hpp"
+
+namespace saintdroid {
+
+const char* repair_kind_name(RepairKind kind) {
+  switch (kind) {
+    case RepairKind::kAddSdkGuard: return "add-sdk-guard";
+    case RepairKind::kRaiseMinSdk: return "raise-min-sdk";
+    case RepairKind::kReplaceRemovedApi: return "replace-removed-api";
+    case RepairKind::kImplementRuntimePermissions:
+      return "implement-runtime-permissions";
+    case RepairKind::kRaiseTargetSdk: return "raise-target-sdk";
+    case RepairKind::kRemoveDeadOverride: return "gate-dead-override";
+  }
+  return "?";
+}
+
+namespace {
+
+RepairSuggestion make(RepairKind kind, const Mismatch& m,
+                      std::string description, int level = 0) {
+  RepairSuggestion s;
+  s.kind = kind;
+  s.mismatch = m;
+  s.description = std::move(description);
+  s.level = level;
+  return s;
+}
+
+void suggest_for_invocation(const Mismatch& m,
+                            std::vector<RepairSuggestion>& out) {
+  const bool forward = m.note.rfind("removed", 0) == 0;
+  if (forward) {
+    out.push_back(make(
+        RepairKind::kReplaceRemovedApi, m,
+        "migrate off " + m.subject.to_string() +
+            "; it no longer exists from API level " +
+            std::to_string(m.problem_levels.lo()) +
+            " (guard with if (Build.VERSION.SDK_INT < " +
+            std::to_string(m.problem_levels.lo()) + ") as a stopgap)"));
+    return;
+  }
+  const int introduced = m.problem_levels.hi() + 1;
+  out.push_back(make(
+      RepairKind::kAddSdkGuard, m,
+      "wrap the call to " + m.subject.to_string() + " in " +
+          m.location.to_string() + " with if (Build.VERSION.SDK_INT >= " +
+          std::to_string(introduced) + ")",
+      introduced));
+  out.push_back(make(
+      RepairKind::kRaiseMinSdk, m,
+      "or raise minSdkVersion to " + std::to_string(introduced) +
+          " if devices below it need not be supported",
+      introduced));
+}
+
+void suggest_for_callback(const Mismatch& m,
+                          std::vector<RepairSuggestion>& out) {
+  const int introduced = m.problem_levels.hi() + 1;
+  out.push_back(make(
+      RepairKind::kRemoveDeadOverride, m,
+      m.location.to_string() + " is never invoked on API levels " +
+          m.problem_levels.to_string() +
+          "; move critical work into a code path that also runs there, or "
+          "raise minSdkVersion to " +
+          std::to_string(introduced),
+      introduced));
+  out.push_back(make(RepairKind::kRaiseMinSdk, m,
+                     "alternatively raise minSdkVersion to " +
+                         std::to_string(introduced),
+                     introduced));
+}
+
+void suggest_for_permission(const Manifest& manifest, const Mismatch& m,
+                            std::vector<RepairSuggestion>& out) {
+  if (m.kind == MismatchKind::kPermissionRequest) {
+    out.push_back(make(
+        RepairKind::kImplementRuntimePermissions, m,
+        "request " + m.permission +
+            " at runtime (Activity.requestPermissions) and override "
+            "onRequestPermissionsResult before calling " +
+            m.subject.to_string()));
+    return;
+  }
+  out.push_back(make(
+      RepairKind::kRaiseTargetSdk, m,
+      "targetSdkVersion " + std::to_string(manifest.target_sdk) +
+          " leaves " + m.permission +
+          " revocable without notice on API >= 23 devices; raise the "
+          "target past 22 and adopt the runtime permission flow"));
+  out.push_back(make(
+      RepairKind::kImplementRuntimePermissions, m,
+      "then guard each use of " + m.permission +
+          " with checkSelfPermission and a runtime request"));
+}
+
+}  // namespace
+
+std::vector<RepairSuggestion> suggest_repairs(
+    const Manifest& manifest, std::span<const Mismatch> mismatches) {
+  std::vector<RepairSuggestion> out;
+  for (const auto& m : mismatches) {
+    switch (m.kind) {
+      case MismatchKind::kApiInvocation:
+        suggest_for_invocation(m, out);
+        break;
+      case MismatchKind::kApiCallback:
+        suggest_for_callback(m, out);
+        break;
+      case MismatchKind::kPermissionRequest:
+      case MismatchKind::kPermissionRevocation:
+        suggest_for_permission(manifest, m, out);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string render_repairs(std::span<const RepairSuggestion> suggestions) {
+  std::ostringstream out;
+  const Mismatch* current = nullptr;
+  for (const auto& s : suggestions) {
+    if (!current || !(current->key() == s.mismatch.key())) {
+      out << s.mismatch.to_string() << "\n";
+      current = &s.mismatch;
+    }
+    out << "    [" << repair_kind_name(s.kind) << "] " << s.description
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,53 @@
+// Repair advisor — the paper's future-work direction (§VIII): "develop a
+// complementing code synthesizer to help repair apps that do not properly
+// handle detected mismatches."
+//
+// For each detected mismatch the advisor derives the concrete remediations
+// the paper walks through in its case studies (§V-B): wrap the call in an
+// SDK_INT guard at the introduction level, raise minSdkVersion, stop
+// targeting removed APIs, implement the runtime permission protocol, or
+// bump targetSdkVersion past the runtime-permission boundary.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "dex/manifest.hpp"
+
+namespace saintdroid {
+
+enum class RepairKind : std::uint8_t {
+  kAddSdkGuard = 0,    ///< wrap the call site in if (SDK_INT >= N)
+  kRaiseMinSdk,        ///< set minSdkVersion to the introduction level
+  kReplaceRemovedApi,  ///< the API is gone going forward; migrate off it
+  kImplementRuntimePermissions,  ///< add requestPermissions + result hook
+  kRaiseTargetSdk,     ///< move past the runtime-permission boundary
+  kRemoveDeadOverride, ///< callback never invoked below N; guard or gate it
+};
+
+const char* repair_kind_name(RepairKind kind);
+
+/// One actionable remediation for one mismatch.
+struct RepairSuggestion {
+  RepairKind kind = RepairKind::kAddSdkGuard;
+  /// The mismatch being repaired (copied so reports are self-contained).
+  Mismatch mismatch;
+  /// Human-readable instruction, e.g. "wrap the call to
+  /// Context.getColorStateList in if (Build.VERSION.SDK_INT >= 23)".
+  std::string description;
+  /// For kAddSdkGuard / kRaiseMinSdk: the level to guard at / raise to.
+  int level = 0;
+};
+
+/// Derives suggestions for every mismatch. Pure function of its inputs;
+/// multiple suggestions may target one mismatch when the paper offers
+/// alternatives (e.g. guard *or* raise minSdk).
+std::vector<RepairSuggestion> suggest_repairs(
+    const Manifest& manifest, std::span<const Mismatch> mismatches);
+
+/// Renders a suggestion list as an indented text block.
+std::string render_repairs(std::span<const RepairSuggestion> suggestions);
+
+}  // namespace saintdroid

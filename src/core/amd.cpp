@@ -1,0 +1,161 @@
+#include "core/amd.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "adf/permissions.hpp"
+
+namespace saintdroid {
+
+Amd::Amd(const ApiDatabase& db, AmdOptions options)
+    : db_(&db), options_(options) {}
+
+std::vector<Mismatch> Amd::detect(const Manifest& manifest,
+                                  const UsageModel& model) const {
+  std::vector<Mismatch> out;
+  if (options_.detect_api) {
+    auto api = detect_invocations(manifest, model);
+    out.insert(out.end(), api.begin(), api.end());
+  }
+  if (options_.detect_callbacks) {
+    auto apc = detect_callbacks(manifest, model);
+    out.insert(out.end(), apc.begin(), apc.end());
+  }
+  if (options_.detect_permissions) {
+    auto prm = detect_permissions(manifest, model);
+    out.insert(out.end(), prm.begin(), prm.end());
+  }
+  return out;
+}
+
+std::vector<Mismatch> Amd::detect_invocations(const Manifest& manifest,
+                                              const UsageModel& model) const {
+  std::vector<Mismatch> out;
+  const ApiInterval app_range =
+      manifest.supported_range().intersect(ApiInterval::full());
+
+  for (const auto& site : model.api_calls) {
+    const auto defined = db_->defined_levels(site.resolved_target);
+    if (!defined) continue;  // unknown to every mined level: cannot judge
+    const ApiInterval exposed = app_range.intersect(site.guard);
+    if (exposed.empty()) continue;  // guard fully protects the site
+
+    // Backward mismatch: levels below the introduction.
+    if (exposed.lo() < defined->lo()) {
+      Mismatch m;
+      m.kind = MismatchKind::kApiInvocation;
+      m.location = site.caller;
+      m.insn_index = site.insn_index;
+      m.subject = site.resolved_target;
+      m.problem_levels = ApiInterval{
+          exposed.lo(), std::min(exposed.hi(), defined->lo() - 1)};
+      m.note = "introduced at API level " + std::to_string(defined->lo());
+      out.push_back(std::move(m));
+    }
+    // Forward mismatch: levels at/after removal.
+    if (options_.detect_forward && exposed.hi() > defined->hi()) {
+      Mismatch m;
+      m.kind = MismatchKind::kApiInvocation;
+      m.location = site.caller;
+      m.insn_index = site.insn_index;
+      m.subject = site.resolved_target;
+      m.problem_levels = ApiInterval{
+          std::max(exposed.lo(), defined->hi() + 1), exposed.hi()};
+      m.note = "removed at API level " + std::to_string(defined->hi() + 1);
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+std::vector<Mismatch> Amd::detect_callbacks(const Manifest& manifest,
+                                            const UsageModel& model) const {
+  std::vector<Mismatch> out;
+  const ApiInterval app_range =
+      manifest.supported_range().intersect(ApiInterval::full());
+
+  for (const auto& ov : model.overrides) {
+    if (!db_->is_callback(ov.framework_method)) continue;
+    const auto defined = db_->defined_levels(ov.framework_method);
+    if (!defined) continue;
+
+    if (app_range.lo() < defined->lo()) {
+      Mismatch m;
+      m.kind = MismatchKind::kApiCallback;
+      m.location = ov.app_method;
+      m.subject = ov.framework_method;
+      m.problem_levels = ApiInterval{
+          app_range.lo(), std::min(app_range.hi(), defined->lo() - 1)};
+      m.note = "callback introduced at API level " +
+               std::to_string(defined->lo()) + "; never invoked below";
+      out.push_back(std::move(m));
+    }
+    if (options_.detect_forward && app_range.hi() > defined->hi()) {
+      Mismatch m;
+      m.kind = MismatchKind::kApiCallback;
+      m.location = ov.app_method;
+      m.subject = ov.framework_method;
+      m.problem_levels = ApiInterval{
+          std::max(app_range.lo(), defined->hi() + 1), app_range.hi()};
+      m.note = "callback removed at API level " +
+               std::to_string(defined->hi() + 1) + "; never invoked after";
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+std::vector<Mismatch> Amd::detect_permissions(const Manifest& manifest,
+                                              const UsageModel& model) const {
+  std::vector<Mismatch> out;
+  const ApiInterval app_range =
+      manifest.supported_range().intersect(ApiInterval::full());
+  // Runtime permissions only exist on devices at level >= 23.
+  const ApiInterval runtime_levels =
+      app_range.intersect(ApiInterval{kRuntimePermissionLevel, kMaxApiLevel});
+  if (runtime_levels.empty()) return out;
+
+  const bool targets_runtime_system =
+      manifest.target_sdk >= kRuntimePermissionLevel;
+  // Algorithm 4 lines 6-9: an app that both handles the permission result
+  // callback and issues runtime requests implements the new protocol.
+  const bool implements_protocol =
+      model.handles_permission_results && model.requests_runtime_permissions;
+  if (targets_runtime_system && implements_protocol) return out;
+
+  // Algorithm 4 line 2: the dangerous permissions the manifest requests.
+  std::unordered_set<std::string> manifest_dangerous;
+  for (const auto& p : manifest.permissions)
+    if (is_dangerous_permission(p)) manifest_dangerous.insert(p);
+  if (manifest_dangerous.empty()) return out;
+
+  // One mismatch per distinct dangerous permission actually used (all uses
+  // of one permission share the same fix; the paper reports them this way).
+  std::unordered_set<std::string> reported;
+  for (const auto& use : model.permission_uses) {
+    if (!manifest_dangerous.contains(use.permission)) continue;
+    const ApiInterval exposed = use.guard.intersect(runtime_levels);
+    if (exposed.empty()) continue;  // only reachable on pre-23 devices
+    if (!reported.insert(use.permission).second) continue;
+
+    Mismatch m;
+    m.location = use.caller;
+    m.insn_index = use.insn_index;
+    m.subject = use.api;
+    m.permission = use.permission;
+    m.problem_levels = exposed;
+    if (targets_runtime_system) {
+      m.kind = MismatchKind::kPermissionRequest;
+      m.note = "targets API " + std::to_string(manifest.target_sdk) +
+               " but never requests the permission at runtime";
+    } else {
+      m.kind = MismatchKind::kPermissionRevocation;
+      m.note = "targets API " + std::to_string(manifest.target_sdk) +
+               "; the user can revoke the permission on >=23 devices";
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,55 @@
+// AMD — Android Mismatch Detector (paper §III-C, Algorithms 2-4).
+//
+// Consumes the AUM usage model and the ARM database and emits the mismatch
+// list. Invocation mismatches (Algorithm 2): for each API call site, the
+// levels the site may execute under (manifest range filtered by guards)
+// are checked against the API's lifecycle — a backward mismatch below the
+// introduction level, a forward mismatch at/after removal. Callback
+// mismatches (Algorithm 3): each override of a mined framework callback is
+// checked for existence across the declared range. Permission mismatches
+// (Algorithm 4): dangerous-permission uses crossing the API-23 runtime
+// permission boundary without the request protocol (request mismatch, tgt
+// >= 23) or with install-time grants the user can revoke (revocation
+// mismatch, tgt <= 22).
+#pragma once
+
+#include <vector>
+
+#include "core/arm.hpp"
+#include "core/aum.hpp"
+#include "core/report.hpp"
+#include "dex/manifest.hpp"
+
+namespace saintdroid {
+
+/// Feature switches for the detectors; everything on for SAINTDroid.
+struct AmdOptions {
+  bool detect_api = true;
+  bool detect_callbacks = true;
+  bool detect_permissions = true;
+  /// Also detect forward (removed-API) mismatches. CID and Lint only model
+  /// backward incompatibility (paper §VII), so the baselines turn this off.
+  bool detect_forward = true;
+};
+
+class Amd {
+ public:
+  Amd(const ApiDatabase& db, AmdOptions options = {});
+
+  std::vector<Mismatch> detect(const Manifest& manifest,
+                               const UsageModel& model) const;
+
+  // Individual detectors, exposed for unit testing and the baselines.
+  std::vector<Mismatch> detect_invocations(const Manifest& manifest,
+                                           const UsageModel& model) const;
+  std::vector<Mismatch> detect_callbacks(const Manifest& manifest,
+                                         const UsageModel& model) const;
+  std::vector<Mismatch> detect_permissions(const Manifest& manifest,
+                                           const UsageModel& model) const;
+
+ private:
+  const ApiDatabase* db_;
+  AmdOptions options_;
+};
+
+}  // namespace saintdroid

@@ -1,0 +1,28 @@
+// The common analyzer interface SAINTDroid and the baselines implement, so
+// the accuracy/performance harnesses can run them head-to-head.
+#pragma once
+
+#include <string_view>
+
+#include "core/report.hpp"
+#include "dex/apk.hpp"
+
+namespace saintdroid {
+
+class Analyzer {
+ public:
+  virtual ~Analyzer() = default;
+
+  /// Display name ("SAINTDroid", "CID", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Analyzes one app. Never throws on a well-formed Apk; tool-level
+  /// failure modes (unbuildable source, timeout) are reported through
+  /// AnalysisResult::completed.
+  virtual AnalysisResult analyze(const Apk& apk) = 0;
+
+  /// Capability matrix entry (paper Table IV).
+  virtual bool detects(MismatchKind kind) const = 0;
+};
+
+}  // namespace saintdroid

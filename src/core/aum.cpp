@@ -1,0 +1,312 @@
+#include "core/aum.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "adf/spec.hpp"
+#include "support/errors.hpp"
+
+namespace saintdroid {
+
+namespace {
+
+bool interval_covers(ApiInterval outer, ApiInterval inner) {
+  if (inner.empty()) return true;
+  if (outer.empty()) return false;
+  return outer.lo() <= inner.lo() && inner.hi() <= outer.hi();
+}
+
+/// Numeric call-site identity: the defining MethodDef is unique per method
+/// for the analysis' lifetime, so pointer + instruction index identify a
+/// site without string building.
+std::uint64_t site_key(const MethodDef* def, std::uint32_t insn_index) {
+  return reinterpret_cast<std::uintptr_t>(def) * 1000003ULL + insn_index;
+}
+
+}  // namespace
+
+Aum::Aum(ClassHierarchy& hierarchy, const ApiDatabase& db, AumOptions options)
+    : hierarchy_(&hierarchy), db_(&db), options_(options) {}
+
+const Cfg& Aum::cfg_for(const MethodDef& def) {
+  auto& slot = cfg_cache_[&def];
+  if (!slot) slot = std::make_unique<Cfg>(Cfg::build(*def.code));
+  return *slot;
+}
+
+const Aum::RefResolution& Aum::resolve_ref(const DexFile& dex,
+                                           std::uint32_t ref_idx) {
+  auto& per_dex = ref_cache_[&dex];
+  if (per_dex.empty()) per_dex.resize(dex.method_ref_count());
+  auto& slot = per_dex[ref_idx];
+  if (!slot) {
+    slot = std::make_unique<RefResolution>();
+    slot->declared = dex.method_id_at(ref_idx);
+    slot->resolution = hierarchy_->resolve(
+        slot->declared.class_name, slot->declared.name,
+        slot->declared.descriptor);
+  }
+  return *slot;
+}
+
+void Aum::walk_framework(const MethodId& api, int depth) {
+  if (depth >= options_.framework_walk_depth) return;
+  if (auto [it, inserted] = framework_walked_.emplace(api, true); !inserted)
+    return;
+  const LoadedClass* cls = hierarchy_->load(api.class_name);
+  if (!cls || !cls->from_framework) return;
+  for (const auto& m : cls->def->methods) {
+    if (!method_matches(*cls->dex, m, api.name, api.descriptor)) continue;
+    if (!m.code) return;
+    for (const auto& insn : m.code->insns) {
+      if (insn.op != Opcode::kInvoke) continue;
+      const MethodId callee = cls->dex->method_id_at(insn.index);
+      hierarchy_->load(callee.class_name);  // materialize what the ADF touches
+      walk_framework(callee, depth + 1);
+    }
+    return;
+  }
+}
+
+void Aum::explore_method(const MethodWork& work, UsageModel& model) {
+  const MethodDef& def = *work.def;
+  if (!def.code || def.code->insns.empty()) return;
+
+  // Memoize on the widest context analyzed so far.
+  if (const auto it = analyzed_.find(&def); it != analyzed_.end()) {
+    if (interval_covers(it->second, work.context)) return;
+    it->second = it->second.hull(work.context);
+  } else {
+    analyzed_.emplace(&def, work.context);
+    model.reachable_methods.push_back(
+        work.cls->dex->method_id(*work.cls->def, def));
+  }
+
+  const DexFile& dex = *work.cls->dex;
+  const MethodId caller = dex.method_id(*work.cls->def, def);
+  const Cfg& cfg = cfg_for(def);
+  const GuardResult guards =
+      analyze_guards(dex, *def.code, cfg, work.context, options_.guards);
+
+  // Linear pre-pass tracking string constants per register, for
+  // reflection-based late binding (Class.forName with a statically-known
+  // name). Flow-insensitive within the method — conservative in the
+  // direction the paper takes for dynamically-bound code.
+  const auto& insns = def.code->insns;
+  std::unordered_map<std::uint16_t, std::uint32_t> string_regs;  // reg -> string idx
+  std::vector<std::uint32_t> string_at(insns.size(), kNoIndex);
+  for (std::uint32_t i = 0; i < insns.size(); ++i) {
+    const Instruction& insn = insns[i];
+    if (insn.op == Opcode::kConstString) {
+      string_regs[insn.reg_a] = insn.index;
+    } else if (insn.op == Opcode::kInvoke && !insn.args.empty()) {
+      if (const auto it = string_regs.find(insn.args.front());
+          it != string_regs.end())
+        string_at[i] = it->second;
+    }
+  }
+  for (std::uint32_t i = 0; i < insns.size(); ++i) {
+    const Instruction& insn = insns[i];
+    const ApiInterval interval = guards.at(cfg, i);
+    if (interval.empty()) continue;  // path-sensitively dead under context
+
+    if (insn.op == Opcode::kLoadClass && options_.follow_late_binding) {
+      // Late binding: conservatively analyze every method of the
+      // statically-named class (paper §III-A).
+      const std::string type = dex.type_name(insn.index);
+      const LoadedClass* loaded = hierarchy_->load(type);
+      if (loaded && !loaded->from_framework) {
+        for (const auto& m : loaded->def->methods)
+          worklist_.push_back(MethodWork{loaded, &m,
+                                         ApiInterval::full(), work.depth + 1});
+      }
+      continue;
+    }
+
+    if (insn.op != Opcode::kInvoke) continue;
+    const RefResolution& ref = resolve_ref(dex, insn.index);
+    const MethodId& declared = ref.declared;
+    const auto& resolution = ref.resolution;
+
+    // Reflection-based late binding: Class.forName on a statically-known
+    // name pulls the named class into the analysis, just like kLoadClass.
+    if (options_.follow_late_binding &&
+        declared.class_name == "java/lang/Class" &&
+        declared.name == "forName" && string_at[i] != kNoIndex) {
+      std::string type = dex.string_at(string_at[i]);
+      std::replace(type.begin(), type.end(), '.', '/');
+      const LoadedClass* loaded = hierarchy_->load(type);
+      if (loaded && !loaded->from_framework) {
+        for (const auto& m : loaded->def->methods)
+          worklist_.push_back(
+              MethodWork{loaded, &m, ApiInterval::full(), work.depth + 1});
+      }
+      continue;
+    }
+
+    if (resolution && resolution->declaring_class->from_framework) {
+      // A framework API call (possibly reached via inheritance).
+      const MethodId& api = resolution->id;
+      if (api.name == "requestPermissions")
+        model.requests_runtime_permissions = true;
+
+      const std::uint64_t key = site_key(&def, i);
+      if (const auto it = api_site_index_.find(key);
+          it != api_site_index_.end()) {
+        auto& site = model.api_calls[it->second];
+        site.guard = site.guard.hull(interval);
+      } else {
+        api_site_index_.emplace(key, model.api_calls.size());
+        model.api_calls.push_back(
+            ApiCallSite{caller, i, declared, api, interval});
+      }
+
+      for (const auto& permission : db_->permissions_for(api)) {
+        auto& entries = perm_site_index_[key];
+        bool found = false;
+        for (auto& [perm, index] : entries) {
+          if (perm != permission) continue;
+          auto& use = model.permission_uses[index];
+          use.guard = use.guard.hull(interval);
+          found = true;
+          break;
+        }
+        if (!found) {
+          entries.emplace_back(permission, model.permission_uses.size());
+          model.permission_uses.push_back(
+              PermissionUse{caller, i, api, permission, interval});
+        }
+      }
+
+      walk_framework(api, 0);
+      continue;
+    }
+
+    if (resolution) {
+      // App-internal call: recurse under the site's guard context
+      // (Algorithm 2 lines 8-9).
+      if (work.depth >= options_.max_call_depth) continue;
+      const ApiInterval child_context = options_.interprocedural_guards
+                                            ? interval
+                                            : work.context;
+      worklist_.push_back(MethodWork{resolution->declaring_class,
+                                     resolution->method, child_context,
+                                     work.depth + 1});
+      continue;
+    }
+
+    // Unresolved. If the declared receiver is a framework class, the
+    // method may simply not exist in the image we analyze against (e.g.
+    // introduced at a later level); the database still knows it.
+    if (is_framework_class_name(declared.class_name) &&
+        db_->defined_levels(declared)) {
+      const std::uint64_t key = site_key(&def, i);
+      if (const auto it = api_site_index_.find(key);
+          it != api_site_index_.end()) {
+        auto& site = model.api_calls[it->second];
+        site.guard = site.guard.hull(interval);
+      } else {
+        api_site_index_.emplace(key, model.api_calls.size());
+        model.api_calls.push_back(
+            ApiCallSite{caller, i, declared, declared, interval});
+      }
+      for (const auto& permission : db_->permissions_for(declared)) {
+        auto& entries = perm_site_index_[key];
+        bool found = false;
+        for (const auto& [perm, index] : entries)
+          if (perm == permission) {
+            found = true;
+            break;
+          }
+        if (!found) {
+          entries.emplace_back(permission, model.permission_uses.size());
+          model.permission_uses.push_back(
+              PermissionUse{caller, i, declared, permission, interval});
+        }
+      }
+    }
+    // Otherwise: statically-unknown target (e.g. code generated only at
+    // runtime) — conservatively skipped, as the paper's tool does (§VI).
+  }
+}
+
+UsageModel Aum::model(const Apk& apk) {
+  cfg_cache_.clear();
+  analyzed_.clear();
+  api_site_index_.clear();
+  perm_site_index_.clear();
+  framework_walked_.clear();
+  ref_cache_.clear();
+  worklist_.clear();
+
+  UsageModel model;
+  const ApiInterval app_range =
+      apk.manifest.supported_range().intersect(ApiInterval::full());
+
+  // Enumerate the installed (main-dex) classes: detect overrides of
+  // framework methods and collect the framework-invoked entry points.
+  const DexFile& main_dex = apk.dexes.front();
+  std::vector<const LoadedClass*> app_classes;
+  for (const auto& cls_def : main_dex.classes()) {
+    const LoadedClass* cls = hierarchy_->load(main_dex.type_name(cls_def.type));
+    if (!cls || cls->from_framework) continue;
+    app_classes.push_back(cls);
+    for (const auto& m : cls->def->methods) {
+      std::optional<MethodId> overridden_id;
+      if (const auto res = hierarchy_->overridden_framework_method(*cls, m)) {
+        overridden_id = res->id;
+      } else {
+        // The declaration may not exist in the analysis-level image at all
+        // (a callback introduced at a later level than the app targets);
+        // Algorithm 3 consults the revision database across *all* levels,
+        // so walk the ancestor chain and ask the database directly. The
+        // descriptor is built lazily — only when an ancestor declares a
+        // method of the same name at some level.
+        const std::string& name = cls->dex->string_at(m.name);
+        std::string descriptor;
+        const LoadedClass* ancestor =
+            cls->super_name.empty() ? nullptr
+                                    : hierarchy_->load(cls->super_name);
+        while (ancestor) {
+          if (db_->class_has_method_named(ancestor->name, name)) {
+            if (descriptor.empty())
+              descriptor = cls->dex->descriptor_of(m.proto);
+            const MethodId candidate{ancestor->name, name, descriptor};
+            if (db_->defined_levels(candidate)) {
+              overridden_id = candidate;
+              break;
+            }
+          }
+          if (ancestor->super_name.empty()) break;
+          ancestor = hierarchy_->load(ancestor->super_name);
+        }
+      }
+      if (!overridden_id) continue;
+      const MethodId app_method = cls->dex->method_id(*cls->def, m);
+      model.overrides.push_back(CallbackOverride{app_method, *overridden_id});
+      if (overridden_id->name == "onRequestPermissionsResult")
+        model.handles_permission_results = true;
+      // Framework-invoked methods are exploration roots.
+      worklist_.push_back(MethodWork{cls, &m, app_range, 0});
+    }
+  }
+
+  // Component classes: the framework instantiates them and drives their
+  // lifecycle, so all their methods are roots.
+  for (const auto& component : apk.manifest.components) {
+    const LoadedClass* cls = hierarchy_->load(component.class_name);
+    if (!cls || cls->from_framework) continue;
+    for (const auto& m : cls->def->methods)
+      worklist_.push_back(MethodWork{cls, &m, app_range, 0});
+  }
+
+  while (!worklist_.empty()) {
+    const MethodWork work = worklist_.back();
+    worklist_.pop_back();
+    explore_method(work, model);
+  }
+
+  return model;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,135 @@
+// AUM — API Usage Modeler (paper §III-A).
+//
+// Produces the usage model the detectors consume: every reachable API call
+// site annotated with the guard interval it executes under (path-sensitive,
+// context-aware), every override of a framework callback, and every use of
+// a permission-requiring API. Exploration follows paper Algorithm 1:
+// methods are pulled from a worklist, their classes loaded on demand
+// through the ClassProvider (the CLVM), call targets resolved against the
+// incrementally-built hierarchy, and late-bound classes discovered through
+// load-class instructions are appended so that "every method in every such
+// class is analyzed".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/guards.hpp"
+#include "core/arm.hpp"
+#include "dex/apk.hpp"
+#include "hierarchy/hierarchy.hpp"
+
+namespace saintdroid {
+
+/// One invocation of a framework API from app code.
+struct ApiCallSite {
+  MethodId caller;            ///< app method containing the call
+  std::uint32_t insn_index = 0;
+  MethodId declared_target;   ///< as written in the bytecode
+  MethodId resolved_target;   ///< at the declaring framework class
+  ApiInterval guard;          ///< levels the site may execute under
+};
+
+/// An app method overriding a framework-declared method.
+struct CallbackOverride {
+  MethodId app_method;
+  MethodId framework_method;  ///< the overridden declaration
+};
+
+/// A call site whose resolved API (transitively) requires a permission.
+struct PermissionUse {
+  MethodId caller;
+  std::uint32_t insn_index = 0;
+  MethodId api;
+  std::string permission;
+  ApiInterval guard;
+};
+
+/// Everything the detectors need about one app.
+struct UsageModel {
+  std::vector<ApiCallSite> api_calls;
+  std::vector<CallbackOverride> overrides;
+  std::vector<PermissionUse> permission_uses;
+  /// App methods the exploration visited (the call-graph node set of
+  /// Algorithm 4 line 11).
+  std::vector<MethodId> reachable_methods;
+  /// True when any app class overrides onRequestPermissionsResult — the
+  /// runtime-permission protocol check of Algorithm 4.
+  bool handles_permission_results = false;
+  /// True when any reachable method calls requestPermissions.
+  bool requests_runtime_permissions = false;
+};
+
+/// Feature switches; SAINTDroid runs with everything on, the ablation bench
+/// and the baselines turn features off.
+struct AumOptions {
+  GuardOptions guards;
+  /// Propagate the call site's guard interval into app-internal callees
+  /// (context sensitivity). Off reproduces CID's intraprocedural analysis.
+  bool interprocedural_guards = true;
+  /// Explore classes discovered through load-class (late binding).
+  bool follow_late_binding = true;
+  /// Walk into resolved framework methods' bodies, loading the classes
+  /// they touch (bounded); models the paper's "beyond the first level"
+  /// framework analysis and gives the lazy loader its realistic footprint.
+  int framework_walk_depth = 2;
+  /// Upper bound on app-internal recursion depth per entry point.
+  int max_call_depth = 48;
+};
+
+/// Runs the modeler over one app. The hierarchy (and the provider behind
+/// it) must outlive the returned model.
+class Aum {
+ public:
+  Aum(ClassHierarchy& hierarchy, const ApiDatabase& db, AumOptions options);
+
+  UsageModel model(const Apk& apk);
+
+ private:
+  struct MethodWork {
+    const LoadedClass* cls;
+    const MethodDef* def;
+    ApiInterval context;
+    int depth;
+  };
+
+  void explore_method(const MethodWork& work, UsageModel& model);
+  void walk_framework(const MethodId& api, int depth);
+  const Cfg& cfg_for(const MethodDef& def);
+
+  /// Cached identity + hierarchy resolution for a method-ref pool entry.
+  /// Method refs are interned per container, so one entry serves every
+  /// call site sharing the reference.
+  struct RefResolution {
+    MethodId declared;
+    std::optional<MethodResolution> resolution;
+  };
+  const RefResolution& resolve_ref(const DexFile& dex, std::uint32_t ref_idx);
+
+  ClassHierarchy* hierarchy_;
+  const ApiDatabase* db_;
+  AumOptions options_;
+
+  // Per-run state (reset by model()).
+  std::unordered_map<const MethodDef*, std::unique_ptr<Cfg>> cfg_cache_;
+  /// Widest context each method has been analyzed under, for memoization.
+  std::unordered_map<const MethodDef*, ApiInterval> analyzed_;
+  /// Dedupe/widen call-site records (hit only on context re-analysis):
+  /// numeric site key (method identity + instruction index) -> index into
+  /// the model's vectors; for permissions, small per-site lists.
+  std::unordered_map<std::uint64_t, std::size_t> api_site_index_;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<std::string, std::size_t>>>
+      perm_site_index_;
+  std::unordered_map<MethodId, bool> framework_walked_;
+  std::unordered_map<const DexFile*,
+                     std::vector<std::unique_ptr<RefResolution>>>
+      ref_cache_;
+  std::vector<MethodWork> worklist_;
+};
+
+}  // namespace saintdroid

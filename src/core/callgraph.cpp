@@ -1,0 +1,135 @@
+#include "core/callgraph.hpp"
+
+#include <deque>
+#include <sstream>
+
+#include "dex/dexfile.hpp"
+
+namespace saintdroid {
+
+std::uint32_t CallGraph::intern_node(const MethodId& id, bool framework,
+                                     bool entry) {
+  if (const auto it = index_.find(id); it != index_.end()) {
+    if (entry) nodes_[it->second].is_entry = true;
+    return it->second;
+  }
+  const auto idx = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(CallGraphNode{id, framework, entry});
+  index_.emplace(id, idx);
+  return idx;
+}
+
+CallGraph CallGraph::build(const Apk& apk, ClassHierarchy& hierarchy) {
+  CallGraph graph;
+
+  struct Work {
+    const LoadedClass* cls;
+    const MethodDef* def;
+    std::uint32_t node;
+  };
+  std::deque<Work> worklist;
+  std::unordered_map<const MethodDef*, bool> visited;
+
+  const auto enqueue = [&](const LoadedClass* cls, const MethodDef& def,
+                           bool entry) {
+    const MethodId id = cls->dex->method_id(*cls->def, def);
+    const std::uint32_t node = graph.intern_node(id, false, entry);
+    if (const auto [it, inserted] = visited.emplace(&def, true); inserted)
+      worklist.push_back(Work{cls, &def, node});
+    return node;
+  };
+
+  // Entry points: component methods + overrides of framework methods.
+  const DexFile& main_dex = apk.dexes.front();
+  for (const auto& cls_def : main_dex.classes()) {
+    const LoadedClass* cls =
+        hierarchy.load(main_dex.type_name(cls_def.type));
+    if (!cls || cls->from_framework) continue;
+    const bool is_component = [&] {
+      for (const auto& c : apk.manifest.components)
+        if (c.class_name == cls->name) return true;
+      return false;
+    }();
+    for (const auto& m : cls->def->methods) {
+      if (is_component) {
+        enqueue(cls, m, true);
+      } else if (hierarchy.overridden_framework_method(*cls, m)) {
+        enqueue(cls, m, true);
+      }
+    }
+  }
+
+  while (!worklist.empty()) {
+    const Work work = worklist.front();
+    worklist.pop_front();
+    if (!work.def->code) continue;
+    const DexFile& dex = *work.cls->dex;
+    const auto& insns = work.def->code->insns;
+    for (std::uint32_t i = 0; i < insns.size(); ++i) {
+      const Instruction& insn = insns[i];
+      if (insn.op == Opcode::kLoadClass) {
+        const LoadedClass* loaded =
+            hierarchy.load(dex.type_name(insn.index));
+        if (loaded && !loaded->from_framework)
+          for (const auto& m : loaded->def->methods) enqueue(loaded, m, true);
+        continue;
+      }
+      if (insn.op != Opcode::kInvoke) continue;
+      const MethodId declared = dex.method_id_at(insn.index);
+      const auto res = hierarchy.resolve(declared.class_name, declared.name,
+                                         declared.descriptor);
+      std::uint32_t callee;
+      if (!res) {
+        // Unresolvable: a boundary node under the declared identity.
+        callee = graph.intern_node(declared, true, false);
+      } else if (res->declaring_class->from_framework) {
+        callee = graph.intern_node(res->id, true, false);
+      } else {
+        callee = enqueue(res->declaring_class, *res->method, false);
+      }
+      graph.edges_.push_back(
+          CallGraphEdge{work.node, callee, i, insn.invoke_kind});
+    }
+  }
+  return graph;
+}
+
+std::uint32_t CallGraph::find(const MethodId& id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? kNoIndex : it->second;
+}
+
+std::vector<const CallGraphEdge*> CallGraph::out_edges(
+    std::uint32_t node) const {
+  std::vector<const CallGraphEdge*> out;
+  for (const auto& edge : edges_)
+    if (edge.caller == node) out.push_back(&edge);
+  return out;
+}
+
+std::size_t CallGraph::reachable_app_methods() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) n += !node.is_framework;
+  return n;
+}
+
+std::string CallGraph::to_dot(const std::string& graph_name) const {
+  std::ostringstream out;
+  out << "digraph \"" << graph_name << "\" {\n"
+      << "  rankdir=LR;\n  node [fontname=\"monospace\"];\n";
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const CallGraphNode& node = nodes_[i];
+    out << "  n" << i << " [label=\"" << node.id.class_name << "\\n"
+        << node.id.name << "\", shape="
+        << (node.is_framework ? "ellipse" : "box");
+    if (node.is_entry) out << ", style=bold";
+    out << "];\n";
+  }
+  for (const auto& edge : edges_)
+    out << "  n" << edge.caller << " -> n" << edge.callee << " [label=\""
+        << invoke_kind_name(edge.kind) << "\"];\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,103 @@
+#include "core/json.hpp"
+
+#include <sstream>
+
+namespace saintdroid {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string quoted(std::string_view s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+std::string method_json(const MethodId& id) {
+  std::ostringstream out;
+  out << "{\"class\":" << quoted(id.class_name) << ",\"name\":"
+      << quoted(id.name) << ",\"descriptor\":" << quoted(id.descriptor)
+      << "}";
+  return out.str();
+}
+
+std::string interval_json(ApiInterval interval) {
+  std::ostringstream out;
+  if (interval.empty())
+    out << "null";
+  else
+    out << "{\"min\":" << interval.lo() << ",\"max\":" << interval.hi()
+        << "}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string to_json(const Mismatch& m) {
+  std::ostringstream out;
+  out << "{\"kind\":" << quoted(mismatch_kind_name(m.kind))
+      << ",\"abbr\":" << quoted(mismatch_kind_abbr(m.kind))
+      << ",\"location\":" << method_json(m.location)
+      << ",\"instruction\":" << m.insn_index
+      << ",\"subject\":" << method_json(m.subject)
+      << ",\"problem_levels\":" << interval_json(m.problem_levels);
+  if (!m.permission.empty()) out << ",\"permission\":" << quoted(m.permission);
+  if (!m.note.empty()) out << ",\"note\":" << quoted(m.note);
+  out << "}";
+  return out.str();
+}
+
+std::string to_json(const AnalysisResult& result,
+                    const std::string& app_name) {
+  std::ostringstream out;
+  out << "{\"app\":" << quoted(app_name)
+      << ",\"completed\":" << (result.completed ? "true" : "false");
+  if (!result.completed)
+    out << ",\"failure\":" << quoted(result.failure_reason);
+  out << ",\"mismatches\":[";
+  for (std::size_t i = 0; i < result.mismatches.size(); ++i) {
+    if (i) out << ",";
+    out << to_json(result.mismatches[i]);
+  }
+  out << "],\"usage\":{\"seconds\":" << result.usage.seconds
+      << ",\"peak_bytes\":" << result.usage.peak_bytes
+      << ",\"loaded_classes\":" << result.usage.loaded_classes << "}}";
+  return out.str();
+}
+
+std::string to_json(std::span<const RepairSuggestion> suggestions) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < suggestions.size(); ++i) {
+    if (i) out << ",";
+    const auto& s = suggestions[i];
+    out << "{\"repair\":" << quoted(repair_kind_name(s.kind))
+        << ",\"level\":" << s.level << ",\"description\":"
+        << quoted(s.description) << ",\"mismatch\":" << to_json(s.mismatch)
+        << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace saintdroid

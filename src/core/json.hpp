@@ -1,0 +1,27 @@
+// Minimal JSON emission for analysis reports — machine-readable output for
+// CI pipelines and the command-line tools. Emission only (the library
+// never consumes JSON), with full string escaping.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/advisor.hpp"
+#include "core/report.hpp"
+
+namespace saintdroid {
+
+/// Escapes a string for inclusion inside JSON quotes.
+std::string json_escape(std::string_view s);
+
+/// One mismatch as a JSON object.
+std::string to_json(const Mismatch& m);
+
+/// A full analysis result as a JSON object:
+/// {"app": ..., "completed": ..., "mismatches": [...], "usage": {...}}.
+std::string to_json(const AnalysisResult& result, const std::string& app_name);
+
+/// Repair suggestions as a JSON array.
+std::string to_json(std::span<const RepairSuggestion> suggestions);
+
+}  // namespace saintdroid

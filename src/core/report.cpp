@@ -1,0 +1,97 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace saintdroid {
+
+const char* mismatch_kind_name(MismatchKind kind) {
+  switch (kind) {
+    case MismatchKind::kApiInvocation: return "api-invocation";
+    case MismatchKind::kApiCallback: return "api-callback";
+    case MismatchKind::kPermissionRequest: return "permission-request";
+    case MismatchKind::kPermissionRevocation: return "permission-revocation";
+  }
+  return "?";
+}
+
+const char* mismatch_kind_abbr(MismatchKind kind) {
+  switch (kind) {
+    case MismatchKind::kApiInvocation: return "API";
+    case MismatchKind::kApiCallback: return "APC";
+    case MismatchKind::kPermissionRequest:
+    case MismatchKind::kPermissionRevocation:
+      return "PRM";
+  }
+  return "?";
+}
+
+std::string Mismatch::key() const {
+  std::string k = mismatch_kind_name(kind);
+  k += "|";
+  k += location.to_string();
+  k += "|";
+  if (kind == MismatchKind::kPermissionRequest ||
+      kind == MismatchKind::kPermissionRevocation)
+    k += permission;
+  else
+    k += subject.to_string();
+  return k;
+}
+
+std::string Mismatch::to_string() const {
+  std::ostringstream out;
+  out << "[" << mismatch_kind_abbr(kind) << "] " << location.to_string();
+  switch (kind) {
+    case MismatchKind::kApiInvocation:
+      out << " invokes " << subject.to_string() << " missing on levels "
+          << problem_levels.to_string();
+      break;
+    case MismatchKind::kApiCallback:
+      out << " overrides " << subject.to_string() << " absent on levels "
+          << problem_levels.to_string();
+      break;
+    case MismatchKind::kPermissionRequest:
+      out << " uses " << permission
+          << " without the runtime request protocol (levels "
+          << problem_levels.to_string() << ")";
+      break;
+    case MismatchKind::kPermissionRevocation:
+      out << " uses revocable " << permission << " on levels "
+          << problem_levels.to_string();
+      break;
+  }
+  if (!note.empty()) out << " — " << note;
+  return out.str();
+}
+
+std::size_t AnalysisResult::count(MismatchKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(mismatches.begin(), mismatches.end(),
+                    [kind](const Mismatch& m) { return m.kind == kind; }));
+}
+
+std::size_t AnalysisResult::permission_count() const {
+  return count(MismatchKind::kPermissionRequest) +
+         count(MismatchKind::kPermissionRevocation);
+}
+
+std::string AnalysisResult::to_text(const std::string& app_name) const {
+  std::ostringstream out;
+  out << "=== " << app_name << " ===\n";
+  if (!completed) {
+    out << "analysis failed: " << failure_reason << "\n";
+    return out.str();
+  }
+  out << "mismatches: " << mismatches.size() << " (API "
+      << count(MismatchKind::kApiInvocation) << ", APC "
+      << count(MismatchKind::kApiCallback) << ", PRM " << permission_count()
+      << ")\n";
+  for (const auto& m : mismatches) out << "  " << m.to_string() << "\n";
+  out << "time: " << usage.seconds << "s, peak "
+      << usage.peak_bytes / 1024 << " KiB, " << usage.loaded_classes
+      << " classes loaded\n";
+  return out.str();
+}
+
+}  // namespace saintdroid

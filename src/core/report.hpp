@@ -1,0 +1,70 @@
+// Mismatch and report types shared by SAINTDroid and all baselines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dex/ids.hpp"
+#include "support/interval.hpp"
+#include "support/meter.hpp"
+
+namespace saintdroid {
+
+/// The mismatch taxonomy of paper Table I (PRM split into its two forms).
+enum class MismatchKind : std::uint8_t {
+  kApiInvocation = 0,    ///< API: app invokes a method absent at some level
+  kApiCallback,          ///< APC: app overrides a callback absent at some level
+  kPermissionRequest,    ///< PRM: target >= 23 without runtime request protocol
+  kPermissionRevocation, ///< PRM: target <= 22, revocable dangerous permission
+};
+
+const char* mismatch_kind_name(MismatchKind kind);
+/// Paper abbreviation: API / APC / PRM (both permission forms map to PRM).
+const char* mismatch_kind_abbr(MismatchKind kind);
+
+/// One detected incompatibility.
+struct Mismatch {
+  MismatchKind kind = MismatchKind::kApiInvocation;
+  /// App method containing the problem (call site's method, or the
+  /// overriding method for APC).
+  MethodId location;
+  /// Instruction index of the call site within `location` (0 for APC/PRM
+  /// summaries).
+  std::uint32_t insn_index = 0;
+  /// The framework API involved: invoked method (API), overridden callback
+  /// (APC), or the permission-requiring API (PRM).
+  MethodId subject;
+  /// Device API levels on which the app misbehaves.
+  ApiInterval problem_levels;
+  /// The dangerous permission (PRM kinds only).
+  std::string permission;
+  /// Free-form detail ("introduced at 23", "removed at 23", ...).
+  std::string note;
+
+  /// Join key for scoring against a GroundTruth ledger: identifies the
+  /// issue irrespective of how the detector phrased it.
+  std::string key() const;
+
+  /// One-line human-readable rendering.
+  std::string to_string() const;
+};
+
+/// Outcome of one analyzer run on one app.
+struct AnalysisResult {
+  /// False when the tool failed on this app (crash, timeout, unbuildable
+  /// source) — rendered as a dash in Table III.
+  bool completed = true;
+  std::string failure_reason;
+  std::vector<Mismatch> mismatches;
+  ResourceUsage usage;
+
+  std::size_t count(MismatchKind kind) const;
+  /// Count of both PRM forms together (the paper's PRM column).
+  std::size_t permission_count() const;
+
+  /// Multi-line report for the examples and tools.
+  std::string to_text(const std::string& app_name) const;
+};
+
+}  // namespace saintdroid

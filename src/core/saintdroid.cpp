@@ -1,0 +1,93 @@
+#include "core/saintdroid.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "clvm/clvm.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "support/meter.hpp"
+
+namespace saintdroid {
+
+SaintDroid::SaintDroid(const FrameworkRepository& repo,
+                       SaintDroidOptions options)
+    : repo_(&repo), options_(options), db_(ApiDatabase::mine(repo)) {}
+
+SaintDroid::SaintDroid(const FrameworkRepository& repo, ApiDatabase database,
+                       SaintDroidOptions options)
+    : repo_(&repo), options_(options), db_(std::move(database)) {}
+
+AnalysisResult SaintDroid::analyze(const Apk& apk) {
+  // Analyze against the framework the app was built for.
+  return analyze_at_level(
+      apk, FrameworkRepository::clamp_level(apk.manifest.target_sdk));
+}
+
+AnalysisResult SaintDroid::analyze_versions(const Apk& apk,
+                                            std::span<const int> levels) {
+  AnalysisResult merged;
+  std::unordered_map<std::string, std::size_t> seen;
+  for (const int level : levels) {
+    AnalysisResult one =
+        analyze_at_level(apk, FrameworkRepository::clamp_level(level));
+    for (auto& m : one.mismatches) {
+      const std::string key = m.key();
+      if (const auto it = seen.find(key); it != seen.end()) {
+        auto& existing = merged.mismatches[it->second];
+        existing.problem_levels =
+            existing.problem_levels.hull(m.problem_levels);
+        continue;
+      }
+      seen.emplace(key, merged.mismatches.size());
+      merged.mismatches.push_back(std::move(m));
+    }
+    merged.usage.seconds += one.usage.seconds;
+    merged.usage.peak_bytes =
+        std::max(merged.usage.peak_bytes, one.usage.peak_bytes);
+    merged.usage.loaded_classes =
+        std::max(merged.usage.loaded_classes, one.usage.loaded_classes);
+  }
+  return merged;
+}
+
+AnalysisResult SaintDroid::analyze_at_level(const Apk& apk, int level) {
+  AnalysisResult result;
+  const Stopwatch watch;
+
+  const DexFile& framework = repo_->image(level);
+
+  std::unique_ptr<ClassProvider> provider;
+  if (options_.lazy_loading)
+    provider = std::make_unique<ClassLoaderVm>(apk, framework,
+                                               /*include_secondary=*/true,
+                                               &repo_->class_index(level));
+  else
+    provider = std::make_unique<EagerLoader>(apk, framework,
+                                             /*include_secondary=*/true,
+                                             /*load_framework=*/true);
+
+  ClassHierarchy hierarchy{*provider};
+  Aum aum{hierarchy, db_, options_.aum};
+  const UsageModel model = aum.model(apk);
+
+  Amd amd{db_, options_.amd};
+  result.mismatches = amd.detect(apk.manifest, model);
+
+  result.usage.seconds = watch.seconds();
+  result.usage.peak_bytes = provider->memory().peak_bytes();
+  result.usage.loaded_classes = provider->loaded_class_count();
+  return result;
+}
+
+bool SaintDroid::detects(MismatchKind kind) const {
+  switch (kind) {
+    case MismatchKind::kApiInvocation: return options_.amd.detect_api;
+    case MismatchKind::kApiCallback: return options_.amd.detect_callbacks;
+    case MismatchKind::kPermissionRequest:
+    case MismatchKind::kPermissionRevocation:
+      return options_.amd.detect_permissions;
+  }
+  return false;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,69 @@
+// The SAINTDroid facade: wires CLVM -> hierarchy -> AUM -> AMD into the
+// Analyzer interface. This is the library's primary public entry point:
+//
+//   const auto& repo = FrameworkRepository::standard();
+//   SaintDroid tool{repo};
+//   AnalysisResult result = tool.analyze(apk);
+//   std::cout << result.to_text(apk.name);
+//
+// The ARM database is mined once per facade (per framework) and reused
+// across every analyze() call, exactly as the paper describes (§III-B).
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "adf/repository.hpp"
+#include "core/amd.hpp"
+#include "core/analyzer.hpp"
+#include "core/arm.hpp"
+#include "core/aum.hpp"
+
+namespace saintdroid {
+
+struct SaintDroidOptions {
+  AumOptions aum;
+  AmdOptions amd;
+  /// Use the lazy CLVM (true) or eager whole-world loading (false — the
+  /// ablation configuration; CID-style loading with SAINTDroid detection).
+  bool lazy_loading = true;
+};
+
+class SaintDroid final : public Analyzer {
+ public:
+  /// `repo` must outlive the analyzer. The API database is mined from it
+  /// on construction (the one-time ARM cost).
+  explicit SaintDroid(
+      const FrameworkRepository& repo = FrameworkRepository::standard(),
+      SaintDroidOptions options = {});
+
+  /// Constructs with a previously mined database (e.g. loaded via
+  /// ApiDatabase::parse), skipping the mining pass. The caller must ensure
+  /// the database matches `repo`'s framework.
+  SaintDroid(const FrameworkRepository& repo, ApiDatabase database,
+             SaintDroidOptions options = {});
+
+  std::string_view name() const override { return "SAINTDroid"; }
+
+  /// Analyzes against the framework the app targets (the common case).
+  AnalysisResult analyze(const Apk& apk) override;
+
+  /// The paper's full input contract: "an app APK along with a set of
+  /// Android framework versions". Runs the analysis against each level's
+  /// image and merges the mismatch lists (deduplicated by issue identity,
+  /// guard intervals hulled). Usage is summed over the runs.
+  AnalysisResult analyze_versions(const Apk& apk, std::span<const int> levels);
+
+  bool detects(MismatchKind kind) const override;
+
+  const ApiDatabase& database() const { return db_; }
+
+ private:
+  AnalysisResult analyze_at_level(const Apk& apk, int level);
+
+  const FrameworkRepository* repo_;
+  SaintDroidOptions options_;
+  ApiDatabase db_;
+};
+
+}  // namespace saintdroid

@@ -1,0 +1,40 @@
+// The APK container: a manifest plus one main dex and any number of
+// secondary dexes (multi-dex / dynamic features loaded via kLoadClass).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dex/dexfile.hpp"
+#include "dex/manifest.hpp"
+
+namespace saintdroid {
+
+/// An installable application package.
+struct Apk {
+  std::string name;  ///< display name for reports ("AFWall+", ...)
+  Manifest manifest;
+  /// dexes[0] is the main classes.dex loaded at install time; the rest are
+  /// secondary dexes only reachable through kLoadClass (late binding).
+  std::vector<DexFile> dexes;
+
+  /// Total instruction count across all dexes — the app-size metric the
+  /// paper plots as "KLOC of Dex code" (Fig. 3) when divided by 1000.
+  std::uint64_t dex_loc() const;
+  double kloc() const { return static_cast<double>(dex_loc()) / 1000.0; }
+
+  /// Finds a class def across all dexes; returns {dex index, class def} or
+  /// {kNoIndex, nullptr}.
+  struct ClassLocation {
+    std::uint32_t dex_index = kNoIndex;
+    const ClassDef* class_def = nullptr;
+  };
+  ClassLocation find_class(std::string_view internal_name) const;
+
+  std::vector<std::uint8_t> serialize() const;
+  static Apk parse(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace saintdroid

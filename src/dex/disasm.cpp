@@ -1,0 +1,100 @@
+#include "dex/disasm.hpp"
+
+#include <sstream>
+
+namespace saintdroid {
+
+std::string disassemble(const DexFile& dex, const Instruction& insn) {
+  std::ostringstream out;
+  out << opcode_name(insn.op);
+  switch (insn.op) {
+    case Opcode::kNop:
+    case Opcode::kReturnVoid:
+      break;
+    case Opcode::kConst:
+      out << " v" << insn.reg_a << ", #" << insn.literal;
+      break;
+    case Opcode::kConstString:
+      out << " v" << insn.reg_a << ", \"" << dex.string_at(insn.index) << "\"";
+      break;
+    case Opcode::kMove:
+      out << " v" << insn.reg_a << ", v" << insn.reg_b;
+      break;
+    case Opcode::kSget:
+    case Opcode::kSput:
+      out << " v" << insn.reg_a << ", "
+          << dex.field_id_at(insn.index).to_string();
+      break;
+    case Opcode::kIget:
+    case Opcode::kIput:
+      out << " v" << insn.reg_a << ", v" << insn.reg_b << ", "
+          << dex.field_id_at(insn.index).to_string();
+      break;
+    case Opcode::kIfCmp:
+      out << "-" << cmp_name(insn.cmp) << " v" << insn.reg_a << ", ";
+      if (insn.cmp_with_literal)
+        out << "#" << insn.literal;
+      else
+        out << "v" << insn.reg_b;
+      out << " -> @" << insn.target;
+      break;
+    case Opcode::kGoto:
+      out << " @" << insn.target;
+      break;
+    case Opcode::kInvoke: {
+      out << "-" << invoke_kind_name(insn.invoke_kind) << " "
+          << dex.method_id_at(insn.index).to_string() << " (";
+      for (std::size_t i = 0; i < insn.args.size(); ++i) {
+        if (i) out << ", ";
+        out << "v" << insn.args[i];
+      }
+      out << ")";
+      break;
+    }
+    case Opcode::kMoveResult:
+    case Opcode::kThrow:
+    case Opcode::kReturn:
+      out << " v" << insn.reg_a;
+      break;
+    case Opcode::kNewInstance:
+    case Opcode::kLoadClass:
+      out << " v" << insn.reg_a << ", " << dex.type_name(insn.index);
+      break;
+  }
+  return out.str();
+}
+
+std::string disassemble(const DexFile& dex, const ClassDef& cls) {
+  std::ostringstream out;
+  out << "class " << dex.type_name(cls.type);
+  if (cls.super_type != kNoIndex)
+    out << " extends " << dex.type_name(cls.super_type);
+  if (!cls.interfaces.empty()) {
+    out << " implements";
+    for (std::size_t i = 0; i < cls.interfaces.size(); ++i)
+      out << (i ? ", " : " ") << dex.type_name(cls.interfaces[i]);
+  }
+  out << " {\n";
+  for (const auto& m : cls.methods) {
+    out << "  " << dex.string_at(m.name) << dex.descriptor_of(m.proto);
+    if (!m.code) {
+      out << ";  // abstract/native\n";
+      continue;
+    }
+    out << " (" << m.code->register_count << " regs) {\n";
+    for (std::size_t i = 0; i < m.code->insns.size(); ++i)
+      out << "    @" << i << ": " << disassemble(dex, m.code->insns[i])
+          << "\n";
+    out << "  }\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string disassemble(const DexFile& dex) {
+  std::string out;
+  for (const auto& cls : dex.classes()) out += disassemble(dex, cls);
+  return out;
+}
+
+}  // namespace saintdroid

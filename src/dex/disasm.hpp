@@ -1,0 +1,20 @@
+// Text disassembler for SDEX containers — debugging aid and golden-output
+// test surface.
+#pragma once
+
+#include <string>
+
+#include "dex/dexfile.hpp"
+
+namespace saintdroid {
+
+/// Renders one instruction with pool references resolved to names.
+std::string disassemble(const DexFile& dex, const Instruction& insn);
+
+/// Renders a whole class (signature + every method body).
+std::string disassemble(const DexFile& dex, const ClassDef& cls);
+
+/// Renders the entire container.
+std::string disassemble(const DexFile& dex);
+
+}  // namespace saintdroid

@@ -1,0 +1,13 @@
+#include "dex/ids.hpp"
+
+namespace saintdroid {
+
+std::string MethodId::to_string() const {
+  return class_name + "." + name + ":" + descriptor;
+}
+
+std::string FieldId::to_string() const {
+  return class_name + "." + name + ":" + type;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,61 @@
+// Symbolic identities shared by every layer above the container format.
+//
+// Classes are named with JVM-internal-style slashed names
+// ("android/app/Activity"); methods are identified by (class, name,
+// descriptor) where the descriptor uses JVM syntax — "(ILandroid/os/Bundle;)V".
+// Override matching and API-database queries key on name+descriptor, which
+// mirrors how the Dalvik resolver identifies methods.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace saintdroid {
+
+/// Fully-qualified method identity.
+struct MethodId {
+  std::string class_name;  ///< slashed internal name, e.g. "android/view/View"
+  std::string name;        ///< simple name, e.g. "drawableHotspotChanged"
+  std::string descriptor;  ///< JVM descriptor, e.g. "(FF)V"
+
+  friend bool operator==(const MethodId&, const MethodId&) = default;
+
+  /// "class.name:descriptor", the form used in reports and test fixtures.
+  std::string to_string() const;
+};
+
+/// Fully-qualified field identity.
+struct FieldId {
+  std::string class_name;
+  std::string name;
+  std::string type;  ///< field type descriptor
+
+  friend bool operator==(const FieldId&, const FieldId&) = default;
+
+  std::string to_string() const;
+};
+
+/// The field whose reads anchor every API-level guard in Android code.
+inline const FieldId kSdkIntField{"android/os/Build$VERSION", "SDK_INT", "I"};
+
+}  // namespace saintdroid
+
+template <>
+struct std::hash<saintdroid::MethodId> {
+  std::size_t operator()(const saintdroid::MethodId& m) const noexcept {
+    const std::size_t h1 = std::hash<std::string>{}(m.class_name);
+    const std::size_t h2 = std::hash<std::string>{}(m.name);
+    const std::size_t h3 = std::hash<std::string>{}(m.descriptor);
+    return h1 ^ (h2 * 0x9e3779b97f4a7c15ULL) ^ (h3 << 1);
+  }
+};
+
+template <>
+struct std::hash<saintdroid::FieldId> {
+  std::size_t operator()(const saintdroid::FieldId& f) const noexcept {
+    const std::size_t h1 = std::hash<std::string>{}(f.class_name);
+    const std::size_t h2 = std::hash<std::string>{}(f.name);
+    return h1 ^ (h2 * 0x9e3779b97f4a7c15ULL);
+  }
+};

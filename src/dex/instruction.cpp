@@ -1,0 +1,217 @@
+#include "dex/instruction.hpp"
+
+#include "support/errors.hpp"
+
+namespace saintdroid {
+
+Instruction Instruction::nop() { return {}; }
+
+Instruction Instruction::const_int(std::uint16_t reg, std::int32_t value) {
+  Instruction i;
+  i.op = Opcode::kConst;
+  i.reg_a = reg;
+  i.literal = value;
+  return i;
+}
+
+Instruction Instruction::const_string(std::uint16_t reg,
+                                      std::uint32_t string_idx) {
+  Instruction i;
+  i.op = Opcode::kConstString;
+  i.reg_a = reg;
+  i.index = string_idx;
+  return i;
+}
+
+Instruction Instruction::move(std::uint16_t dst, std::uint16_t src) {
+  Instruction i;
+  i.op = Opcode::kMove;
+  i.reg_a = dst;
+  i.reg_b = src;
+  return i;
+}
+
+Instruction Instruction::sget(std::uint16_t reg, std::uint32_t field_idx) {
+  Instruction i;
+  i.op = Opcode::kSget;
+  i.reg_a = reg;
+  i.index = field_idx;
+  return i;
+}
+
+Instruction Instruction::sput(std::uint16_t reg, std::uint32_t field_idx) {
+  Instruction i;
+  i.op = Opcode::kSput;
+  i.reg_a = reg;
+  i.index = field_idx;
+  return i;
+}
+
+Instruction Instruction::iget(std::uint16_t reg, std::uint16_t object_reg,
+                              std::uint32_t field_idx) {
+  Instruction i;
+  i.op = Opcode::kIget;
+  i.reg_a = reg;
+  i.reg_b = object_reg;
+  i.index = field_idx;
+  return i;
+}
+
+Instruction Instruction::iput(std::uint16_t reg, std::uint16_t object_reg,
+                              std::uint32_t field_idx) {
+  Instruction i;
+  i.op = Opcode::kIput;
+  i.reg_a = reg;
+  i.reg_b = object_reg;
+  i.index = field_idx;
+  return i;
+}
+
+Instruction Instruction::if_cmp_lit(CmpOp cmp, std::uint16_t reg,
+                                    std::int32_t literal,
+                                    std::uint32_t target) {
+  Instruction i;
+  i.op = Opcode::kIfCmp;
+  i.cmp = cmp;
+  i.cmp_with_literal = true;
+  i.reg_a = reg;
+  i.literal = literal;
+  i.target = target;
+  return i;
+}
+
+Instruction Instruction::if_cmp_reg(CmpOp cmp, std::uint16_t reg_a,
+                                    std::uint16_t reg_b,
+                                    std::uint32_t target) {
+  Instruction i;
+  i.op = Opcode::kIfCmp;
+  i.cmp = cmp;
+  i.cmp_with_literal = false;
+  i.reg_a = reg_a;
+  i.reg_b = reg_b;
+  i.target = target;
+  return i;
+}
+
+Instruction Instruction::goto_(std::uint32_t target) {
+  Instruction i;
+  i.op = Opcode::kGoto;
+  i.target = target;
+  return i;
+}
+
+Instruction Instruction::invoke(InvokeKind kind, std::uint32_t method_idx,
+                                std::vector<std::uint16_t> args) {
+  Instruction i;
+  i.op = Opcode::kInvoke;
+  i.invoke_kind = kind;
+  i.index = method_idx;
+  i.args = std::move(args);
+  return i;
+}
+
+Instruction Instruction::move_result(std::uint16_t reg) {
+  Instruction i;
+  i.op = Opcode::kMoveResult;
+  i.reg_a = reg;
+  return i;
+}
+
+Instruction Instruction::new_instance(std::uint16_t reg,
+                                      std::uint32_t type_idx) {
+  Instruction i;
+  i.op = Opcode::kNewInstance;
+  i.reg_a = reg;
+  i.index = type_idx;
+  return i;
+}
+
+Instruction Instruction::load_class(std::uint16_t reg,
+                                    std::uint32_t type_idx) {
+  Instruction i;
+  i.op = Opcode::kLoadClass;
+  i.reg_a = reg;
+  i.index = type_idx;
+  return i;
+}
+
+Instruction Instruction::throw_(std::uint16_t reg) {
+  Instruction i;
+  i.op = Opcode::kThrow;
+  i.reg_a = reg;
+  return i;
+}
+
+Instruction Instruction::return_void() {
+  Instruction i;
+  i.op = Opcode::kReturnVoid;
+  return i;
+}
+
+Instruction Instruction::return_reg(std::uint16_t reg) {
+  Instruction i;
+  i.op = Opcode::kReturn;
+  i.reg_a = reg;
+  return i;
+}
+
+bool eval_cmp(CmpOp cmp, std::int64_t lhs, std::int64_t rhs) {
+  switch (cmp) {
+    case CmpOp::kEq: return lhs == rhs;
+    case CmpOp::kNe: return lhs != rhs;
+    case CmpOp::kLt: return lhs < rhs;
+    case CmpOp::kLe: return lhs <= rhs;
+    case CmpOp::kGt: return lhs > rhs;
+    case CmpOp::kGe: return lhs >= rhs;
+  }
+  SD_EXPECTS(false);
+  return false;
+}
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kConst: return "const";
+    case Opcode::kConstString: return "const-string";
+    case Opcode::kMove: return "move";
+    case Opcode::kSget: return "sget";
+    case Opcode::kSput: return "sput";
+    case Opcode::kIget: return "iget";
+    case Opcode::kIput: return "iput";
+    case Opcode::kIfCmp: return "if-cmp";
+    case Opcode::kGoto: return "goto";
+    case Opcode::kInvoke: return "invoke";
+    case Opcode::kMoveResult: return "move-result";
+    case Opcode::kNewInstance: return "new-instance";
+    case Opcode::kLoadClass: return "load-class";
+    case Opcode::kThrow: return "throw";
+    case Opcode::kReturnVoid: return "return-void";
+    case Opcode::kReturn: return "return";
+  }
+  return "?";
+}
+
+const char* cmp_name(CmpOp cmp) {
+  switch (cmp) {
+    case CmpOp::kEq: return "eq";
+    case CmpOp::kNe: return "ne";
+    case CmpOp::kLt: return "lt";
+    case CmpOp::kLe: return "le";
+    case CmpOp::kGt: return "gt";
+    case CmpOp::kGe: return "ge";
+  }
+  return "?";
+}
+
+const char* invoke_kind_name(InvokeKind kind) {
+  switch (kind) {
+    case InvokeKind::kVirtual: return "virtual";
+    case InvokeKind::kStatic: return "static";
+    case InvokeKind::kDirect: return "direct";
+    case InvokeKind::kSuper: return "super";
+    case InvokeKind::kInterface: return "interface";
+  }
+  return "?";
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,108 @@
+// The SDEX register-based instruction set, modelled on Dalvik bytecode.
+//
+// The set is deliberately small — it covers exactly the constructs the
+// compatibility analyses reason about: constants and moves (to track
+// SDK_INT through registers), static field reads (the SDK_INT source),
+// conditional branches (API-level guards), the five Dalvik invoke kinds
+// (call-graph edges and virtual resolution), object creation, explicit
+// class loading (late binding / multi-dex), and returns. Branch targets are
+// instruction indices within the owning method, validated at parse time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace saintdroid {
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  kConst,        ///< reg_a <- literal
+  kConstString,  ///< reg_a <- string pool [index]
+  kMove,         ///< reg_a <- reg_b
+  kSget,         ///< reg_a <- static field [index]
+  kSput,         ///< static field [index] <- reg_a
+  kIget,         ///< reg_a <- field [index] of object reg_b
+  kIput,         ///< field [index] of object reg_b <- reg_a
+  kIfCmp,        ///< branch to `target` if reg_a <cmp> (reg_b | literal)
+  kGoto,         ///< unconditional branch to `target`
+  kInvoke,       ///< call method ref [index] with `args` registers
+  kMoveResult,   ///< reg_a <- result of the preceding invoke
+  kNewInstance,  ///< reg_a <- new object of type [index]
+  kLoadClass,    ///< reg_a <- class object for type [index] (late binding)
+  kThrow,        ///< throw the exception object in reg_a
+  kReturnVoid,
+  kReturn,  ///< return reg_a
+};
+
+enum class CmpOp : std::uint8_t { kEq = 0, kNe, kLt, kLe, kGt, kGe };
+
+/// The Dalvik invocation kinds; virtual and interface calls require
+/// hierarchy-based resolution, the others bind statically.
+enum class InvokeKind : std::uint8_t {
+  kVirtual = 0,
+  kStatic,
+  kDirect,
+  kSuper,
+  kInterface,
+};
+
+/// One decoded instruction. A single concrete struct (rather than a
+/// variant hierarchy) keeps methods contiguous in memory; unused fields are
+/// zero. Use the factory functions to construct well-formed instances.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  CmpOp cmp = CmpOp::kEq;                    // kIfCmp
+  InvokeKind invoke_kind = InvokeKind::kVirtual;  // kInvoke
+  bool cmp_with_literal = false;             // kIfCmp: reg_a vs literal
+  std::uint16_t reg_a = 0;
+  std::uint16_t reg_b = 0;
+  std::int32_t literal = 0;    // kConst value / kIfCmp literal operand
+  std::uint32_t index = 0;     // pool index (meaning depends on op)
+  std::uint32_t target = 0;    // branch target (instruction index)
+  std::vector<std::uint16_t> args;  // kInvoke argument registers
+
+  bool is_branch() const {
+    return op == Opcode::kIfCmp || op == Opcode::kGoto;
+  }
+
+  bool is_terminator() const {
+    return op == Opcode::kGoto || op == Opcode::kReturnVoid ||
+           op == Opcode::kReturn || op == Opcode::kThrow;
+  }
+
+  // -- factories -----------------------------------------------------------
+  static Instruction nop();
+  static Instruction const_int(std::uint16_t reg, std::int32_t value);
+  static Instruction const_string(std::uint16_t reg, std::uint32_t string_idx);
+  static Instruction move(std::uint16_t dst, std::uint16_t src);
+  static Instruction sget(std::uint16_t reg, std::uint32_t field_idx);
+  static Instruction sput(std::uint16_t reg, std::uint32_t field_idx);
+  static Instruction iget(std::uint16_t reg, std::uint16_t object_reg,
+                          std::uint32_t field_idx);
+  static Instruction iput(std::uint16_t reg, std::uint16_t object_reg,
+                          std::uint32_t field_idx);
+  static Instruction if_cmp_lit(CmpOp cmp, std::uint16_t reg,
+                                std::int32_t literal, std::uint32_t target);
+  static Instruction if_cmp_reg(CmpOp cmp, std::uint16_t reg_a,
+                                std::uint16_t reg_b, std::uint32_t target);
+  static Instruction goto_(std::uint32_t target);
+  static Instruction invoke(InvokeKind kind, std::uint32_t method_idx,
+                            std::vector<std::uint16_t> args = {});
+  static Instruction move_result(std::uint16_t reg);
+  static Instruction new_instance(std::uint16_t reg, std::uint32_t type_idx);
+  static Instruction load_class(std::uint16_t reg, std::uint32_t type_idx);
+  static Instruction throw_(std::uint16_t reg);
+  static Instruction return_void();
+  static Instruction return_reg(std::uint16_t reg);
+};
+
+/// Evaluates `lhs <cmp> rhs` on concrete integers; shared by the guard
+/// analysis and the disassembler tests.
+bool eval_cmp(CmpOp cmp, std::int64_t lhs, std::int64_t rhs);
+
+/// Short mnemonic for an opcode ("invoke", "if-cmp", ...).
+const char* opcode_name(Opcode op);
+const char* cmp_name(CmpOp cmp);
+const char* invoke_kind_name(InvokeKind kind);
+
+}  // namespace saintdroid

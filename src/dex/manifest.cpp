@@ -1,0 +1,74 @@
+#include "dex/manifest.hpp"
+
+#include <algorithm>
+
+#include "support/bytes.hpp"
+#include "support/errors.hpp"
+
+namespace saintdroid {
+
+const char* component_kind_name(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kActivity: return "activity";
+    case ComponentKind::kService: return "service";
+    case ComponentKind::kReceiver: return "receiver";
+    case ComponentKind::kProvider: return "provider";
+  }
+  return "?";
+}
+
+ApiInterval Manifest::supported_range() const {
+  const int hi = max_sdk == 0 ? kMaxApiLevel : max_sdk;
+  return ApiInterval{min_sdk, hi};
+}
+
+bool Manifest::requests_permission(const std::string& permission) const {
+  return std::find(permissions.begin(), permissions.end(), permission) !=
+         permissions.end();
+}
+
+void Manifest::serialize(ByteWriter& w) const {
+  w.str(package);
+  w.sleb(min_sdk);
+  w.sleb(target_sdk);
+  w.sleb(max_sdk);
+  w.uleb(permissions.size());
+  for (const auto& p : permissions) w.str(p);
+  w.uleb(components.size());
+  for (const auto& c : components) {
+    w.u8(static_cast<std::uint8_t>(c.kind));
+    w.str(c.class_name);
+  }
+  w.u8(buildable ? 1 : 0);
+}
+
+Manifest Manifest::parse(ByteReader& r) {
+  Manifest m;
+  m.package = r.str();
+  m.min_sdk = static_cast<int>(r.sleb());
+  m.target_sdk = static_cast<int>(r.sleb());
+  m.max_sdk = static_cast<int>(r.sleb());
+  if (m.min_sdk < 1 || m.min_sdk > kMaxApiLevel)
+    throw ParseError("manifest minSdkVersion out of range");
+  if (m.max_sdk != 0 && m.max_sdk < m.min_sdk)
+    throw ParseError("manifest maxSdkVersion below minSdkVersion");
+  const auto perm_count = r.count();
+  m.permissions.reserve(perm_count);
+  for (std::uint64_t i = 0; i < perm_count; ++i)
+    m.permissions.push_back(r.str());
+  const auto comp_count = r.count();
+  m.components.reserve(comp_count);
+  for (std::uint64_t i = 0; i < comp_count; ++i) {
+    Component c;
+    const auto raw_kind = r.u8();
+    if (raw_kind > static_cast<std::uint8_t>(ComponentKind::kProvider))
+      throw ParseError("unknown component kind");
+    c.kind = static_cast<ComponentKind>(raw_kind);
+    c.class_name = r.str();
+    m.components.push_back(std::move(c));
+  }
+  m.buildable = r.u8() != 0;
+  return m;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,61 @@
+// The Android manifest subset that the compatibility analyses consume:
+// SDK range declarations, requested permissions, and component entry
+// points. Serialized as one section of the APK container.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/interval.hpp"
+
+namespace saintdroid {
+
+/// Kinds of app components; each registered component method is an analysis
+/// entry point (the paper's ICFG treats every message handler as a separate
+/// invocation root).
+enum class ComponentKind : std::uint8_t {
+  kActivity = 0,
+  kService,
+  kReceiver,
+  kProvider,
+};
+
+const char* component_kind_name(ComponentKind kind);
+
+/// One <activity>/<service>/... entry: the implementing class.
+struct Component {
+  ComponentKind kind = ComponentKind::kActivity;
+  std::string class_name;  ///< slashed internal name
+
+  friend bool operator==(const Component&, const Component&) = default;
+};
+
+/// Parsed manifest.
+struct Manifest {
+  std::string package;      ///< e.g. "com.example.app"
+  int min_sdk = kMinApiLevel;
+  int target_sdk = kMaxApiLevel;
+  /// 0 means "unset" (the common case); effective max is then kMaxApiLevel.
+  int max_sdk = 0;
+  std::vector<std::string> permissions;  ///< requested permission names
+  std::vector<Component> components;
+  /// Whether source is available and the app builds with current toolchains;
+  /// Lint requires this (paper §IV-A: 8 of 27 benchmark apps did not build).
+  bool buildable = true;
+
+  /// The device API range the app declares support for: [min_sdk,
+  /// effective max_sdk]. This is the range the detectors scan.
+  ApiInterval supported_range() const;
+
+  /// True when `permission` appears in the requested permission list.
+  bool requests_permission(const std::string& permission) const;
+
+  void serialize(class ByteWriter& w) const;
+  static Manifest parse(class ByteReader& r);
+
+  friend bool operator==(const Manifest&, const Manifest&) = default;
+};
+
+}  // namespace saintdroid

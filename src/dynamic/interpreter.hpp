@@ -1,0 +1,90 @@
+// Dynamic verification — the paper's §VI future-work direction: "utilize
+// dynamic analysis techniques to automatically verify incompatibilities
+// identified through our conservative, static-analysis-based detection".
+//
+// The Interpreter executes an app's framework-invoked surface on a
+// simulated device at one concrete API level: invokes resolve against the
+// framework image *of that level* (a missing method is a NoSuchMethodError
+// crash — an API mismatch materialized), Build.VERSION.SDK_INT reads yield
+// the device level (so real guards really protect), runtime-generated
+// guard helpers are simulated faithfully (so statically-invisible guards
+// really protect too — refuting static false alarms), framework permission
+// enforcement raises SecurityException per the install-time/runtime rules
+// on either side of API 23, and callbacks missing from the device's
+// framework are recorded as silently skipped (an APC mismatch
+// materialized).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adf/repository.hpp"
+#include "dex/apk.hpp"
+#include "dex/ids.hpp"
+
+namespace saintdroid {
+
+/// A crash observed during execution.
+struct CrashEvent {
+  enum class Kind : std::uint8_t {
+    kNoSuchMethod = 0,    ///< invoked API absent at the device level
+    kSecurityException,   ///< dangerous permission not granted / revoked
+  };
+  Kind kind = Kind::kNoSuchMethod;
+  MethodId location;           ///< app method executing when it happened
+  std::uint32_t insn_index = 0;
+  MethodId missing_api;        ///< kNoSuchMethod: the absent method
+  std::string permission;      ///< kSecurityException: the permission
+
+  std::string to_string() const;
+};
+
+/// A framework callback the device never invokes (absent at its level).
+struct SkippedCallback {
+  MethodId app_method;
+  MethodId framework_callback;
+};
+
+/// Outcome of one device run.
+struct ExecutionResult {
+  int device_level = 0;
+  std::vector<CrashEvent> crashes;
+  std::vector<SkippedCallback> skipped_callbacks;
+  std::uint64_t steps = 0;
+  bool step_limit_hit = false;
+
+  bool crashed() const { return !crashes.empty(); }
+};
+
+/// The simulated device and user.
+struct DeviceConfig {
+  int level = kMaxApiLevel;
+  /// Whether the user grants runtime permission dialogs the app raises.
+  bool user_grants_requests = false;
+  /// Whether the user revokes install-time-granted dangerous permissions
+  /// on a >= 23 device (the AdAway revocation scenario).
+  bool user_revokes_dangerous = true;
+};
+
+/// Executes one app per device configuration. The interpreter is
+/// deterministic and bounded (step and depth caps); it never throws on
+/// well-formed packages.
+class Interpreter {
+ public:
+  /// `apk` and `repo` must outlive the interpreter.
+  Interpreter(const Apk& apk, const FrameworkRepository& repo);
+  ~Interpreter();
+
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  ExecutionResult run(const DeviceConfig& device);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace saintdroid

@@ -1,0 +1,125 @@
+#include "hierarchy/hierarchy.hpp"
+
+namespace saintdroid {
+
+bool method_matches(const DexFile& dex, const MethodDef& method,
+                    const std::string& name, const std::string& descriptor) {
+  return dex.string_at(method.name) == name &&
+         dex.descriptor_of(method.proto) == descriptor;
+}
+
+std::optional<MethodResolution> ClassHierarchy::find_in_class(
+    const LoadedClass& cls, const std::string& name,
+    const std::string& descriptor) {
+  for (const auto& m : cls.def->methods) {
+    if (!method_matches(*cls.dex, m, name, descriptor)) continue;
+    MethodResolution res;
+    res.declaring_class = &cls;
+    res.method = &m;
+    res.id = MethodId{cls.name, name, descriptor};
+    return res;
+  }
+  return std::nullopt;
+}
+
+std::optional<MethodResolution> ClassHierarchy::resolve_in_interfaces(
+    const LoadedClass& cls, const std::string& name,
+    const std::string& descriptor) {
+  for (const auto& iface_name : cls.interface_names) {
+    const LoadedClass* iface = provider_->load(iface_name);
+    if (!iface) continue;
+    if (auto res = find_in_class(*iface, name, descriptor)) return res;
+    // Super-interfaces.
+    if (auto res = resolve_in_interfaces(*iface, name, descriptor))
+      return res;
+  }
+  return std::nullopt;
+}
+
+std::optional<MethodResolution> ClassHierarchy::resolve(
+    const std::string& class_name, const std::string& name,
+    const std::string& descriptor) {
+  // Superclass chain first (JLS resolution order), then interfaces of each
+  // class on the chain.
+  const LoadedClass* current = provider_->load(class_name);
+  std::vector<const LoadedClass*> chain;
+  while (current) {
+    if (auto res = find_in_class(*current, name, descriptor)) return res;
+    chain.push_back(current);
+    if (current->super_name.empty()) break;
+    current = provider_->load(current->super_name);
+  }
+  for (const auto* cls : chain)
+    if (auto res = resolve_in_interfaces(*cls, name, descriptor)) return res;
+  return std::nullopt;
+}
+
+std::optional<MethodResolution> ClassHierarchy::overridden_framework_method(
+    const LoadedClass& cls, const MethodDef& method) {
+  const std::string& name = cls.dex->string_at(method.name);
+  // The descriptor is only built when an ancestor has a same-named method
+  // — the override scan runs over every app method, so this lazy path is
+  // hot.
+  std::string descriptor;
+  const auto matches = [&](const LoadedClass& ancestor,
+                           const MethodDef& candidate) {
+    if (ancestor.dex->string_at(candidate.name) != name) return false;
+    if (descriptor.empty())
+      descriptor = cls.dex->descriptor_of(method.proto);
+    return ancestor.dex->descriptor_of(candidate.proto) == descriptor;
+  };
+
+  // Superclass chain first (not the class itself), then the interfaces of
+  // each class on the chain including the class's own.
+  std::vector<const LoadedClass*> chain{&cls};
+  const LoadedClass* current =
+      cls.super_name.empty() ? nullptr : provider_->load(cls.super_name);
+  while (current) {
+    for (const auto& m : current->def->methods) {
+      if (!matches(*current, m)) continue;
+      if (!current->from_framework) return std::nullopt;  // app override
+      MethodResolution res;
+      res.declaring_class = current;
+      res.method = &m;
+      res.id = MethodId{current->name, name, descriptor};
+      return res;
+    }
+    chain.push_back(current);
+    if (current->super_name.empty()) break;
+    current = provider_->load(current->super_name);
+  }
+  for (const auto* link : chain) {
+    if (link->interface_names.empty()) continue;
+    if (descriptor.empty()) descriptor = cls.dex->descriptor_of(method.proto);
+    auto res = resolve_in_interfaces(*link, name, descriptor);
+    if (res && res->declaring_class->from_framework) return res;
+  }
+  return std::nullopt;
+}
+
+bool ClassHierarchy::is_subtype_of(const std::string& derived,
+                                   const std::string& base) {
+  if (derived == base) return true;
+  const LoadedClass* cls = provider_->load(derived);
+  while (cls) {
+    if (cls->name == base) return true;
+    for (const auto& iface : cls->interface_names)
+      if (is_subtype_of(iface, base)) return true;
+    if (cls->super_name.empty()) return false;
+    cls = provider_->load(cls->super_name);
+  }
+  return false;
+}
+
+const LoadedClass* ClassHierarchy::nearest_framework_ancestor(
+    const std::string& class_name) {
+  const LoadedClass* cls = provider_->load(class_name);
+  while (cls) {
+    if (cls->from_framework) return cls;
+    if (cls->super_name.empty()) return nullptr;
+    cls = provider_->load(cls->super_name);
+  }
+  return nullptr;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,78 @@
+// Class-hierarchy analysis over a ClassProvider.
+//
+// Virtual/interface method resolution walks the superclass chain and
+// interface set exactly the way the Dalvik resolver does, loading classes
+// on demand through the provider — with the lazy CLVM behind it, hierarchy
+// queries are what drive incremental loading (paper Algorithm 1). This is
+// also where override detection lives: an app method "overrides an API
+// callback" (Algorithm 3) when a framework ancestor declares a method with
+// the same name and descriptor.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "clvm/class_provider.hpp"
+#include "dex/ids.hpp"
+
+namespace saintdroid {
+
+/// The outcome of resolving a method against the hierarchy.
+struct MethodResolution {
+  const LoadedClass* declaring_class = nullptr;
+  const MethodDef* method = nullptr;
+  /// Identity at the *declaring* class (e.g. resolving
+  /// com/app/MyView.setBackground yields android/view/View.setBackground).
+  MethodId id;
+};
+
+class ClassHierarchy {
+ public:
+  /// `provider` must outlive the hierarchy.
+  explicit ClassHierarchy(ClassProvider& provider) : provider_(&provider) {}
+
+  /// Passthrough load (kept so callers need only a hierarchy reference).
+  const LoadedClass* load(const std::string& name) {
+    return provider_->load(name);
+  }
+
+  /// Resolves `name:descriptor` starting at `class_name`, walking the
+  /// superclass chain, then each ancestor's interfaces (and their
+  /// super-interfaces). Returns nullopt when the start class is unknown or
+  /// no ancestor declares the method.
+  std::optional<MethodResolution> resolve(const std::string& class_name,
+                                          const std::string& name,
+                                          const std::string& descriptor);
+
+  /// For a method defined in app class `cls`: the framework declaration it
+  /// overrides, if any. Starts the walk at the superclass (a definition
+  /// does not override itself).
+  std::optional<MethodResolution> overridden_framework_method(
+      const LoadedClass& cls, const MethodDef& method);
+
+  /// True when `derived` equals `base` or transitively extends/implements
+  /// it. Unresolvable ancestors terminate the walk (conservative false).
+  bool is_subtype_of(const std::string& derived, const std::string& base);
+
+  /// The nearest *framework* ancestor class of `class_name` (for CIDER's
+  /// modelled-class check), or nullptr.
+  const LoadedClass* nearest_framework_ancestor(const std::string& class_name);
+
+  ClassProvider& provider() { return *provider_; }
+
+ private:
+  std::optional<MethodResolution> find_in_class(const LoadedClass& cls,
+                                                const std::string& name,
+                                                const std::string& descriptor);
+  std::optional<MethodResolution> resolve_in_interfaces(
+      const LoadedClass& cls, const std::string& name,
+      const std::string& descriptor);
+
+  ClassProvider* provider_;
+};
+
+/// True when a method definition in `dex` matches `name:descriptor`.
+bool method_matches(const DexFile& dex, const MethodDef& method,
+                    const std::string& name, const std::string& descriptor);
+
+}  // namespace saintdroid

@@ -1,0 +1,15 @@
+#include "support/errors.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace saintdroid::detail {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line) {
+  std::fprintf(stderr, "saintdroid: %s violated: %s (%s:%d)\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace saintdroid::detail

@@ -1,0 +1,67 @@
+// Error taxonomy and contract-checking macros shared by every saintdroid
+// module.
+//
+// Malformed *input* (a truncated dex file, an out-of-range pool index in
+// bytes we parsed) raises an exception derived from saintdroid::Error.
+// Violated *contracts* (programmer errors: a caller passing an empty
+// interval where a non-empty one is required) abort via SD_EXPECTS, which is
+// active in all build types — analyses are cheap enough that we never need
+// to compile the checks out.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace saintdroid {
+
+/// Base class for all errors raised by the saintdroid libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when serialized input (an SDEX container, a framework image) is
+/// structurally invalid: bad magic, truncated section, index out of range.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Raised when a symbolic reference cannot be resolved against the loaded
+/// class universe and the caller asked for strict resolution.
+class ResolveError : public Error {
+ public:
+  explicit ResolveError(const std::string& what)
+      : Error("resolve error: " + what) {}
+};
+
+/// Raised when an analysis is configured inconsistently (e.g. an app whose
+/// manifest declares minSdk > maxSdk).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what)
+      : Error("config error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line);
+}  // namespace detail
+
+}  // namespace saintdroid
+
+/// Precondition check; aborts with a diagnostic when violated.
+#define SD_EXPECTS(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::saintdroid::detail::contract_failure("precondition", #expr,      \
+                                             __FILE__, __LINE__);        \
+  } while (false)
+
+/// Postcondition check; aborts with a diagnostic when violated.
+#define SD_ENSURES(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::saintdroid::detail::contract_failure("postcondition", #expr,     \
+                                             __FILE__, __LINE__);        \
+  } while (false)

@@ -1,0 +1,10 @@
+#include "support/interval.hpp"
+
+namespace saintdroid {
+
+std::string ApiInterval::to_string() const {
+  if (empty()) return "[]";
+  return "[" + std::to_string(lo_) + "," + std::to_string(hi_) + "]";
+}
+
+}  // namespace saintdroid

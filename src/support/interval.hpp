@@ -1,0 +1,78 @@
+// Closed intervals of Android API levels.
+//
+// The guard analysis (src/analysis/guards.hpp) and all three mismatch
+// detectors reason about which device API levels a statement can execute
+// under; that set is always a contiguous closed interval [lo, hi] — guards
+// in real apps compare Build.VERSION.SDK_INT against constants, which can
+// only split the level axis into contiguous pieces.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <string>
+
+namespace saintdroid {
+
+/// API levels modelled by the framework substrate. The paper's ARM mines
+/// levels 2..28 and the tool supports up to 29; we model the full 2..29.
+inline constexpr int kMinApiLevel = 2;
+inline constexpr int kMaxApiLevel = 29;
+
+/// The level that introduced the runtime (dangerous) permission system.
+inline constexpr int kRuntimePermissionLevel = 23;
+
+/// A closed, possibly-empty interval of API levels.
+class ApiInterval {
+ public:
+  /// The canonical empty interval.
+  constexpr ApiInterval() : lo_(1), hi_(0) {}
+
+  /// [lo, hi]; an inverted pair denotes the empty interval.
+  constexpr ApiInterval(int lo, int hi) : lo_(lo), hi_(hi) {}
+
+  /// The full modelled range [kMinApiLevel, kMaxApiLevel].
+  static constexpr ApiInterval full() {
+    return ApiInterval{kMinApiLevel, kMaxApiLevel};
+  }
+
+  /// The empty interval.
+  static constexpr ApiInterval empty_interval() { return ApiInterval{}; }
+
+  constexpr int lo() const { return lo_; }
+  constexpr int hi() const { return hi_; }
+  constexpr bool empty() const { return lo_ > hi_; }
+  constexpr bool contains(int level) const {
+    return lo_ <= level && level <= hi_;
+  }
+
+  /// Set intersection (always exact for intervals).
+  constexpr ApiInterval intersect(ApiInterval other) const {
+    return ApiInterval{std::max(lo_, other.lo_), std::min(hi_, other.hi_)};
+  }
+
+  /// Convex hull of the union; over-approximates the true union when the
+  /// operands are disjoint, which is the sound direction for a
+  /// may-execute-under analysis.
+  constexpr ApiInterval hull(ApiInterval other) const {
+    if (empty()) return other;
+    if (other.empty()) return *this;
+    return ApiInterval{std::min(lo_, other.lo_), std::max(hi_, other.hi_)};
+  }
+
+  /// Number of levels in the interval.
+  constexpr int size() const { return empty() ? 0 : hi_ - lo_ + 1; }
+
+  friend constexpr bool operator==(ApiInterval a, ApiInterval b) {
+    if (a.empty() && b.empty()) return true;
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+  /// "[lo,hi]" or "[]" for debugging and reports.
+  std::string to_string() const;
+
+ private:
+  int lo_;
+  int hi_;
+};
+
+}  // namespace saintdroid

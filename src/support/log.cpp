@@ -1,0 +1,21 @@
+#include "support/log.hpp"
+
+#include <cstdio>
+
+namespace saintdroid {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[saintdroid] %.*s\n",
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,26 @@
+// Minimal leveled logging to stderr. Off by default; benchmarks and the
+// examples raise the level for progress reporting. Not thread-safe by
+// design — all analyses in this repository are single-threaded per app.
+#pragma once
+
+#include <string_view>
+
+namespace saintdroid {
+
+enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2 };
+
+/// Sets the global log threshold. Messages at levels above it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one line to stderr if `level` is at or below the threshold.
+void log(LogLevel level, std::string_view message);
+
+inline void log_info(std::string_view message) {
+  log(LogLevel::kInfo, message);
+}
+inline void log_debug(std::string_view message) {
+  log(LogLevel::kDebug, message);
+}
+
+}  // namespace saintdroid

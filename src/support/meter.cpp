@@ -1,0 +1,4 @@
+#include "support/meter.hpp"
+
+// Header-only types; this translation unit exists so the library has an
+// archive member for the target and a home for future out-of-line helpers.

@@ -1,0 +1,92 @@
+// Deterministic pseudo-random generation for workload synthesis.
+//
+// Every generator in the repository is seeded explicitly so that two runs of
+// any benchmark construct byte-identical workloads (DESIGN.md §5.5). We use
+// SplitMix64 for seeding and xoshiro256** as the workhorse engine; both are
+// tiny, fast and have well-understood statistical behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/errors.hpp"
+
+namespace saintdroid {
+
+/// SplitMix64 step: turns an arbitrary 64-bit state into a well-mixed
+/// output while advancing the state. Used to derive independent seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5a17d401dULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    SD_EXPECTS(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+    // Debiased modulo (Lemire-style rejection is overkill for workload gen).
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) draw = (*this)();
+    return lo + static_cast<std::int64_t>(draw % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    SD_EXPECTS(!items.empty());
+    return items[static_cast<std::size_t>(
+        uniform(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// generated artifact its own stream so insertions stay stable.
+  Rng fork() { return Rng{(*this)()}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace saintdroid

@@ -1,0 +1,39 @@
+// Small statistics helpers for the benchmark harnesses: Welford online
+// moments plus percentile extraction over collected samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace saintdroid {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm); O(1)
+/// space regardless of sample count.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the p-th percentile (p in [0,100]) of `samples` using linear
+/// interpolation between closest ranks. Copies and sorts; intended for
+/// end-of-run reporting, not hot paths. Returns 0 for an empty input.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace saintdroid

@@ -1,0 +1,610 @@
+#include "workload/app_builder.hpp"
+
+#include <algorithm>
+
+#include "adf/permissions.hpp"
+#include "support/errors.hpp"
+
+namespace saintdroid {
+
+namespace {
+
+/// Class used for the statically-invisible runtime guard helper; it is
+/// deliberately absent from every dex, modelling code generated only at
+/// runtime (anonymous inner classes, paper §VI).
+constexpr const char* kRuntimeCheckClass = "com/runtime/GeneratedCheck";
+
+bool params_match(const std::vector<std::string>& a,
+                  const std::vector<std::string>& b) {
+  return a == b;
+}
+
+}  // namespace
+
+AppBuilder::AppBuilder(std::string app_name, std::string package,
+                       const FrameworkSpec& spec)
+    : app_name_(std::move(app_name)), spec_(&spec) {
+  manifest_.package = package;
+  // Slash the dotted package for class names.
+  package_path_ = std::move(package);
+  std::replace(package_path_.begin(), package_path_.end(), '.', '/');
+  main_activity_ = &main_dex_.add_class(package_path_ + "/MainActivity",
+                                        "android/app/Activity");
+}
+
+AppBuilder& AppBuilder::sdk(int min_sdk, int target_sdk, int max_sdk) {
+  SD_EXPECTS(min_sdk >= 1 && (max_sdk == 0 || max_sdk >= min_sdk));
+  manifest_.min_sdk = min_sdk;
+  manifest_.target_sdk = target_sdk;
+  manifest_.max_sdk = max_sdk;
+  return *this;
+}
+
+AppBuilder& AppBuilder::buildable(bool value) {
+  manifest_.buildable = value;
+  return *this;
+}
+
+AppBuilder& AppBuilder::request_permission(const std::string& permission) {
+  if (!manifest_.requests_permission(permission))
+    manifest_.permissions.push_back(permission);
+  return *this;
+}
+
+const MethodSpec* AppBuilder::find_spec_method(const ApiUse& api) const {
+  const ClassSpec* cls = spec_->find_class(api.declaring);
+  if (!cls) return nullptr;
+  for (const auto& m : cls->methods)
+    if (m.name == api.name && params_match(m.params, api.params)) return &m;
+  return nullptr;
+}
+
+const MethodSpec* AppBuilder::find_spec_callback(const CallbackUse& cb) const {
+  const ClassSpec* cls = spec_->find_class(cb.framework_class);
+  if (!cls) return nullptr;
+  for (const auto& m : cls->methods)
+    if (m.callback && m.name == cb.name && params_match(m.params, cb.params))
+      return &m;
+  return nullptr;
+}
+
+std::vector<std::string> AppBuilder::spec_permissions(const ApiUse& api) const {
+  // Direct requirement plus a bounded walk through spec-internal calls
+  // (mirrors the ARM's transitive permission mining).
+  std::vector<std::string> out;
+  struct Frame {
+    std::string cls, name;
+    std::vector<std::string> params;
+  };
+  std::vector<Frame> stack{{api.declaring, api.name, api.params}};
+  std::vector<std::string> visited;
+  int steps = 0;
+  while (!stack.empty() && steps++ < 64) {
+    const Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const std::string key = frame.cls + "." + frame.name;
+    if (std::find(visited.begin(), visited.end(), key) != visited.end())
+      continue;
+    visited.push_back(key);
+    const ClassSpec* cls = spec_->find_class(frame.cls);
+    if (!cls) continue;
+    for (const auto& m : cls->methods) {
+      if (m.name != frame.name || !params_match(m.params, frame.params))
+        continue;
+      if (!m.permission.empty() &&
+          std::find(out.begin(), out.end(), m.permission) == out.end())
+        out.push_back(m.permission);
+      for (const auto& call : m.calls)
+        stack.push_back(Frame{call.cls, call.name, call.params});
+      break;
+    }
+  }
+  return out;
+}
+
+MethodBuilder& AppBuilder::new_seed_method(Placement placement,
+                                           std::string* out_class,
+                                           std::string* out_method) {
+  const int n = seed_counter_++;
+  const std::string method_name = "seed" + std::to_string(n);
+  switch (placement) {
+    case Placement::kReachable: {
+      *out_class = package_path_ + "/MainActivity";
+      *out_method = method_name;
+      reachable_roots_.push_back(method_name);
+      return main_activity_->add_method(method_name);
+    }
+    case Placement::kDeadCode: {
+      const std::string cls_name =
+          package_path_ + "/util/Dead" + std::to_string(n);
+      auto& cls = main_dex_.add_class(cls_name);
+      *out_class = cls_name;
+      *out_method = method_name;
+      return cls.add_method(method_name);
+    }
+    case Placement::kSecondaryDex: {
+      if (!secondary_dex_) secondary_dex_ = std::make_unique<DexBuilder>();
+      const std::string cls_name =
+          package_path_ + "/plugin/Plugin" + std::to_string(n);
+      auto& cls = secondary_dex_->add_class(cls_name);
+      plugin_classes_.push_back(cls_name);
+      *out_class = cls_name;
+      *out_method = method_name;
+      return cls.add_method(method_name);
+    }
+    case Placement::kReflection: {
+      // The host class is ordinary main-dex code, but nothing references
+      // it except a Class.forName with its dotted name from an entry
+      // point (emitted in build()).
+      const std::string cls_name =
+          package_path_ + "/dyn/Dyn" + std::to_string(n);
+      auto& cls = main_dex_.add_class(cls_name);
+      reflected_classes_.push_back(cls_name);
+      *out_class = cls_name;
+      *out_method = method_name;
+      return cls.add_method(method_name);
+    }
+  }
+  SD_EXPECTS(false);
+  return main_activity_->add_method(method_name);  // unreachable
+}
+
+void AppBuilder::emit_call(MethodBuilder& mb, const ApiUse& api) {
+  if (api.name == "<init>") {
+    mb.new_instance(3, api.receiver);
+    mb.invoke(InvokeKind::kDirect, api.receiver, api.name, api.return_type,
+              api.params, {3});
+    return;
+  }
+  mb.invoke(api.is_static ? InvokeKind::kStatic : InvokeKind::kVirtual,
+            api.receiver, api.name, api.return_type, api.params);
+}
+
+MethodId AppBuilder::emit_guarded_call(const ApiUse& api, GuardMode guard,
+                                       Placement placement,
+                                       int protect_level) {
+  std::string host_class;
+  std::string host_method;
+
+  if (guard == GuardMode::kCrossMethod) {
+    // Guard in one method, call in another — in a non-component helper
+    // class so that only context-sensitive exploration sees the guard.
+    const int n = seed_counter_++;
+    const std::string cls_name =
+        package_path_ + "/logic/Helper" + std::to_string(n);
+    auto& cls = main_dex_.add_class(cls_name);
+    const std::string guard_name = "guarded" + std::to_string(n);
+    const std::string impl_name = "impl" + std::to_string(n);
+
+    auto& guard_mb = cls.add_method(guard_name);
+    guard_mb.sget_sdk_int(0);
+    Label skip = guard_mb.new_label();
+    guard_mb.if_lit(CmpOp::kLt, 0, protect_level, skip);
+    guard_mb.invoke_virtual(cls_name, impl_name);
+    guard_mb.bind(skip);
+    guard_mb.return_void();
+
+    auto& impl_mb = cls.add_method(impl_name);
+    emit_call(impl_mb, api);
+    impl_mb.return_void();
+
+    helper_calls_.emplace_back(cls_name, guard_name);
+    return MethodId{cls_name, impl_name, "()V"};
+  }
+
+  MethodBuilder& mb = new_seed_method(placement, &host_class, &host_method);
+  switch (guard) {
+    case GuardMode::kNone:
+      emit_call(mb, api);
+      break;
+    case GuardMode::kLocal: {
+      mb.sget_sdk_int(0);
+      Label skip = mb.new_label();
+      mb.if_lit(CmpOp::kLt, 0, protect_level, skip);
+      emit_call(mb, api);
+      mb.bind(skip);
+      break;
+    }
+    case GuardMode::kLocalViaField: {
+      // Cache SDK_INT in an instance field, read it back, then compare —
+      // the common "config object" idiom.
+      mb.sget_sdk_int(0);
+      mb.iput(0, 5, host_class, "cachedSdk", "I");
+      mb.iget(1, 5, host_class, "cachedSdk", "I");
+      Label skip = mb.new_label();
+      mb.if_lit(CmpOp::kLt, 1, protect_level, skip);
+      emit_call(mb, api);
+      mb.bind(skip);
+      break;
+    }
+    case GuardMode::kLocalViaRegister: {
+      // The SDK_INT value and the threshold both travel through registers;
+      // recognizing this guard requires register tracking (Lint's lexical
+      // check gives up).
+      mb.sget_sdk_int(0);
+      mb.move(1, 0);
+      mb.const_int(2, protect_level);
+      Label skip = mb.new_label();
+      mb.if_reg(CmpOp::kLt, 1, 2, skip);
+      emit_call(mb, api);
+      mb.bind(skip);
+      break;
+    }
+    case GuardMode::kHidden: {
+      // The check lives in a class generated only at runtime: statically
+      // unresolvable, so no tool can prove the call protected.
+      mb.const_int(1, protect_level);
+      mb.invoke_static(kRuntimeCheckClass, "isAtLeast", "Z", {"I"}, {1});
+      mb.move_result(0);
+      Label skip = mb.new_label();
+      mb.if_lit(CmpOp::kEq, 0, 0, skip);
+      emit_call(mb, api);
+      mb.bind(skip);
+      break;
+    }
+    case GuardMode::kCrossMethod:
+      SD_EXPECTS(false);  // handled above
+      break;
+  }
+  mb.return_void();
+  return MethodId{host_class, host_method, "()V"};
+}
+
+AppBuilder& AppBuilder::api_call(const ApiUse& api, GuardMode guard,
+                                 Placement placement) {
+  const MethodSpec* spec = find_spec_method(api);
+  SD_EXPECTS(spec != nullptr);
+  const Lifecycle life = spec->life;
+
+  const MethodId location =
+      emit_guarded_call(api, guard, placement, life.introduced);
+
+  const ApiInterval range =
+      manifest_.supported_range().intersect(ApiInterval::full());
+  const bool statically_guarded = guard == GuardMode::kLocal ||
+                                  guard == GuardMode::kLocalViaRegister ||
+                                  guard == GuardMode::kLocalViaField ||
+                                  guard == GuardMode::kCrossMethod;
+  const bool runtime_guarded = guard == GuardMode::kHidden;
+  const bool backward_issue =
+      !statically_guarded && !runtime_guarded && range.lo() < life.introduced;
+  const bool forward_issue =
+      life.removed != 0 && range.hi() >= life.removed && !runtime_guarded;
+  const bool live = placement != Placement::kDeadCode;
+
+  SeededIssue issue;
+  issue.kind = MismatchKind::kApiInvocation;
+  issue.location = location;
+  issue.subject = api.declared_id();
+  issue.real = live && (backward_issue || forward_issue);
+  if (!live)
+    issue.tag = "dead_code";
+  else if (runtime_guarded)
+    issue.tag = "guarded_hidden";
+  else if (guard == GuardMode::kCrossMethod)
+    issue.tag = backward_issue || forward_issue ? "forward" : "guarded_cross_method";
+  else if (statically_guarded)
+    issue.tag = forward_issue          ? "forward"
+                : guard == GuardMode::kLocal ? "guarded_local"
+                : guard == GuardMode::kLocalViaField ? "guarded_field"
+                                             : "guarded_register";
+  else if (placement == Placement::kSecondaryDex)
+    issue.tag = "secondary_dex";
+  else if (placement == Placement::kReflection)
+    issue.tag = "reflection";
+  else if (forward_issue && !backward_issue)
+    issue.tag = "forward";
+  else if (issue.real)
+    issue.tag = "unguarded";
+  else
+    issue.tag = "safe";
+  truth_.issues.push_back(std::move(issue));
+  return *this;
+}
+
+AppBuilder& AppBuilder::inherited_api_call(const ApiUse& api,
+                                           GuardMode guard) {
+  // A fresh app subclass of the declaring framework class becomes the
+  // declared receiver at the call site.
+  const int n = seed_counter_++;
+  const std::string widget =
+      package_path_ + "/widget/W" + std::to_string(n);
+  main_dex_.add_class(widget, api.declaring);
+
+  ApiUse through_subclass = api;
+  through_subclass.receiver = widget;
+  api_call(through_subclass, guard, Placement::kReachable);
+  // Re-tag: the interesting property of this seed is the app receiver.
+  auto& issue = truth_.issues.back();
+  if (issue.tag == "unguarded") issue.tag = "inherited_receiver";
+  return *this;
+}
+
+AppBuilder& AppBuilder::callback_override(const CallbackUse& cb) {
+  const MethodSpec* spec = find_spec_callback(cb);
+  SD_EXPECTS(spec != nullptr);
+  const ClassSpec* owner = spec_->find_class(cb.framework_class);
+  SD_EXPECTS(owner != nullptr);
+
+  const int n = seed_counter_++;
+  const std::string cls_name = package_path_ + "/ui/Cb" + std::to_string(n);
+  auto& cls = main_dex_.add_class(cls_name, cb.framework_class);
+  auto& mb = cls.add_method(cb.name, "V", cb.params);
+  mb.return_void();
+
+  const ApiInterval range =
+      manifest_.supported_range().intersect(ApiInterval::full());
+  const Lifecycle life = spec->life;
+  const bool backward_issue = range.lo() < life.introduced;
+  const bool forward_issue = life.removed != 0 && range.hi() >= life.removed;
+
+  SeededIssue issue;
+  issue.kind = MismatchKind::kApiCallback;
+  issue.location = MethodId{cls_name, cb.name, cb.descriptor()};
+  issue.subject = cb.declared_id();
+  issue.real = backward_issue || forward_issue;
+  issue.tag = issue.real ? (backward_issue ? "unguarded" : "forward")
+                         : "safe";
+  truth_.issues.push_back(std::move(issue));
+  return *this;
+}
+
+AppBuilder& AppBuilder::hidden_callback(const CallbackUse& cb) {
+  const MethodSpec* spec = find_spec_callback(cb);
+  SD_EXPECTS(spec != nullptr);
+  const ApiInterval range =
+      manifest_.supported_range().intersect(ApiInterval::full());
+  const Lifecycle life = spec->life;
+
+  const int n = seed_counter_++;
+  SeededIssue issue;
+  issue.kind = MismatchKind::kApiCallback;
+  issue.location = MethodId{package_path_ + "/ui/Anon" + std::to_string(n),
+                            cb.name, cb.descriptor()};
+  issue.subject = cb.declared_id();
+  issue.real = range.lo() < life.introduced ||
+               (life.removed != 0 && range.hi() >= life.removed);
+  issue.tag = "hidden_callback";
+  truth_.issues.push_back(std::move(issue));
+  return *this;
+}
+
+AppBuilder& AppBuilder::hidden_api_call(const ApiUse& api) {
+  const MethodSpec* spec = find_spec_method(api);
+  SD_EXPECTS(spec != nullptr);
+  const ApiInterval range =
+      manifest_.supported_range().intersect(ApiInterval::full());
+  const Lifecycle life = spec->life;
+
+  const int n = seed_counter_++;
+  SeededIssue issue;
+  issue.kind = MismatchKind::kApiInvocation;
+  issue.location = MethodId{package_path_ + "/ui/Anon" + std::to_string(n),
+                            "call", "()V"};
+  issue.subject = api.declared_id();
+  issue.real = range.lo() < life.introduced ||
+               (life.removed != 0 && range.hi() >= life.removed);
+  issue.tag = "hidden_site";
+  truth_.issues.push_back(std::move(issue));
+  return *this;
+}
+
+AppBuilder& AppBuilder::permission_use(const ApiUse& api, GuardMode guard) {
+  const auto permissions = spec_permissions(api);
+  SD_EXPECTS(!permissions.empty());
+
+  MethodId location;
+  if (guard == GuardMode::kLocal) {
+    // For permission seeds, a local guard means "only use the API on
+    // pre-runtime-permission devices": if (SDK_INT < 23) use(). The use is
+    // then unreachable on any level where revocation/request mismatches
+    // exist, so it is benign — and context-aware guard analysis proves it.
+    std::string host_class;
+    std::string host_method;
+    MethodBuilder& mb =
+        new_seed_method(Placement::kReachable, &host_class, &host_method);
+    mb.sget_sdk_int(0);
+    Label skip = mb.new_label();
+    mb.if_lit(CmpOp::kGe, 0, kRuntimePermissionLevel, skip);
+    emit_call(mb, api);
+    mb.bind(skip);
+    mb.return_void();
+    location = MethodId{host_class, host_method, "()V"};
+  } else {
+    location = emit_guarded_call(api, guard, Placement::kReachable,
+                                 kRuntimePermissionLevel);
+  }
+
+  for (const auto& permission : permissions) {
+    request_permission(permission);
+    permission_seeds_.push_back(
+        PermissionSeed{location, api.declared_id(), permission, guard});
+  }
+  return *this;
+}
+
+AppBuilder& AppBuilder::implement_runtime_permission_protocol() {
+  SD_EXPECTS(!protocol_implemented_);
+  protocol_implemented_ = true;
+
+  // The result callback override.
+  auto& cb = main_activity_->add_method(
+      "onRequestPermissionsResult", "V", {"I", "[Ljava/lang/String;", "[I"});
+  cb.return_void();
+
+  // A guarded runtime request from an entry-point method.
+  auto& mb = main_activity_->add_method("initPermissions");
+  mb.sget_sdk_int(0);
+  Label skip = mb.new_label();
+  mb.if_lit(CmpOp::kLt, 0, kRuntimePermissionLevel, skip);
+  mb.invoke_virtual(package_path_ + "/MainActivity", "requestPermissions",
+                    "V", {"[Ljava/lang/String;", "I"});
+  mb.bind(skip);
+  mb.return_void();
+  reachable_roots_.push_back("initPermissions");
+
+  // With minSdk < 23 the override itself is a real APC mismatch — the
+  // callback does not exist on older devices.
+  const ApiInterval range =
+      manifest_.supported_range().intersect(ApiInterval::full());
+  SeededIssue issue;
+  issue.kind = MismatchKind::kApiCallback;
+  issue.location = MethodId{package_path_ + "/MainActivity",
+                            "onRequestPermissionsResult",
+                            "(I[Ljava/lang/String;[I)V"};
+  issue.subject = MethodId{"android/app/Activity",
+                           "onRequestPermissionsResult",
+                           "(I[Ljava/lang/String;[I)V"};
+  issue.real = range.lo() < kRuntimePermissionLevel;
+  issue.tag = "protocol_override";
+  truth_.issues.push_back(std::move(issue));
+  return *this;
+}
+
+AppBuilder& AppBuilder::framework_breadth(int count) {
+  const ApiInterval range =
+      manifest_.supported_range().intersect(ApiInterval::full());
+  const auto safe = collect_safe_apis(*spec_, range);
+  SD_EXPECTS(!safe.empty());
+
+  const std::string method_name =
+      "breadth" + std::to_string(seed_counter_++);
+  auto& mb = main_activity_->add_method(method_name);
+  for (int i = 0; i < count; ++i) emit_call(mb, safe[i % safe.size()]);
+  mb.return_void();
+  reachable_roots_.push_back(method_name);
+  return *this;
+}
+
+AppBuilder& AppBuilder::pad_to(std::uint64_t target_loc) {
+  // Rough running size: each filler method contributes exactly its body.
+  // Current content is estimated from emitted constructs.
+  const std::uint64_t estimated_existing =
+      static_cast<std::uint64_t>(seed_counter_) * 10 + 64;
+  if (target_loc <= estimated_existing) return *this;
+  std::uint64_t remaining = target_loc - estimated_existing;
+
+  const ApiInterval range =
+      manifest_.supported_range().intersect(ApiInterval::full());
+  const auto safe = collect_safe_apis(*spec_, range);
+
+  // Filler classes of 48 methods. Every fifth class is wired into the
+  // component's onCreate (live application logic); the rest model bundled
+  // library code the app never calls — the dominant case in real APKs
+  // (most of a typical APK's bytecode is unused library surface) and the
+  // reason reachability-driven analysis beats whole-program scanning on
+  // wall-clock (paper RQ3).
+  while (remaining > 0) {
+    const int class_index = filler_counter_++;
+    const std::string cls_name =
+        package_path_ + "/fill/Filler" + std::to_string(class_index);
+    auto& cls = main_dex_.add_class(cls_name);
+    auto& run = cls.add_method("run");
+    constexpr int kMethodsPerClass = 48;
+    for (int m = 0; m < kMethodsPerClass; ++m) {
+      const std::string name = "f" + std::to_string(m);
+      auto& mb = cls.add_method(name);
+      // 12 instructions of benign arithmetic/branch/API mix.
+      mb.const_int(0, m);
+      mb.const_int(1, class_index);
+      mb.move(2, 0);
+      Label join = mb.new_label();
+      mb.if_reg(CmpOp::kLt, 2, 1, join);
+      mb.const_int(3, 7);
+      mb.move(4, 3);
+      mb.bind(join);
+      if (!safe.empty() && m % 4 == 0)
+        emit_call(mb, safe[static_cast<std::size_t>(class_index * 48 + m) %
+                           safe.size()]);
+      else
+        mb.const_int(5, 1);
+      mb.const_int(6, 2);
+      mb.move(7, 6);
+      mb.const_int(5, 9);
+      mb.move(6, 5);
+      mb.return_void();
+      remaining = remaining > 12 ? remaining - 12 : 0;
+      run.invoke_virtual(cls_name, name);
+    }
+    run.return_void();
+    remaining = remaining > kMethodsPerClass ? remaining - kMethodsPerClass : 0;
+    if (class_index % 5 == 0) helper_calls_.emplace_back(cls_name, "run");
+  }
+  return *this;
+}
+
+AppBuilder::Built AppBuilder::build() {
+  SD_EXPECTS(!built_);
+  built_ = true;
+
+  // The component entry point reaching every live seed.
+  auto& on_create =
+      main_activity_->add_method("onCreate", "V", {"android/os/Bundle"});
+  on_create.invoke_super("android/app/Activity", "onCreate", "V",
+                         {"android/os/Bundle"});
+  // Late-bound code is activated before the app's own logic runs, so a
+  // crash in an early root cannot mask the plugin surface.
+  for (const auto& plugin : plugin_classes_)
+    on_create.load_class(0, plugin);
+  for (const auto& reflected : reflected_classes_) {
+    // Dotted name, as Java source would write it.
+    std::string dotted = reflected;
+    std::replace(dotted.begin(), dotted.end(), '/', '.');
+    on_create.const_string(1, dotted);
+    on_create.invoke_static("java/lang/Class", "forName", "java/lang/Class",
+                            {"java/lang/String"}, {1});
+  }
+  for (const auto& root : reachable_roots_)
+    on_create.invoke_virtual(package_path_ + "/MainActivity", root);
+  for (const auto& [cls, method] : helper_calls_)
+    on_create.invoke_virtual(cls, method);
+  on_create.return_void();
+
+  manifest_.components.push_back(
+      Component{ComponentKind::kActivity, package_path_ + "/MainActivity"});
+
+  // Finalize permission seeds now that target SDK and protocol state are
+  // known.
+  const ApiInterval range =
+      manifest_.supported_range().intersect(ApiInterval::full());
+  const ApiInterval runtime_range =
+      range.intersect(ApiInterval{kRuntimePermissionLevel, kMaxApiLevel});
+  const bool targets_runtime =
+      manifest_.target_sdk >= kRuntimePermissionLevel;
+  for (const auto& seed : permission_seeds_) {
+    SeededIssue issue;
+    issue.kind = targets_runtime ? MismatchKind::kPermissionRequest
+                                 : MismatchKind::kPermissionRevocation;
+    issue.location = seed.location;
+    issue.subject = seed.subject;
+    issue.permission = seed.permission;
+    const bool protected_by_protocol = targets_runtime && protocol_implemented_;
+    const bool statically_guarded = seed.guard == GuardMode::kCrossMethod ||
+                                    seed.guard == GuardMode::kLocal;
+    const bool runtime_guarded = seed.guard == GuardMode::kHidden;
+    issue.real = !runtime_range.empty() && !protected_by_protocol &&
+                 !statically_guarded && !runtime_guarded;
+    if (protected_by_protocol)
+      issue.tag = "protocol_ok";
+    else if (runtime_guarded)
+      issue.tag = "guarded_hidden";
+    else if (statically_guarded)
+      issue.tag = seed.guard == GuardMode::kLocal ? "guarded_pre23"
+                                                  : "guarded_cross_method";
+    else if (runtime_range.empty())
+      issue.tag = "pre23_only";
+    else
+      issue.tag = "unguarded";
+    truth_.issues.push_back(std::move(issue));
+  }
+
+  Built built;
+  built.apk.name = app_name_;
+  built.apk.manifest = std::move(manifest_);
+  built.apk.dexes.push_back(main_dex_.build());
+  if (secondary_dex_) built.apk.dexes.push_back(secondary_dex_->build());
+  built.truth = std::move(truth_);
+  return built;
+}
+
+}  // namespace saintdroid

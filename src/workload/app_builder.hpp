@@ -1,0 +1,171 @@
+// AppBuilder: synthesizes APKs with known seeded constructs and a ground
+// truth ledger.
+//
+// Every seed is placed so that its detectability profile is precise:
+//
+//   guard modes   — kNone (unprotected), kLocal (SDK_INT check in the same
+//                   method; every tool handles it), kLocalViaRegister (the
+//                   check flows through a register move; Lint's lexical
+//                   recognition misses it), kCrossMethod (the check is in
+//                   the caller; only SAINTDroid's context-sensitive
+//                   analysis sees it), kHidden (the check calls into a
+//                   class generated only at runtime; statically invisible
+//                   to every tool — the paper's false-positive mechanism,
+//                   §VI)
+//   placements    — kReachable (invoked from a component entry point),
+//                   kDeadCode (in a never-referenced helper class; tools
+//                   without reachability analysis still flag it),
+//                   kSecondaryDex (in a late-bound dex reached via
+//                   load-class; only SAINTDroid follows it)
+//
+// The ledger entry for each seed (real vs benign) is derived from the
+// framework spec's lifecycle facts, not hard-coded by the caller.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adf/spec.hpp"
+#include "dex/apk.hpp"
+#include "dex/builder.hpp"
+#include "workload/catalog.hpp"
+#include "workload/ground_truth.hpp"
+
+namespace saintdroid {
+
+enum class GuardMode : std::uint8_t {
+  kNone = 0,
+  kLocal,
+  kLocalViaRegister,
+  /// The SDK_INT value is cached in an instance field first
+  /// (`this.sdk = Build.VERSION.SDK_INT; if (this.sdk >= N) ...`) —
+  /// requires field-fact tracking; CID and Lint both miss it.
+  kLocalViaField,
+  kCrossMethod,
+  kHidden,
+};
+
+enum class Placement : std::uint8_t {
+  kReachable = 0,
+  kDeadCode,
+  kSecondaryDex,
+  /// In a class reached only through Class.forName("<name>") with a
+  /// string-constant name — statically discoverable reflection, which
+  /// SAINTDroid's conservative late-binding analysis follows.
+  kReflection,
+};
+
+class AppBuilder {
+ public:
+  /// `spec` supplies lifecycle/permission facts for ledger derivation and
+  /// must outlive the builder.
+  AppBuilder(std::string app_name, std::string package,
+             const FrameworkSpec& spec);
+
+  // -- manifest ---------------------------------------------------------------
+  AppBuilder& sdk(int min_sdk, int target_sdk, int max_sdk = 0);
+  AppBuilder& buildable(bool value);
+  AppBuilder& request_permission(const std::string& permission);
+
+  // -- seeds ------------------------------------------------------------------
+  /// Seeds one invocation of `api` under the given protection/placement.
+  AppBuilder& api_call(const ApiUse& api, GuardMode guard = GuardMode::kNone,
+                       Placement placement = Placement::kReachable);
+
+  /// Seeds a call to `api` through a fresh app subclass of
+  /// `api.declaring` as the declared receiver — only hierarchy-aware
+  /// analysis resolves it into the framework.
+  AppBuilder& inherited_api_call(const ApiUse& api,
+                                 GuardMode guard = GuardMode::kNone);
+
+  /// Seeds an override of `cb` in a fresh app subclass of its framework
+  /// class. Whether it is a real APC mismatch follows from the spec.
+  AppBuilder& callback_override(const CallbackUse& cb);
+
+  /// Ledger-only: a callback override that lives in a runtime-generated
+  /// (anonymous inner) class — no bytecode exists for any tool to see, so
+  /// it is a universal false negative (paper §VI).
+  AppBuilder& hidden_callback(const CallbackUse& cb);
+
+  /// Ledger-only: an API invocation inside a runtime-generated class —
+  /// like hidden_callback, statically invisible to every tool.
+  AppBuilder& hidden_api_call(const ApiUse& api);
+
+  /// Seeds a use of a permission-requiring API; the required permissions
+  /// are mined from the spec (direct and transitive) and added to the
+  /// manifest. Whether it becomes a request or revocation mismatch follows
+  /// from the target SDK and protocol state at build().
+  AppBuilder& permission_use(const ApiUse& api,
+                             GuardMode guard = GuardMode::kNone);
+
+  /// Implements the runtime permission protocol: overrides
+  /// onRequestPermissionsResult and issues a guarded requestPermissions
+  /// call. (With minSdk < 23 the override itself is a real APC mismatch,
+  /// recorded automatically.)
+  AppBuilder& implement_runtime_permission_protocol();
+
+  // -- bulk material ------------------------------------------------------------
+  /// Adds one method invoking `count` distinct always-safe framework APIs
+  /// (drives the number of classes an analysis must load — the
+  /// "library-heavy" knob behind the Fig. 3 outliers).
+  AppBuilder& framework_breadth(int count);
+
+  /// Pads the app with benign filler methods until the total instruction
+  /// count reaches at least `target_loc`.
+  AppBuilder& pad_to(std::uint64_t target_loc);
+
+  // -- finalization ---------------------------------------------------------
+  struct Built {
+    Apk apk;
+    GroundTruth truth;
+  };
+  /// Assembles the APK (emitting the component's onCreate that reaches all
+  /// reachable seeds) and finalizes the ledger. Single use.
+  Built build();
+
+ private:
+  struct PermissionSeed {
+    MethodId location;
+    MethodId subject;
+    std::string permission;
+    GuardMode guard;
+  };
+
+  MethodBuilder& new_seed_method(Placement placement, std::string* out_class,
+                                 std::string* out_method);
+  void emit_call(MethodBuilder& mb, const ApiUse& api);
+  /// Emits guard prologue + call + epilogue into a seed method; for
+  /// kCrossMethod the call is placed in a second helper method. Returns
+  /// the method that physically contains the call.
+  MethodId emit_guarded_call(const ApiUse& api, GuardMode guard,
+                             Placement placement, int protect_level);
+  const MethodSpec* find_spec_method(const ApiUse& api) const;
+  const MethodSpec* find_spec_callback(const CallbackUse& cb) const;
+  /// Permissions required by `api` per the spec (direct + transitive).
+  std::vector<std::string> spec_permissions(const ApiUse& api) const;
+
+  std::string app_name_;
+  std::string package_path_;  // slashed
+  const FrameworkSpec* spec_;
+  Manifest manifest_;
+
+  DexBuilder main_dex_;
+  std::unique_ptr<DexBuilder> secondary_dex_;
+  ClassBuilder* main_activity_ = nullptr;
+
+  std::vector<std::string> reachable_roots_;   // main-activity methods
+  std::vector<std::pair<std::string, std::string>> helper_calls_;
+  std::vector<std::string> plugin_classes_;    // secondary-dex classes
+  std::vector<std::string> reflected_classes_; // Class.forName targets
+
+  GroundTruth truth_;
+  std::vector<PermissionSeed> permission_seeds_;
+  bool protocol_implemented_ = false;
+  int seed_counter_ = 0;
+  int filler_counter_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace saintdroid

@@ -1,0 +1,332 @@
+#include "workload/benchmarks.hpp"
+
+#include "support/rng.hpp"
+#include "workload/app_builder.hpp"
+
+namespace saintdroid {
+
+namespace {
+
+namespace cat = catalog;
+
+/// Adds `count` real APC seeds drawn from the synthetic-bulk callback
+/// surface (classes CIDER has no model for).
+void add_bulk_apc(AppBuilder& builder, const FrameworkSpec& spec,
+                  ApiInterval range, int count, Rng& rng) {
+  const auto candidates = collect_mismatch_callbacks(spec, range);
+  for (int i = 0; i < count && !candidates.empty(); ++i)
+    builder.callback_override(rng.pick(candidates));
+}
+
+/// Adds `count` real unguarded API-invocation seeds from the bulk surface.
+void add_bulk_api(AppBuilder& builder, const FrameworkSpec& spec,
+                  ApiInterval range, int count, Rng& rng) {
+  const auto candidates = collect_mismatch_apis(spec, range);
+  for (int i = 0; i < count && !candidates.empty(); ++i)
+    builder.api_call(rng.pick(candidates));
+}
+
+ApiInterval range_of(int min_sdk, int max_sdk = 0) {
+  return ApiInterval{min_sdk, max_sdk == 0 ? kMaxApiLevel : max_sdk};
+}
+
+}  // namespace
+
+std::vector<BenchApp> cid_bench(const FrameworkRepository& repo) {
+  const FrameworkSpec& spec = repo.spec();
+  std::vector<BenchApp> out;
+
+  {  // Basic: one unguarded post-minSdk API call plus a guarded twin.
+    AppBuilder b{"Basic", "com.cidbench.basic", spec};
+    b.sdk(21, 27);
+    b.api_call(cat::get_color_state_list());                      // real
+    b.api_call(cat::get_color_state_list(), GuardMode::kLocal);   // benign
+    b.pad_to(10'400);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // Forward: a call to an API removed inside the supported range.
+    AppBuilder b{"Forward", "com.cidbench.forward", spec};
+    b.sdk(21, 27);
+    b.api_call(cat::http_client_execute());  // removed at 23 -> forward
+    b.pad_to(10'400);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // GenericType: the mismatching API uses object-typed parameters.
+    AppBuilder b{"GenericType", "com.cidbench.generictype", spec};
+    b.sdk(21, 27);
+    b.api_call(cat::evaluate_javascript());  // 19 < 21: safe (descriptor test)
+    b.api_call(cat::create_web_message_channel());  // 23 > 21: real
+    b.pad_to(10'400);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // Inheritance: the API is declared on a superclass of the receiver.
+    AppBuilder b{"Inheritance", "com.cidbench.inheritance", spec};
+    b.sdk(21, 27);
+    // Framework-subclass receiver: resolvable by any hierarchy-aware tool.
+    b.api_call(cat::get_color_state_list("android/app/Activity"));  // real
+    // App-subclass receiver: only SAINTDroid's holistic analysis resolves.
+    b.inherited_api_call(cat::get_color_state_list("android/view/View"));
+    b.pad_to(10'400);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // Protection: a correctly guarded call — silence is the right answer.
+    AppBuilder b{"Protection", "com.cidbench.protection", spec};
+    b.sdk(21, 27);
+    b.api_call(cat::get_color_state_list(), GuardMode::kLocal);
+    b.api_call(cat::notification_channel_ctor(), GuardMode::kCrossMethod);
+    b.pad_to(10'400);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // Protection2: the guard flows through registers (Lint's blind spot).
+    AppBuilder b{"Protection2", "com.cidbench.protection2", spec};
+    b.sdk(21, 27);
+    b.api_call(cat::get_color_state_list(), GuardMode::kLocalViaRegister);
+    b.pad_to(10'400);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // Varargs: array-typed descriptor matching.
+    AppBuilder b{"Varargs", "com.cidbench.varargs", spec};
+    b.sdk(21, 27);
+    b.api_call(cat::request_permissions("android/app/Activity"));  // 23: real
+    b.pad_to(10'400);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  return out;
+}
+
+std::vector<BenchApp> cider_bench(const FrameworkRepository& repo) {
+  const FrameworkSpec& spec = repo.spec();
+  std::vector<BenchApp> out;
+  Rng rng{0xC1DE2022ULL};
+
+  {  // AFWall+: large firewall app; CID cannot finish it.
+    AppBuilder b{"AFWall+", "dev.ukanth.ufirewall", spec};
+    b.sdk(14, 26);
+    b.callback_override(cat::drawable_hotspot_changed());
+    b.callback_override(cat::on_apply_window_insets());
+    b.callback_override(cat::on_provide_structure());
+    b.callback_override(cat::on_multi_window_mode_changed());  // in-model
+    b.hidden_callback(cat::on_apply_window_insets());  // universal FN
+    b.api_call(cat::get_color_state_list());
+    b.api_call(cat::is_destroyed());
+    b.api_call(cat::get_fragment_manager(), GuardMode::kLocal);
+    b.api_call(cat::set_background(), GuardMode::kCrossMethod);
+    b.api_call(cat::create_web_message_channel(), GuardMode::kHidden);
+    b.api_call(cat::is_destroyed(), GuardMode::kHidden);
+    b.hidden_api_call(cat::notification_channel_ctor());  // universal FN
+    b.permission_use(cat::resolver_insert());  // tgt 26, no protocol: request
+    add_bulk_apc(b, spec, range_of(14), 3, rng);
+    add_bulk_api(b, spec, range_of(14), 6, rng);
+    b.framework_breadth(40);
+    b.pad_to(70'000);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // DuckDuckGo: browser; implements the runtime-permission protocol.
+    AppBuilder b{"DuckDuckGo", "com.duckduckgo.mobile.android", spec};
+    b.sdk(16, 26);
+    b.callback_override(cat::on_provide_structure());
+    b.callback_override(cat::on_page_commit_visible());
+    b.callback_override(cat::should_override_url_loading());
+    b.callback_override(cat::on_attach_context());  // in-model
+    b.api_call(cat::create_web_message_channel());
+    b.api_call(cat::evaluate_javascript());
+    b.api_call(cat::get_color_state_list(), GuardMode::kCrossMethod);
+    b.api_call(cat::is_destroyed(), GuardMode::kHidden);  // universal FP
+    b.api_call(cat::notification_channel_ctor(), GuardMode::kHidden);
+    b.implement_runtime_permission_protocol();
+    b.permission_use(cat::last_known_location());  // protocol: benign
+    add_bulk_apc(b, spec, range_of(16), 1, rng);
+    add_bulk_api(b, spec, range_of(16), 3, rng);
+    b.framework_breadth(25);
+    b.pad_to(30'000);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // FOSS Browser
+    AppBuilder b{"FOSS Browser", "de.baumann.browser", spec};
+    b.sdk(19, 27);
+    b.callback_override(cat::should_override_url_loading());
+    b.callback_override(cat::on_pointer_capture_change());
+    b.callback_override(cat::on_multi_window_mode_changed());  // in-model
+    b.api_call(cat::create_web_message_channel());
+    b.api_call(cat::notification_channel_ctor());
+    b.api_call(cat::evaluate_javascript(), GuardMode::kLocal);  // 19: safe anyway
+    b.api_call(cat::get_color_state_list(), GuardMode::kHidden);
+    add_bulk_apc(b, spec, range_of(19), 1, rng);
+    add_bulk_api(b, spec, range_of(19), 3, rng);
+    b.framework_breadth(20);
+    b.pad_to(25'000);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // Kolab notes: the paper's permission-request example (§V-B).
+    AppBuilder b{"Kolab notes", "org.kore.kolabnotes.android", spec};
+    b.sdk(16, 26);
+    b.permission_use(cat::resolver_insert());  // WRITE_EXTERNAL_STORAGE
+    b.api_call(cat::get_color_state_list());
+    b.api_call(cat::set_background(), GuardMode::kLocal);
+    b.callback_override(cat::on_create_view());     // 11 < 16: benign
+    b.callback_override(cat::on_attach_context());  // 23 > 16: in-model
+    add_bulk_api(b, spec, range_of(16), 2, rng);
+    b.framework_breadth(15);
+    b.pad_to(20'000);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // MaterialFBook
+    AppBuilder b{"MaterialFBook", "me.zeeroooo.materialfb", spec};
+    b.sdk(17, 25);
+    b.callback_override(cat::drawable_hotspot_changed());
+    b.callback_override(cat::on_multi_window_mode_changed());
+    b.api_call(cat::create_web_message_channel());
+    b.api_call(cat::set_background());  // 16 < 17: safe
+    b.api_call(cat::get_color_state_list(), GuardMode::kLocalViaRegister);
+    b.api_call(cat::create_web_message_channel(), GuardMode::kHidden);
+    add_bulk_apc(b, spec, range_of(17), 2, rng);
+    add_bulk_api(b, spec, range_of(17), 2, rng);
+    b.framework_breadth(18);
+    b.pad_to(18'000);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // NetworkMonitor: large; CID cannot finish it. minSdk 13 makes the
+     // CIDER documentation error on onTrimMemory (13 vs 14) visible.
+    AppBuilder b{"NetworkMonitor", "ca.rmen.android.networkmonitor", spec};
+    b.sdk(13, 26);
+    b.callback_override(cat::on_trim_memory());   // real at [13,13]
+    b.callback_override(cat::on_task_removed());  // real at [13,13]
+    b.callback_override(cat::on_top_resumed_activity_changed());  // 29
+    b.api_call(cat::is_destroyed());
+    b.api_call(cat::get_color_state_list());
+    b.api_call(cat::create_web_message_channel(), GuardMode::kHidden);
+    b.api_call(cat::notification_channel_ctor(), GuardMode::kHidden);
+    b.hidden_api_call(cat::get_color_state_list());  // universal FN
+    b.permission_use(cat::get_device_id());  // READ_PHONE_STATE: request
+    add_bulk_apc(b, spec, range_of(13), 2, rng);
+    add_bulk_api(b, spec, range_of(13), 6, rng);
+    b.framework_breadth(60);
+    b.pad_to(80'000);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // NyaaPantsu: the largest app; Lint crashes on it; has late-bound code.
+    AppBuilder b{"NyaaPantsu", "cat.pantsu.nyaapantsu", spec};
+    b.sdk(15, 25);
+    b.callback_override(cat::drawable_hotspot_changed());
+    b.callback_override(cat::on_attach_context());  // 23 > 15: in-model
+    b.api_call(cat::evaluate_javascript());
+    b.api_call(cat::get_color_state_list(), GuardMode::kNone,
+               Placement::kSecondaryDex);
+    b.api_call(cat::is_destroyed(), GuardMode::kHidden);
+    b.api_call(cat::notification_channel_ctor(), GuardMode::kHidden);
+    b.permission_use(cat::camera_open());
+    add_bulk_apc(b, spec, range_of(15), 2, rng);
+    add_bulk_api(b, spec, range_of(15), 5, rng);
+    b.framework_breadth(30);
+    b.pad_to(130'000);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // Padland: small and clean.
+    AppBuilder b{"Padland", "com.mikifus.padland", spec};
+    b.sdk(16, 24);
+    b.api_call(cat::get_fragment_manager());  // 11 < 16: safe
+    b.api_call(cat::is_destroyed());          // 17 > 16: real
+    b.framework_breadth(10);
+    b.pad_to(11'000);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // PassAndroid: large; CID cannot finish it.
+    AppBuilder b{"PassAndroid", "org.ligi.passandroid", spec};
+    b.sdk(14, 27);
+    b.callback_override(cat::on_attach_context());
+    b.callback_override(cat::on_create_view());  // 11 < 14: benign
+    b.callback_override(cat::on_picture_in_picture_mode_changed());
+    b.callback_override(cat::on_multi_window_mode_changed());  // in-model
+    b.api_call(cat::notification_channel_ctor());
+    b.api_call(cat::http_client_execute());  // forward
+    b.api_call(cat::get_color_state_list(), GuardMode::kLocal);
+    b.api_call(cat::is_destroyed(), GuardMode::kCrossMethod);
+    b.api_call(cat::set_background(), GuardMode::kNone, Placement::kDeadCode);
+    b.api_call(cat::get_color_state_list(), GuardMode::kHidden);
+    b.api_call(cat::create_web_message_channel(), GuardMode::kHidden);
+    b.hidden_api_call(cat::is_destroyed());  // universal FN
+    b.permission_use(cat::insert_image());  // transitive WRITE_EXTERNAL
+    add_bulk_apc(b, spec, range_of(14), 3, rng);
+    add_bulk_api(b, spec, range_of(14), 5, rng);
+    b.framework_breadth(35);
+    b.pad_to(75'000);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // SimpleSolitaire: the paper's Listing 2 app.
+    AppBuilder b{"SimpleSolitaire", "de.tobiasbielefeld.solitaire", spec};
+    b.sdk(14, 27);
+    b.callback_override(cat::on_attach_context());  // the Listing 2 issue
+    b.api_call(cat::set_background());              // 16 > 14: real
+    b.framework_breadth(12);
+    b.pad_to(15'000);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // SurvivalManual
+    AppBuilder b{"SurvivalManual", "org.ligi.survivalmanual", spec};
+    b.sdk(19, 26);
+    b.callback_override(cat::on_apply_window_insets());  // 20 > 19: real
+    b.api_call(cat::get_color_state_list());
+    b.api_call(cat::create_web_message_channel(), GuardMode::kHidden);
+    add_bulk_api(b, spec, range_of(19), 2, rng);
+    b.framework_breadth(16);
+    b.pad_to(22'000);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  {  // Uber ride (the Uber client from the CIDER set)
+    AppBuilder b{"Uber ride", "com.ubercab", spec};
+    b.sdk(19, 26);
+    b.callback_override(cat::on_provide_structure());
+    b.hidden_callback(cat::drawable_hotspot_changed());  // universal FN
+    b.api_call(cat::create_web_message_channel());
+    b.api_call(cat::get_color_state_list(), GuardMode::kCrossMethod);
+    b.api_call(cat::notification_channel_ctor(), GuardMode::kHidden);
+    b.hidden_api_call(cat::get_color_state_list());  // universal FN
+    b.permission_use(cat::send_text_message());
+    add_bulk_api(b, spec, range_of(19), 3, rng);
+    b.framework_breadth(22);
+    b.pad_to(28'000);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+
+  // The 8 CIDER-Bench apps that no longer build (excluded from analysis).
+  for (int i = 0; i < 8; ++i) {
+    AppBuilder b{"CiderBench-unbuildable-" + std::to_string(i + 1),
+                 "com.ciderbench.x" + std::to_string(i + 1), spec};
+    b.sdk(static_cast<int>(rng.uniform(14, 19)), 26);
+    b.buildable(false);
+    b.api_call(cat::get_color_state_list());
+    b.callback_override(cat::drawable_hotspot_changed());
+    b.pad_to(12'000);
+    auto built = b.build();
+    out.push_back(BenchApp{std::move(built.apk), std::move(built.truth)});
+  }
+  return out;
+}
+
+std::vector<BenchApp> accuracy_bench(const FrameworkRepository& repo) {
+  std::vector<BenchApp> out = cid_bench(repo);
+  for (auto& app : cider_bench(repo))
+    if (app.apk.manifest.buildable) out.push_back(std::move(app));
+  return out;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,35 @@
+// The two benchmark suites of the paper's accuracy study (§IV-A):
+// CID-Bench (7 micro apps by the CID authors, each exercising one
+// construct) and CIDER-Bench (20 real apps from the CIDER study, of which
+// 8 do not build with current toolchains and are excluded, leaving the 12
+// named in Tables II/III). The per-app seed profiles — which mismatches
+// each app harbors, which benign look-alikes, sizes, SDK ranges — form our
+// ground-truth ledger and are documented in EXPERIMENTS.md.
+#pragma once
+
+#include <vector>
+
+#include "adf/repository.hpp"
+#include "dex/apk.hpp"
+#include "workload/ground_truth.hpp"
+
+namespace saintdroid {
+
+/// One benchmark app with its ledger.
+struct BenchApp {
+  Apk apk;
+  GroundTruth truth;
+};
+
+/// The 7 CID-Bench apps: Basic, Forward, GenericType, Inheritance,
+/// Protection, Protection2, Varargs.
+std::vector<BenchApp> cid_bench(const FrameworkRepository& repo);
+
+/// The 20 CIDER-Bench apps; the 8 that "do not build" carry
+/// manifest.buildable == false.
+std::vector<BenchApp> cider_bench(const FrameworkRepository& repo);
+
+/// The 19 buildable apps of both suites — the paper's objects of analysis.
+std::vector<BenchApp> accuracy_bench(const FrameworkRepository& repo);
+
+}  // namespace saintdroid

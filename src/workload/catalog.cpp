@@ -1,0 +1,320 @@
+#include "workload/catalog.hpp"
+
+namespace saintdroid {
+
+std::string make_descriptor(const std::string& return_type,
+                            const std::vector<std::string>& params) {
+  const auto append_type = [](std::string& out, const std::string& name) {
+    if (name.size() == 1 || name.front() == '[')
+      out += name;
+    else
+      out += "L" + name + ";";
+  };
+  std::string out = "(";
+  for (const auto& p : params) append_type(out, p);
+  out += ")";
+  append_type(out, return_type);
+  return out;
+}
+
+std::string ApiUse::descriptor() const {
+  return make_descriptor(return_type, params);
+}
+
+MethodId ApiUse::declared_id() const {
+  return MethodId{declaring, name, descriptor()};
+}
+
+std::string CallbackUse::descriptor() const {
+  return make_descriptor("V", params);
+}
+
+MethodId CallbackUse::declared_id() const {
+  return MethodId{framework_class, name, descriptor()};
+}
+
+namespace catalog {
+
+namespace {
+constexpr const char* kContext = "android/content/Context";
+constexpr const char* kActivity = "android/app/Activity";
+constexpr const char* kView = "android/view/View";
+constexpr const char* kWebView = "android/webkit/WebView";
+}  // namespace
+
+ApiUse get_color_state_list(const std::string& receiver) {
+  return {receiver, kContext, "getColorStateList",
+          "android/content/res/ColorStateList", {"I"}, false};
+}
+
+ApiUse get_fragment_manager(const std::string& receiver) {
+  return {receiver, kActivity, "getFragmentManager",
+          "android/app/FragmentManager", {}, false};
+}
+
+ApiUse set_background(const std::string& receiver) {
+  return {receiver, kView, "setBackground", "V",
+          {"android/graphics/drawable/Drawable"}, false};
+}
+
+ApiUse evaluate_javascript(const std::string& receiver) {
+  return {receiver, kWebView, "evaluateJavascript", "V",
+          {"java/lang/String", "android/webkit/ValueCallback"}, false};
+}
+
+ApiUse create_web_message_channel(const std::string& receiver) {
+  return {receiver, kWebView, "createWebMessageChannel", "java/lang/Object",
+          {}, false};
+}
+
+ApiUse notification_channel_ctor() {
+  return {"android/app/NotificationChannel", "android/app/NotificationChannel",
+          "<init>", "V", {"java/lang/String", "java/lang/String", "I"},
+          false};
+}
+
+ApiUse is_destroyed(const std::string& receiver) {
+  return {receiver, kActivity, "isDestroyed", "Z", {}, false};
+}
+
+ApiUse http_client_execute() {
+  return {"android/net/http/AndroidHttpClient",
+          "android/net/http/AndroidHttpClient", "execute", "java/lang/Object",
+          {"java/lang/String"}, false};
+}
+
+ApiUse request_permissions(const std::string& receiver) {
+  return {receiver, kActivity, "requestPermissions", "V",
+          {"[Ljava/lang/String;", "I"}, false};
+}
+
+ApiUse camera_open() {
+  return {"android/hardware/Camera", "android/hardware/Camera", "open",
+          "android/hardware/Camera", {}, true};
+}
+
+ApiUse set_audio_source() {
+  return {"android/media/MediaRecorder", "android/media/MediaRecorder",
+          "setAudioSource", "V", {"I"}, false};
+}
+
+ApiUse resolver_insert() {
+  return {"android/content/ContentResolver", "android/content/ContentResolver",
+          "insert", "android/net/Uri",
+          {"android/net/Uri", "android/content/ContentValues"}, false};
+}
+
+ApiUse insert_image() {
+  return {"android/provider/MediaStore$Images$Media",
+          "android/provider/MediaStore$Images$Media", "insertImage",
+          "java/lang/String",
+          {"android/content/ContentResolver", "java/lang/String"}, true};
+}
+
+ApiUse last_known_location() {
+  return {"android/location/LocationManager",
+          "android/location/LocationManager", "getLastKnownLocation",
+          "android/location/Location", {"java/lang/String"}, false};
+}
+
+ApiUse send_text_message() {
+  return {"android/telephony/SmsManager", "android/telephony/SmsManager",
+          "sendTextMessage", "V",
+          {"java/lang/String", "java/lang/String", "java/lang/String"},
+          false};
+}
+
+ApiUse get_device_id() {
+  return {"android/telephony/TelephonyManager",
+          "android/telephony/TelephonyManager", "getDeviceId",
+          "java/lang/String", {}, false};
+}
+
+ApiUse ble_start_scan() {
+  return {"android/bluetooth/le/BluetoothLeScanner",
+          "android/bluetooth/le/BluetoothLeScanner", "startScan", "V",
+          {"java/lang/Object"}, false};
+}
+
+ApiUse set_text_appearance(const std::string& receiver) {
+  return {receiver, "android/widget/TextView", "setTextAppearance", "V",
+          {"I"}, false};
+}
+
+ApiUse set_status_bar_color() {
+  return {"android/view/Window", "android/view/Window", "setStatusBarColor",
+          "V", {"I"}, false};
+}
+
+ApiUse create_notification_channel() {
+  return {"android/app/NotificationManager",
+          "android/app/NotificationManager", "createNotificationChannel",
+          "V", {"android/app/NotificationChannel"}, false};
+}
+
+ApiUse get_active_network() {
+  return {"android/net/ConnectivityManager", "android/net/ConnectivityManager",
+          "getActiveNetwork", "java/lang/Object", {}, false};
+}
+
+ApiUse remove_all_cookies() {
+  return {"android/webkit/CookieManager", "android/webkit/CookieManager",
+          "removeAllCookies", "V", {"java/lang/Object"}, false};
+}
+
+CallbackUse on_attach_context() {
+  return {"android/app/Fragment", "onAttach", {"android/content/Context"}};
+}
+
+CallbackUse drawable_hotspot_changed() {
+  return {kView, "drawableHotspotChanged", {"F", "F"}};
+}
+
+CallbackUse on_apply_window_insets() {
+  return {kView, "onApplyWindowInsets", {"android/view/WindowInsets"}};
+}
+
+CallbackUse on_provide_structure() {
+  return {kView, "onProvideStructure", {"android/view/ViewStructure"}};
+}
+
+CallbackUse on_pointer_capture_change() {
+  return {kView, "onPointerCaptureChange", {"Z"}};
+}
+
+CallbackUse on_multi_window_mode_changed() {
+  return {kActivity, "onMultiWindowModeChanged", {"Z"}};
+}
+
+CallbackUse on_picture_in_picture_mode_changed() {
+  return {kActivity, "onPictureInPictureModeChanged", {"Z"}};
+}
+
+CallbackUse on_top_resumed_activity_changed() {
+  return {kActivity, "onTopResumedActivityChanged", {"Z"}};
+}
+
+CallbackUse on_trim_memory() {
+  return {"android/app/Service", "onTrimMemory", {"I"}};
+}
+
+CallbackUse on_task_removed() {
+  return {"android/app/Service", "onTaskRemoved",
+          {"android/content/Intent"}};
+}
+
+CallbackUse on_start_command() {
+  return {"android/app/Service", "onStartCommand",
+          {"android/content/Intent", "I", "I"}};
+}
+
+CallbackUse on_page_commit_visible() {
+  return {"android/webkit/WebViewClient", "onPageCommitVisible",
+          {"android/webkit/WebView", "java/lang/String"}};
+}
+
+CallbackUse should_override_url_loading() {
+  return {"android/webkit/WebViewClient", "shouldOverrideUrlLoading",
+          {"android/webkit/WebView", "android/webkit/WebResourceRequest"}};
+}
+
+CallbackUse on_create_view() {
+  return {"android/app/Fragment", "onCreateView", {"android/os/Bundle"}};
+}
+
+}  // namespace catalog
+
+namespace {
+
+ApiInterval spec_existence(const Lifecycle& life) { return life.existence(); }
+
+bool covers(ApiInterval outer, ApiInterval inner) {
+  return !inner.empty() && !outer.empty() && outer.lo() <= inner.lo() &&
+         inner.hi() <= outer.hi();
+}
+
+}  // namespace
+
+std::vector<ApiUse> collect_safe_apis(const FrameworkSpec& spec,
+                                      ApiInterval range, std::size_t limit) {
+  std::vector<ApiUse> out;
+  for (const auto& cls : spec.classes) {
+    if (cls.is_interface) continue;
+    if (!covers(spec_existence(cls.life), range)) continue;
+    for (const auto& m : cls.methods) {
+      if (out.size() >= limit) return out;
+      if (m.callback || !m.permission.empty()) continue;
+      // Leaf methods only: a method with framework-internal calls may
+      // *transitively* require a permission, which would make filler code
+      // permission-relevant.
+      if (!m.calls.empty()) continue;
+      if (m.name == "<init>") continue;
+      if (!covers(spec_existence(m.life), range)) continue;
+      out.push_back(ApiUse{cls.name, cls.name, m.name, m.return_type,
+                           m.params, m.is_static});
+    }
+  }
+  return out;
+}
+
+std::vector<ApiUse> collect_mismatch_apis(const FrameworkSpec& spec,
+                                          ApiInterval range,
+                                          std::size_t limit) {
+  std::vector<ApiUse> out;
+  for (const auto& cls : spec.classes) {
+    if (cls.is_interface) continue;
+    if (!cls.life.exists_at(range.hi())) continue;
+    for (const auto& m : cls.methods) {
+      if (out.size() >= limit) return out;
+      if (m.callback || !m.permission.empty()) continue;
+      if (m.name == "<init>") continue;
+      if (!m.life.exists_at(range.hi())) continue;
+      // Introduced strictly inside the range: missing at the low end.
+      if (m.life.introduced <= range.lo() ||
+          m.life.introduced > range.hi())
+        continue;
+      out.push_back(ApiUse{cls.name, cls.name, m.name, m.return_type,
+                           m.params, m.is_static});
+    }
+  }
+  return out;
+}
+
+std::vector<CallbackUse> collect_mismatch_callbacks(const FrameworkSpec& spec,
+                                                    ApiInterval range,
+                                                    std::size_t limit) {
+  std::vector<CallbackUse> out;
+  for (const auto& cls : spec.classes) {
+    if (cls.is_interface) continue;
+    if (!cls.life.exists_at(range.lo())) continue;
+    for (const auto& m : cls.methods) {
+      if (out.size() >= limit) return out;
+      if (!m.callback) continue;
+      if (!m.life.exists_at(range.hi())) continue;
+      if (m.life.introduced <= range.lo() ||
+          m.life.introduced > range.hi())
+        continue;
+      out.push_back(CallbackUse{cls.name, m.name, m.params});
+    }
+  }
+  return out;
+}
+
+std::vector<CallbackUse> collect_safe_callbacks(const FrameworkSpec& spec,
+                                                ApiInterval range,
+                                                std::size_t limit) {
+  std::vector<CallbackUse> out;
+  for (const auto& cls : spec.classes) {
+    if (cls.is_interface) continue;
+    if (!covers(spec_existence(cls.life), range)) continue;
+    for (const auto& m : cls.methods) {
+      if (out.size() >= limit) return out;
+      if (!m.callback) continue;
+      if (!covers(spec_existence(m.life), range)) continue;
+      out.push_back(CallbackUse{cls.name, m.name, m.params});
+    }
+  }
+  return out;
+}
+
+}  // namespace saintdroid

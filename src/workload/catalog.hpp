@@ -1,0 +1,151 @@
+// Named handles for the curated framework surface, used by the benchmark
+// suites to seed the exact constructs the paper's examples describe.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adf/spec.hpp"
+
+namespace saintdroid {
+
+/// A framework API as used from app code: the receiver class written at
+/// the call site (which may be a subclass of the declaring class) and the
+/// declaring class the hierarchy resolves to.
+struct ApiUse {
+  std::string receiver;   ///< declared receiver at the call site
+  std::string declaring;  ///< class that declares the method in the spec
+  std::string name;
+  std::string return_type = "V";
+  std::vector<std::string> params;
+  bool is_static = false;
+
+  /// JVM descriptor of the method (same construction as DexFile).
+  std::string descriptor() const;
+
+  /// Identity at the declaring class — what detectors report as subject.
+  MethodId declared_id() const;
+};
+
+/// A framework callback as overridden by app code.
+struct CallbackUse {
+  std::string framework_class;
+  std::string name;
+  std::vector<std::string> params;  // callbacks return void
+
+  std::string descriptor() const;
+  MethodId declared_id() const;
+};
+
+/// Builds a JVM descriptor from a return type and parameter list using the
+/// same rules as DexFile::descriptor_of.
+std::string make_descriptor(const std::string& return_type,
+                            const std::vector<std::string>& params);
+
+// --- curated APIs from the paper's narrative ---------------------------------
+namespace catalog {
+
+/// Context.getColorStateList, introduced at 23 (paper Listing 1).
+ApiUse get_color_state_list(const std::string& receiver = "android/content/Context");
+/// Activity.getFragmentManager, introduced at 11 (Offline Calendar).
+ApiUse get_fragment_manager(const std::string& receiver = "android/app/Activity");
+/// View.setBackground, introduced at 16.
+ApiUse set_background(const std::string& receiver = "android/view/View");
+/// WebView.evaluateJavascript, introduced at 19.
+ApiUse evaluate_javascript(const std::string& receiver = "android/webkit/WebView");
+/// WebView.createWebMessageChannel, introduced at 23.
+ApiUse create_web_message_channel(const std::string& receiver = "android/webkit/WebView");
+/// NotificationChannel constructor, introduced at 26.
+ApiUse notification_channel_ctor();
+/// Activity.isDestroyed, introduced at 17.
+ApiUse is_destroyed(const std::string& receiver = "android/app/Activity");
+/// AndroidHttpClient.execute — removed at 23 (forward incompatibility).
+ApiUse http_client_execute();
+/// Activity.requestPermissions, introduced at 23.
+ApiUse request_permissions(const std::string& receiver);
+
+/// Camera.open — requires CAMERA.
+ApiUse camera_open();
+/// MediaRecorder.setAudioSource — requires RECORD_AUDIO.
+ApiUse set_audio_source();
+/// ContentResolver.insert — requires WRITE_EXTERNAL_STORAGE.
+ApiUse resolver_insert();
+/// MediaStore.Images.Media.insertImage — *transitively* requires
+/// WRITE_EXTERNAL_STORAGE through ContentResolver.insert.
+ApiUse insert_image();
+/// LocationManager.getLastKnownLocation — requires ACCESS_FINE_LOCATION.
+ApiUse last_known_location();
+/// SmsManager.sendTextMessage — requires SEND_SMS.
+ApiUse send_text_message();
+/// TelephonyManager.getDeviceId — requires READ_PHONE_STATE.
+ApiUse get_device_id();
+/// BluetoothLeScanner.startScan — requires ACCESS_FINE_LOCATION (@21).
+ApiUse ble_start_scan();
+/// TextView.setTextAppearance(int), the Context-less overload (@23).
+ApiUse set_text_appearance(const std::string& receiver = "android/widget/TextView");
+/// Window.setStatusBarColor (@21).
+ApiUse set_status_bar_color();
+/// NotificationManager.createNotificationChannel (@26).
+ApiUse create_notification_channel();
+/// ConnectivityManager.getActiveNetwork (@23).
+ApiUse get_active_network();
+/// CookieManager.removeAllCookies (@21).
+ApiUse remove_all_cookies();
+
+/// Fragment.onAttach(Context), introduced at 23 (paper Listing 2 /
+/// Simple Solitaire).
+CallbackUse on_attach_context();
+/// View.drawableHotspotChanged, introduced at 21 (FOSDEM example).
+CallbackUse drawable_hotspot_changed();
+/// View.onApplyWindowInsets, introduced at 20.
+CallbackUse on_apply_window_insets();
+/// View.onProvideStructure, introduced at 23.
+CallbackUse on_provide_structure();
+/// View.onPointerCaptureChange, introduced at 26.
+CallbackUse on_pointer_capture_change();
+/// Activity.onMultiWindowModeChanged, introduced at 24 (in CIDER's model).
+CallbackUse on_multi_window_mode_changed();
+/// Activity.onPictureInPictureModeChanged, 24 (absent from CIDER's model).
+CallbackUse on_picture_in_picture_mode_changed();
+/// Activity.onTopResumedActivityChanged, 29 (absent from CIDER's model).
+CallbackUse on_top_resumed_activity_changed();
+/// Service.onTrimMemory, introduced at 14 (CIDER documents 13).
+CallbackUse on_trim_memory();
+/// Service.onTaskRemoved, 14 (absent from CIDER's model).
+CallbackUse on_task_removed();
+/// Service.onStartCommand, introduced at 5 (in CIDER's model).
+CallbackUse on_start_command();
+/// WebViewClient.onPageCommitVisible, 23 (in CIDER's model).
+CallbackUse on_page_commit_visible();
+/// WebViewClient.shouldOverrideUrlLoading(WebResourceRequest), 24 (absent
+/// from CIDER's model).
+CallbackUse should_override_url_loading();
+/// Fragment.onCreateView, 11 (absent from CIDER's model).
+CallbackUse on_create_view();
+
+}  // namespace catalog
+
+/// All spec methods that are safe filler material for an app supporting
+/// `range`: alive across the whole range, permission-free, not callbacks.
+std::vector<ApiUse> collect_safe_apis(const FrameworkSpec& spec,
+                                      ApiInterval range,
+                                      std::size_t limit = 2000);
+
+/// Spec methods whose introduction falls strictly inside `range` (usable as
+/// backward-mismatch material), excluding permission-requiring ones.
+std::vector<ApiUse> collect_mismatch_apis(const FrameworkSpec& spec,
+                                          ApiInterval range,
+                                          std::size_t limit = 2000);
+
+/// Spec callbacks usable as APC material for `range` (introduced strictly
+/// inside it).
+std::vector<CallbackUse> collect_mismatch_callbacks(const FrameworkSpec& spec,
+                                                    ApiInterval range,
+                                                    std::size_t limit = 2000);
+
+/// Spec callbacks alive across all of `range` (benign override material).
+std::vector<CallbackUse> collect_safe_callbacks(const FrameworkSpec& spec,
+                                                ApiInterval range,
+                                                std::size_t limit = 2000);
+
+}  // namespace saintdroid

@@ -1,0 +1,151 @@
+#include "workload/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "workload/app_builder.hpp"
+
+namespace saintdroid {
+
+namespace {
+
+namespace cat = catalog;
+
+/// Exponentially distributed count with the given mean, at least 1.
+int draw_count(Rng& rng, double mean) {
+  const double u = rng.uniform01();
+  const double draw = -mean * std::log(1.0 - u);
+  return std::max(1, static_cast<int>(draw));
+}
+
+/// The permission-requiring curated APIs corpus apps draw from.
+const std::vector<ApiUse>& permission_apis() {
+  static const std::vector<ApiUse> apis = {
+      cat::camera_open(),       cat::set_audio_source(),
+      cat::resolver_insert(),   cat::insert_image(),
+      cat::last_known_location(), cat::send_text_message(),
+      cat::get_device_id(),
+  };
+  // (BluetoothLeScanner.startScan is deliberately absent: it is only
+  // alive from API 21, so using it would seed an API mismatch on top of
+  // the permission issue; corpus PRM seeds stay single-purpose.)
+  return apis;
+}
+
+}  // namespace
+
+RealWorldCorpus::RealWorldCorpus(const FrameworkRepository& repo,
+                                 CorpusConfig config)
+    : repo_(&repo), config_(config) {}
+
+BenchApp RealWorldCorpus::generate(int index) const {
+  // Decorrelate per-app streams while keeping generate(i) self-contained.
+  std::uint64_t stream = config_.seed ^
+                         (0x9e3779b97f4a7c15ULL *
+                          (static_cast<std::uint64_t>(index) + 1));
+  Rng rng{splitmix64(stream)};
+
+  const FrameworkSpec& spec = repo_->spec();
+  const bool fdroid = index < 1391;
+  const std::string source = fdroid ? "fdroid" : "androzoo";
+  const std::string name =
+      source + "-app-" + std::to_string(index);
+
+  // SDK range.
+  const bool targets_runtime = rng.uniform01() < config_.target_runtime_fraction;
+  const int min_sdk = static_cast<int>(rng.uniform(8, 21));
+  const int target_sdk =
+      targets_runtime
+          ? static_cast<int>(rng.uniform(kRuntimePermissionLevel, 29))
+          : static_cast<int>(rng.uniform(std::max(min_sdk, 14), 22));
+  const ApiInterval range{min_sdk, kMaxApiLevel};
+
+  AppBuilder b{name, "app.generated.a" + std::to_string(index), spec};
+  b.sdk(min_sdk, target_sdk);
+
+  const auto mismatch_apis = collect_mismatch_apis(spec, range);
+  const auto mismatch_callbacks = collect_mismatch_callbacks(spec, range);
+  const auto safe_callbacks = collect_safe_callbacks(spec, range);
+
+  // API invocation mismatches.
+  if (rng.uniform01() < config_.api_app_fraction && !mismatch_apis.empty()) {
+    const int real = std::min(300, draw_count(rng, config_.api_issue_mean));
+    for (int i = 0; i < real; ++i) {
+      const ApiUse& api = rng.pick(mismatch_apis);
+      // A slice of issues hides in late-bound code or behind app-subclass
+      // receivers — material only holistic analysis detects.
+      const double shape = rng.uniform01();
+      if (shape < 0.06)
+        b.api_call(api, GuardMode::kNone, Placement::kSecondaryDex);
+      else if (shape < 0.12)
+        b.inherited_api_call(api);
+      else
+        b.api_call(api);
+    }
+    // Benign constructs alongside: correctly-guarded and runtime-guarded.
+    const int guarded = static_cast<int>(std::ceil(real * 0.3));
+    for (int i = 0; i < guarded; ++i) {
+      const ApiUse& api = rng.pick(mismatch_apis);
+      const double shape = rng.uniform01();
+      if (shape < 0.5)
+        b.api_call(api, GuardMode::kLocal);
+      else if (shape < 0.8)
+        b.api_call(api, GuardMode::kCrossMethod);
+      else
+        b.api_call(api, GuardMode::kLocalViaRegister);
+    }
+    const int hidden = static_cast<int>(
+        std::lround(real * config_.api_hidden_ratio));
+    for (int i = 0; i < hidden; ++i)
+      b.api_call(rng.pick(mismatch_apis), GuardMode::kHidden);
+  } else if (!mismatch_apis.empty() && rng.chance(0.3)) {
+    // Clean apps still contain guarded uses of newer APIs.
+    b.api_call(rng.pick(mismatch_apis), GuardMode::kLocal);
+  }
+
+  // Callback mismatches. Apps that implement the runtime-permission
+  // protocol with minSdk < 23 carry a real APC of their own (the
+  // onRequestPermissionsResult override), so the drawn fraction is reduced
+  // by the protocol-app rate below to keep the observed population at the
+  // paper's 20.05%.
+  const double protocol_rate = config_.target_runtime_fraction * 0.25;
+  if (rng.uniform01() < config_.apc_app_fraction - protocol_rate &&
+      !mismatch_callbacks.empty()) {
+    const int count = std::min(40, draw_count(rng, config_.apc_issue_mean));
+    for (int i = 0; i < count; ++i)
+      b.callback_override(rng.pick(mismatch_callbacks));
+  }
+  if (!safe_callbacks.empty() && rng.chance(0.5))
+    b.callback_override(rng.pick(safe_callbacks));
+
+  // Permission-induced mismatches.
+  const double prm_fraction = targets_runtime ? config_.prm_request_fraction
+                                              : config_.prm_revocation_fraction;
+  if (rng.uniform01() < prm_fraction) {
+    const int uses = static_cast<int>(rng.uniform(1, 2));
+    for (int i = 0; i < uses; ++i)
+      b.permission_use(rng.pick(permission_apis()));
+  } else if (targets_runtime && rng.chance(0.25)) {
+    // Apps that do it right: protocol plus a guarded use.
+    b.implement_runtime_permission_protocol();
+    b.permission_use(rng.pick(permission_apis()));
+  }
+
+  // Size and framework breadth.
+  const std::uint64_t loc = std::min<std::uint64_t>(
+      config_.size_cap,
+      static_cast<std::uint64_t>(
+          config_.size_base *
+          std::exp(rng.uniform01() * config_.size_spread)));
+  const bool library_heavy = rng.uniform01() < config_.library_heavy_fraction;
+  b.framework_breadth(library_heavy
+                          ? static_cast<int>(rng.uniform(150, 400))
+                          : static_cast<int>(rng.uniform(5, 40)));
+  b.pad_to(loc);
+
+  auto built = b.build();
+  return BenchApp{std::move(built.apk), std::move(built.truth)};
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,113 @@
+#include "workload/ground_truth.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace saintdroid {
+
+namespace {
+
+bool is_permission_kind(MismatchKind kind) {
+  return kind == MismatchKind::kPermissionRequest ||
+         kind == MismatchKind::kPermissionRevocation;
+}
+
+std::string key_of(MismatchKind kind, const MethodId& location,
+                   const MethodId& subject, const std::string& permission) {
+  // Both permission kinds share one key family: which of the two forms an
+  // app exhibits is determined by its target SDK, not by the seed.
+  if (is_permission_kind(kind)) return std::string{"PRM|"} + permission;
+  std::string k = mismatch_kind_name(kind);
+  k += "|";
+  k += location.to_string();
+  k += "|";
+  k += subject.to_string();
+  return k;
+}
+
+}  // namespace
+
+std::string SeededIssue::key() const {
+  return key_of(kind, location, subject, permission);
+}
+
+std::string match_key(const Mismatch& m) {
+  return key_of(m.kind, m.location, m.subject, m.permission);
+}
+
+std::size_t GroundTruth::real_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      issues.begin(), issues.end(), [](const auto& i) { return i.real; }));
+}
+
+std::size_t GroundTruth::real_count(MismatchKind kind) const {
+  const bool perm = is_permission_kind(kind);
+  return static_cast<std::size_t>(
+      std::count_if(issues.begin(), issues.end(), [&](const auto& i) {
+        if (!i.real) return false;
+        return perm ? is_permission_kind(i.kind) : i.kind == kind;
+      }));
+}
+
+std::size_t GroundTruth::benign_count() const {
+  return issues.size() - real_count();
+}
+
+void GroundTruth::merge(const GroundTruth& other) {
+  issues.insert(issues.end(), other.issues.begin(), other.issues.end());
+}
+
+double Score::precision() const {
+  const auto denom = tp + fp;
+  return denom == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double Score::recall() const {
+  const auto denom = tp + fn;
+  return denom == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double Score::f_measure() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+Score& Score::operator+=(const Score& other) {
+  tp += other.tp;
+  fp += other.fp;
+  fn += other.fn;
+  return *this;
+}
+
+Score score_detections(const GroundTruth& truth,
+                       const std::vector<Mismatch>& found,
+                       std::optional<MismatchKind> kind) {
+  const auto kind_matches = [&](MismatchKind k) {
+    if (!kind) return true;
+    if (is_permission_kind(*kind)) return is_permission_kind(k);
+    return k == *kind;
+  };
+
+  std::unordered_set<std::string> real_keys;
+  for (const auto& issue : truth.issues)
+    if (issue.real && kind_matches(issue.kind)) real_keys.insert(issue.key());
+
+  Score s;
+  std::unordered_set<std::string> seen;  // dedupe duplicate detections
+  for (const auto& m : found) {
+    if (!kind_matches(m.kind)) continue;
+    const std::string key = match_key(m);
+    if (!seen.insert(key).second) continue;
+    if (real_keys.contains(key))
+      ++s.tp;
+    else
+      ++s.fp;
+  }
+  // Anything real and undetected is a miss.
+  for (const auto& key : real_keys)
+    if (!seen.contains(key)) ++s.fn;
+  return s;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,74 @@
+// Ground-truth ledger and scoring.
+//
+// Every construct the app synthesizer seeds — real mismatches and benign
+// look-alikes engineered to trigger false alarms in particular tools — is
+// recorded here, so the accuracy harness (Table II) can compute TP/FP/FN
+// mechanically instead of by manual inspection. A detection matches a
+// ledger entry when kind, containing method and subject agree (for
+// permission mismatches: kind and permission, since the paper reports one
+// finding per permission).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "dex/ids.hpp"
+
+namespace saintdroid {
+
+/// One seeded construct.
+struct SeededIssue {
+  MismatchKind kind = MismatchKind::kApiInvocation;
+  MethodId location;   ///< app method containing the construct
+  MethodId subject;    ///< the framework API/callback involved
+  std::string permission;  ///< PRM kinds only
+  /// True for an actual incompatibility; false for a benign construct
+  /// (guarded call, dead code, runtime-protected path).
+  bool real = true;
+  /// Why it is (or is not) an issue: "unguarded", "forward",
+  /// "inherited_receiver", "secondary_dex", "hidden_callback",
+  /// "guarded_local", "guarded_cross_method", "guarded_hidden",
+  /// "dead_code", ...
+  std::string tag;
+
+  /// Ledger key compatible with detections (see match_key()).
+  std::string key() const;
+};
+
+/// Canonical key for matching a detection against the ledger.
+std::string match_key(const Mismatch& m);
+
+/// The full ledger for one synthesized app.
+struct GroundTruth {
+  std::vector<SeededIssue> issues;
+
+  std::size_t real_count() const;
+  std::size_t real_count(MismatchKind kind) const;
+  std::size_t benign_count() const;
+
+  void merge(const GroundTruth& other);
+};
+
+/// Confusion counts of one detector run against one or more ledgers.
+struct Score {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+
+  double precision() const;
+  double recall() const;
+  double f_measure() const;
+
+  Score& operator+=(const Score& other);
+};
+
+/// Scores `found` against `truth`. When `kind` is set, both the ledger and
+/// the detections are filtered to that mismatch kind first (PRM kinds are
+/// treated as one family when either permission kind is passed).
+Score score_detections(const GroundTruth& truth,
+                       const std::vector<Mismatch>& found,
+                       std::optional<MismatchKind> kind = std::nullopt);
+
+}  // namespace saintdroid

@@ -1,0 +1,52 @@
+#include "workload/harness.hpp"
+
+namespace saintdroid {
+
+Score FamilyScores::total() const {
+  Score t;
+  t += api;
+  t += apc;
+  t += prm;
+  return t;
+}
+
+FamilyScores& FamilyScores::operator+=(const FamilyScores& other) {
+  api += other.api;
+  apc += other.apc;
+  prm += other.prm;
+  return *this;
+}
+
+SuiteResult run_suite(Analyzer& tool, std::span<const BenchApp> apps) {
+  SuiteResult suite;
+  suite.tool = std::string{tool.name()};
+  suite.rows.reserve(apps.size());
+
+  for (const auto& app : apps) {
+    SuiteAppRow row;
+    row.app = app.apk.name;
+    const AnalysisResult result = tool.analyze(app.apk);
+    row.completed = result.completed;
+    row.failure_reason = result.failure_reason;
+    row.usage = result.usage;
+    if (!result.completed) {
+      ++suite.failures;
+      row.scores.api.fn = app.truth.real_count(MismatchKind::kApiInvocation);
+      row.scores.apc.fn = app.truth.real_count(MismatchKind::kApiCallback);
+      row.scores.prm.fn =
+          app.truth.real_count(MismatchKind::kPermissionRequest);
+    } else {
+      row.scores.api = score_detections(app.truth, result.mismatches,
+                                        MismatchKind::kApiInvocation);
+      row.scores.apc = score_detections(app.truth, result.mismatches,
+                                        MismatchKind::kApiCallback);
+      row.scores.prm = score_detections(app.truth, result.mismatches,
+                                        MismatchKind::kPermissionRequest);
+    }
+    suite.aggregate += row.scores;
+    suite.rows.push_back(std::move(row));
+  }
+  return suite;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,50 @@
+// Head-to-head evaluation harness: runs an analyzer over a suite of
+// ground-truthed apps and aggregates the confusion counts the paper's
+// Table II reports. Shared by the accuracy bench and the integration
+// regression gates so both always agree on methodology (failed runs count
+// every real issue in the app as a miss, per family).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/ground_truth.hpp"
+
+namespace saintdroid {
+
+/// Per-family confusion counts.
+struct FamilyScores {
+  Score api;
+  Score apc;
+  Score prm;
+
+  Score total() const;
+  FamilyScores& operator+=(const FamilyScores& other);
+};
+
+/// One app's outcome under one tool.
+struct SuiteAppRow {
+  std::string app;
+  bool completed = true;
+  std::string failure_reason;
+  FamilyScores scores;
+  ResourceUsage usage;
+};
+
+/// One tool's outcome over a whole suite.
+struct SuiteResult {
+  std::string tool;
+  std::vector<SuiteAppRow> rows;
+  FamilyScores aggregate;
+  int failures = 0;
+};
+
+/// Runs `tool` over `apps`, scoring each result against its ledger. A
+/// failed analysis contributes every real issue of the app as a false
+/// negative in its family.
+SuiteResult run_suite(Analyzer& tool, std::span<const BenchApp> apps);
+
+}  // namespace saintdroid

@@ -1,0 +1,202 @@
+// Tests for the repair advisor, the JSON report writer, and the
+// multi-version analysis entry point.
+#include <gtest/gtest.h>
+
+#include "adf/repository.hpp"
+#include "core/advisor.hpp"
+#include "core/json.hpp"
+#include "core/saintdroid.hpp"
+#include "workload/app_builder.hpp"
+
+namespace saintdroid {
+namespace {
+
+namespace cat = catalog;
+
+const FrameworkRepository& repo() { return FrameworkRepository::standard(); }
+
+AnalysisResult analyze_seeded(const char* name, int min_sdk, int target_sdk,
+                              const std::function<void(AppBuilder&)>& seed,
+                              Apk* out_apk = nullptr) {
+  AppBuilder b{name, std::string{"com.adv."} + name, repo().spec()};
+  b.sdk(min_sdk, target_sdk);
+  seed(b);
+  auto built = b.build();
+  SaintDroid tool{repo()};
+  if (out_apk) *out_apk = built.apk;
+  return tool.analyze(built.apk);
+}
+
+// --- advisor ----------------------------------------------------------------
+
+TEST(Advisor, BackwardInvocationGetsGuardAndMinSdkOptions) {
+  Apk apk;
+  const auto result = analyze_seeded(
+      "guard", 14, 27,
+      [](AppBuilder& b) { b.api_call(cat::get_color_state_list()); }, &apk);
+  const auto repairs = suggest_repairs(apk.manifest, result.mismatches);
+  ASSERT_EQ(repairs.size(), 2u);
+  EXPECT_EQ(repairs[0].kind, RepairKind::kAddSdkGuard);
+  EXPECT_EQ(repairs[0].level, 23);
+  EXPECT_NE(repairs[0].description.find("SDK_INT >= 23"), std::string::npos);
+  EXPECT_EQ(repairs[1].kind, RepairKind::kRaiseMinSdk);
+  EXPECT_EQ(repairs[1].level, 23);
+}
+
+TEST(Advisor, ForwardInvocationSuggestsMigration) {
+  Apk apk;
+  const auto result = analyze_seeded(
+      "fwd", 14, 22,
+      [](AppBuilder& b) { b.api_call(cat::http_client_execute()); }, &apk);
+  const auto repairs = suggest_repairs(apk.manifest, result.mismatches);
+  ASSERT_EQ(repairs.size(), 1u);
+  EXPECT_EQ(repairs[0].kind, RepairKind::kReplaceRemovedApi);
+  EXPECT_NE(repairs[0].description.find("migrate off"), std::string::npos);
+}
+
+TEST(Advisor, CallbackSuggestions) {
+  Apk apk;
+  const auto result = analyze_seeded(
+      "apc", 14, 27,
+      [](AppBuilder& b) { b.callback_override(cat::on_attach_context()); },
+      &apk);
+  const auto repairs = suggest_repairs(apk.manifest, result.mismatches);
+  ASSERT_EQ(repairs.size(), 2u);
+  EXPECT_EQ(repairs[0].kind, RepairKind::kRemoveDeadOverride);
+  EXPECT_EQ(repairs[0].level, 23);
+}
+
+TEST(Advisor, PermissionRequestSuggestsProtocol) {
+  Apk apk;
+  const auto result = analyze_seeded(
+      "prm", 19, 26,
+      [](AppBuilder& b) { b.permission_use(cat::camera_open()); }, &apk);
+  const auto repairs = suggest_repairs(apk.manifest, result.mismatches);
+  ASSERT_EQ(repairs.size(), 1u);
+  EXPECT_EQ(repairs[0].kind, RepairKind::kImplementRuntimePermissions);
+  EXPECT_NE(repairs[0].description.find("android.permission.CAMERA"),
+            std::string::npos);
+}
+
+TEST(Advisor, RevocationSuggestsTargetBump) {
+  Apk apk;
+  const auto result = analyze_seeded(
+      "rev", 16, 22,
+      [](AppBuilder& b) { b.permission_use(cat::resolver_insert()); }, &apk);
+  const auto repairs = suggest_repairs(apk.manifest, result.mismatches);
+  ASSERT_EQ(repairs.size(), 2u);
+  EXPECT_EQ(repairs[0].kind, RepairKind::kRaiseTargetSdk);
+  EXPECT_EQ(repairs[1].kind, RepairKind::kImplementRuntimePermissions);
+}
+
+TEST(Advisor, RenderGroupsByMismatch) {
+  Apk apk;
+  const auto result = analyze_seeded(
+      "render", 14, 27,
+      [](AppBuilder& b) { b.api_call(cat::get_color_state_list()); }, &apk);
+  const auto repairs = suggest_repairs(apk.manifest, result.mismatches);
+  const std::string text = render_repairs(repairs);
+  // One header line for the mismatch, two indented suggestion lines.
+  EXPECT_NE(text.find("[API]"), std::string::npos);
+  EXPECT_NE(text.find("[add-sdk-guard]"), std::string::npos);
+  EXPECT_NE(text.find("[raise-min-sdk]"), std::string::npos);
+}
+
+TEST(Advisor, NoMismatchesNoSuggestions) {
+  const Manifest manifest;
+  EXPECT_TRUE(suggest_repairs(manifest, {}).empty());
+  EXPECT_TRUE(render_repairs({}).empty());
+}
+
+// --- json -------------------------------------------------------------------
+
+TEST(Json, Escaping) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string{"\x01"}), "\\u0001");
+}
+
+TEST(Json, MismatchObject) {
+  Mismatch m;
+  m.kind = MismatchKind::kApiInvocation;
+  m.location = {"com/a/A", "f", "()V"};
+  m.subject = {"android/b/B", "g", "(I)V"};
+  m.problem_levels = ApiInterval{14, 22};
+  m.note = "introduced at API level 23";
+  const std::string json = to_json(m);
+  EXPECT_NE(json.find("\"kind\":\"api-invocation\""), std::string::npos);
+  EXPECT_NE(json.find("\"class\":\"android/b/B\""), std::string::npos);
+  EXPECT_NE(json.find("\"problem_levels\":{\"min\":14,\"max\":22}"),
+            std::string::npos);
+  EXPECT_EQ(json.find("\"permission\""), std::string::npos);  // absent
+}
+
+TEST(Json, ResultObject) {
+  Apk apk;
+  const auto result = analyze_seeded(
+      "json", 14, 27,
+      [](AppBuilder& b) { b.api_call(cat::get_color_state_list()); }, &apk);
+  const std::string json = to_json(result, "json-app");
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"app\":\"json-app\""), std::string::npos);
+  EXPECT_NE(json.find("\"completed\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"mismatches\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"loaded_classes\""), std::string::npos);
+}
+
+TEST(Json, FailureObject) {
+  AnalysisResult failed;
+  failed.completed = false;
+  failed.failure_reason = "analysis \"exceeded\" budget";
+  const std::string json = to_json(failed, "f");
+  EXPECT_NE(json.find("\"completed\":false"), std::string::npos);
+  EXPECT_NE(json.find("\\\"exceeded\\\""), std::string::npos);
+}
+
+TEST(Json, SuggestionArray) {
+  Apk apk;
+  const auto result = analyze_seeded(
+      "sjson", 19, 26,
+      [](AppBuilder& b) { b.permission_use(cat::camera_open()); }, &apk);
+  const auto repairs = suggest_repairs(apk.manifest, result.mismatches);
+  const std::string json = to_json(repairs);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"repair\":\"implement-runtime-permissions\""),
+            std::string::npos);
+}
+
+// --- analyze_versions ----------------------------------------------------------
+
+TEST(MultiVersion, MergesAndDeduplicates) {
+  AppBuilder b{"mv", "com.adv.mv", repo().spec()};
+  b.sdk(14, 27);
+  b.api_call(cat::get_color_state_list());
+  auto built = b.build();
+  SaintDroid tool{repo()};
+
+  const int levels[] = {16, 23, 28};
+  const auto merged = tool.analyze_versions(built.apk, levels);
+  const auto single = tool.analyze(built.apk);
+  // The same issue exists at every analysis level; merged output carries
+  // it once with the same identity.
+  ASSERT_EQ(merged.mismatches.size(), single.mismatches.size());
+  EXPECT_EQ(match_key(merged.mismatches[0]), match_key(single.mismatches[0]));
+  // Usage accumulates across the three runs.
+  EXPECT_GT(merged.usage.seconds, single.usage.seconds);
+}
+
+TEST(MultiVersion, EmptyLevelSetYieldsEmptyResult) {
+  AppBuilder b{"mv0", "com.adv.mv0", repo().spec()};
+  b.sdk(14, 27);
+  b.api_call(cat::get_color_state_list());
+  auto built = b.build();
+  SaintDroid tool{repo()};
+  const auto merged = tool.analyze_versions(built.apk, {});
+  EXPECT_TRUE(merged.mismatches.empty());
+}
+
+}  // namespace
+}  // namespace saintdroid

@@ -1,0 +1,170 @@
+// Tests for the ARM database miner: lifecycle mining, automatic callback
+// discovery, and the PScout-style (direct + transitive) permission map.
+#include <gtest/gtest.h>
+
+#include "adf/repository.hpp"
+#include "core/arm.hpp"
+#include "support/errors.hpp"
+#include "workload/catalog.hpp"
+
+namespace saintdroid {
+namespace {
+
+const FrameworkRepository& repo() {
+  static const FrameworkRepository instance{[] {
+    FrameworkConfig cfg;
+    cfg.bulk_classes = 120;
+    return cfg;
+  }()};
+  return instance;
+}
+
+const ApiDatabase& db() {
+  static const ApiDatabase instance = ApiDatabase::mine(repo());
+  return instance;
+}
+
+// --- lifecycle mining -----------------------------------------------------------
+
+TEST(Arm, MinedLifecyclesMatchCuratedFacts) {
+  const auto levels = [&](const ApiUse& api) {
+    return db().defined_levels(api.declared_id());
+  };
+  EXPECT_EQ(levels(catalog::get_color_state_list()),
+            ApiInterval(23, kMaxApiLevel));
+  EXPECT_EQ(levels(catalog::get_fragment_manager()),
+            ApiInterval(11, kMaxApiLevel));
+  EXPECT_EQ(levels(catalog::set_background()), ApiInterval(16, kMaxApiLevel));
+  // AndroidHttpClient.execute: introduced 8, removed 23.
+  EXPECT_EQ(levels(catalog::http_client_execute()), ApiInterval(8, 22));
+  EXPECT_FALSE(
+      db().defined_levels(MethodId{"a/b/C", "nope", "()V"}).has_value());
+}
+
+TEST(Arm, ContainsMatchesDefinedLevels) {
+  const MethodId api = catalog::get_color_state_list().declared_id();
+  for (int level = kMinApiLevel; level <= kMaxApiLevel; ++level)
+    EXPECT_EQ(db().contains(api, level), level >= 23) << level;
+}
+
+// Property over the whole spec: mined presence equals the spec lifecycle
+// for every curated + bulk method (the dispatcher is the only synthetic).
+TEST(Arm, MiningAgreesWithSpecEverywhere) {
+  int checked = 0;
+  for (const auto& cls : repo().spec().classes) {
+    for (const auto& m : cls.methods) {
+      const MethodId id{cls.name, m.name,
+                        make_descriptor(m.return_type, m.params)};
+      const auto mined = db().defined_levels(id);
+      const ApiInterval expected =
+          m.life.existence().intersect(cls.life.existence());
+      if (expected.empty()) {
+        EXPECT_FALSE(mined.has_value()) << id.to_string();
+      } else {
+        ASSERT_TRUE(mined.has_value()) << id.to_string();
+        EXPECT_EQ(*mined, expected) << id.to_string();
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 500);
+}
+
+// --- callback mining --------------------------------------------------------------
+
+TEST(Arm, CuratedCallbacksAreMined) {
+  EXPECT_TRUE(db().is_callback(catalog::on_attach_context().declared_id()));
+  EXPECT_TRUE(
+      db().is_callback(catalog::drawable_hotspot_changed().declared_id()));
+  EXPECT_TRUE(db().is_callback(catalog::on_trim_memory().declared_id()));
+  EXPECT_TRUE(db().is_callback(
+      MethodId{"android/view/View$OnClickListener", "onClick",
+               "(Landroid/view/View;)V"}));
+}
+
+TEST(Arm, NonCallbacksAreNotMined) {
+  EXPECT_FALSE(db().is_callback(catalog::get_color_state_list().declared_id()));
+  EXPECT_FALSE(db().is_callback(catalog::set_background().declared_id()));
+}
+
+TEST(Arm, CallbackSetMatchesSpecFlags) {
+  for (const auto& cls : repo().spec().classes) {
+    for (const auto& m : cls.methods) {
+      if (cls.life.existence().empty()) continue;
+      const MethodId id{cls.name, m.name,
+                        make_descriptor(m.return_type, m.params)};
+      if (m.callback && !m.life.existence()
+                             .intersect(cls.life.existence())
+                             .empty()) {
+        EXPECT_TRUE(db().is_callback(id)) << id.to_string();
+      }
+    }
+  }
+}
+
+// --- permission map ---------------------------------------------------------------
+
+TEST(Arm, DirectPermissionsMined) {
+  const auto& camera = db().permissions_for(
+      catalog::camera_open().declared_id());
+  ASSERT_EQ(camera.size(), 1u);
+  EXPECT_EQ(camera[0], "android.permission.CAMERA");
+  EXPECT_TRUE(
+      db().permissions_for(catalog::set_background().declared_id()).empty());
+}
+
+TEST(Arm, TransitivePermissionsMined) {
+  // insertImage itself enforces nothing; its body calls
+  // ContentResolver.insert, which requires WRITE_EXTERNAL_STORAGE.
+  const auto& perms =
+      db().permissions_for(catalog::insert_image().declared_id());
+  ASSERT_FALSE(perms.empty());
+  EXPECT_NE(std::find(perms.begin(), perms.end(),
+                      "android.permission.WRITE_EXTERNAL_STORAGE"),
+            perms.end());
+}
+
+TEST(Arm, ClassAndNameIndexes) {
+  EXPECT_TRUE(db().is_known_class("android/app/Activity"));
+  EXPECT_FALSE(db().is_known_class("com/example/App"));
+  EXPECT_TRUE(db().class_has_method_named("android/content/Context",
+                                          "getColorStateList"));
+  EXPECT_FALSE(db().class_has_method_named("android/content/Context",
+                                           "noSuchThing"));
+}
+
+TEST(Arm, SerializeParseRoundTrip) {
+  const auto bytes = db().serialize();
+  const ApiDatabase back = ApiDatabase::parse(bytes);
+  // Canonical encoding: re-serialization is byte-identical.
+  EXPECT_EQ(back.serialize(), bytes);
+  EXPECT_EQ(back.method_count(), db().method_count());
+  EXPECT_EQ(back.callback_count(), db().callback_count());
+  EXPECT_EQ(back.permission_mapping_count(), db().permission_mapping_count());
+  // Queries behave identically.
+  const MethodId api = catalog::get_color_state_list().declared_id();
+  EXPECT_EQ(back.defined_levels(api), db().defined_levels(api));
+  EXPECT_TRUE(back.is_callback(catalog::on_attach_context().declared_id()));
+  EXPECT_EQ(back.permissions_for(catalog::camera_open().declared_id()),
+            db().permissions_for(catalog::camera_open().declared_id()));
+  EXPECT_TRUE(back.class_has_method_named("android/content/Context",
+                                          "getColorStateList"));
+}
+
+TEST(Arm, ParseRejectsCorruptDatabase) {
+  auto bytes = db().serialize();
+  bytes[0] ^= 0xff;
+  EXPECT_THROW(ApiDatabase::parse(bytes), ParseError);
+  const auto good = db().serialize();
+  std::span<const std::uint8_t> truncated(good.data(), good.size() / 2);
+  EXPECT_THROW(ApiDatabase::parse(truncated), ParseError);
+}
+
+TEST(Arm, DatabaseScale) {
+  EXPECT_GT(db().method_count(), 500u);
+  EXPECT_GT(db().callback_count(), 20u);
+  EXPECT_GT(db().permission_mapping_count(), 10u);
+}
+
+}  // namespace
+}  // namespace saintdroid

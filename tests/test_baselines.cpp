@@ -1,0 +1,303 @@
+// Tests for the baseline reimplementations: each documented blind spot of
+// CID, CIDER and Lint must actually manifest, and each documented strength
+// must hold.
+#include <gtest/gtest.h>
+
+#include "adf/repository.hpp"
+#include "baselines/cid.hpp"
+#include "baselines/cider.hpp"
+#include "baselines/lint.hpp"
+#include "core/saintdroid.hpp"
+#include "workload/app_builder.hpp"
+
+namespace saintdroid {
+namespace {
+
+namespace cat = catalog;
+
+const FrameworkRepository& repo() { return FrameworkRepository::standard(); }
+
+AppBuilder make_builder(const char* name, int min_sdk, int target_sdk) {
+  AppBuilder b{name, std::string{"com.base."} + name, repo().spec()};
+  b.sdk(min_sdk, target_sdk);
+  return b;
+}
+
+// --- CID ---------------------------------------------------------------------
+
+TEST(Cid, DetectsDirectUnguardedCall) {
+  auto b = make_builder("cid-basic", 14, 27);
+  b.api_call(cat::get_color_state_list());
+  auto built = b.build();
+  CidAnalyzer cid{repo()};
+  EXPECT_EQ(cid.analyze(built.apk).count(MismatchKind::kApiInvocation), 1u);
+}
+
+TEST(Cid, HandlesLocalGuard) {
+  auto b = make_builder("cid-guard", 14, 27);
+  b.api_call(cat::get_color_state_list(), GuardMode::kLocal);
+  b.api_call(cat::get_color_state_list(), GuardMode::kLocalViaRegister);
+  auto built = b.build();
+  CidAnalyzer cid{repo()};
+  EXPECT_TRUE(cid.analyze(built.apk).mismatches.empty());
+}
+
+TEST(Cid, FalsePositiveOnFieldCachedGuard) {
+  // CID's data flow does not model SDK_INT cached in instance fields.
+  auto b = make_builder("cid-field", 14, 27);
+  b.api_call(cat::get_color_state_list(), GuardMode::kLocalViaField);
+  auto built = b.build();
+  CidAnalyzer cid{repo()};
+  const auto result = cid.analyze(built.apk);
+  EXPECT_EQ(result.count(MismatchKind::kApiInvocation), 1u);
+  EXPECT_EQ(score_detections(built.truth, result.mismatches).fp, 1u);
+}
+
+TEST(Cid, FalsePositiveOnCrossMethodGuard) {
+  auto b = make_builder("cid-cross", 14, 27);
+  b.api_call(cat::get_color_state_list(), GuardMode::kCrossMethod);
+  auto built = b.build();
+  CidAnalyzer cid{repo()};
+  const auto result = cid.analyze(built.apk);
+  EXPECT_EQ(result.count(MismatchKind::kApiInvocation), 1u);
+  // ...and the ledger says benign: a false alarm.
+  EXPECT_EQ(score_detections(built.truth, result.mismatches).fp, 1u);
+}
+
+TEST(Cid, MissesAppSubclassReceiver) {
+  auto b = make_builder("cid-inherit", 14, 27);
+  b.inherited_api_call(cat::get_color_state_list("android/view/View"));
+  auto built = b.build();
+  CidAnalyzer cid{repo()};
+  EXPECT_TRUE(cid.analyze(built.apk).mismatches.empty());
+}
+
+TEST(Cid, ResolvesFrameworkSubclassReceiver) {
+  auto b = make_builder("cid-fw-inherit", 14, 27);
+  b.api_call(cat::get_color_state_list("android/app/Activity"));
+  auto built = b.build();
+  CidAnalyzer cid{repo()};
+  EXPECT_EQ(cid.analyze(built.apk).count(MismatchKind::kApiInvocation), 1u);
+}
+
+TEST(Cid, MissesSecondaryDex) {
+  auto b = make_builder("cid-late", 14, 27);
+  b.api_call(cat::get_color_state_list(), GuardMode::kNone,
+             Placement::kSecondaryDex);
+  auto built = b.build();
+  CidAnalyzer cid{repo()};
+  EXPECT_TRUE(cid.analyze(built.apk).mismatches.empty());
+}
+
+TEST(Cid, BackwardOnly) {
+  auto b = make_builder("cid-forward", 14, 22);
+  b.api_call(cat::http_client_execute());  // removed at 23
+  auto built = b.build();
+  CidAnalyzer cid{repo()};
+  EXPECT_TRUE(cid.analyze(built.apk).mismatches.empty());
+}
+
+TEST(Cid, FlagsDeadCode) {
+  // No reachability analysis: dead library code is scanned and flagged.
+  auto b = make_builder("cid-dead", 14, 27);
+  b.api_call(cat::get_color_state_list(), GuardMode::kNone,
+             Placement::kDeadCode);
+  auto built = b.build();
+  CidAnalyzer cid{repo()};
+  const auto result = cid.analyze(built.apk);
+  EXPECT_EQ(result.count(MismatchKind::kApiInvocation), 1u);
+  EXPECT_EQ(score_detections(built.truth, result.mismatches).fp, 1u);
+}
+
+TEST(Cid, NoApcNoPrm) {
+  auto b = make_builder("cid-other", 14, 26);
+  b.callback_override(cat::on_attach_context());
+  b.permission_use(cat::camera_open());
+  auto built = b.build();
+  CidAnalyzer cid{repo()};
+  const auto result = cid.analyze(built.apk);
+  EXPECT_EQ(result.count(MismatchKind::kApiCallback), 0u);
+  EXPECT_EQ(result.permission_count(), 0u);
+  EXPECT_FALSE(cid.detects(MismatchKind::kApiCallback));
+  EXPECT_FALSE(cid.detects(MismatchKind::kPermissionRequest));
+}
+
+TEST(Cid, FailsOnOversizedApps) {
+  auto b = make_builder("cid-huge", 14, 27);
+  b.api_call(cat::get_color_state_list());
+  b.pad_to(70'000);
+  auto built = b.build();
+  CidAnalyzer cid{repo()};
+  const auto result = cid.analyze(built.apk);
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.failure_reason.find("600s"), std::string::npos);
+}
+
+TEST(Cid, EagerMemoryExceedsLazy) {
+  auto b = make_builder("cid-memory", 14, 27);
+  b.api_call(cat::get_color_state_list());
+  b.pad_to(8'000);
+  auto built = b.build();
+  CidAnalyzer cid{repo()};
+  SaintDroid saint{repo()};
+  const auto cid_result = cid.analyze(built.apk);
+  const auto saint_result = saint.analyze(built.apk);
+  ASSERT_TRUE(cid_result.completed);
+  EXPECT_GT(cid_result.usage.peak_bytes, 2 * saint_result.usage.peak_bytes);
+  EXPECT_GT(cid_result.usage.loaded_classes,
+            2 * saint_result.usage.loaded_classes);
+}
+
+// --- CIDER --------------------------------------------------------------------
+
+TEST(Cider, DetectsModelledCallback) {
+  auto b = make_builder("cider-hit", 14, 27);
+  b.callback_override(cat::on_attach_context());  // Fragment: modelled
+  auto built = b.build();
+  CiderAnalyzer cider;
+  EXPECT_EQ(cider.analyze(built.apk).count(MismatchKind::kApiCallback), 1u);
+}
+
+TEST(Cider, MissesUnmodelledClass) {
+  auto b = make_builder("cider-view", 14, 27);
+  b.callback_override(cat::drawable_hotspot_changed());  // View: unmodelled
+  auto built = b.build();
+  CiderAnalyzer cider;
+  EXPECT_TRUE(cider.analyze(built.apk).mismatches.empty());
+}
+
+TEST(Cider, MissesCallbackAbsentFromDocumentation) {
+  auto b = make_builder("cider-doc", 14, 27);
+  b.callback_override(cat::on_picture_in_picture_mode_changed());  // omitted
+  auto built = b.build();
+  CiderAnalyzer cider;
+  EXPECT_TRUE(cider.analyze(built.apk).mismatches.empty());
+}
+
+TEST(Cider, DocumentationErrorOnTrimMemory) {
+  // Real introduction: 14. Documentation says 13. An app with minSdk 13
+  // has a real [13,13] mismatch that CIDER's model cannot see.
+  auto b = make_builder("cider-doc13", 13, 26);
+  b.callback_override(cat::on_trim_memory());
+  auto built = b.build();
+  ASSERT_EQ(built.truth.real_count(MismatchKind::kApiCallback), 1u);
+  CiderAnalyzer cider;
+  EXPECT_TRUE(cider.analyze(built.apk).mismatches.empty());
+  // With minSdk 12 both the truth and the model agree again.
+  auto b2 = make_builder("cider-doc12", 12, 26);
+  b2.callback_override(cat::on_trim_memory());
+  auto built2 = b2.build();
+  EXPECT_EQ(cider.analyze(built2.apk).count(MismatchKind::kApiCallback), 1u);
+}
+
+TEST(Cider, WalksThroughAppIntermediateClasses) {
+  // App class extends app class extends Activity: the PI-graph ancestor
+  // walk passes through app-level intermediates.
+  DexBuilder dex;
+  dex.add_class("com/base/Mid", "android/app/Activity");
+  auto& leaf = dex.add_class("com/base/Leaf", "com/base/Mid");
+  leaf.add_method("onMultiWindowModeChanged", "V", {"Z"}).return_void();
+  Apk apk;
+  apk.name = "cider-chain";
+  apk.manifest.package = "c";
+  apk.manifest.min_sdk = 14;
+  apk.manifest.target_sdk = 26;
+  apk.dexes.push_back(dex.build());
+  CiderAnalyzer cider;
+  EXPECT_EQ(cider.analyze(apk).count(MismatchKind::kApiCallback), 1u);
+}
+
+TEST(Cider, NoApiNoPrm) {
+  auto b = make_builder("cider-other", 14, 26);
+  b.api_call(cat::get_color_state_list());
+  b.permission_use(cat::camera_open());
+  auto built = b.build();
+  CiderAnalyzer cider;
+  const auto result = cider.analyze(built.apk);
+  EXPECT_EQ(result.count(MismatchKind::kApiInvocation), 0u);
+  EXPECT_EQ(result.permission_count(), 0u);
+}
+
+// --- Lint ---------------------------------------------------------------------
+
+TEST(Lint, RequiresBuildableSource) {
+  auto b = make_builder("lint-nobuild", 14, 27);
+  b.buildable(false);
+  b.api_call(cat::get_color_state_list());
+  auto built = b.build();
+  LintAnalyzer lint{repo()};
+  const auto result = lint.analyze(built.apk);
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.failure_reason.find("build"), std::string::npos);
+}
+
+TEST(Lint, DetectsDirectCuratedCall) {
+  auto b = make_builder("lint-basic", 14, 27);
+  b.api_call(cat::get_color_state_list());
+  auto built = b.build();
+  LintAnalyzer lint{repo()};
+  EXPECT_EQ(lint.analyze(built.apk).count(MismatchKind::kApiInvocation), 1u);
+}
+
+TEST(Lint, HandlesDirectLiteralGuardOnly) {
+  auto b = make_builder("lint-guards", 14, 27);
+  b.api_call(cat::get_color_state_list(), GuardMode::kLocal);            // ok
+  b.api_call(cat::get_color_state_list(), GuardMode::kLocalViaRegister); // FP
+  auto built = b.build();
+  LintAnalyzer lint{repo()};
+  const auto result = lint.analyze(built.apk);
+  EXPECT_EQ(result.count(MismatchKind::kApiInvocation), 1u);
+  EXPECT_EQ(score_detections(built.truth, result.mismatches).fp, 1u);
+}
+
+TEST(Lint, StaleDatabaseMissesExtensionSurface) {
+  // Bulk ("android/synth/*") APIs are absent from Lint's api-versions.xml.
+  const auto candidates =
+      collect_mismatch_apis(repo().spec(), ApiInterval{14, kMaxApiLevel});
+  const ApiUse* bulk = nullptr;
+  for (const auto& api : candidates)
+    if (api.declaring.rfind("android/synth/", 0) == 0) {
+      bulk = &api;
+      break;
+    }
+  ASSERT_NE(bulk, nullptr);
+  auto b = make_builder("lint-stale", 14, 27);
+  b.api_call(*bulk);
+  auto built = b.build();
+  ASSERT_EQ(built.truth.real_count(), 1u);
+  LintAnalyzer lint{repo()};
+  EXPECT_TRUE(lint.analyze(built.apk).mismatches.empty());
+}
+
+TEST(Lint, NoHierarchyResolution) {
+  // Receiver is a framework subclass; the method is declared on Context.
+  // Lint's declared-name lookup finds no entry and stays silent.
+  auto b = make_builder("lint-inherit", 14, 27);
+  b.api_call(cat::get_color_state_list("android/app/Activity"));
+  auto built = b.build();
+  LintAnalyzer lint{repo()};
+  EXPECT_TRUE(lint.analyze(built.apk).mismatches.empty());
+}
+
+TEST(Lint, CrashesOnHugeApps) {
+  auto b = make_builder("lint-huge", 14, 27);
+  b.api_call(cat::get_color_state_list());
+  b.pad_to(125'000);
+  auto built = b.build();
+  LintAnalyzer lint{repo()};
+  EXPECT_FALSE(lint.analyze(built.apk).completed);
+}
+
+TEST(Lint, NoApcNoPrm) {
+  auto b = make_builder("lint-other", 14, 26);
+  b.callback_override(cat::on_attach_context());
+  b.permission_use(cat::camera_open());
+  auto built = b.build();
+  LintAnalyzer lint{repo()};
+  const auto result = lint.analyze(built.apk);
+  EXPECT_EQ(result.count(MismatchKind::kApiCallback), 0u);
+  EXPECT_EQ(result.permission_count(), 0u);
+}
+
+}  // namespace
+}  // namespace saintdroid

@@ -1,0 +1,346 @@
+// Unit tests for the SDEX container: builder, (de)serialization, validation
+// of corrupted inputs, descriptors, manifest/APK round trips and the
+// disassembler.
+#include <gtest/gtest.h>
+
+#include "dex/apk.hpp"
+#include "dex/builder.hpp"
+#include "dex/disasm.hpp"
+#include "support/bytes.hpp"
+
+namespace saintdroid {
+namespace {
+
+DexFile tiny_dex() {
+  DexBuilder b;
+  auto& cls = b.add_class("com/example/Main", "android/app/Activity");
+  auto& m = cls.add_method("onCreate", "V", {"android/os/Bundle"});
+  m.registers(4);
+  m.sget_sdk_int(0);
+  Label skip = m.new_label();
+  m.if_lit(CmpOp::kLt, 0, 23, skip);
+  m.invoke_virtual("android/content/Context", "getColorStateList",
+                   "android/content/res/ColorStateList", {"I"});
+  m.move_result(1);
+  m.bind(skip);
+  m.return_void();
+  return b.build();
+}
+
+// --- builder -----------------------------------------------------------------
+
+TEST(Builder, PoolsAreInterned) {
+  DexBuilder b;
+  auto& cls = b.add_class("com/a/A");
+  auto& m1 = cls.add_method("f");
+  m1.invoke_virtual("android/view/View", "performClick", "Z");
+  m1.invoke_virtual("android/view/View", "performClick", "Z");
+  m1.return_void();
+  const DexFile dex = b.build();
+  // One method ref despite two call sites; one type entry for View.
+  EXPECT_EQ(dex.method_ref_count(), 1u);
+  int view_types = 0;
+  for (std::size_t i = 0; i < dex.type_count(); ++i)
+    view_types += dex.type_name(static_cast<std::uint32_t>(i)) ==
+                  "android/view/View";
+  EXPECT_EQ(view_types, 1);
+}
+
+TEST(Builder, ForwardAndBackwardLabels) {
+  DexBuilder b;
+  auto& cls = b.add_class("com/a/Loop");
+  auto& m = cls.add_method("f");
+  Label top = m.new_label();
+  m.bind(top);               // @0
+  m.const_int(0, 1);         // @0 actually: bind attaches to next insn
+  Label out = m.new_label();
+  m.if_lit(CmpOp::kEq, 0, 0, out);
+  m.goto_(top);
+  m.bind(out);
+  m.return_void();
+  const DexFile dex = b.build();
+  const auto& code = *dex.classes()[0].methods[0].code;
+  EXPECT_EQ(code.insns[1].op, Opcode::kIfCmp);
+  EXPECT_EQ(code.insns[1].target, 3u);  // the return
+  EXPECT_EQ(code.insns[2].op, Opcode::kGoto);
+  EXPECT_EQ(code.insns[2].target, 0u);  // the loop head
+}
+
+TEST(Builder, AbstractMethodsHaveNoCode) {
+  DexBuilder b;
+  auto& iface = b.add_class("com/a/I", "", {}, kAccPublic | kAccInterface);
+  iface.add_abstract_method("onThing");
+  const DexFile dex = b.build();
+  EXPECT_FALSE(dex.classes()[0].methods[0].code.has_value());
+}
+
+// --- round trip --------------------------------------------------------------
+
+TEST(DexFile, SerializeParseRoundTrip) {
+  const DexFile dex = tiny_dex();
+  const auto bytes = dex.serialize();
+  const DexFile back = DexFile::parse(bytes);
+  // Identical re-serialization implies structural equality.
+  EXPECT_EQ(back.serialize(), bytes);
+  EXPECT_EQ(back.instruction_count(), dex.instruction_count());
+  EXPECT_EQ(back.classes().size(), dex.classes().size());
+}
+
+TEST(DexFile, DescriptorConstruction) {
+  DexBuilder b;
+  auto& cls = b.add_class("com/a/A");
+  auto& m = cls.add_method("f", "android/view/View",
+                           {"I", "[Ljava/lang/String;", "java/lang/String"});
+  m.return_void();
+  const DexFile dex = b.build();
+  const auto& def = dex.classes()[0].methods[0];
+  EXPECT_EQ(dex.descriptor_of(def.proto),
+            "(I[Ljava/lang/String;Ljava/lang/String;)Landroid/view/View;");
+}
+
+TEST(DexFile, MethodAndFieldIdentity) {
+  const DexFile dex = tiny_dex();
+  bool found = false;
+  for (const auto& cls : dex.classes()) {
+    for (const auto& m : cls.methods) {
+      const MethodId id = dex.method_id(cls, m);
+      if (id.name == "onCreate") {
+        EXPECT_EQ(id.class_name, "com/example/Main");
+        EXPECT_EQ(id.descriptor, "(Landroid/os/Bundle;)V");
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+  // The sget's field ref resolves to the SDK_INT identity.
+  const auto& code = *dex.classes()[0].methods[0].code;
+  ASSERT_EQ(code.insns[0].op, Opcode::kSget);
+  EXPECT_EQ(dex.field_id_at(code.insns[0].index), kSdkIntField);
+}
+
+TEST(DexFile, FindClass) {
+  const DexFile dex = tiny_dex();
+  EXPECT_NE(dex.find_class("com/example/Main"), nullptr);
+  EXPECT_EQ(dex.find_class("com/example/Other"), nullptr);
+}
+
+TEST(DexFile, InstanceFieldInstructionsRoundTrip) {
+  DexBuilder b;
+  auto& cls = b.add_class("com/a/F");
+  auto& m = cls.add_method("f");
+  m.sget_sdk_int(0);
+  m.iput(0, 5, "com/a/F", "cachedSdk", "I");
+  m.iget(1, 5, "com/a/F", "cachedSdk", "I");
+  m.return_void();
+  const DexFile dex = b.build();
+  const DexFile back = DexFile::parse(dex.serialize());
+  const auto& code = *back.classes()[0].methods[0].code;
+  ASSERT_EQ(code.insns[1].op, Opcode::kIput);
+  EXPECT_EQ(code.insns[1].reg_a, 0);
+  EXPECT_EQ(code.insns[1].reg_b, 5);
+  ASSERT_EQ(code.insns[2].op, Opcode::kIget);
+  EXPECT_EQ(back.field_id_at(code.insns[2].index).name, "cachedSdk");
+  // Disassembly renders both registers and the field.
+  const std::string text = disassemble(back);
+  EXPECT_NE(text.find("iput v0, v5, com/a/F.cachedSdk:I"),
+            std::string::npos);
+  EXPECT_NE(text.find("iget v1, v5, com/a/F.cachedSdk:I"),
+            std::string::npos);
+}
+
+// --- corrupted input ---------------------------------------------------------
+
+TEST(DexParse, BadMagic) {
+  auto bytes = tiny_dex().serialize();
+  bytes[0] ^= 0xff;
+  EXPECT_THROW(DexFile::parse(bytes), ParseError);
+}
+
+TEST(DexParse, Truncated) {
+  const auto bytes = tiny_dex().serialize();
+  for (const std::size_t cut : {std::size_t{5}, bytes.size() / 2,
+                                bytes.size() - 1}) {
+    std::span<const std::uint8_t> window(bytes.data(), cut);
+    EXPECT_THROW(DexFile::parse(window), ParseError) << "cut=" << cut;
+  }
+}
+
+TEST(DexParse, TrailingGarbage) {
+  auto bytes = tiny_dex().serialize();
+  bytes.push_back(0x00);
+  EXPECT_THROW(DexFile::parse(bytes), ParseError);
+}
+
+TEST(DexParse, BranchTargetOutOfRangeRejected) {
+  // Hand-craft a minimal container with a goto past the end.
+  ByteWriter w;
+  w.u32(0x58454453);  // magic
+  w.u32(1);           // version
+  w.uleb(1);          // strings
+  w.str("com/bad/C");
+  w.uleb(1);  // types
+  w.uleb(0);
+  w.uleb(1);  // protos: ()<type0>
+  w.uleb(0);
+  w.uleb(0);
+  w.uleb(0);  // method refs
+  w.uleb(0);  // field refs
+  w.uleb(1);  // classes
+  w.uleb(0);  // type idx
+  w.uleb(0);  // no super
+  w.uleb(0);  // no interfaces
+  w.uleb(1);  // flags
+  w.uleb(1);  // one method
+  w.uleb(0);  // name idx
+  w.uleb(0);  // proto idx
+  w.uleb(1);  // flags
+  w.u8(1);    // has code
+  w.uleb(2);  // registers
+  w.uleb(1);  // one instruction
+  w.u8(7);    // kGoto
+  w.uleb(99); // target far out of range
+  EXPECT_THROW(DexFile::parse(w.data()), ParseError);
+}
+
+TEST(DexParse, PoolIndexOutOfRangeRejected) {
+  ByteWriter w;
+  w.u32(0x58454453);
+  w.u32(1);
+  w.uleb(1);
+  w.str("x");
+  w.uleb(1);  // one type referencing string 5 (out of range)
+  w.uleb(5);
+  w.uleb(0);
+  w.uleb(0);
+  w.uleb(0);
+  w.uleb(0);
+  EXPECT_THROW(DexFile::parse(w.data()), ParseError);
+}
+
+// --- instruction helpers -------------------------------------------------------
+
+class CmpEval : public ::testing::TestWithParam<CmpOp> {};
+
+TEST_P(CmpEval, AgreesWithBuiltins) {
+  const CmpOp op = GetParam();
+  for (const std::int64_t a : {-2, 0, 3, 23}) {
+    for (const std::int64_t b : {-2, 0, 3, 23}) {
+      bool expected = false;
+      switch (op) {
+        case CmpOp::kEq: expected = a == b; break;
+        case CmpOp::kNe: expected = a != b; break;
+        case CmpOp::kLt: expected = a < b; break;
+        case CmpOp::kLe: expected = a <= b; break;
+        case CmpOp::kGt: expected = a > b; break;
+        case CmpOp::kGe: expected = a >= b; break;
+      }
+      EXPECT_EQ(eval_cmp(op, a, b), expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, CmpEval,
+                         ::testing::Values(CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                                           CmpOp::kLe, CmpOp::kGt, CmpOp::kGe));
+
+// --- manifest / apk ------------------------------------------------------------
+
+TEST(Manifest, RoundTrip) {
+  Manifest m;
+  m.package = "com.example.app";
+  m.min_sdk = 16;
+  m.target_sdk = 26;
+  m.max_sdk = 28;
+  m.permissions = {"android.permission.CAMERA"};
+  m.components = {Component{ComponentKind::kActivity, "com/example/Main"},
+                  Component{ComponentKind::kService, "com/example/Svc"}};
+  m.buildable = false;
+  ByteWriter w;
+  m.serialize(w);
+  ByteReader r{w.data()};
+  EXPECT_EQ(Manifest::parse(r), m);
+}
+
+TEST(Manifest, SupportedRange) {
+  Manifest m;
+  m.min_sdk = 14;
+  m.max_sdk = 0;  // unset
+  EXPECT_EQ(m.supported_range(), ApiInterval(14, kMaxApiLevel));
+  m.max_sdk = 25;
+  EXPECT_EQ(m.supported_range(), ApiInterval(14, 25));
+}
+
+TEST(Manifest, InvalidSdkRangeRejected) {
+  Manifest m;
+  m.package = "p";
+  m.min_sdk = 20;
+  m.max_sdk = 10;
+  ByteWriter w;
+  m.serialize(w);
+  ByteReader r{w.data()};
+  EXPECT_THROW(Manifest::parse(r), ParseError);
+}
+
+TEST(Apk, MultiDexRoundTrip) {
+  Apk apk;
+  apk.name = "demo";
+  apk.manifest.package = "com.demo";
+  apk.manifest.min_sdk = 15;
+  apk.dexes.push_back(tiny_dex());
+  apk.dexes.push_back(tiny_dex());
+  const auto bytes = apk.serialize();
+  const Apk back = Apk::parse(bytes);
+  EXPECT_EQ(back.name, "demo");
+  ASSERT_EQ(back.dexes.size(), 2u);
+  EXPECT_EQ(back.dex_loc(), apk.dex_loc());
+  EXPECT_NE(back.find_class("com/example/Main").class_def, nullptr);
+  EXPECT_EQ(back.find_class("no/such/Class").class_def, nullptr);
+}
+
+TEST(Apk, EmptyDexListRejected) {
+  Apk apk;
+  apk.name = "empty";
+  apk.manifest.package = "e";
+  apk.dexes.push_back(tiny_dex());
+  auto bytes = apk.serialize();
+  // Surgically zero the dex count: it sits right after name+manifest; easier
+  // to rebuild the container by hand.
+  ByteWriter w;
+  w.u32(0x4b504153);
+  w.str("empty");
+  apk.manifest.serialize(w);
+  w.uleb(0);
+  EXPECT_THROW(Apk::parse(w.data()), ParseError);
+}
+
+// --- disassembler ---------------------------------------------------------------
+
+TEST(Disasm, RendersPoolReferences) {
+  const DexFile dex = tiny_dex();
+  const std::string text = disassemble(dex);
+  EXPECT_NE(text.find("class com/example/Main extends android/app/Activity"),
+            std::string::npos);
+  EXPECT_NE(text.find("sget v0, android/os/Build$VERSION.SDK_INT:I"),
+            std::string::npos);
+  EXPECT_NE(text.find("if-cmp-lt v0, #23"), std::string::npos);
+  EXPECT_NE(text.find("invoke-virtual android/content/Context."
+                      "getColorStateList"),
+            std::string::npos);
+}
+
+TEST(Footprint, GrowsWithContent) {
+  DexBuilder small;
+  auto& c1 = small.add_class("a/A");
+  c1.add_method("f").return_void();
+  DexBuilder large;
+  auto& c2 = large.add_class("a/A");
+  for (int i = 0; i < 20; ++i) {
+    auto& m = c2.add_method("f" + std::to_string(i));
+    for (int j = 0; j < 30; ++j) m.const_int(0, j);
+    m.return_void();
+  }
+  EXPECT_LT(small.build().footprint_bytes(), large.build().footprint_bytes());
+}
+
+}  // namespace
+}  // namespace saintdroid

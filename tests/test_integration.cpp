@@ -1,0 +1,188 @@
+// Integration suite: the paper's headline claims, asserted end-to-end over
+// the benchmark workloads. These are the regression gates for the
+// reproduction — if any of them fails, a table or figure has drifted.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adf/repository.hpp"
+#include "baselines/cid.hpp"
+#include "baselines/cider.hpp"
+#include "baselines/lint.hpp"
+#include "core/saintdroid.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/harness.hpp"
+#include "workload/corpus.hpp"
+
+namespace saintdroid {
+namespace {
+
+const FrameworkRepository& repo() { return FrameworkRepository::standard(); }
+
+// The shared harness (workload/harness.hpp) implements the methodology;
+// thin adapters keep the assertions below readable.
+struct SuiteScores {
+  Score total;
+  Score api;
+  Score apc;
+  Score prm;
+  int failures = 0;
+};
+
+SuiteScores run_suite(Analyzer& tool) {
+  const auto apps = accuracy_bench(repo());
+  const SuiteResult result = saintdroid::run_suite(tool, apps);
+  SuiteScores scores;
+  scores.total = result.aggregate.total();
+  scores.api = result.aggregate.api;
+  scores.apc = result.aggregate.apc;
+  scores.prm = result.aggregate.prm;
+  scores.failures = result.failures;
+  return scores;
+}
+
+// --- RQ1 gates (Table II) -------------------------------------------------------
+
+TEST(Rq1, SaintDroidHeadline) {
+  SaintDroid tool{repo()};
+  const SuiteScores s = run_suite(tool);
+  EXPECT_EQ(s.failures, 0);
+  // Paper: P 79%, R 93%, F 85%. Gates hold a band around our calibration.
+  EXPECT_GE(s.total.precision(), 0.80);
+  EXPECT_GE(s.total.recall(), 0.90);
+  EXPECT_GE(s.total.f_measure(), 0.85);
+  // "SAINTDroid successfully detects 40 callback compatibility issues out
+  // of 42 ... with no false positives."
+  EXPECT_EQ(s.apc.tp, 40u);
+  EXPECT_EQ(s.apc.fn, 2u);
+  EXPECT_EQ(s.apc.fp, 0u);
+  // PRM: unique capability, clean on the suite.
+  EXPECT_EQ(s.prm.fn, 0u);
+  EXPECT_EQ(s.prm.fp, 0u);
+}
+
+TEST(Rq1, CidProfile) {
+  CidAnalyzer tool{repo()};
+  const SuiteScores s = run_suite(tool);
+  EXPECT_EQ(s.failures, 4);  // "CID fails to completely analyze four apps"
+  EXPECT_EQ(s.apc.tp, 0u);
+  EXPECT_EQ(s.prm.tp, 0u);
+  // API-only recall well below SAINTDroid's (the paper's CID sits around
+  // 59% on apps it completes; counting its four failures pulls it lower).
+  EXPECT_GE(s.api.recall(), 0.35);
+  EXPECT_LE(s.api.recall(), 0.75);
+  EXPECT_GT(s.total.fp, 0u);  // cross-method-guard false alarms
+}
+
+TEST(Rq1, CiderProfile) {
+  CiderAnalyzer tool;
+  const SuiteScores s = run_suite(tool);
+  EXPECT_EQ(s.failures, 0);
+  EXPECT_EQ(s.api.tp, 0u);
+  EXPECT_EQ(s.prm.tp, 0u);
+  // "CIDER misses most of the issues identified by SAINTDroid."
+  EXPECT_GT(s.apc.tp, 5u);
+  EXPECT_LT(s.apc.recall(), 0.5);
+}
+
+TEST(Rq1, LintProfile) {
+  LintAnalyzer tool{repo()};
+  const SuiteScores s = run_suite(tool);
+  EXPECT_GE(s.failures, 1);  // crashes on the largest app
+  EXPECT_EQ(s.apc.tp, 0u);
+  EXPECT_EQ(s.prm.tp, 0u);
+  // Paper: recall ~19% with a high false-warning rate.
+  EXPECT_LE(s.total.recall(), 0.30);
+  EXPECT_GT(s.total.fp, 10u);
+}
+
+TEST(Rq1, ToolOrdering) {
+  SaintDroid saint{repo()};
+  CidAnalyzer cid{repo()};
+  CiderAnalyzer cider;
+  LintAnalyzer lint{repo()};
+  const double f_saint = run_suite(saint).total.f_measure();
+  const double f_cid = run_suite(cid).total.f_measure();
+  const double f_cider = run_suite(cider).total.f_measure();
+  const double f_lint = run_suite(lint).total.f_measure();
+  EXPECT_GT(f_saint, f_cid);
+  EXPECT_GT(f_saint, f_cider);
+  EXPECT_GT(f_saint, f_lint);
+}
+
+// --- RQ3 gates (Fig. 4; timing asserted loosely to avoid flakes) ------------------
+
+TEST(Rq3, MemoryGapOnMidsizeApps) {
+  SaintDroid saint{repo()};
+  CidAnalyzer cid{repo()};
+  int compared = 0;
+  for (const auto& app : accuracy_bench(repo())) {
+    const auto rc = cid.analyze(app.apk);
+    if (!rc.completed) continue;
+    const auto rs = saint.analyze(app.apk);
+    EXPECT_GT(rc.usage.peak_bytes, 2 * rs.usage.peak_bytes) << app.apk.name;
+    ++compared;
+  }
+  EXPECT_GE(compared, 10);
+}
+
+TEST(Rq3, LazyLoadsFractionOfWorld) {
+  SaintDroid saint{repo()};
+  const auto apps = accuracy_bench(repo());
+  const std::size_t world =
+      repo().image(26).classes().size();
+  for (const auto& app : apps) {
+    const auto result = saint.analyze(app.apk);
+    EXPECT_LT(result.usage.loaded_classes, world / 2) << app.apk.name;
+  }
+}
+
+// --- Table IV ----------------------------------------------------------------------
+
+TEST(TableIv, CapabilityMatrix) {
+  SaintDroid saint{repo()};
+  CidAnalyzer cid{repo()};
+  CiderAnalyzer cider;
+  LintAnalyzer lint{repo()};
+  const MismatchKind kinds[] = {MismatchKind::kApiInvocation,
+                                MismatchKind::kApiCallback,
+                                MismatchKind::kPermissionRequest};
+  const bool expected[4][3] = {
+      {true, false, false},  // CID
+      {false, true, false},  // CIDER
+      {true, false, false},  // Lint
+      {true, true, true},    // SAINTDroid
+  };
+  Analyzer* tools[] = {&cid, &cider, &lint, &saint};
+  for (int t = 0; t < 4; ++t)
+    for (int k = 0; k < 3; ++k)
+      EXPECT_EQ(tools[t]->detects(kinds[k]), expected[t][k])
+          << tools[t]->name() << " kind " << k;
+}
+
+// --- RQ2 spot check (a corpus slice; the full run is bench_rq2_corpus) -------------
+
+TEST(Rq2, CorpusSliceRates) {
+  const RealWorldCorpus corpus{repo()};
+  SaintDroid tool{repo()};
+  const int n = 150;
+  int with_api = 0;
+  Score api;
+  for (int i = 0; i < n; ++i) {
+    const BenchApp app = corpus.generate(i);
+    const auto result = tool.analyze(app.apk);
+    with_api += result.count(MismatchKind::kApiInvocation) > 0;
+    api += score_detections(app.truth, result.mismatches,
+                            MismatchKind::kApiInvocation);
+  }
+  // 41.19% +- sampling tolerance.
+  EXPECT_GT(with_api, n * 0.30);
+  EXPECT_LT(with_api, n * 0.55);
+  // Sampled API precision ~85% (paper §V-B).
+  EXPECT_GT(api.precision(), 0.75);
+  EXPECT_LT(api.precision(), 0.95);
+  EXPECT_GT(api.recall(), 0.90);
+}
+
+}  // namespace
+}  // namespace saintdroid

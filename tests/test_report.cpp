@@ -1,0 +1,145 @@
+// Unit coverage for the report/result types and small enums that other
+// suites only exercise incidentally.
+#include <gtest/gtest.h>
+
+#include "core/advisor.hpp"
+#include "core/report.hpp"
+#include "dex/manifest.hpp"
+#include "support/meter.hpp"
+
+namespace saintdroid {
+namespace {
+
+TEST(Report, KindNamesAndAbbreviations) {
+  EXPECT_STREQ(mismatch_kind_name(MismatchKind::kApiInvocation),
+               "api-invocation");
+  EXPECT_STREQ(mismatch_kind_name(MismatchKind::kApiCallback),
+               "api-callback");
+  EXPECT_STREQ(mismatch_kind_name(MismatchKind::kPermissionRequest),
+               "permission-request");
+  EXPECT_STREQ(mismatch_kind_name(MismatchKind::kPermissionRevocation),
+               "permission-revocation");
+  EXPECT_STREQ(mismatch_kind_abbr(MismatchKind::kApiInvocation), "API");
+  EXPECT_STREQ(mismatch_kind_abbr(MismatchKind::kApiCallback), "APC");
+  // Both permission forms share the paper's PRM column.
+  EXPECT_STREQ(mismatch_kind_abbr(MismatchKind::kPermissionRequest), "PRM");
+  EXPECT_STREQ(mismatch_kind_abbr(MismatchKind::kPermissionRevocation),
+               "PRM");
+}
+
+TEST(Report, KeysDistinguishKindLocationSubject) {
+  Mismatch a;
+  a.kind = MismatchKind::kApiInvocation;
+  a.location = {"c/C", "f", "()V"};
+  a.subject = {"android/x/Y", "g", "()V"};
+  Mismatch b = a;
+  EXPECT_EQ(a.key(), b.key());
+  b.location.name = "h";
+  EXPECT_NE(a.key(), b.key());
+  b = a;
+  b.kind = MismatchKind::kApiCallback;
+  EXPECT_NE(a.key(), b.key());
+  // Permission keys ignore the subject and carry the permission.
+  Mismatch p1 = a;
+  p1.kind = MismatchKind::kPermissionRequest;
+  p1.permission = "android.permission.CAMERA";
+  Mismatch p2 = p1;
+  p2.subject.name = "different";
+  EXPECT_EQ(p1.key(), p2.key());
+  p2.permission = "android.permission.SEND_SMS";
+  EXPECT_NE(p1.key(), p2.key());
+}
+
+TEST(Report, CountsAndText) {
+  AnalysisResult result;
+  Mismatch api;
+  api.kind = MismatchKind::kApiInvocation;
+  api.location = {"c/C", "f", "()V"};
+  api.subject = {"android/x/Y", "g", "()V"};
+  api.problem_levels = ApiInterval{14, 22};
+  Mismatch req = api;
+  req.kind = MismatchKind::kPermissionRequest;
+  req.permission = "android.permission.CAMERA";
+  Mismatch rev = req;
+  rev.kind = MismatchKind::kPermissionRevocation;
+  result.mismatches = {api, req, rev};
+  EXPECT_EQ(result.count(MismatchKind::kApiInvocation), 1u);
+  EXPECT_EQ(result.permission_count(), 2u);
+  const std::string text = result.to_text("app");
+  EXPECT_NE(text.find("API 1, APC 0, PRM 2"), std::string::npos);
+}
+
+TEST(Report, FailureText) {
+  AnalysisResult result;
+  result.completed = false;
+  result.failure_reason = "budget exceeded";
+  const std::string text = result.to_text("big-app");
+  EXPECT_NE(text.find("analysis failed: budget exceeded"),
+            std::string::npos);
+}
+
+TEST(Meter, PeakAndCurrentTracking) {
+  MemoryMeter meter;
+  meter.allocate(100);
+  meter.allocate(50);
+  EXPECT_EQ(meter.current_bytes(), 150u);
+  EXPECT_EQ(meter.peak_bytes(), 150u);
+  meter.release(120);
+  EXPECT_EQ(meter.current_bytes(), 30u);
+  EXPECT_EQ(meter.peak_bytes(), 150u);  // peak persists
+  meter.allocate(40);
+  EXPECT_EQ(meter.peak_bytes(), 150u);
+  EXPECT_EQ(meter.total_bytes(), 190u);
+  meter.release(1000);  // underflow clamps to zero
+  EXPECT_EQ(meter.current_bytes(), 0u);
+  meter.reset();
+  EXPECT_EQ(meter.peak_bytes(), 0u);
+}
+
+TEST(Meter, StopwatchMonotone) {
+  const Stopwatch watch;
+  const double a = watch.seconds();
+  const double b = watch.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(Advisor, RepairKindNames) {
+  EXPECT_STREQ(repair_kind_name(RepairKind::kAddSdkGuard), "add-sdk-guard");
+  EXPECT_STREQ(repair_kind_name(RepairKind::kRaiseMinSdk), "raise-min-sdk");
+  EXPECT_STREQ(repair_kind_name(RepairKind::kReplaceRemovedApi),
+               "replace-removed-api");
+  EXPECT_STREQ(repair_kind_name(RepairKind::kImplementRuntimePermissions),
+               "implement-runtime-permissions");
+  EXPECT_STREQ(repair_kind_name(RepairKind::kRaiseTargetSdk),
+               "raise-target-sdk");
+  EXPECT_STREQ(repair_kind_name(RepairKind::kRemoveDeadOverride),
+               "gate-dead-override");
+}
+
+TEST(Manifest, ComponentKindNames) {
+  EXPECT_STREQ(component_kind_name(ComponentKind::kActivity), "activity");
+  EXPECT_STREQ(component_kind_name(ComponentKind::kService), "service");
+  EXPECT_STREQ(component_kind_name(ComponentKind::kReceiver), "receiver");
+  EXPECT_STREQ(component_kind_name(ComponentKind::kProvider), "provider");
+}
+
+TEST(Mismatch, ToStringPerKind) {
+  Mismatch m;
+  m.location = {"c/C", "f", "()V"};
+  m.subject = {"android/x/Y", "g", "()V"};
+  m.problem_levels = ApiInterval{14, 22};
+  m.kind = MismatchKind::kApiInvocation;
+  EXPECT_NE(m.to_string().find("invokes"), std::string::npos);
+  m.kind = MismatchKind::kApiCallback;
+  EXPECT_NE(m.to_string().find("overrides"), std::string::npos);
+  m.kind = MismatchKind::kPermissionRequest;
+  m.permission = "android.permission.CAMERA";
+  EXPECT_NE(m.to_string().find("without the runtime request"),
+            std::string::npos);
+  m.kind = MismatchKind::kPermissionRevocation;
+  EXPECT_NE(m.to_string().find("revocable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saintdroid

@@ -1,0 +1,39 @@
+// End-to-end smoke test: build a small app with seeded mismatches, run
+// SAINTDroid, and check the detections line up with the ledger.
+#include <gtest/gtest.h>
+
+#include "adf/repository.hpp"
+#include "core/saintdroid.hpp"
+#include "workload/app_builder.hpp"
+
+namespace saintdroid {
+namespace {
+
+TEST(Smoke, EndToEnd) {
+  const auto& repo = FrameworkRepository::standard();
+  AppBuilder b{"smoke", "com.example.smoke", repo.spec()};
+  b.sdk(21, 28);
+  b.api_call(catalog::get_color_state_list());                    // real
+  b.api_call(catalog::get_color_state_list(), GuardMode::kLocal); // benign
+  b.callback_override(catalog::drawable_hotspot_changed());       // benign (21 !< 21)
+  b.callback_override(catalog::on_provide_structure());           // real (23 > 21)
+  b.permission_use(catalog::camera_open());                       // request (tgt 28)
+  auto built = b.build();
+
+  SaintDroid tool{repo};
+  const AnalysisResult result = tool.analyze(built.apk);
+  ASSERT_TRUE(result.completed);
+  for (const auto& m : result.mismatches)
+    fprintf(stderr, "detected: %s\n", m.to_string().c_str());
+  for (const auto& i : built.truth.issues)
+    fprintf(stderr, "seeded (%s real=%d): %s\n", i.tag.c_str(), i.real,
+            i.key().c_str());
+
+  const Score s = score_detections(built.truth, result.mismatches);
+  EXPECT_EQ(s.fp, 0u);
+  EXPECT_EQ(s.fn, 0u);
+  EXPECT_EQ(s.tp, built.truth.real_count());
+}
+
+}  // namespace
+}  // namespace saintdroid

@@ -1,0 +1,122 @@
+// End-to-end coverage of the command-line tools, driven through the shell
+// the way a user runs them: apkgen writes packages to disk, saintdroid
+// analyzes/disassembles/mines, appgraph dumps graphs. CTest runs these
+// with the tests/ binary dir as CWD; the tool binaries live in ../tools.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace saintdroid {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* tool_dir() { return "../tools"; }
+
+bool tools_present() {
+  return fs::exists(fs::path(tool_dir()) / "saintdroid") &&
+         fs::exists(fs::path(tool_dir()) / "apkgen") &&
+         fs::exists(fs::path(tool_dir()) / "appgraph");
+}
+
+/// Runs a command, captures stdout, returns {exit code, output}.
+std::pair<int, std::string> run(const std::string& command) {
+  const std::string log = "tool_test_output.txt";
+  const int rc = std::system((command + " > " + log + " 2>&1").c_str());
+  std::ifstream in{log};
+  std::string output{std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>()};
+  return {rc, output};
+}
+
+class ToolsEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!tools_present()) GTEST_SKIP() << "tool binaries not built";
+    fs::create_directories("tool_test_tmp");
+  }
+};
+
+TEST_F(ToolsEndToEnd, DemoGenerateAnalyzeSuggest) {
+  auto [gen_rc, gen_out] =
+      run(std::string(tool_dir()) + "/apkgen demo tool_test_tmp/demo.apk");
+  ASSERT_EQ(gen_rc, 0) << gen_out;
+  ASSERT_TRUE(fs::exists("tool_test_tmp/demo.apk"));
+
+  auto [rc, out] = run(std::string(tool_dir()) +
+                       "/saintdroid analyze tool_test_tmp/demo.apk --suggest");
+  EXPECT_EQ(WEXITSTATUS(rc), 1);  // mismatches found -> exit 1
+  EXPECT_NE(out.find("[API]"), std::string::npos);
+  EXPECT_NE(out.find("[PRM]"), std::string::npos);
+  EXPECT_NE(out.find("[add-sdk-guard]"), std::string::npos);
+}
+
+TEST_F(ToolsEndToEnd, JsonOutputIsJson) {
+  run(std::string(tool_dir()) + "/apkgen demo tool_test_tmp/demo.apk");
+  auto [rc, out] = run(std::string(tool_dir()) +
+                       "/saintdroid analyze tool_test_tmp/demo.apk --json");
+  (void)rc;
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_NE(out.find("\"mismatches\":["), std::string::npos);
+}
+
+TEST_F(ToolsEndToEnd, MineAndReuseDatabase) {
+  auto [mine_rc, mine_out] =
+      run(std::string(tool_dir()) + "/saintdroid mine tool_test_tmp/api.db");
+  ASSERT_EQ(mine_rc, 0) << mine_out;
+  EXPECT_NE(mine_out.find("mined"), std::string::npos);
+  ASSERT_TRUE(fs::exists("tool_test_tmp/api.db"));
+
+  run(std::string(tool_dir()) + "/apkgen demo tool_test_tmp/demo.apk");
+  auto [rc, out] =
+      run(std::string(tool_dir()) +
+          "/saintdroid analyze tool_test_tmp/demo.apk --db tool_test_tmp/api.db");
+  EXPECT_EQ(WEXITSTATUS(rc), 1);
+  EXPECT_NE(out.find("mismatches: 4"), std::string::npos);
+}
+
+TEST_F(ToolsEndToEnd, DisasmShowsBytecode) {
+  run(std::string(tool_dir()) + "/apkgen demo tool_test_tmp/demo.apk");
+  auto [rc, out] = run(std::string(tool_dir()) +
+                       "/saintdroid disasm tool_test_tmp/demo.apk");
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("invoke-virtual"), std::string::npos);
+  EXPECT_NE(out.find("class com/apkgen/demo/MainActivity"),
+            std::string::npos);
+}
+
+TEST_F(ToolsEndToEnd, AppGraphStatsAndDot) {
+  run(std::string(tool_dir()) + "/apkgen demo tool_test_tmp/demo.apk");
+  auto [stats_rc, stats] = run(std::string(tool_dir()) +
+                               "/appgraph tool_test_tmp/demo.apk --stats");
+  EXPECT_EQ(stats_rc, 0);
+  EXPECT_NE(stats.find("entry points"), std::string::npos);
+  auto [dot_rc, dot] =
+      run(std::string(tool_dir()) + "/appgraph tool_test_tmp/demo.apk");
+  EXPECT_EQ(dot_rc, 0);
+  EXPECT_EQ(dot.rfind("digraph", 0), 0u);
+}
+
+TEST_F(ToolsEndToEnd, RejectsCorruptPackage) {
+  std::ofstream bad{"tool_test_tmp/bad.apk", std::ios::binary};
+  bad << "not an apk";
+  bad.close();
+  auto [rc, out] = run(std::string(tool_dir()) +
+                       "/saintdroid analyze tool_test_tmp/bad.apk");
+  EXPECT_EQ(WEXITSTATUS(rc), 2);
+  EXPECT_NE(out.find("parse error"), std::string::npos);
+}
+
+TEST_F(ToolsEndToEnd, UsageOnBadArguments) {
+  auto [rc, out] = run(std::string(tool_dir()) + "/saintdroid");
+  EXPECT_NE(WEXITSTATUS(rc), 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saintdroid

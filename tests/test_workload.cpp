@@ -1,0 +1,312 @@
+// Tests for the workload layer: ledger derivation, scoring math, builder
+// determinism, benchmark-suite invariants and corpus generation.
+#include <gtest/gtest.h>
+
+#include "adf/repository.hpp"
+#include "baselines/cid.hpp"
+#include "workload/app_builder.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/corpus.hpp"
+
+namespace saintdroid {
+namespace {
+
+namespace cat = catalog;
+
+const FrameworkRepository& repo() { return FrameworkRepository::standard(); }
+
+// --- scoring math --------------------------------------------------------------
+
+TEST(Score, ConfusionMath) {
+  GroundTruth truth;
+  SeededIssue real;
+  real.kind = MismatchKind::kApiInvocation;
+  real.location = {"a/A", "f", "()V"};
+  real.subject = {"android/x/Y", "g", "()V"};
+  real.real = true;
+  truth.issues.push_back(real);
+  SeededIssue benign = real;
+  benign.location.name = "h";
+  benign.real = false;
+  truth.issues.push_back(benign);
+
+  Mismatch hit;
+  hit.kind = MismatchKind::kApiInvocation;
+  hit.location = real.location;
+  hit.subject = real.subject;
+  Mismatch miss = hit;
+  miss.location.name = "h";  // matches only the benign entry -> FP
+
+  const Score s = score_detections(truth, {hit, miss, hit});  // dup deduped
+  EXPECT_EQ(s.tp, 1u);
+  EXPECT_EQ(s.fp, 1u);
+  EXPECT_EQ(s.fn, 0u);
+  EXPECT_DOUBLE_EQ(s.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(s.recall(), 1.0);
+
+  const Score none = score_detections(truth, {});
+  EXPECT_EQ(none.fn, 1u);
+  EXPECT_DOUBLE_EQ(none.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(none.precision(), 1.0);  // vacuous
+}
+
+TEST(Score, PermissionKindsShareKeyFamily) {
+  GroundTruth truth;
+  SeededIssue prm;
+  prm.kind = MismatchKind::kPermissionRequest;
+  prm.permission = "android.permission.CAMERA";
+  prm.real = true;
+  truth.issues.push_back(prm);
+
+  Mismatch detected;
+  detected.kind = MismatchKind::kPermissionRevocation;  // other PRM form
+  detected.permission = "android.permission.CAMERA";
+  const Score s = score_detections(truth, {detected},
+                                   MismatchKind::kPermissionRequest);
+  EXPECT_EQ(s.tp, 1u);
+}
+
+TEST(Score, KindFilter) {
+  GroundTruth truth;
+  SeededIssue apc;
+  apc.kind = MismatchKind::kApiCallback;
+  apc.location = {"a/A", "onX", "()V"};
+  apc.subject = {"android/b/B", "onX", "()V"};
+  apc.real = true;
+  truth.issues.push_back(apc);
+  const Score api_view =
+      score_detections(truth, {}, MismatchKind::kApiInvocation);
+  EXPECT_EQ(api_view.fn, 0u);  // the APC entry is outside the filter
+  const Score apc_view =
+      score_detections(truth, {}, MismatchKind::kApiCallback);
+  EXPECT_EQ(apc_view.fn, 1u);
+}
+
+// --- ledger derivation -----------------------------------------------------------
+
+TEST(AppBuilder, LedgerRealityMatrix) {
+  // guard x placement -> real? derived from spec facts, not caller input.
+  struct Case {
+    GuardMode guard;
+    Placement placement;
+    bool real;
+  };
+  const Case cases[] = {
+      {GuardMode::kNone, Placement::kReachable, true},
+      {GuardMode::kLocal, Placement::kReachable, false},
+      {GuardMode::kLocalViaRegister, Placement::kReachable, false},
+      {GuardMode::kCrossMethod, Placement::kReachable, false},
+      {GuardMode::kHidden, Placement::kReachable, false},
+      {GuardMode::kNone, Placement::kDeadCode, false},
+      {GuardMode::kNone, Placement::kSecondaryDex, true},
+  };
+  for (const auto& c : cases) {
+    AppBuilder b{"matrix", "com.w.matrix", repo().spec()};
+    b.sdk(14, 27);
+    b.api_call(cat::get_color_state_list(), c.guard, c.placement);
+    const auto built = b.build();
+    ASSERT_EQ(built.truth.issues.size(), 1u);
+    EXPECT_EQ(built.truth.issues[0].real, c.real)
+        << "guard=" << static_cast<int>(c.guard)
+        << " placement=" << static_cast<int>(c.placement);
+  }
+}
+
+TEST(AppBuilder, SafeApiIsBenignEvenUnguarded) {
+  AppBuilder b{"safe", "com.w.safe", repo().spec()};
+  b.sdk(21, 27);
+  b.api_call(cat::set_background());  // introduced 16 <= minSdk 21
+  const auto built = b.build();
+  EXPECT_EQ(built.truth.real_count(), 0u);
+  EXPECT_EQ(built.truth.issues[0].tag, "safe");
+}
+
+TEST(AppBuilder, ForwardIssueDerived) {
+  AppBuilder b{"fwd", "com.w.fwd", repo().spec()};
+  b.sdk(14, 22);
+  b.api_call(cat::http_client_execute());
+  const auto built = b.build();
+  ASSERT_EQ(built.truth.real_count(), 1u);
+  EXPECT_EQ(built.truth.issues[0].tag, "forward");
+}
+
+TEST(AppBuilder, PermissionKindFollowsTarget) {
+  AppBuilder modern{"m", "com.w.m", repo().spec()};
+  modern.sdk(19, 26);
+  modern.permission_use(cat::camera_open());
+  const auto built_modern = modern.build();
+  ASSERT_EQ(built_modern.truth.issues.size(), 1u);
+  EXPECT_EQ(built_modern.truth.issues[0].kind,
+            MismatchKind::kPermissionRequest);
+
+  AppBuilder legacy{"l", "com.w.l", repo().spec()};
+  legacy.sdk(19, 22);
+  legacy.permission_use(cat::camera_open());
+  const auto built_legacy = legacy.build();
+  EXPECT_EQ(built_legacy.truth.issues[0].kind,
+            MismatchKind::kPermissionRevocation);
+}
+
+TEST(AppBuilder, PermissionAddedToManifest) {
+  AppBuilder b{"perm", "com.w.perm", repo().spec()};
+  b.sdk(19, 26);
+  b.permission_use(cat::insert_image());
+  const auto built = b.build();
+  EXPECT_TRUE(built.apk.manifest.requests_permission(
+      "android.permission.WRITE_EXTERNAL_STORAGE"));
+}
+
+TEST(AppBuilder, ProtocolWithLowMinSdkIsItselfAnApcIssue) {
+  AppBuilder b{"proto", "com.w.proto", repo().spec()};
+  b.sdk(16, 26);
+  b.implement_runtime_permission_protocol();
+  const auto built = b.build();
+  EXPECT_EQ(built.truth.real_count(MismatchKind::kApiCallback), 1u);
+  AppBuilder b23{"proto23", "com.w.proto23", repo().spec()};
+  b23.sdk(23, 26);
+  b23.implement_runtime_permission_protocol();
+  EXPECT_EQ(b23.build().truth.real_count(MismatchKind::kApiCallback), 0u);
+}
+
+TEST(AppBuilder, PadToReachesTarget) {
+  AppBuilder b{"pad", "com.w.pad", repo().spec()};
+  b.sdk(16, 26);
+  b.pad_to(20'000);
+  const auto built = b.build();
+  EXPECT_GE(built.apk.dex_loc(), 18'000u);
+  EXPECT_LE(built.apk.dex_loc(), 30'000u);
+}
+
+TEST(AppBuilder, DeterministicAcrossBuilds) {
+  const auto make = [] {
+    AppBuilder b{"det", "com.w.det", repo().spec()};
+    b.sdk(16, 26);
+    b.api_call(cat::get_color_state_list());
+    b.callback_override(cat::on_attach_context());
+    b.pad_to(5'000);
+    return b.build();
+  };
+  EXPECT_EQ(make().apk.serialize(), make().apk.serialize());
+}
+
+TEST(AppBuilder, ApkSurvivesSerializationWithSeeds) {
+  AppBuilder b{"roundtrip", "com.w.rt", repo().spec()};
+  b.sdk(14, 27);
+  b.api_call(cat::get_color_state_list(), GuardMode::kNone,
+             Placement::kSecondaryDex);
+  const auto built = b.build();
+  const Apk back = Apk::parse(built.apk.serialize());
+  EXPECT_EQ(back.dexes.size(), 2u);
+  EXPECT_EQ(back.serialize(), built.apk.serialize());
+}
+
+// --- catalog collections -----------------------------------------------------------
+
+TEST(Catalog, SafeApisAreActuallySafe) {
+  const ApiInterval range{14, kMaxApiLevel};
+  for (const auto& api : collect_safe_apis(repo().spec(), range, 200)) {
+    const auto* cls = repo().spec().find_class(api.declaring);
+    ASSERT_NE(cls, nullptr) << api.declaring;
+    bool found = false;
+    for (const auto& m : cls->methods) {
+      if (m.name != api.name || m.params != api.params) continue;
+      found = true;
+      EXPECT_TRUE(m.permission.empty());
+      EXPECT_TRUE(m.calls.empty());
+      EXPECT_FALSE(m.callback);
+      EXPECT_LE(m.life.introduced, range.lo());
+    }
+    EXPECT_TRUE(found) << api.declaring << "." << api.name;
+  }
+}
+
+TEST(Catalog, MismatchApisAreInsideRange) {
+  const ApiInterval range{14, kMaxApiLevel};
+  const auto apis = collect_mismatch_apis(repo().spec(), range, 200);
+  EXPECT_FALSE(apis.empty());
+  for (const auto& api : apis) {
+    const auto* cls = repo().spec().find_class(api.declaring);
+    for (const auto& m : cls->methods)
+      if (m.name == api.name && m.params == api.params) {
+        EXPECT_GT(m.life.introduced, range.lo());
+      }
+  }
+}
+
+// --- benchmark suites ---------------------------------------------------------------
+
+TEST(Benchmarks, SuiteShape) {
+  const auto cid = cid_bench(repo());
+  EXPECT_EQ(cid.size(), 7u);
+  const auto cider = cider_bench(repo());
+  EXPECT_EQ(cider.size(), 20u);
+  int unbuildable = 0;
+  for (const auto& app : cider) unbuildable += !app.apk.manifest.buildable;
+  EXPECT_EQ(unbuildable, 8);
+  EXPECT_EQ(accuracy_bench(repo()).size(), 19u);
+}
+
+TEST(Benchmarks, ApcGroundTruthMatchesPaper) {
+  std::size_t real_apc = 0;
+  std::size_t hidden_apc = 0;
+  for (const auto& app : accuracy_bench(repo())) {
+    real_apc += app.truth.real_count(MismatchKind::kApiCallback);
+    for (const auto& i : app.truth.issues)
+      if (i.real && i.tag == "hidden_callback") ++hidden_apc;
+  }
+  // The paper's objects of analysis harbour 42 callback issues, 2 of which
+  // hide in runtime-generated classes (SAINTDroid's 40/42).
+  EXPECT_EQ(real_apc, 42u);
+  EXPECT_EQ(hidden_apc, 2u);
+}
+
+TEST(Benchmarks, FourAppsExceedCidBudget) {
+  int oversized = 0;
+  for (const auto& app : accuracy_bench(repo()))
+    oversized += app.apk.dex_loc() > CidOptions{}.max_app_loc;
+  EXPECT_EQ(oversized, 4);
+}
+
+TEST(Benchmarks, Deterministic) {
+  const auto a = accuracy_bench(repo());
+  const auto b = accuracy_bench(repo());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].apk.serialize(), b[i].apk.serialize()) << a[i].apk.name;
+}
+
+// --- corpus ---------------------------------------------------------------------------
+
+TEST(Corpus, DeterministicPerIndex) {
+  const RealWorldCorpus corpus{repo()};
+  const BenchApp a = corpus.generate(17);
+  const BenchApp b = corpus.generate(17);
+  EXPECT_EQ(a.apk.serialize(), b.apk.serialize());
+  EXPECT_EQ(a.truth.issues.size(), b.truth.issues.size());
+  const BenchApp c = corpus.generate(18);
+  EXPECT_NE(a.apk.serialize(), c.apk.serialize());
+}
+
+TEST(Corpus, PopulationStatistics) {
+  const RealWorldCorpus corpus{repo()};
+  int target_modern = 0;
+  const int sample = 250;
+  for (int i = 0; i < sample; ++i) {
+    const BenchApp app = corpus.generate(i);
+    ASSERT_GE(app.apk.manifest.min_sdk, 8);
+    ASSERT_LE(app.apk.manifest.target_sdk, 29);
+    target_modern += app.apk.manifest.target_sdk >= 23;
+    EXPECT_LE(app.apk.dex_loc(), 90'000u);
+  }
+  // 50.8% of the population targets >= 23 (binomial tolerance).
+  EXPECT_GT(target_modern, sample * 0.40);
+  EXPECT_LT(target_modern, sample * 0.62);
+}
+
+TEST(Corpus, SizeReportsConfiguredCount) {
+  const RealWorldCorpus corpus{repo()};
+  EXPECT_EQ(corpus.size(), 3571);
+}
+
+}  // namespace
+}  // namespace saintdroid

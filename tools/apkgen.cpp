@@ -1,0 +1,99 @@
+// apkgen — writes workload packages to disk for the CLI and external
+// tooling.
+//
+//   apkgen bench <output-dir>          # the 19 benchmark apps + the 8
+//                                      # unbuildable ones (.apk files)
+//   apkgen corpus <output-dir> <n>     # the first n corpus apps
+//   apkgen demo <output-file>          # one app with every mismatch kind
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "adf/repository.hpp"
+#include "workload/app_builder.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/corpus.hpp"
+
+namespace sd = saintdroid;
+namespace fs = std::filesystem;
+
+namespace {
+
+void write_file(const fs::path& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out{path, std::ios::binary};
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "apkgen: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+}
+
+std::string sanitize(std::string name) {
+  for (auto& c : name)
+    if (c == ' ' || c == '/' || c == '+') c = '_';
+  return name;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: apkgen bench <dir> | apkgen corpus <dir> <n> | "
+               "apkgen demo <file>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string mode = argv[1];
+  const auto& repo = sd::FrameworkRepository::standard();
+
+  if (mode == "demo") {
+    namespace cat = sd::catalog;
+    sd::AppBuilder b{"demo", "com.apkgen.demo", repo.spec()};
+    b.sdk(14, 26);
+    b.api_call(cat::get_color_state_list());
+    b.api_call(cat::http_client_execute());
+    b.callback_override(cat::on_attach_context());
+    b.permission_use(cat::camera_open());
+    write_file(argv[2], b.build().apk.serialize());
+    std::printf("wrote %s\n", argv[2]);
+    return 0;
+  }
+
+  const fs::path dir = argv[2];
+  fs::create_directories(dir);
+
+  if (mode == "bench") {
+    int written = 0;
+    for (const auto& app : sd::cid_bench(repo)) {
+      write_file(dir / (sanitize(app.apk.name) + ".apk"),
+                 app.apk.serialize());
+      ++written;
+    }
+    for (const auto& app : sd::cider_bench(repo)) {
+      write_file(dir / (sanitize(app.apk.name) + ".apk"),
+                 app.apk.serialize());
+      ++written;
+    }
+    std::printf("wrote %d benchmark apps to %s\n", written,
+                dir.string().c_str());
+    return 0;
+  }
+  if (mode == "corpus") {
+    if (argc < 4) return usage();
+    const int n = std::atoi(argv[3]);
+    const sd::RealWorldCorpus corpus{repo};
+    for (int i = 0; i < n && i < corpus.size(); ++i) {
+      const sd::BenchApp app = corpus.generate(i);
+      write_file(dir / (sanitize(app.apk.name) + ".apk"),
+                 app.apk.serialize());
+    }
+    std::printf("wrote %d corpus apps to %s\n", n, dir.string().c_str());
+    return 0;
+  }
+  return usage();
+}

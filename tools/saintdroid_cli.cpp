@@ -1,0 +1,144 @@
+// saintdroid — command-line front end.
+//
+//   saintdroid analyze <apk-file> [--json] [--suggest] [--levels a,b,c]
+//                                 [--db <database-file>]
+//   saintdroid disasm  <apk-file>
+//   saintdroid mine    <output-database-file>
+//
+// Consumes packages produced by apkgen (or any code using
+// Apk::serialize()), runs the analysis, and prints a text or JSON report,
+// optionally with repair suggestions and against an explicit framework
+// version set. `mine` persists the ARM database once so later `analyze
+// --db` runs skip the mining pass (§III-B's reusable model).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "adf/repository.hpp"
+#include "core/advisor.hpp"
+#include "core/json.hpp"
+#include "core/saintdroid.hpp"
+#include "dex/disasm.hpp"
+#include "support/errors.hpp"
+
+namespace sd = saintdroid;
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw sd::Error("cannot open " + path);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+std::vector<int> parse_levels(const std::string& arg) {
+  std::vector<int> levels;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string token =
+        arg.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    levels.push_back(std::stoi(token));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return levels;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: saintdroid analyze <apk> [--json] [--suggest] "
+               "[--levels a,b,c] [--db <file>]\n"
+               "       saintdroid disasm <apk>\n"
+               "       saintdroid mine <output-db-file>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+
+  bool json = false;
+  bool suggest = false;
+  std::vector<int> levels;
+  std::string db_path;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0)
+      json = true;
+    else if (std::strcmp(argv[i], "--suggest") == 0)
+      suggest = true;
+    else if (std::strcmp(argv[i], "--levels") == 0 && i + 1 < argc)
+      levels = parse_levels(argv[++i]);
+    else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc)
+      db_path = argv[++i];
+    else
+      return usage();
+  }
+
+  try {
+    if (command == "mine") {
+      const sd::ApiDatabase db =
+          sd::ApiDatabase::mine(sd::FrameworkRepository::standard());
+      const auto bytes = db.serialize();
+      std::ofstream out{path, std::ios::binary};
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+      if (!out) throw sd::Error("cannot write " + path);
+      std::printf("mined %zu methods, %zu callbacks, %zu permission "
+                  "mappings -> %s (%zu bytes)\n",
+                  db.method_count(), db.callback_count(),
+                  db.permission_mapping_count(), path.c_str(), bytes.size());
+      return 0;
+    }
+
+    const auto bytes = read_file(path);
+    const sd::Apk apk = sd::Apk::parse(bytes);
+
+    if (command == "disasm") {
+      std::printf("apk %s (package %s, sdk %d..%d target %d)\n",
+                  apk.name.c_str(), apk.manifest.package.c_str(),
+                  apk.manifest.min_sdk,
+                  apk.manifest.max_sdk ? apk.manifest.max_sdk : 29,
+                  apk.manifest.target_sdk);
+      for (std::size_t d = 0; d < apk.dexes.size(); ++d) {
+        std::printf("-- dex %zu --\n", d);
+        std::fputs(sd::disassemble(apk.dexes[d]).c_str(), stdout);
+      }
+      return 0;
+    }
+    if (command != "analyze") return usage();
+
+    const auto& repo = sd::FrameworkRepository::standard();
+    sd::SaintDroid tool =
+        db_path.empty()
+            ? sd::SaintDroid{repo}
+            : sd::SaintDroid{repo, sd::ApiDatabase::parse(read_file(db_path))};
+    const sd::AnalysisResult result =
+        levels.empty() ? tool.analyze(apk)
+                       : tool.analyze_versions(apk, levels);
+
+    if (json)
+      std::printf("%s\n", sd::to_json(result, apk.name).c_str());
+    else
+      std::fputs(result.to_text(apk.name).c_str(), stdout);
+
+    if (suggest) {
+      const auto repairs =
+          sd::suggest_repairs(apk.manifest, result.mismatches);
+      if (json)
+        std::printf("%s\n", sd::to_json(repairs).c_str());
+      else
+        std::fputs(sd::render_repairs(repairs).c_str(), stdout);
+    }
+    return result.mismatches.empty() ? 0 : 1;
+  } catch (const sd::Error& e) {
+    std::fprintf(stderr, "saintdroid: %s\n", e.what());
+    return 2;
+  }
+}
