@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_confirm.dir/bench_dynamic_confirm.cpp.o"
+  "CMakeFiles/bench_dynamic_confirm.dir/bench_dynamic_confirm.cpp.o.d"
+  "bench_dynamic_confirm"
+  "bench_dynamic_confirm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_confirm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

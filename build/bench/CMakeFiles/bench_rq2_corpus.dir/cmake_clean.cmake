@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq2_corpus.dir/bench_rq2_corpus.cpp.o"
+  "CMakeFiles/bench_rq2_corpus.dir/bench_rq2_corpus.cpp.o.d"
+  "bench_rq2_corpus"
+  "bench_rq2_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq2_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_capability.dir/bench_table4_capability.cpp.o"
+  "CMakeFiles/bench_table4_capability.dir/bench_table4_capability.cpp.o.d"
+  "bench_table4_capability"
+  "bench_table4_capability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_matrix.dir/device_matrix.cpp.o"
+  "CMakeFiles/device_matrix.dir/device_matrix.cpp.o.d"
+  "device_matrix"
+  "device_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

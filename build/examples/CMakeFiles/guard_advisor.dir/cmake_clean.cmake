@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guard_advisor.dir/guard_advisor.cpp.o"
+  "CMakeFiles/guard_advisor.dir/guard_advisor.cpp.o.d"
+  "guard_advisor"
+  "guard_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guard_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

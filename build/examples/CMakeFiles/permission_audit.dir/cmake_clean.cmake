@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permission_audit.dir/permission_audit.cpp.o"
+  "CMakeFiles/permission_audit.dir/permission_audit.cpp.o.d"
+  "permission_audit"
+  "permission_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permission_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adf/image.cpp" "src/adf/CMakeFiles/sd_adf.dir/image.cpp.o" "gcc" "src/adf/CMakeFiles/sd_adf.dir/image.cpp.o.d"
+  "/root/repo/src/adf/permissions.cpp" "src/adf/CMakeFiles/sd_adf.dir/permissions.cpp.o" "gcc" "src/adf/CMakeFiles/sd_adf.dir/permissions.cpp.o.d"
+  "/root/repo/src/adf/repository.cpp" "src/adf/CMakeFiles/sd_adf.dir/repository.cpp.o" "gcc" "src/adf/CMakeFiles/sd_adf.dir/repository.cpp.o.d"
+  "/root/repo/src/adf/spec.cpp" "src/adf/CMakeFiles/sd_adf.dir/spec.cpp.o" "gcc" "src/adf/CMakeFiles/sd_adf.dir/spec.cpp.o.d"
+  "/root/repo/src/adf/synthetic.cpp" "src/adf/CMakeFiles/sd_adf.dir/synthetic.cpp.o" "gcc" "src/adf/CMakeFiles/sd_adf.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dex/CMakeFiles/sd_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_adf.dir/image.cpp.o"
+  "CMakeFiles/sd_adf.dir/image.cpp.o.d"
+  "CMakeFiles/sd_adf.dir/permissions.cpp.o"
+  "CMakeFiles/sd_adf.dir/permissions.cpp.o.d"
+  "CMakeFiles/sd_adf.dir/repository.cpp.o"
+  "CMakeFiles/sd_adf.dir/repository.cpp.o.d"
+  "CMakeFiles/sd_adf.dir/spec.cpp.o"
+  "CMakeFiles/sd_adf.dir/spec.cpp.o.d"
+  "CMakeFiles/sd_adf.dir/synthetic.cpp.o"
+  "CMakeFiles/sd_adf.dir/synthetic.cpp.o.d"
+  "libsd_adf.a"
+  "libsd_adf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_adf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

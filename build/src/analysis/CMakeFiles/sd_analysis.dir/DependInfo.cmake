@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cfg.cpp" "src/analysis/CMakeFiles/sd_analysis.dir/cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/sd_analysis.dir/cfg.cpp.o.d"
+  "/root/repo/src/analysis/dominators.cpp" "src/analysis/CMakeFiles/sd_analysis.dir/dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/sd_analysis.dir/dominators.cpp.o.d"
+  "/root/repo/src/analysis/dot.cpp" "src/analysis/CMakeFiles/sd_analysis.dir/dot.cpp.o" "gcc" "src/analysis/CMakeFiles/sd_analysis.dir/dot.cpp.o.d"
+  "/root/repo/src/analysis/guards.cpp" "src/analysis/CMakeFiles/sd_analysis.dir/guards.cpp.o" "gcc" "src/analysis/CMakeFiles/sd_analysis.dir/guards.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dex/CMakeFiles/sd_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

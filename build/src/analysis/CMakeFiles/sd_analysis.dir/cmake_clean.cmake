@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/sd_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/sd_analysis.dir/dominators.cpp.o"
+  "CMakeFiles/sd_analysis.dir/dominators.cpp.o.d"
+  "CMakeFiles/sd_analysis.dir/dot.cpp.o"
+  "CMakeFiles/sd_analysis.dir/dot.cpp.o.d"
+  "CMakeFiles/sd_analysis.dir/guards.cpp.o"
+  "CMakeFiles/sd_analysis.dir/guards.cpp.o.d"
+  "libsd_analysis.a"
+  "libsd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_baselines.dir/cid.cpp.o"
+  "CMakeFiles/sd_baselines.dir/cid.cpp.o.d"
+  "CMakeFiles/sd_baselines.dir/cider.cpp.o"
+  "CMakeFiles/sd_baselines.dir/cider.cpp.o.d"
+  "CMakeFiles/sd_baselines.dir/flat_scan.cpp.o"
+  "CMakeFiles/sd_baselines.dir/flat_scan.cpp.o.d"
+  "CMakeFiles/sd_baselines.dir/lint.cpp.o"
+  "CMakeFiles/sd_baselines.dir/lint.cpp.o.d"
+  "libsd_baselines.a"
+  "libsd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_clvm.dir/clvm.cpp.o"
+  "CMakeFiles/sd_clvm.dir/clvm.cpp.o.d"
+  "libsd_clvm.a"
+  "libsd_clvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_clvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

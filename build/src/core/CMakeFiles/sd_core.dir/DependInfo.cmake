@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/sd_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/sd_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/amd.cpp" "src/core/CMakeFiles/sd_core.dir/amd.cpp.o" "gcc" "src/core/CMakeFiles/sd_core.dir/amd.cpp.o.d"
+  "/root/repo/src/core/arm.cpp" "src/core/CMakeFiles/sd_core.dir/arm.cpp.o" "gcc" "src/core/CMakeFiles/sd_core.dir/arm.cpp.o.d"
+  "/root/repo/src/core/aum.cpp" "src/core/CMakeFiles/sd_core.dir/aum.cpp.o" "gcc" "src/core/CMakeFiles/sd_core.dir/aum.cpp.o.d"
+  "/root/repo/src/core/callgraph.cpp" "src/core/CMakeFiles/sd_core.dir/callgraph.cpp.o" "gcc" "src/core/CMakeFiles/sd_core.dir/callgraph.cpp.o.d"
+  "/root/repo/src/core/json.cpp" "src/core/CMakeFiles/sd_core.dir/json.cpp.o" "gcc" "src/core/CMakeFiles/sd_core.dir/json.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/sd_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/sd_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/saintdroid.cpp" "src/core/CMakeFiles/sd_core.dir/saintdroid.cpp.o" "gcc" "src/core/CMakeFiles/sd_core.dir/saintdroid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adf/CMakeFiles/sd_adf.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/clvm/CMakeFiles/sd_clvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/sd_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/sd_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

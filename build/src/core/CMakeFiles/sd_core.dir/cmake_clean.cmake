@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_core.dir/advisor.cpp.o"
+  "CMakeFiles/sd_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/sd_core.dir/amd.cpp.o"
+  "CMakeFiles/sd_core.dir/amd.cpp.o.d"
+  "CMakeFiles/sd_core.dir/arm.cpp.o"
+  "CMakeFiles/sd_core.dir/arm.cpp.o.d"
+  "CMakeFiles/sd_core.dir/aum.cpp.o"
+  "CMakeFiles/sd_core.dir/aum.cpp.o.d"
+  "CMakeFiles/sd_core.dir/callgraph.cpp.o"
+  "CMakeFiles/sd_core.dir/callgraph.cpp.o.d"
+  "CMakeFiles/sd_core.dir/json.cpp.o"
+  "CMakeFiles/sd_core.dir/json.cpp.o.d"
+  "CMakeFiles/sd_core.dir/report.cpp.o"
+  "CMakeFiles/sd_core.dir/report.cpp.o.d"
+  "CMakeFiles/sd_core.dir/saintdroid.cpp.o"
+  "CMakeFiles/sd_core.dir/saintdroid.cpp.o.d"
+  "libsd_core.a"
+  "libsd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

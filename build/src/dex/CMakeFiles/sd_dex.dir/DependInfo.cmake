@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dex/apk.cpp" "src/dex/CMakeFiles/sd_dex.dir/apk.cpp.o" "gcc" "src/dex/CMakeFiles/sd_dex.dir/apk.cpp.o.d"
+  "/root/repo/src/dex/builder.cpp" "src/dex/CMakeFiles/sd_dex.dir/builder.cpp.o" "gcc" "src/dex/CMakeFiles/sd_dex.dir/builder.cpp.o.d"
+  "/root/repo/src/dex/dexfile.cpp" "src/dex/CMakeFiles/sd_dex.dir/dexfile.cpp.o" "gcc" "src/dex/CMakeFiles/sd_dex.dir/dexfile.cpp.o.d"
+  "/root/repo/src/dex/disasm.cpp" "src/dex/CMakeFiles/sd_dex.dir/disasm.cpp.o" "gcc" "src/dex/CMakeFiles/sd_dex.dir/disasm.cpp.o.d"
+  "/root/repo/src/dex/ids.cpp" "src/dex/CMakeFiles/sd_dex.dir/ids.cpp.o" "gcc" "src/dex/CMakeFiles/sd_dex.dir/ids.cpp.o.d"
+  "/root/repo/src/dex/instruction.cpp" "src/dex/CMakeFiles/sd_dex.dir/instruction.cpp.o" "gcc" "src/dex/CMakeFiles/sd_dex.dir/instruction.cpp.o.d"
+  "/root/repo/src/dex/manifest.cpp" "src/dex/CMakeFiles/sd_dex.dir/manifest.cpp.o" "gcc" "src/dex/CMakeFiles/sd_dex.dir/manifest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

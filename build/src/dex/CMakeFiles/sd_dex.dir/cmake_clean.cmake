@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_dex.dir/apk.cpp.o"
+  "CMakeFiles/sd_dex.dir/apk.cpp.o.d"
+  "CMakeFiles/sd_dex.dir/builder.cpp.o"
+  "CMakeFiles/sd_dex.dir/builder.cpp.o.d"
+  "CMakeFiles/sd_dex.dir/dexfile.cpp.o"
+  "CMakeFiles/sd_dex.dir/dexfile.cpp.o.d"
+  "CMakeFiles/sd_dex.dir/disasm.cpp.o"
+  "CMakeFiles/sd_dex.dir/disasm.cpp.o.d"
+  "CMakeFiles/sd_dex.dir/ids.cpp.o"
+  "CMakeFiles/sd_dex.dir/ids.cpp.o.d"
+  "CMakeFiles/sd_dex.dir/instruction.cpp.o"
+  "CMakeFiles/sd_dex.dir/instruction.cpp.o.d"
+  "CMakeFiles/sd_dex.dir/manifest.cpp.o"
+  "CMakeFiles/sd_dex.dir/manifest.cpp.o.d"
+  "libsd_dex.a"
+  "libsd_dex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_dex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

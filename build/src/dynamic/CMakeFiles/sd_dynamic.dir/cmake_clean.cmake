@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_dynamic.dir/interpreter.cpp.o"
+  "CMakeFiles/sd_dynamic.dir/interpreter.cpp.o.d"
+  "libsd_dynamic.a"
+  "libsd_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hierarchy/hierarchy.cpp" "src/hierarchy/CMakeFiles/sd_hierarchy.dir/hierarchy.cpp.o" "gcc" "src/hierarchy/CMakeFiles/sd_hierarchy.dir/hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clvm/CMakeFiles/sd_clvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/sd_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

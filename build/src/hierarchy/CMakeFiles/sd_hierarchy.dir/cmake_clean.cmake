@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_hierarchy.dir/hierarchy.cpp.o"
+  "CMakeFiles/sd_hierarchy.dir/hierarchy.cpp.o.d"
+  "libsd_hierarchy.a"
+  "libsd_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

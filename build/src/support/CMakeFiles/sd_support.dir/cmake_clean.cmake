@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_support.dir/bytes.cpp.o"
+  "CMakeFiles/sd_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/sd_support.dir/errors.cpp.o"
+  "CMakeFiles/sd_support.dir/errors.cpp.o.d"
+  "CMakeFiles/sd_support.dir/interner.cpp.o"
+  "CMakeFiles/sd_support.dir/interner.cpp.o.d"
+  "CMakeFiles/sd_support.dir/interval.cpp.o"
+  "CMakeFiles/sd_support.dir/interval.cpp.o.d"
+  "CMakeFiles/sd_support.dir/log.cpp.o"
+  "CMakeFiles/sd_support.dir/log.cpp.o.d"
+  "CMakeFiles/sd_support.dir/meter.cpp.o"
+  "CMakeFiles/sd_support.dir/meter.cpp.o.d"
+  "CMakeFiles/sd_support.dir/stats.cpp.o"
+  "CMakeFiles/sd_support.dir/stats.cpp.o.d"
+  "libsd_support.a"
+  "libsd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_workload.dir/app_builder.cpp.o"
+  "CMakeFiles/sd_workload.dir/app_builder.cpp.o.d"
+  "CMakeFiles/sd_workload.dir/benchmarks.cpp.o"
+  "CMakeFiles/sd_workload.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/sd_workload.dir/catalog.cpp.o"
+  "CMakeFiles/sd_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/sd_workload.dir/corpus.cpp.o"
+  "CMakeFiles/sd_workload.dir/corpus.cpp.o.d"
+  "CMakeFiles/sd_workload.dir/ground_truth.cpp.o"
+  "CMakeFiles/sd_workload.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/sd_workload.dir/harness.cpp.o"
+  "CMakeFiles/sd_workload.dir/harness.cpp.o.d"
+  "libsd_workload.a"
+  "libsd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adf.dir/test_adf.cpp.o"
+  "CMakeFiles/test_adf.dir/test_adf.cpp.o.d"
+  "test_adf"
+  "test_adf.pdb"
+  "test_adf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advisor_json.dir/test_advisor_json.cpp.o"
+  "CMakeFiles/test_advisor_json.dir/test_advisor_json.cpp.o.d"
+  "test_advisor_json"
+  "test_advisor_json.pdb"
+  "test_advisor_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advisor_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arm.dir/test_arm.cpp.o"
+  "CMakeFiles/test_arm.dir/test_arm.cpp.o.d"
+  "test_arm"
+  "test_arm.pdb"
+  "test_arm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clvm_hierarchy.dir/test_clvm_hierarchy.cpp.o"
+  "CMakeFiles/test_clvm_hierarchy.dir/test_clvm_hierarchy.cpp.o.d"
+  "test_clvm_hierarchy"
+  "test_clvm_hierarchy.pdb"
+  "test_clvm_hierarchy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clvm_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dex.dir/test_dex.cpp.o"
+  "CMakeFiles/test_dex.dir/test_dex.cpp.o.d"
+  "test_dex"
+  "test_dex.pdb"
+  "test_dex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dominators_dot.dir/test_dominators_dot.cpp.o"
+  "CMakeFiles/test_dominators_dot.dir/test_dominators_dot.cpp.o.d"
+  "test_dominators_dot"
+  "test_dominators_dot.pdb"
+  "test_dominators_dot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dominators_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apkgen.dir/apkgen.cpp.o"
+  "CMakeFiles/apkgen.dir/apkgen.cpp.o.d"
+  "apkgen"
+  "apkgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apkgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

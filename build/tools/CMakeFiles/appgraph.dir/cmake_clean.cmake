@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appgraph.dir/appgraph.cpp.o"
+  "CMakeFiles/appgraph.dir/appgraph.cpp.o.d"
+  "appgraph"
+  "appgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

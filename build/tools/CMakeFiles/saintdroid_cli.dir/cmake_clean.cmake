@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saintdroid_cli.dir/saintdroid_cli.cpp.o"
+  "CMakeFiles/saintdroid_cli.dir/saintdroid_cli.cpp.o.d"
+  "saintdroid"
+  "saintdroid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saintdroid_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
