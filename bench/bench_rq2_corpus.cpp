@@ -12,14 +12,24 @@
 // is *measured* by running the detector — no ledger facts reach the tool.
 //
 // Pass an app count as argv[1] to subsample (default: full corpus).
+//
+// After the mismatch-rate study, the corpus doubles as the RQ2 throughput
+// workload: the same apps run through run_suite_parallel serially and with
+// one worker per hardware thread, and both apps/sec figures are written to
+// BENCH_parallel.json so the perf trajectory is tracked per commit.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <vector>
 
 #include "adf/repository.hpp"
 #include "core/saintdroid.hpp"
+#include "support/meter.hpp"
+#include "support/thread_pool.hpp"
 #include "workload/corpus.hpp"
 #include "workload/ground_truth.hpp"
+#include "workload/harness.hpp"
 
 namespace sd = saintdroid;
 
@@ -115,5 +125,54 @@ int main(int argc, char** argv) {
               "paper): API %.1f%%, APC %.1f%%, PRM %.1f%%\n",
               100.0 * api_score.recall(), 100.0 * apc_score.recall(),
               100.0 * prm_score.recall());
+
+  // --- throughput: serial vs parallel over the same corpus slice ---------
+  // App generation is excluded from timing (it is harness, not analysis);
+  // a 400-app slice keeps the default full-corpus run affordable while
+  // argv[1] subsamples both studies consistently.
+  const int suite_count = std::min(count, 400);
+  std::vector<sd::BenchApp> suite_apps;
+  suite_apps.reserve(static_cast<std::size_t>(suite_count));
+  for (int i = 0; i < suite_count; ++i)
+    suite_apps.push_back(corpus.generate(i));
+
+  const auto db = tool.shared_database();
+  const sd::AnalyzerFactory factory = [&repo, &db] {
+    return std::make_unique<sd::SaintDroid>(repo, db);
+  };
+  const int hw = static_cast<int>(sd::ThreadPool::default_workers());
+
+  const auto throughput = [&](int jobs) {
+    const sd::Stopwatch watch;
+    const sd::SuiteResult suite =
+        sd::run_suite_parallel(factory, suite_apps, jobs);
+    const double elapsed = watch.seconds();
+    (void)suite;
+    return elapsed > 0 ? suite_count / elapsed : 0.0;
+  };
+
+  const double serial_aps = throughput(1);
+  const double parallel_aps = hw > 1 ? throughput(hw) : serial_aps;
+  std::printf("\nthroughput over %d corpus apps (shared ARM database):\n"
+              "  serial        %8.1f apps/sec\n"
+              "  jobs=%-2d       %8.1f apps/sec  (%.2fx)\n",
+              suite_count, serial_aps, hw, parallel_aps,
+              serial_aps > 0 ? parallel_aps / serial_aps : 0.0);
+
+  if (std::FILE* out = std::fopen("BENCH_parallel.json", "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"rq2_corpus_throughput\",\n"
+                 "  \"apps\": %d,\n"
+                 "  \"hardware_concurrency\": %d,\n"
+                 "  \"serial_apps_per_sec\": %.2f,\n"
+                 "  \"parallel_apps_per_sec\": %.2f,\n"
+                 "  \"speedup\": %.3f\n"
+                 "}\n",
+                 suite_count, hw, serial_aps, parallel_aps,
+                 serial_aps > 0 ? parallel_aps / serial_aps : 0.0);
+    std::fclose(out);
+    std::printf("  -> BENCH_parallel.json\n");
+  }
   return 0;
 }

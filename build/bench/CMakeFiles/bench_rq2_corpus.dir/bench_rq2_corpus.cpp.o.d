@@ -90,9 +90,7 @@ bench/CMakeFiles/bench_rq2_corpus.dir/bench_rq2_corpus.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_FILE.h \
  /usr/include/x86_64-linux-gnu/bits/types/cookie_io_functions_t.h \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h \
- /root/repo/src/adf/repository.hpp /usr/include/c++/12/array \
- /usr/include/c++/12/bits/range_access.h /usr/include/c++/12/memory \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/allocator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
  /usr/include/c++/12/bits/new_allocator.h \
@@ -145,6 +143,7 @@ bench/CMakeFiles/bench_rq2_corpus.dir/bench_rq2_corpus.cpp.o: \
  /usr/include/c++/12/bits/ostream_insert.h \
  /usr/include/c++/12/bits/cxxabi_forced.h \
  /usr/include/c++/12/bits/refwrap.h \
+ /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/basic_string.h /usr/include/c++/12/string_view \
  /usr/include/c++/12/bits/string_view.tcc \
  /usr/include/c++/12/ext/string_conversions.h /usr/include/c++/12/cerrno \
@@ -200,17 +199,22 @@ bench/CMakeFiles/bench_rq2_corpus.dir/bench_rq2_corpus.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/adf/repository.hpp \
+ /usr/include/c++/12/array /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/adf/image.hpp \
- /root/repo/src/adf/spec.hpp /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/dex/ids.hpp \
+ /root/repo/src/adf/spec.hpp /root/repo/src/dex/ids.hpp \
  /usr/include/c++/12/cstddef /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /root/repo/src/support/interval.hpp /root/repo/src/dex/dexfile.hpp \
@@ -223,12 +227,20 @@ bench/CMakeFiles/bench_rq2_corpus.dir/bench_rq2_corpus.cpp.o: \
  /root/repo/src/dex/apk.hpp /root/repo/src/dex/manifest.hpp \
  /root/repo/src/hierarchy/hierarchy.hpp \
  /root/repo/src/clvm/class_provider.hpp /root/repo/src/support/meter.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/report.hpp \
- /root/repo/src/core/analyzer.hpp /root/repo/src/workload/corpus.hpp \
+ /root/repo/src/core/analyzer.hpp /root/repo/src/support/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/workload/corpus.hpp \
  /root/repo/src/workload/benchmarks.hpp \
- /root/repo/src/workload/ground_truth.hpp
+ /root/repo/src/workload/ground_truth.hpp \
+ /root/repo/src/workload/harness.hpp

@@ -198,7 +198,11 @@ bench/CMakeFiles/bench_table4_capability.dir/bench_table4_capability.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/adf/repository.hpp \
- /usr/include/c++/12/array /usr/include/c++/12/optional \
+ /usr/include/c++/12/array /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -220,11 +224,8 @@ bench/CMakeFiles/bench_table4_capability.dir/bench_table4_capability.cpp.o: \
  /root/repo/src/dex/instruction.hpp /root/repo/src/adf/synthetic.hpp \
  /root/repo/src/baselines/cid.hpp /root/repo/src/core/analyzer.hpp \
  /root/repo/src/core/report.hpp /root/repo/src/support/meter.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/dex/apk.hpp \
  /root/repo/src/dex/manifest.hpp /root/repo/src/core/arm.hpp \
  /usr/include/c++/12/unordered_set \
@@ -237,5 +238,6 @@ bench/CMakeFiles/bench_table4_capability.dir/bench_table4_capability.cpp.o: \
  /root/repo/src/clvm/class_provider.hpp \
  /root/repo/src/workload/app_builder.hpp /root/repo/src/dex/builder.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/workload/catalog.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/interner.hpp \
+ /root/repo/src/workload/catalog.hpp \
  /root/repo/src/workload/ground_truth.hpp

@@ -151,5 +151,5 @@ src/adf/CMakeFiles/sd_adf.dir/image.cpp.o: /root/repo/src/adf/image.cpp \
  /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/span \
  /root/repo/src/dex/instruction.hpp /root/repo/src/dex/builder.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/errors.hpp \
- /usr/include/c++/12/stdexcept
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/interner.hpp \
+ /root/repo/src/support/errors.hpp /usr/include/c++/12/stdexcept

@@ -219,16 +219,17 @@ src/core/CMakeFiles/sd_core.dir/aum.cpp.o: /root/repo/src/core/aum.cpp \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/arm.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/adf/repository.hpp /root/repo/src/adf/image.hpp \
+ /root/repo/src/adf/repository.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/adf/image.hpp \
  /root/repo/src/adf/spec.hpp /root/repo/src/adf/synthetic.hpp \
  /root/repo/src/dex/apk.hpp /root/repo/src/dex/manifest.hpp \
  /root/repo/src/hierarchy/hierarchy.hpp \
  /root/repo/src/clvm/class_provider.hpp /root/repo/src/support/meter.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/support/errors.hpp

@@ -145,5 +145,5 @@ src/dex/CMakeFiles/sd_dex.dir/builder.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/dex/instruction.hpp /root/repo/src/support/errors.hpp \
- /usr/include/c++/12/stdexcept
+ /root/repo/src/dex/instruction.hpp /root/repo/src/support/interner.hpp \
+ /root/repo/src/support/errors.hpp /usr/include/c++/12/stdexcept

@@ -198,7 +198,11 @@ src/dynamic/CMakeFiles/sd_dynamic.dir/interpreter.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/adf/repository.hpp \
- /usr/include/c++/12/array /usr/include/c++/12/optional \
+ /usr/include/c++/12/array /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -225,7 +229,4 @@ src/dynamic/CMakeFiles/sd_dynamic.dir/interpreter.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/adf/permissions.hpp /root/repo/src/clvm/clvm.hpp \
  /root/repo/src/clvm/class_provider.hpp /root/repo/src/support/meter.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/hierarchy/hierarchy.hpp
+ /usr/include/c++/12/chrono /root/repo/src/hierarchy/hierarchy.hpp

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/log.cpp" "src/support/CMakeFiles/sd_support.dir/log.cpp.o" "gcc" "src/support/CMakeFiles/sd_support.dir/log.cpp.o.d"
   "/root/repo/src/support/meter.cpp" "src/support/CMakeFiles/sd_support.dir/meter.cpp.o" "gcc" "src/support/CMakeFiles/sd_support.dir/meter.cpp.o.d"
   "/root/repo/src/support/stats.cpp" "src/support/CMakeFiles/sd_support.dir/stats.cpp.o" "gcc" "src/support/CMakeFiles/sd_support.dir/stats.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/support/CMakeFiles/sd_support.dir/thread_pool.cpp.o" "gcc" "src/support/CMakeFiles/sd_support.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

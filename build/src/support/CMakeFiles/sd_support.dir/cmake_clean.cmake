@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/sd_support.dir/meter.cpp.o.d"
   "CMakeFiles/sd_support.dir/stats.cpp.o"
   "CMakeFiles/sd_support.dir/stats.cpp.o.d"
+  "CMakeFiles/sd_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/sd_support.dir/thread_pool.cpp.o.d"
   "libsd_support.a"
   "libsd_support.pdb"
 )

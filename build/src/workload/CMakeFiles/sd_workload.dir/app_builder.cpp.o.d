@@ -219,7 +219,7 @@ src/workload/CMakeFiles/sd_workload.dir/app_builder.cpp.o: \
  /root/repo/src/dex/instruction.hpp /root/repo/src/dex/manifest.hpp \
  /root/repo/src/dex/builder.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/workload/catalog.hpp \
+ /root/repo/src/support/interner.hpp /root/repo/src/workload/catalog.hpp \
  /root/repo/src/workload/ground_truth.hpp /root/repo/src/core/report.hpp \
  /root/repo/src/support/meter.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \

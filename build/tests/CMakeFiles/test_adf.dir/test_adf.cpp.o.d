@@ -300,4 +300,6 @@ tests/CMakeFiles/test_adf.dir/test_adf.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/dex/dexfile.hpp /usr/include/c++/12/span \
  /root/repo/src/dex/instruction.hpp /root/repo/src/adf/permissions.hpp \
- /root/repo/src/adf/repository.hpp /root/repo/src/adf/synthetic.hpp
+ /root/repo/src/adf/repository.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/adf/synthetic.hpp

@@ -293,7 +293,9 @@ tests/CMakeFiles/test_advisor_json.dir/test_advisor_json.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/adf/repository.hpp /root/repo/src/adf/image.hpp \
+ /root/repo/src/adf/repository.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/adf/image.hpp \
  /root/repo/src/adf/spec.hpp /root/repo/src/dex/ids.hpp \
  /root/repo/src/support/interval.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
@@ -303,7 +305,6 @@ tests/CMakeFiles/test_advisor_json.dir/test_advisor_json.cpp.o: \
  /root/repo/src/dex/instruction.hpp /root/repo/src/adf/synthetic.hpp \
  /root/repo/src/core/advisor.hpp /root/repo/src/core/report.hpp \
  /root/repo/src/support/meter.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/dex/manifest.hpp /root/repo/src/core/json.hpp \
  /root/repo/src/core/saintdroid.hpp /root/repo/src/core/amd.hpp \
  /root/repo/src/core/arm.hpp /usr/include/c++/12/unordered_set \
@@ -313,5 +314,6 @@ tests/CMakeFiles/test_advisor_json.dir/test_advisor_json.cpp.o: \
  /root/repo/src/clvm/class_provider.hpp /root/repo/src/core/analyzer.hpp \
  /root/repo/src/workload/app_builder.hpp /root/repo/src/dex/builder.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/workload/catalog.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/interner.hpp \
+ /root/repo/src/workload/catalog.hpp \
  /root/repo/src/workload/ground_truth.hpp

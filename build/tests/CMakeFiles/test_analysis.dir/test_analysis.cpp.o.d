@@ -302,4 +302,5 @@ tests/CMakeFiles/test_analysis.dir/test_analysis.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/dex/builder.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/support/rng.hpp /root/repo/src/support/errors.hpp
+ /root/repo/src/support/interner.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/support/errors.hpp

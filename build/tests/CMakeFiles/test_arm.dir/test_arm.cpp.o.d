@@ -293,7 +293,9 @@ tests/CMakeFiles/test_arm.dir/test_arm.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/adf/repository.hpp /root/repo/src/adf/image.hpp \
+ /root/repo/src/adf/repository.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/adf/image.hpp \
  /root/repo/src/adf/spec.hpp /root/repo/src/dex/ids.hpp \
  /root/repo/src/support/interval.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

@@ -302,5 +302,5 @@ tests/CMakeFiles/test_dex.dir/test_dex.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/dex/builder.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/dex/disasm.hpp /root/repo/src/support/bytes.hpp \
- /root/repo/src/support/errors.hpp
+ /root/repo/src/support/interner.hpp /root/repo/src/dex/disasm.hpp \
+ /root/repo/src/support/bytes.hpp /root/repo/src/support/errors.hpp

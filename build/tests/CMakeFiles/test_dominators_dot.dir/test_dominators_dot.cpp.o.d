@@ -303,5 +303,5 @@ tests/CMakeFiles/test_dominators_dot.dir/test_dominators_dot.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/dex/builder.hpp /root/repo/src/support/rng.hpp \
- /root/repo/src/support/errors.hpp
+ /root/repo/src/dex/builder.hpp /root/repo/src/support/interner.hpp \
+ /root/repo/src/support/rng.hpp /root/repo/src/support/errors.hpp

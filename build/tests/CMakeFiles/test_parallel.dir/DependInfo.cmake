@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/sd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamic/CMakeFiles/sd_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/adf/CMakeFiles/sd_adf.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/sd_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/clvm/CMakeFiles/sd_clvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/sd_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

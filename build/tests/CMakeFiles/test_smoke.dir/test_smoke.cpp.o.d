@@ -293,7 +293,9 @@ tests/CMakeFiles/test_smoke.dir/test_smoke.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/adf/repository.hpp /root/repo/src/adf/image.hpp \
+ /root/repo/src/adf/repository.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/adf/image.hpp \
  /root/repo/src/adf/spec.hpp /root/repo/src/dex/ids.hpp \
  /root/repo/src/support/interval.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
@@ -308,10 +310,9 @@ tests/CMakeFiles/test_smoke.dir/test_smoke.cpp.o: \
  /root/repo/src/dex/apk.hpp /root/repo/src/dex/manifest.hpp \
  /root/repo/src/hierarchy/hierarchy.hpp \
  /root/repo/src/clvm/class_provider.hpp /root/repo/src/support/meter.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/core/report.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/core/report.hpp \
  /root/repo/src/core/analyzer.hpp /root/repo/src/workload/app_builder.hpp \
  /root/repo/src/dex/builder.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/workload/catalog.hpp \
+ /root/repo/src/support/interner.hpp /root/repo/src/workload/catalog.hpp \
  /root/repo/src/workload/ground_truth.hpp

@@ -14,6 +14,7 @@ include("/root/repo/build/tests/test_arm[1]_include.cmake")
 include("/root/repo/build/tests/test_core[1]_include.cmake")
 include("/root/repo/build/tests/test_baselines[1]_include.cmake")
 include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
 include("/root/repo/build/tests/test_advisor_json[1]_include.cmake")
 include("/root/repo/build/tests/test_dominators_dot[1]_include.cmake")

@@ -212,7 +212,8 @@ tools/CMakeFiles/apkgen.dir/apkgen.cpp.o: /root/repo/tools/apkgen.cpp \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -238,7 +239,8 @@ tools/CMakeFiles/apkgen.dir/apkgen.cpp.o: /root/repo/tools/apkgen.cpp \
  /root/repo/src/workload/app_builder.hpp /root/repo/src/dex/apk.hpp \
  /root/repo/src/dex/manifest.hpp /root/repo/src/dex/builder.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/workload/catalog.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/interner.hpp \
+ /root/repo/src/workload/catalog.hpp \
  /root/repo/src/workload/ground_truth.hpp /root/repo/src/core/report.hpp \
  /root/repo/src/support/meter.hpp /usr/include/c++/12/chrono \
  /root/repo/src/workload/benchmarks.hpp \

@@ -200,7 +200,11 @@ tools/CMakeFiles/appgraph.dir/appgraph.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -226,8 +230,6 @@ tools/CMakeFiles/appgraph.dir/appgraph.cpp.o: \
  /root/repo/src/clvm/clvm.hpp /root/repo/src/clvm/class_provider.hpp \
  /root/repo/src/dex/apk.hpp /root/repo/src/dex/manifest.hpp \
  /root/repo/src/support/meter.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/callgraph.hpp \
- /root/repo/src/hierarchy/hierarchy.hpp /root/repo/src/support/errors.hpp
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/core/callgraph.hpp /root/repo/src/hierarchy/hierarchy.hpp \
+ /root/repo/src/support/errors.hpp

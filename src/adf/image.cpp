@@ -31,6 +31,10 @@ DexFile emit_framework_image(const FrameworkSpec& spec, int level) {
   };
 
   DexBuilder builder;
+  // Roughly one type per class and a handful of distinct strings (name,
+  // super, method names, descriptors) each; pre-sizing the pools avoids
+  // rehashes while authoring the thousands of classes of one level image.
+  builder.reserve_pools(spec.classes.size() * 4, spec.classes.size() + 16);
   for (const auto& cls : spec.classes) {
     if (!cls.life.exists_at(level)) continue;
 

@@ -10,23 +10,27 @@ FrameworkRepository::FrameworkRepository(FrameworkConfig cfg)
     : cfg_(cfg), spec_(build_framework_spec(cfg_)) {}
 
 const DexFile& FrameworkRepository::image(int level) const {
-  const int clamped = clamp_level(level);
-  auto& slot = images_[static_cast<std::size_t>(clamped)];
-  if (!slot) slot = emit_framework_image(spec_, clamped);
+  const std::size_t slot_idx =
+      static_cast<std::size_t>(clamp_level(level));
+  auto& slot = images_[slot_idx];
+  std::call_once(image_once_[slot_idx], [&] {
+    slot = emit_framework_image(spec_, static_cast<int>(slot_idx));
+  });
   return *slot;
 }
 
 const FrameworkClassIndex& FrameworkRepository::class_index(int level) const {
-  const int clamped = clamp_level(level);
-  auto& slot = indexes_[static_cast<std::size_t>(clamped)];
-  if (!slot) {
-    const DexFile& dex = image(clamped);
+  const std::size_t slot_idx =
+      static_cast<std::size_t>(clamp_level(level));
+  auto& slot = indexes_[slot_idx];
+  std::call_once(index_once_[slot_idx], [&] {
+    const DexFile& dex = image(static_cast<int>(slot_idx));
     FrameworkClassIndex index;
     index.reserve(dex.classes().size());
     for (const auto& cls : dex.classes())
       index.emplace(dex.type_name(cls.type), &cls);
     slot = std::move(index);
-  }
+  });
   return *slot;
 }
 

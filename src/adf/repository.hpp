@@ -9,6 +9,7 @@
 
 #include <array>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -30,13 +31,15 @@ class FrameworkRepository {
   const FrameworkSpec& spec() const { return spec_; }
   const FrameworkConfig& config() const { return cfg_; }
 
-  /// The framework image at `level`, built on first request. Not
-  /// thread-safe (all analyses here are single-threaded per process).
+  /// The framework image at `level`, built on first request. Thread-safe:
+  /// the first access at each level builds under a std::call_once guard,
+  /// every later access reads the immutable cached image without locking —
+  /// one repository safely serves N analysis workers.
   const DexFile& image(int level) const;
 
   /// Class-name index over image(level); built once and cached alongside
   /// the image, so per-app loaders need not rescan the framework's class
-  /// table.
+  /// table. Same concurrency contract as image().
   const FrameworkClassIndex& class_index(int level) const;
 
   /// Clamps an arbitrary requested level into the modelled range — apps may
@@ -50,9 +53,14 @@ class FrameworkRepository {
  private:
   FrameworkConfig cfg_;
   FrameworkSpec spec_;
+  // Lazily built per level. The once_flag arrays serialize only the first
+  // build of each slot; after the call_once returns, the slot is immutable
+  // and read lock-free on the analysis hot path.
   mutable std::array<std::optional<DexFile>, kMaxApiLevel + 1> images_;
+  mutable std::array<std::once_flag, kMaxApiLevel + 1> image_once_;
   mutable std::array<std::optional<FrameworkClassIndex>, kMaxApiLevel + 1>
       indexes_;
+  mutable std::array<std::once_flag, kMaxApiLevel + 1> index_once_;
 };
 
 }  // namespace saintdroid

@@ -11,9 +11,18 @@ namespace saintdroid {
 
 SaintDroid::SaintDroid(const FrameworkRepository& repo,
                        SaintDroidOptions options)
-    : repo_(&repo), options_(options), db_(ApiDatabase::mine(repo)) {}
+    : repo_(&repo),
+      options_(options),
+      db_(std::make_shared<const ApiDatabase>(ApiDatabase::mine(repo))) {}
 
 SaintDroid::SaintDroid(const FrameworkRepository& repo, ApiDatabase database,
+                       SaintDroidOptions options)
+    : repo_(&repo),
+      options_(options),
+      db_(std::make_shared<const ApiDatabase>(std::move(database))) {}
+
+SaintDroid::SaintDroid(const FrameworkRepository& repo,
+                       std::shared_ptr<const ApiDatabase> database,
                        SaintDroidOptions options)
     : repo_(&repo), options_(options), db_(std::move(database)) {}
 
@@ -67,10 +76,10 @@ AnalysisResult SaintDroid::analyze_at_level(const Apk& apk, int level) {
                                              /*load_framework=*/true);
 
   ClassHierarchy hierarchy{*provider};
-  Aum aum{hierarchy, db_, options_.aum};
+  Aum aum{hierarchy, *db_, options_.aum};
   const UsageModel model = aum.model(apk);
 
-  Amd amd{db_, options_.amd};
+  Amd amd{*db_, options_.amd};
   result.mismatches = amd.detect(apk.manifest, model);
 
   result.usage.seconds = watch.seconds();

@@ -43,6 +43,13 @@ class SaintDroid final : public Analyzer {
   SaintDroid(const FrameworkRepository& repo, ApiDatabase database,
              SaintDroidOptions options = {});
 
+  /// Shares an already mined database without copying it — the form the
+  /// parallel batch engine uses so one immutable ApiDatabase serves every
+  /// worker's facade. `database` must be non-null.
+  SaintDroid(const FrameworkRepository& repo,
+             std::shared_ptr<const ApiDatabase> database,
+             SaintDroidOptions options = {});
+
   std::string_view name() const override { return "SAINTDroid"; }
 
   /// Analyzes against the framework the app targets (the common case).
@@ -56,14 +63,22 @@ class SaintDroid final : public Analyzer {
 
   bool detects(MismatchKind kind) const override;
 
-  const ApiDatabase& database() const { return db_; }
+  const ApiDatabase& database() const { return *db_; }
+
+  /// The shared handle, for spawning sibling analyzers against the same
+  /// mined model.
+  const std::shared_ptr<const ApiDatabase>& shared_database() const {
+    return db_;
+  }
 
  private:
   AnalysisResult analyze_at_level(const Apk& apk, int level);
 
   const FrameworkRepository* repo_;
   SaintDroidOptions options_;
-  ApiDatabase db_;
+  // Immutable after construction; shared (never copied) across the
+  // per-worker facades of a parallel suite run.
+  std::shared_ptr<const ApiDatabase> db_;
 };
 
 }  // namespace saintdroid

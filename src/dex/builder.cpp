@@ -175,24 +175,26 @@ ClassBuilder& ClassBuilder::add_abstract_method(
 // ---------------------------------------------------------------------------
 // DexBuilder
 
+void DexBuilder::reserve_pools(std::size_t expected_strings,
+                               std::size_t expected_types) {
+  string_ids_.reserve(expected_strings);
+  dex_.strings_.reserve(expected_strings);
+  type_ids_.reserve(expected_types);
+  dex_.types_.reserve(expected_types);
+}
+
 std::uint32_t DexBuilder::intern_string(std::string_view s) {
-  const std::string key{s};
-  if (const auto it = string_ids_.find(key); it != string_ids_.end())
-    return it->second;
-  const auto idx = static_cast<std::uint32_t>(dex_.strings_.size());
-  dex_.strings_.push_back(key);
-  string_ids_.emplace(key, idx);
-  return idx;
+  // The interner assigns dense insertion-order ids, so its id *is* the
+  // string-pool index; probing never allocates.
+  const Symbol id = string_ids_.intern(s);
+  if (id == dex_.strings_.size()) dex_.strings_.emplace_back(s);
+  return id;
 }
 
 std::uint32_t DexBuilder::intern_type(std::string_view internal_name) {
-  const std::string key{internal_name};
-  if (const auto it = type_ids_.find(key); it != type_ids_.end())
-    return it->second;
-  const auto idx = static_cast<std::uint32_t>(dex_.types_.size());
-  dex_.types_.push_back(intern_string(internal_name));
-  type_ids_.emplace(key, idx);
-  return idx;
+  const Symbol id = type_ids_.intern(internal_name);
+  if (id == dex_.types_.size()) dex_.types_.push_back(intern_string(internal_name));
+  return id;
 }
 
 std::uint32_t DexBuilder::intern_proto(

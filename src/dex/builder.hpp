@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "dex/dexfile.hpp"
+#include "support/interner.hpp"
 
 namespace saintdroid {
 
@@ -166,6 +167,11 @@ class ClassBuilder {
 /// Authors one SDEX container.
 class DexBuilder {
  public:
+  /// Pre-sizes the string/type pools and their interning tables; emitters
+  /// that know their class count up front (the ADF image loader) use this
+  /// to avoid rehashing while authoring thousands of classes.
+  void reserve_pools(std::size_t expected_strings, std::size_t expected_types);
+
   // -- pool interning --------------------------------------------------------
   std::uint32_t intern_string(std::string_view s);
   std::uint32_t intern_type(std::string_view internal_name);
@@ -197,9 +203,11 @@ class DexBuilder {
 
   DexFile dex_;
   std::deque<ClassBuilder> classes_;
-  // Interning maps (string -> pool index).
-  std::unordered_map<std::string, std::uint32_t> string_ids_;
-  std::unordered_map<std::string, std::uint32_t> type_ids_;
+  // Interning tables. Strings and types use StringInterner — its dense
+  // insertion-order ids are exactly the pool indices, and lookup is
+  // allocation-free — while the composite-key pools keep plain maps.
+  StringInterner string_ids_;
+  StringInterner type_ids_;
   std::unordered_map<std::string, std::uint32_t> proto_ids_;
   std::unordered_map<std::string, std::uint32_t> method_ids_;
   std::unordered_map<std::string, std::uint32_t> field_ids_;

@@ -5,8 +5,7 @@
 namespace saintdroid {
 
 Symbol StringInterner::intern(std::string_view s) {
-  if (const auto it = ids_.find(std::string{s}); it != ids_.end())
-    return it->second;
+  if (const auto it = ids_.find(s); it != ids_.end()) return it->second;
   const auto id = static_cast<Symbol>(strings_.size());
   SD_EXPECTS(id != npos);
   strings_.emplace_back(s);
@@ -20,8 +19,13 @@ const std::string& StringInterner::lookup(Symbol id) const {
 }
 
 Symbol StringInterner::find(std::string_view s) const {
-  const auto it = ids_.find(std::string{s});
+  const auto it = ids_.find(s);
   return it == ids_.end() ? npos : it->second;
+}
+
+void StringInterner::reserve(std::size_t expected) {
+  ids_.reserve(expected);
+  strings_.reserve(expected);
 }
 
 }  // namespace saintdroid

@@ -18,21 +18,42 @@ using Symbol = std::uint32_t;
 
 class StringInterner {
  public:
-  /// Returns the id for `s`, inserting it on first sight.
+  /// Returns the id for `s`, inserting it on first sight. Heterogeneous
+  /// lookup: probing never materializes a temporary std::string; one
+  /// allocation happens only on genuine first sight.
   Symbol intern(std::string_view s);
 
   /// Returns the string for an id previously returned by intern().
   const std::string& lookup(Symbol id) const;
 
-  /// Returns the id for `s` if already interned, or npos.
+  /// Returns the id for `s` if already interned, or npos. Allocation-free.
   Symbol find(std::string_view s) const;
+
+  /// Pre-sizes both tables for `expected` distinct strings (the SDEX pool
+  /// loaders know their pool sizes up front).
+  void reserve(std::size_t expected);
 
   std::size_t size() const { return strings_.size(); }
 
   static constexpr Symbol npos = ~Symbol{0};
 
  private:
-  std::unordered_map<std::string, Symbol> ids_;
+  // Transparent hash/equality so string_view probes hit std::string keys
+  // directly (P0919 heterogeneous unordered lookup).
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
+  std::unordered_map<std::string, Symbol, Hash, Eq> ids_;
   std::vector<std::string> strings_;
 };
 

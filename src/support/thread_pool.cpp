@@ -1,0 +1,54 @@
+#include "support/thread_pool.hpp"
+
+namespace saintdroid {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock{mutex_};
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    const std::lock_guard lock{mutex_};
+    // Submitting after the destructor has begun would lose the task; the
+    // queue is drained but no worker will pick up work enqueued past the
+    // stop flag once all workers have exited.
+    queue_.push_back(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock{mutex_};
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Run outside the lock so tasks may submit() reentrantly. A
+    // packaged_task never lets the exception escape here — it is captured
+    // into the task's future.
+    job();
+  }
+}
+
+std::size_t ThreadPool::default_workers() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace saintdroid

@@ -1,5 +1,9 @@
 #include "workload/harness.hpp"
 
+#include <utility>
+
+#include "support/thread_pool.hpp"
+
 namespace saintdroid {
 
 Score FamilyScores::total() const {
@@ -17,35 +21,95 @@ FamilyScores& FamilyScores::operator+=(const FamilyScores& other) {
   return *this;
 }
 
+namespace {
+
+/// Analyzes and scores one app — the single definition of row semantics
+/// shared by the serial and parallel paths, so they cannot drift apart.
+SuiteAppRow score_app(Analyzer& tool, const BenchApp& app) {
+  SuiteAppRow row;
+  row.app = app.apk.name;
+  const AnalysisResult result = tool.analyze(app.apk);
+  row.completed = result.completed;
+  row.failure_reason = result.failure_reason;
+  row.usage = result.usage;
+  if (!result.completed) {
+    row.scores.api.fn = app.truth.real_count(MismatchKind::kApiInvocation);
+    row.scores.apc.fn = app.truth.real_count(MismatchKind::kApiCallback);
+    row.scores.prm.fn =
+        app.truth.real_count(MismatchKind::kPermissionRequest);
+  } else {
+    row.scores.api = score_detections(app.truth, result.mismatches,
+                                      MismatchKind::kApiInvocation);
+    row.scores.apc = score_detections(app.truth, result.mismatches,
+                                      MismatchKind::kApiCallback);
+    row.scores.prm = score_detections(app.truth, result.mismatches,
+                                      MismatchKind::kPermissionRequest);
+  }
+  return row;
+}
+
+/// Folds rows (already in input order) into the suite aggregate — shared
+/// by both paths so merge semantics are defined exactly once.
+void aggregate_rows(SuiteResult& suite) {
+  for (const auto& row : suite.rows) {
+    if (!row.completed) ++suite.failures;
+    suite.aggregate += row.scores;
+  }
+}
+
+}  // namespace
+
 SuiteResult run_suite(Analyzer& tool, std::span<const BenchApp> apps) {
   SuiteResult suite;
   suite.tool = std::string{tool.name()};
   suite.rows.reserve(apps.size());
+  for (const auto& app : apps) suite.rows.push_back(score_app(tool, app));
+  aggregate_rows(suite);
+  return suite;
+}
 
-  for (const auto& app : apps) {
-    SuiteAppRow row;
-    row.app = app.apk.name;
-    const AnalysisResult result = tool.analyze(app.apk);
-    row.completed = result.completed;
-    row.failure_reason = result.failure_reason;
-    row.usage = result.usage;
-    if (!result.completed) {
-      ++suite.failures;
-      row.scores.api.fn = app.truth.real_count(MismatchKind::kApiInvocation);
-      row.scores.apc.fn = app.truth.real_count(MismatchKind::kApiCallback);
-      row.scores.prm.fn =
-          app.truth.real_count(MismatchKind::kPermissionRequest);
-    } else {
-      row.scores.api = score_detections(app.truth, result.mismatches,
-                                        MismatchKind::kApiInvocation);
-      row.scores.apc = score_detections(app.truth, result.mismatches,
-                                        MismatchKind::kApiCallback);
-      row.scores.prm = score_detections(app.truth, result.mismatches,
-                                        MismatchKind::kPermissionRequest);
-    }
-    suite.aggregate += row.scores;
-    suite.rows.push_back(std::move(row));
+SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
+                               std::span<const BenchApp> apps, int jobs) {
+  const std::size_t n = apps.size();
+  if (jobs > static_cast<int>(n)) jobs = static_cast<int>(n);
+
+  if (jobs <= 1) {
+    const std::unique_ptr<Analyzer> tool = factory();
+    return run_suite(*tool, apps);
   }
+
+  SuiteResult suite;
+  suite.rows.resize(n);
+
+  // One analyzer per worker, constructed up front on this thread so
+  // factory() itself needs no synchronization. Worker w owns the
+  // interleaved slots {w, w + jobs, ...}: interleaving balances the
+  // long-tailed app-size distribution better than contiguous blocks, and
+  // each slot is written exactly once by exactly one worker, so rows need
+  // no locking and land at their input index regardless of scheduling.
+  std::vector<std::unique_ptr<Analyzer>> tools;
+  tools.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) tools.push_back(factory());
+  suite.tool = std::string{tools.front()->name()};
+
+  {
+    ThreadPool pool{static_cast<std::size_t>(jobs)};
+    std::vector<std::future<void>> done;
+    done.reserve(static_cast<std::size_t>(jobs));
+    for (int w = 0; w < jobs; ++w) {
+      done.push_back(pool.submit([&, w] {
+        Analyzer& tool = *tools[static_cast<std::size_t>(w)];
+        for (std::size_t i = static_cast<std::size_t>(w); i < n;
+             i += static_cast<std::size_t>(jobs))
+          suite.rows[i] = score_app(tool, apps[i]);
+      }));
+    }
+    // get() (not just wait) so a worker's exception propagates to the
+    // caller instead of being swallowed.
+    for (auto& f : done) f.get();
+  }
+
+  aggregate_rows(suite);
   return suite;
 }
 

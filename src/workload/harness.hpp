@@ -5,6 +5,8 @@
 // every real issue in the app as a miss, per family).
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -46,5 +48,23 @@ struct SuiteResult {
 /// failed analysis contributes every real issue of the app as a false
 /// negative in its family.
 SuiteResult run_suite(Analyzer& tool, std::span<const BenchApp> apps);
+
+/// Makes one analyzer instance for one worker of a parallel suite run.
+/// Called once per worker (not per app); implementations should share the
+/// expensive immutable state — the FrameworkRepository and a pre-mined
+/// ApiDatabase — and keep only cheap mutable state per instance. Must be
+/// callable from the submitting thread before any worker runs.
+using AnalyzerFactory = std::function<std::unique_ptr<Analyzer>()>;
+
+/// Parallel run_suite: shards `apps` across `jobs` workers, each with its
+/// own factory-made analyzer, and merges rows back in input order. The
+/// result is deterministic — identical rows, aggregate, and failure count
+/// to run_suite for any `jobs`, because every row slot is written exactly
+/// once at its input index and aggregation happens after the join, in
+/// order. (Wall-clock fields inside ResourceUsage still vary run to run,
+/// exactly as they do serially.) `jobs <= 1` degenerates to the serial
+/// loop on the calling thread.
+SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
+                               std::span<const BenchApp> apps, int jobs);
 
 }  // namespace saintdroid

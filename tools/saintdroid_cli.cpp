@@ -2,6 +2,7 @@
 //
 //   saintdroid analyze <apk-file> [--json] [--suggest] [--levels a,b,c]
 //                                 [--db <database-file>]
+//   saintdroid batch   <apk-file>... [--jobs N] [--db <database-file>]
 //   saintdroid disasm  <apk-file>
 //   saintdroid mine    <output-database-file>
 //
@@ -9,10 +10,16 @@
 // Apk::serialize()), runs the analysis, and prints a text or JSON report,
 // optionally with repair suggestions and against an explicit framework
 // version set. `mine` persists the ARM database once so later `analyze
-// --db` runs skip the mining pass (§III-B's reusable model).
+// --db` runs skip the mining pass (§III-B's reusable model). `batch`
+// analyzes many packages across a worker pool — one mined database shared
+// by every worker, one summary line per app in input order regardless of
+// `--jobs`.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +29,8 @@
 #include "core/saintdroid.hpp"
 #include "dex/disasm.hpp"
 #include "support/errors.hpp"
+#include "support/meter.hpp"
+#include "support/thread_pool.hpp"
 
 namespace sd = saintdroid;
 
@@ -52,9 +61,62 @@ int usage() {
   std::fprintf(stderr,
                "usage: saintdroid analyze <apk> [--json] [--suggest] "
                "[--levels a,b,c] [--db <file>]\n"
+               "       saintdroid batch <apk>... [--jobs N] [--db <file>]\n"
                "       saintdroid disasm <apk>\n"
                "       saintdroid mine <output-db-file>\n");
   return 2;
+}
+
+/// `saintdroid batch`: parses every package up front, analyzes them across
+/// `jobs` workers sharing one mined database, prints one line per app in
+/// input order. Returns 1 when any app has mismatches, 2 on parse failure.
+int run_batch(const std::vector<std::string>& paths, int jobs,
+              const std::string& db_path) {
+  const auto& repo = sd::FrameworkRepository::standard();
+  const std::shared_ptr<const sd::ApiDatabase> db =
+      std::make_shared<const sd::ApiDatabase>(
+          db_path.empty()
+              ? sd::ApiDatabase::mine(repo)
+              : sd::ApiDatabase::parse(read_file(db_path)));
+
+  std::vector<sd::Apk> apks;
+  apks.reserve(paths.size());
+  for (const auto& p : paths) apks.push_back(sd::Apk::parse(read_file(p)));
+
+  if (jobs <= 0) jobs = static_cast<int>(sd::ThreadPool::default_workers());
+  if (jobs > static_cast<int>(apks.size()))
+    jobs = static_cast<int>(apks.size());
+
+  std::vector<sd::AnalysisResult> results{apks.size()};
+  const sd::Stopwatch watch;
+  {
+    sd::ThreadPool pool{static_cast<std::size_t>(jobs)};
+    std::vector<std::future<void>> done;
+    for (int w = 0; w < jobs; ++w) {
+      done.push_back(pool.submit([&, w] {
+        sd::SaintDroid tool{repo, db};  // per-worker facade, shared model
+        for (std::size_t i = static_cast<std::size_t>(w); i < apks.size();
+             i += static_cast<std::size_t>(jobs))
+          results[i] = tool.analyze(apks[i]);
+      }));
+    }
+    for (auto& f : done) f.get();
+  }
+  const double elapsed = watch.seconds();
+
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < apks.size(); ++i) {
+    const auto count = results[i].mismatches.size();
+    total += count;
+    std::printf("%-24s %s  %zu mismatch%s (%.1f ms)\n",
+                apks[i].name.c_str(),
+                results[i].completed ? "ok    " : "FAILED", count,
+                count == 1 ? "" : "es", results[i].usage.seconds * 1000.0);
+  }
+  std::printf("%zu apps, %llu mismatches, %d jobs, %.2fs (%.1f apps/sec)\n",
+              apks.size(), static_cast<unsigned long long>(total), jobs,
+              elapsed, elapsed > 0 ? apks.size() / elapsed : 0.0);
+  return total == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -63,6 +125,29 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string command = argv[1];
   const std::string path = argv[2];
+
+  if (command == "batch") {
+    std::vector<std::string> paths;
+    int jobs = 0;  // 0 -> hardware concurrency
+    std::string db_path;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+        jobs = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc)
+        db_path = argv[++i];
+      else if (argv[i][0] == '-')
+        return usage();
+      else
+        paths.emplace_back(argv[i]);
+    }
+    if (paths.empty()) return usage();
+    try {
+      return run_batch(paths, jobs, db_path);
+    } catch (const sd::Error& e) {
+      std::fprintf(stderr, "saintdroid: %s\n", e.what());
+      return 2;
+    }
+  }
 
   bool json = false;
   bool suggest = false;
