@@ -1,0 +1,126 @@
+// Robustness benchmark: batch throughput under injected per-app faults.
+//
+// A fault-tolerant batch engine must degrade linearly: killing X% of the
+// apps in a corpus run should remove ~X% of the work, never add any —
+// no retries, no poisoned workers, no serialized error paths. This bench
+// runs the same corpus slice at 0%, 5% and 20% injected failure rates
+// (deterministic victim sets, planned via the fault substrate) and writes
+// the measured throughput plus the failure accounting to BENCH_faults.json
+// so the no-retry-blowup property is tracked per commit.
+//
+// Pass an app count as argv[1] to resize the slice (default 200).
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adf/repository.hpp"
+#include "core/saintdroid.hpp"
+#include "support/faults.hpp"
+#include "support/meter.hpp"
+#include "support/thread_pool.hpp"
+#include "workload/corpus.hpp"
+#include "workload/harness.hpp"
+
+namespace sd = saintdroid;
+
+int main(int argc, char** argv) {
+  int count = 200;
+  if (argc > 1) count = std::atoi(argv[1]);
+  if (count < 10) count = 10;
+
+  const auto& repo = sd::FrameworkRepository::standard();
+  const sd::RealWorldCorpus corpus{repo};
+  const int hw = static_cast<int>(sd::ThreadPool::default_workers());
+
+  std::printf("generating %d corpus apps (%d workers)...\n", count, hw);
+  const std::vector<sd::BenchApp> apps = corpus.generate_range(0, count, hw);
+
+  sd::SaintDroid miner{repo};
+  const auto db = miner.shared_database();
+  const sd::AnalyzerFactory factory = [&repo, &db] {
+    return std::make_unique<sd::SaintDroid>(repo, db);
+  };
+
+  struct RateResult {
+    double rate = 0.0;
+    int planned = 0;
+    int observed_failures = 0;
+    double seconds = 0.0;
+    double apps_per_sec = 0.0;
+  };
+  std::vector<RateResult> results;
+
+  for (const double rate : {0.0, 0.05, 0.20}) {
+    RateResult r;
+    r.rate = rate;
+    r.planned = static_cast<int>(rate * count + 0.5);
+
+    // Deterministic, evenly spread victim set: the same apps die on every
+    // run and at every worker count.
+    sd::FaultPlan plan;
+    for (int j = 0; j < r.planned; ++j) {
+      const int victim = j * count / r.planned;
+      plan.faults.push_back({"clvm.materialize",
+                             apps[static_cast<std::size_t>(victim)].apk.name,
+                             sd::FaultSpec::Kind::kInjected});
+    }
+    const sd::FaultScope scope{plan};
+
+    const sd::Stopwatch watch;
+    const sd::SuiteResult suite = sd::run_suite_parallel(factory, apps, hw);
+    r.seconds = watch.seconds();
+    r.observed_failures = suite.failures;
+    r.apps_per_sec = r.seconds > 0 ? count / r.seconds : 0.0;
+    results.push_back(r);
+
+    std::printf("rate %5.1f%%: %3d planned, %3d failed, %6.2fs, "
+                "%8.1f apps/sec\n",
+                100.0 * rate, r.planned, r.observed_failures, r.seconds,
+                r.apps_per_sec);
+    if (r.observed_failures != r.planned) {
+      std::fprintf(stderr,
+                   "FAULT ACCOUNTING BROKEN: planned %d, observed %d\n",
+                   r.planned, r.observed_failures);
+      return 1;
+    }
+  }
+
+  // No retry blowup: a faulted run does strictly less analysis work, so
+  // its wall clock must not exceed the clean run by more than scheduling
+  // noise. 1.25x headroom keeps the gate CI-stable.
+  const double clean = results.front().seconds;
+  bool blowup = false;
+  for (const auto& r : results) {
+    if (clean > 0 && r.seconds > clean * 1.25) blowup = true;
+  }
+  std::printf("retry blowup: %s (clean %.2fs, worst %.2fs)\n",
+              blowup ? "DETECTED" : "none", clean,
+              std::max({results[0].seconds, results[1].seconds,
+                        results[2].seconds}));
+
+  if (std::FILE* out = std::fopen("BENCH_faults.json", "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"fault_injected_batch\",\n"
+                 "  \"apps\": %d,\n"
+                 "  \"jobs\": %d,\n"
+                 "  \"retry_blowup\": %s,\n"
+                 "  \"rates\": [\n",
+                 count, hw, blowup ? "true" : "false");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(out,
+                   "    {\"injected_rate\": %.2f, \"planned\": %d, "
+                   "\"failures\": %d, \"seconds\": %.3f, "
+                   "\"apps_per_sec\": %.2f}%s\n",
+                   r.rate, r.planned, r.observed_failures, r.seconds,
+                   r.apps_per_sec, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("-> BENCH_faults.json\n");
+  }
+  return blowup ? 1 : 0;
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Sanitizer CI for the concurrency and robustness surfaces.
+#
+# Two legs, both building with the repo's SD_SANITIZE CMake option:
+#   1. ThreadSanitizer over the parallel/robustness suites — the thread
+#      pool, run_suite_parallel, the fault-injection substrate and the
+#      shared journal writer are the racy surfaces.
+#   2. AddressSanitizer+UBSan over the full tier-1 ctest suite — the fuzz
+#      sweeps only prove "no crash" if UB actually traps.
+#
+# Usage: ci/sanitize.sh [tsan|asan|all]   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+leg="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_tsan() {
+  echo "=== ThreadSanitizer: test_parallel + test_faults ==="
+  cmake -B build-tsan -S . -DSD_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build build-tsan -j "$jobs" --target test_parallel test_faults
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_faults
+}
+
+run_asan() {
+  echo "=== AddressSanitizer+UBSan: full tier-1 suite ==="
+  cmake -B build-asan -S . -DSD_SANITIZE=address,undefined \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build build-asan -j "$jobs"
+  ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan --output-on-failure -j "$jobs"
+}
+
+case "$leg" in
+  tsan) run_tsan ;;
+  asan) run_asan ;;
+  all)  run_tsan; run_asan ;;
+  *)    echo "usage: ci/sanitize.sh [tsan|asan|all]" >&2; exit 2 ;;
+esac
+echo "sanitize: OK ($leg)"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/errors.hpp"
+#include "support/faults.hpp"
 
 namespace saintdroid {
 
@@ -14,6 +15,10 @@ const DexFile& FrameworkRepository::image(int level) const {
       static_cast<std::size_t>(clamp_level(level));
   auto& slot = images_[slot_idx];
   std::call_once(image_once_[slot_idx], [&] {
+    // A fault here propagates out of call_once without satisfying it, so
+    // the next caller retries the build — an injected repository failure
+    // poisons one analysis, not the level, matching real transient I/O.
+    SD_FAULT_POINT("adf.image");
     slot = emit_framework_image(spec_, static_cast<int>(slot_idx));
   });
   return *slot;

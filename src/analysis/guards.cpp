@@ -77,7 +77,8 @@ void join_fields(std::unordered_map<std::uint32_t, RegFact>& into,
 
 GuardResult analyze_guards(const DexFile& dex, const MethodCode& code,
                            const Cfg& cfg, ApiInterval entry,
-                           const GuardOptions& options) {
+                           const GuardOptions& options,
+                           BudgetTracker* budget) {
   const auto block_count = cfg.block_count();
   std::vector<BlockState> in_states(block_count);
   const std::size_t reg_count = code.register_count;
@@ -127,6 +128,14 @@ GuardResult analyze_guards(const DexFile& dex, const MethodCode& code,
       };
 
   while (!worklist.empty() && iterations++ < iteration_cap) {
+    if (budget && !budget->allow_step()) {
+      // Budget exhausted mid-fixpoint: degrade soundly by widening every
+      // block to the entry context — guards stop refining, call sites
+      // stay visible, and the caller flags the report incomplete.
+      GuardResult widened;
+      widened.block_intervals.assign(block_count, entry);
+      return widened;
+    }
     const auto b = worklist.front();
     worklist.pop_front();
     queued[b] = false;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "analysis/cfg.hpp"
+#include "support/budget.hpp"
 #include "support/interval.hpp"
 
 namespace saintdroid {
@@ -58,9 +59,13 @@ struct GuardResult {
 };
 
 /// Runs the dataflow. `entry` is the interval assumed at method entry.
+/// `budget`, when provided, is charged one step per fixpoint iteration;
+/// on exhaustion the analysis degrades soundly — every block's interval
+/// widens to `entry`, i.e. guards stop refining but nothing is hidden.
 GuardResult analyze_guards(const DexFile& dex, const MethodCode& code,
                            const Cfg& cfg, ApiInterval entry,
-                           const GuardOptions& options = {});
+                           const GuardOptions& options = {},
+                           BudgetTracker* budget = nullptr);
 
 /// Refines `in` with the constraint `SDK_INT <cmp> literal` (taken branch).
 ApiInterval refine_interval(ApiInterval in, CmpOp cmp, std::int32_t literal);

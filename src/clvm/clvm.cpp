@@ -1,5 +1,7 @@
 #include "clvm/clvm.hpp"
 
+#include "support/faults.hpp"
+
 namespace saintdroid {
 
 std::uint64_t class_footprint_bytes(const DexFile& dex, const ClassDef& cls) {
@@ -42,8 +44,9 @@ LoadedClass make_loaded(const DexFile& dex, const ClassDef& def,
 
 ClassLoaderVm::ClassLoaderVm(const Apk& apk, const DexFile& framework,
                              bool include_secondary_dexes,
-                             const ClassNameIndex* framework_index)
-    : apk_(&apk), framework_(&framework) {
+                             const ClassNameIndex* framework_index,
+                             BudgetTracker* budget)
+    : apk_(&apk), framework_(&framework), budget_(budget) {
   const std::size_t dex_limit =
       include_secondary_dexes ? apk.dexes.size() : std::size_t{1};
   for (std::size_t d = 0; d < dex_limit; ++d)
@@ -63,6 +66,11 @@ ClassLoaderVm::ClassLoaderVm(const Apk& apk, const DexFile& framework,
 const LoadedClass* ClassLoaderVm::load(const std::string& name) {
   if (const auto it = cache_.find(name); it != cache_.end())
     return it->second.get();
+  // Budget guard: past the class cap a fresh load degrades to "unknown
+  // class" — callers already handle nullptr conservatively — and the
+  // tracker records the exhaustion for the incomplete-report flag.
+  if (budget_ && !budget_->allow_class(cache_.size())) return nullptr;
+  SD_FAULT_POINT("clvm.materialize");
   // App classes shadow framework classes of the same name (same as the
   // runtime's delegation order for the packaged classloader path we model).
   Source src;

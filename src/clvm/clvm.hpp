@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "clvm/class_provider.hpp"
+#include "support/budget.hpp"
 
 namespace saintdroid {
 
@@ -34,9 +35,15 @@ class ClassLoaderVm : public ClassProvider {
   /// `framework_index`, when provided, is a prebuilt name index over
   /// `framework` (built once per framework level and shared across app
   /// analyses); without it the VM indexes the framework itself.
+  /// `budget`, when provided, caps materialization: once the tracker's
+  /// class budget is exhausted, load() of a not-yet-cached class returns
+  /// nullptr (degrading exactly like an unknown class) instead of
+  /// materializing — the cooperative backstop that keeps a pathological
+  /// hierarchy from sinking a batch run.
   ClassLoaderVm(const Apk& apk, const DexFile& framework,
                 bool include_secondary_dexes = true,
-                const ClassNameIndex* framework_index = nullptr);
+                const ClassNameIndex* framework_index = nullptr,
+                BudgetTracker* budget = nullptr);
 
   const LoadedClass* load(const std::string& name) override;
   std::uint64_t loaded_class_count() const override;
@@ -57,6 +64,7 @@ class ClassLoaderVm : public ClassProvider {
   std::unordered_map<std::string, Source> index_;
   const ClassNameIndex* framework_index_ = nullptr;  // shared, not owned
   ClassNameIndex owned_framework_index_;             // fallback
+  BudgetTracker* budget_ = nullptr;                  // optional, not owned
   // Materialized classes; unique_ptr keeps pointers stable across rehash.
   std::unordered_map<std::string, std::unique_ptr<LoadedClass>> cache_;
   MemoryMeter memory_;

@@ -25,8 +25,9 @@ std::uint64_t site_key(const MethodDef* def, std::uint32_t insn_index) {
 
 }  // namespace
 
-Aum::Aum(ClassHierarchy& hierarchy, const ApiDatabase& db, AumOptions options)
-    : hierarchy_(&hierarchy), db_(&db), options_(options) {}
+Aum::Aum(ClassHierarchy& hierarchy, const ApiDatabase& db, AumOptions options,
+         BudgetTracker* budget)
+    : hierarchy_(&hierarchy), db_(&db), options_(options), budget_(budget) {}
 
 const Cfg& Aum::cfg_for(const MethodDef& def) {
   auto& slot = cfg_cache_[&def];
@@ -85,8 +86,9 @@ void Aum::explore_method(const MethodWork& work, UsageModel& model) {
   const DexFile& dex = *work.cls->dex;
   const MethodId caller = dex.method_id(*work.cls->def, def);
   const Cfg& cfg = cfg_for(def);
-  const GuardResult guards =
-      analyze_guards(dex, *def.code, cfg, work.context, options_.guards);
+  const GuardResult guards = analyze_guards(dex, *def.code, cfg,
+                                            work.context, options_.guards,
+                                            budget_);
 
   // Linear pre-pass tracking string constants per register, for
   // reflection-based late binding (Class.forName with a statically-known
@@ -301,10 +303,15 @@ UsageModel Aum::model(const Apk& apk) {
   }
 
   while (!worklist_.empty()) {
+    if (budget_ && !budget_->allow_step()) break;
     const MethodWork work = worklist_.back();
     worklist_.pop_back();
     explore_method(work, model);
   }
+
+  // Exhaustion anywhere — worklist steps, guard fixpoints, or the CLVM
+  // class cap — leaves a truncated (still sound per-fact) model.
+  if (budget_ && budget_->exhausted()) model.incomplete = true;
 
   return model;
 }

@@ -19,6 +19,7 @@
 
 #include "analysis/cfg.hpp"
 #include "analysis/guards.hpp"
+#include "support/budget.hpp"
 #include "core/arm.hpp"
 #include "dex/apk.hpp"
 #include "hierarchy/hierarchy.hpp"
@@ -62,6 +63,9 @@ struct UsageModel {
   bool handles_permission_results = false;
   /// True when any reachable method calls requestPermissions.
   bool requests_runtime_permissions = false;
+  /// True when an analysis budget exhausted before exploration finished:
+  /// the model is a valid under-approximation, not the full fixpoint.
+  bool incomplete = false;
 };
 
 /// Feature switches; SAINTDroid runs with everything on, the ablation bench
@@ -85,7 +89,11 @@ struct AumOptions {
 /// it) must outlive the returned model.
 class Aum {
  public:
-  Aum(ClassHierarchy& hierarchy, const ApiDatabase& db, AumOptions options);
+  /// `budget`, when provided, is charged one step per worklist pop (and
+  /// threaded into each guard fixpoint); on exhaustion model() stops
+  /// exploring and flags the model incomplete instead of throwing.
+  Aum(ClassHierarchy& hierarchy, const ApiDatabase& db, AumOptions options,
+      BudgetTracker* budget = nullptr);
 
   UsageModel model(const Apk& apk);
 
@@ -113,6 +121,7 @@ class Aum {
   ClassHierarchy* hierarchy_;
   const ApiDatabase* db_;
   AumOptions options_;
+  BudgetTracker* budget_ = nullptr;  // optional, not owned
 
   // Per-run state (reset by model()).
   std::unordered_map<const MethodDef*, std::unique_ptr<Cfg>> cfg_cache_;

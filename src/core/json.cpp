@@ -1,6 +1,10 @@
 #include "core/json.hpp"
 
+#include <cctype>
+#include <charconv>
 #include <sstream>
+
+#include "support/errors.hpp"
 
 namespace saintdroid {
 
@@ -53,6 +57,219 @@ std::string interval_json(ApiInterval interval) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Parsing
+
+bool JsonValue::as_bool() const {
+  SD_EXPECTS(type_ == Type::kBool);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  SD_EXPECTS(type_ == Type::kNumber);
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  SD_EXPECTS(type_ == Type::kString);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  SD_EXPECTS(type_ == Type::kArray);
+  return array_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object_)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+/// Recursive-descent parser over the grammar we emit. Depth-limited so a
+/// hostile journal line cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size())
+      throw ParseError("json: trailing characters after document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) throw ParseError("json: nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) throw ParseError("json: unexpected end");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        JsonValue v;
+        v.type_ = JsonValue::Type::kString;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't': expect_word("true"); return make_bool(true);
+      case 'f': expect_word("false"); return make_bool(false);
+      case 'n': expect_word("null"); return JsonValue{};
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return v; }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') throw ParseError("json: expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      if (peek() != ':') throw ParseError("json: expected ':'");
+      ++pos_;
+      v.object_.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      if (next == ',') { ++pos_; continue; }
+      if (next == '}') { ++pos_; return v; }
+      throw ParseError("json: expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return v; }
+    for (;;) {
+      v.array_.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char next = peek();
+      if (next == ',') { ++pos_; continue; }
+      if (next == ']') { ++pos_; return v; }
+      throw ParseError("json: expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size())
+            throw ParseError("json: truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              throw ParseError("json: bad \\u escape");
+          }
+          // UTF-8 encode (BMP only — all we ever emit).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: throw ParseError("json: bad escape");
+      }
+    }
+    throw ParseError("json: unterminated string");
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || end != text_.data() + pos_ || pos_ == start)
+      throw ParseError("json: bad number");
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    v.number_ = value;
+    return v;
+  }
+
+  static JsonValue make_bool(bool value) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kBool;
+    v.bool_ = value;
+    return v;
+  }
+
+  void expect_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      throw ParseError("json: bad literal");
+    pos_ += word.size();
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser{text}.parse_document();
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+
 std::string to_json(const Mismatch& m) {
   std::ostringstream out;
   out << "{\"kind\":" << quoted(mismatch_kind_name(m.kind))
@@ -74,6 +291,10 @@ std::string to_json(const AnalysisResult& result,
       << ",\"completed\":" << (result.completed ? "true" : "false");
   if (!result.completed)
     out << ",\"failure\":" << quoted(result.failure_reason);
+  if (result.incomplete) {
+    out << ",\"incomplete\":true,\"incomplete_reason\":"
+        << quoted(result.incomplete_reason);
+  }
   out << ",\"mismatches\":[";
   for (std::size_t i = 0; i < result.mismatches.size(); ++i) {
     if (i) out << ",";

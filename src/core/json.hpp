@@ -1,10 +1,14 @@
-// Minimal JSON emission for analysis reports — machine-readable output for
-// CI pipelines and the command-line tools. Emission only (the library
-// never consumes JSON), with full string escaping.
+// Minimal JSON for analysis reports and the suite journal —
+// machine-readable output for CI pipelines and the command-line tools,
+// plus the small reader the crash-safe journal's resume path needs
+// (workload/journal.hpp). Full string escaping on both sides.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/advisor.hpp"
 #include "core/report.hpp"
@@ -13,6 +17,42 @@ namespace saintdroid {
 
 /// Escapes a string for inclusion inside JSON quotes.
 std::string json_escape(std::string_view s);
+
+/// A parsed JSON document: null, bool, number, string, array or object.
+/// Small by design — the library consumes only its own emitted JSON (the
+/// suite journal), so numbers are doubles and object lookup is linear.
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t {
+    kNull = 0, kBool, kNumber, kString, kArray, kObject,
+  };
+
+  /// Parses one complete JSON document; throws ParseError on malformed
+  /// input or trailing garbage.
+  static JsonValue parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  /// Typed accessors; SD_EXPECTS the value holds the asked-for type.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  ///< array elements
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
 
 /// One mismatch as a JSON object.
 std::string to_json(const Mismatch& m);

@@ -1,0 +1,28 @@
+#include "core/outcome.hpp"
+
+#include "support/faults.hpp"
+
+namespace saintdroid {
+
+AppOutcome analyze_outcome(Analyzer& tool, const Apk& apk) {
+  AppOutcome outcome;
+  outcome.app = apk.name;
+  const FaultContextScope context{apk.name};
+  clear_failure_phase();  // drop any phase a previous app's failure left
+  try {
+    outcome.report = tool.analyze(apk);
+  } catch (const std::exception& error) {
+    AnalysisFailure failure;
+    failure.kind = classify_failure(error);
+    failure.phase = take_failure_phase();
+    if (failure.phase.empty()) failure.phase = "analyze";
+    failure.message = error.what();
+    outcome.failure = std::move(failure);
+    outcome.report = AnalysisResult{};
+    outcome.report.completed = false;
+    outcome.report.failure_reason = outcome.failure->message;
+  }
+  return outcome;
+}
+
+}  // namespace saintdroid

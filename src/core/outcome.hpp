@@ -1,0 +1,46 @@
+// AppOutcome: the fault-isolation boundary around one app's analysis.
+//
+// A corpus run must survive any single app — a malformed container, an
+// injected fault, an analyzer bug surfacing as an exception. analyze_outcome
+// is the one place that boundary is drawn: it establishes the app's fault
+// context, runs the analyzer, and converts any escaping exception into a
+// structured AnalysisFailure (taxonomy kind, the analysis phase it escaped
+// from, and the message) instead of letting it sink the batch. Both the
+// serial and parallel suite harnesses (workload/harness.hpp) and the batch
+// CLI route every per-app analysis through it.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "support/errors.hpp"
+
+namespace saintdroid {
+
+/// Structured description of one app's failed analysis.
+struct AnalysisFailure {
+  FailureKind kind = FailureKind::kInternal;
+  /// Analysis phase the error escaped from ("framework", "load", "model",
+  /// "detect"), or "analyze" when it fell outside any instrumented phase.
+  std::string phase;
+  std::string message;
+};
+
+/// One app's analysis: either a report or a structured failure.
+struct AppOutcome {
+  std::string app;
+  /// Valid when ok(); default-constructed on failure.
+  AnalysisResult report;
+  std::optional<AnalysisFailure> failure;
+
+  bool ok() const { return !failure.has_value(); }
+};
+
+/// Runs `tool` over `apk` inside the isolation boundary: the app's name is
+/// the active fault context for the duration, and any std::exception the
+/// analyzer throws is caught and classified. Contract violations
+/// (SD_EXPECTS) still abort — a broken invariant must not be papered over.
+AppOutcome analyze_outcome(Analyzer& tool, const Apk& apk);
+
+}  // namespace saintdroid

@@ -83,6 +83,9 @@ std::string AnalysisResult::to_text(const std::string& app_name) const {
     out << "analysis failed: " << failure_reason << "\n";
     return out.str();
   }
+  if (incomplete)
+    out << "incomplete: analysis budget exhausted (" << incomplete_reason
+        << "); partial report with flat-scan fallback\n";
   out << "mismatches: " << mismatches.size() << " (API "
       << count(MismatchKind::kApiInvocation) << ", APC "
       << count(MismatchKind::kApiCallback) << ", PRM " << permission_count()

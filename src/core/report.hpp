@@ -56,6 +56,13 @@ struct AnalysisResult {
   /// source) — rendered as a dash in Table III.
   bool completed = true;
   std::string failure_reason;
+  /// True when an analysis budget exhausted and the analyzer degraded to
+  /// a partial exploration plus a flat-scan fallback: the run *completed*
+  /// (completed stays true) but the report under-approximates what an
+  /// unbudgeted run would find. incomplete_reason names the limit hit
+  /// ("classes", "steps" or "deadline").
+  bool incomplete = false;
+  std::string incomplete_reason;
   std::vector<Mismatch> mismatches;
   ResourceUsage usage;
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "adf/spec.hpp"
 #include "clvm/clvm.hpp"
 #include "hierarchy/hierarchy.hpp"
+#include "support/errors.hpp"
 #include "support/meter.hpp"
 
 namespace saintdroid {
@@ -50,6 +53,10 @@ AnalysisResult SaintDroid::analyze_versions(const Apk& apk,
       seen.emplace(key, merged.mismatches.size());
       merged.mismatches.push_back(std::move(m));
     }
+    if (one.incomplete && !merged.incomplete) {
+      merged.incomplete = true;
+      merged.incomplete_reason = std::move(one.incomplete_reason);
+    }
     merged.usage.seconds += one.usage.seconds;
     merged.usage.peak_bytes =
         std::max(merged.usage.peak_bytes, one.usage.peak_bytes);
@@ -59,28 +66,106 @@ AnalysisResult SaintDroid::analyze_versions(const Apk& apk,
   return merged;
 }
 
+namespace {
+
+/// Flat-scan-style fallback for budget-exhausted runs (the degradation
+/// mode of baselines/flat_scan, reimplemented here over the database only
+/// so core does not depend on the baselines layer): every main-dex method
+/// is scanned independently under the manifest range with intraprocedural
+/// guards, and call sites whose declared receiver is a framework class
+/// known to the database become API call sites. No hierarchy resolution,
+/// no class materialization — cost is linear in the main dex, regardless
+/// of how deep the real exploration got before the budget tripped.
+std::vector<Mismatch> flat_fallback(const Apk& apk, const ApiDatabase& db,
+                                    const Amd& amd, ApiInterval app_range,
+                                    const GuardOptions& guard_options) {
+  UsageModel flat;
+  const DexFile& dex = apk.dexes.front();
+  for (const auto& cls : dex.classes()) {
+    for (const auto& m : cls.methods) {
+      if (!m.code || m.code->insns.empty()) continue;
+      const Cfg cfg = Cfg::build(*m.code);
+      // Unbudgeted on purpose: the fixpoint's own iteration cap bounds it,
+      // and dropping guards here would turn every guarded use into a
+      // false alarm the unbudgeted run never produces.
+      const GuardResult guards =
+          analyze_guards(dex, *m.code, cfg, app_range, guard_options);
+      const MethodId caller = dex.method_id(cls, m);
+      for (std::uint32_t i = 0; i < m.code->insns.size(); ++i) {
+        const Instruction& insn = m.code->insns[i];
+        if (insn.op != Opcode::kInvoke) continue;
+        const MethodId declared = dex.method_id_at(insn.index);
+        if (!is_framework_class_name(declared.class_name)) continue;
+        if (!db.defined_levels(declared)) continue;
+        const ApiInterval guard = guards.at(cfg, i);
+        if (guard.empty()) continue;
+        flat.api_calls.push_back(ApiCallSite{caller, i, declared, declared,
+                                             guard});
+      }
+    }
+  }
+  return amd.detect(apk.manifest, flat);
+}
+
+}  // namespace
+
 AnalysisResult SaintDroid::analyze_at_level(const Apk& apk, int level) {
   AnalysisResult result;
   const Stopwatch watch;
+  BudgetTracker budget{options_.budget};
 
-  const DexFile& framework = repo_->image(level);
+  const DexFile* framework = nullptr;
+  const FrameworkClassIndex* framework_index = nullptr;
+  {
+    const PhaseScope phase{"framework"};
+    framework = &repo_->image(level);
+    if (options_.lazy_loading) framework_index = &repo_->class_index(level);
+  }
 
   std::unique_ptr<ClassProvider> provider;
-  if (options_.lazy_loading)
-    provider = std::make_unique<ClassLoaderVm>(apk, framework,
+  {
+    const PhaseScope phase{"load"};
+    if (options_.lazy_loading)
+      provider = std::make_unique<ClassLoaderVm>(apk, *framework,
+                                                 /*include_secondary=*/true,
+                                                 framework_index, &budget);
+    else
+      provider = std::make_unique<EagerLoader>(apk, *framework,
                                                /*include_secondary=*/true,
-                                               &repo_->class_index(level));
-  else
-    provider = std::make_unique<EagerLoader>(apk, framework,
-                                             /*include_secondary=*/true,
-                                             /*load_framework=*/true);
+                                               /*load_framework=*/true);
+  }
 
   ClassHierarchy hierarchy{*provider};
-  Aum aum{hierarchy, *db_, options_.aum};
-  const UsageModel model = aum.model(apk);
+  UsageModel model;
+  {
+    const PhaseScope phase{"model"};
+    Aum aum{hierarchy, *db_, options_.aum, &budget};
+    model = aum.model(apk);
+  }
 
-  Amd amd{*db_, options_.amd};
-  result.mismatches = amd.detect(apk.manifest, model);
+  {
+    const PhaseScope phase{"detect"};
+    Amd amd{*db_, options_.amd};
+    result.mismatches = amd.detect(apk.manifest, model);
+
+    if (model.incomplete) {
+      // Budget exhausted: keep everything the truncated exploration found
+      // and fill coverage gaps with the flat scan, deduplicated by issue
+      // identity so double-found mismatches appear once.
+      result.incomplete = true;
+      result.incomplete_reason = budget.reason() ? budget.reason() : "budget";
+      const ApiInterval app_range =
+          apk.manifest.supported_range().intersect(ApiInterval::full());
+      std::unordered_set<std::string> seen;
+      seen.reserve(result.mismatches.size());
+      for (const auto& m : result.mismatches) seen.insert(m.key());
+      for (auto& m : flat_fallback(apk, *db_, amd, app_range,
+                                   options_.aum.guards)) {
+        if (seen.insert(m.key()).second)
+          result.mismatches.push_back(std::move(m));
+      }
+    }
+  }
 
   result.usage.seconds = watch.seconds();
   result.usage.peak_bytes = provider->memory().peak_bytes();

@@ -18,6 +18,7 @@
 #include "core/analyzer.hpp"
 #include "core/arm.hpp"
 #include "core/aum.hpp"
+#include "support/budget.hpp"
 
 namespace saintdroid {
 
@@ -27,6 +28,11 @@ struct SaintDroidOptions {
   /// Use the lazy CLVM (true) or eager whole-world loading (false — the
   /// ablation configuration; CID-style loading with SAINTDroid detection).
   bool lazy_loading = true;
+  /// Per-app resource limits (default: unlimited). Exhaustion degrades
+  /// the run to a partial report flagged AnalysisResult::incomplete, with
+  /// flat-scan-style API checks covering what exploration didn't reach —
+  /// it never throws, so a pathological app cannot sink a batch.
+  AnalysisBudget budget;
 };
 
 class SaintDroid final : public Analyzer {

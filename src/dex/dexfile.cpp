@@ -4,6 +4,7 @@
 
 #include "support/bytes.hpp"
 #include "support/errors.hpp"
+#include "support/faults.hpp"
 
 namespace saintdroid {
 
@@ -312,6 +313,7 @@ std::vector<std::uint8_t> DexFile::serialize() const {
 }
 
 DexFile DexFile::parse(std::span<const std::uint8_t> bytes) {
+  SD_FAULT_POINT("dex.parse");
   ByteReader r{bytes};
   if (r.u32() != kMagic) throw ParseError("bad SDEX magic");
   if (r.u32() != kVersion) throw ParseError("unsupported SDEX version");

@@ -1,0 +1,30 @@
+#include "support/budget.hpp"
+
+namespace saintdroid {
+
+bool BudgetTracker::allow_step() {
+  if (reason_) return false;
+  ++steps_;
+  if (budget_.max_worklist_steps != 0 && steps_ > budget_.max_worklist_steps) {
+    reason_ = "steps";
+    return false;
+  }
+  if (budget_.deadline_seconds > 0.0 &&
+      watch_.seconds() > budget_.deadline_seconds) {
+    reason_ = "deadline";
+    return false;
+  }
+  return true;
+}
+
+bool BudgetTracker::allow_class(std::uint64_t loaded_so_far) {
+  if (reason_) return false;
+  if (budget_.max_loaded_classes != 0 &&
+      loaded_so_far >= budget_.max_loaded_classes) {
+    reason_ = "classes";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,68 @@
+// Cooperative analysis budgets.
+//
+// A corpus-scale batch run (paper §IV: 18,000 apps) cannot let one
+// pathological app — a degenerate class hierarchy, an adversarially deep
+// call structure — consume unbounded time or memory. Budgets bound the
+// three quantities that actually blow up in practice: classes
+// materialized through the CLVM, analysis worklist/fixpoint steps, and
+// wall-clock time. Exhaustion is *cooperative and graceful*: the checks
+// return false and the analysis degrades to a partial result flagged
+// `incomplete` (plus a flat-scan fallback for API checks) — it never
+// throws, so a budgeted app still produces a usable report row.
+//
+// Class and step budgets are deterministic (same inputs, same cutoff, at
+// any worker count); the wall-clock deadline necessarily is not, and is
+// meant for operational hard caps rather than reproducible experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "support/meter.hpp"
+
+namespace saintdroid {
+
+/// Per-analysis resource limits. Zero means unlimited.
+struct AnalysisBudget {
+  /// Classes the provider may materialize before loads start failing soft
+  /// (ClassLoaderVm::load returns nullptr, as for an unknown class).
+  std::uint64_t max_loaded_classes = 0;
+  /// Combined cap on AUM worklist pops and guard-fixpoint iterations.
+  std::uint64_t max_worklist_steps = 0;
+  /// Wall-clock deadline for one app's analysis, in seconds.
+  double deadline_seconds = 0.0;
+
+  bool unlimited() const {
+    return max_loaded_classes == 0 && max_worklist_steps == 0 &&
+           deadline_seconds <= 0.0;
+  }
+};
+
+/// Run-time enforcement of one analysis' budget. Exhaustion is sticky:
+/// once any limit trips, every later check fails and reason() names the
+/// first limit hit. Not thread-safe — one tracker per analysis, which is
+/// single-threaded by construction.
+class BudgetTracker {
+ public:
+  /// Unlimited tracker (never exhausts).
+  BudgetTracker() = default;
+  explicit BudgetTracker(AnalysisBudget budget) : budget_(budget) {}
+
+  /// Accounts one worklist/fixpoint step; false when the analysis must
+  /// stop (step cap or deadline exceeded).
+  bool allow_step();
+
+  /// May another class be materialized, given `loaded_so_far` already are?
+  bool allow_class(std::uint64_t loaded_so_far);
+
+  bool exhausted() const { return reason_ != nullptr; }
+  /// "classes", "steps" or "deadline"; nullptr while within budget.
+  const char* reason() const { return reason_; }
+
+ private:
+  AnalysisBudget budget_{};
+  Stopwatch watch_;
+  std::uint64_t steps_ = 0;
+  const char* reason_ = nullptr;
+};
+
+}  // namespace saintdroid

@@ -2,8 +2,71 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 
-namespace saintdroid::detail {
+#include "support/faults.hpp"
+
+namespace saintdroid {
+
+const char* failure_kind_name(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kParse: return "parse";
+    case FailureKind::kResolve: return "resolve";
+    case FailureKind::kConfig: return "config";
+    case FailureKind::kInjected: return "injected";
+    case FailureKind::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+FailureKind failure_kind_from_name(std::string_view name) {
+  if (name == "parse") return FailureKind::kParse;
+  if (name == "resolve") return FailureKind::kResolve;
+  if (name == "config") return FailureKind::kConfig;
+  if (name == "injected") return FailureKind::kInjected;
+  return FailureKind::kInternal;
+}
+
+FailureKind classify_failure(const std::exception& error) {
+  // Most-derived types first: InjectedFault is an Error, so it must be
+  // checked before the broad buckets.
+  if (dynamic_cast<const InjectedFault*>(&error))
+    return FailureKind::kInjected;
+  if (dynamic_cast<const ParseError*>(&error)) return FailureKind::kParse;
+  if (dynamic_cast<const ResolveError*>(&error)) return FailureKind::kResolve;
+  if (dynamic_cast<const ConfigError*>(&error)) return FailureKind::kConfig;
+  return FailureKind::kInternal;
+}
+
+namespace {
+
+thread_local const char* t_phase = nullptr;
+thread_local const char* t_failure_phase = nullptr;
+
+}  // namespace
+
+PhaseScope::PhaseScope(const char* phase)
+    : previous_(t_phase), uncaught_(std::uncaught_exceptions()) {
+  t_phase = phase;
+}
+
+PhaseScope::~PhaseScope() {
+  // An exception is unwinding through this scope: the innermost scope
+  // (destroyed first) records its phase; enclosing scopes leave it alone.
+  if (std::uncaught_exceptions() > uncaught_ && t_failure_phase == nullptr)
+    t_failure_phase = t_phase;
+  t_phase = previous_;
+}
+
+std::string take_failure_phase() {
+  const char* phase = t_failure_phase;
+  t_failure_phase = nullptr;
+  return phase ? std::string{phase} : std::string{};
+}
+
+void clear_failure_phase() { t_failure_phase = nullptr; }
+
+namespace detail {
 
 void contract_failure(const char* kind, const char* expr, const char* file,
                       int line) {
@@ -12,4 +75,6 @@ void contract_failure(const char* kind, const char* expr, const char* file,
   std::abort();
 }
 
-}  // namespace saintdroid::detail
+}  // namespace detail
+
+}  // namespace saintdroid

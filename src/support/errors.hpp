@@ -9,8 +9,10 @@
 // to compile the checks out.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace saintdroid {
 
@@ -42,6 +44,46 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what)
       : Error("config error: " + what) {}
 };
+
+/// Structured failure classification for batch fault isolation: when a
+/// per-app analysis dies, the suite records *what class of thing* went
+/// wrong so operators can triage a corpus run without reading messages.
+enum class FailureKind : std::uint8_t {
+  kParse = 0,   ///< malformed input (ParseError)
+  kResolve,     ///< unresolvable symbolic reference (ResolveError)
+  kConfig,      ///< inconsistent analysis configuration (ConfigError)
+  kInjected,    ///< deliberately injected fault (support/faults.hpp)
+  kInternal,    ///< anything else that escaped the analyzer
+};
+
+const char* failure_kind_name(FailureKind kind);
+/// Inverse of failure_kind_name; kInternal for unknown names.
+FailureKind failure_kind_from_name(std::string_view name);
+/// Maps a caught exception to its taxonomy bucket (by dynamic type).
+FailureKind classify_failure(const std::exception& error);
+
+/// Names the analysis phase active on this thread, so a failure can be
+/// attributed to the stage it escaped from ("load", "model", "detect",
+/// ...). When an exception unwinds through a PhaseScope, the innermost
+/// scope's name is captured; take_failure_phase() retrieves and clears it.
+/// Scopes nest; purely thread-local, so concurrent workers never interact.
+class PhaseScope {
+ public:
+  explicit PhaseScope(const char* phase);
+  ~PhaseScope();
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  const char* previous_;
+  int uncaught_;
+};
+
+/// The phase captured by the most recent exceptional unwind on this
+/// thread, or "" when none was recorded. Clears the captured value.
+std::string take_failure_phase();
+/// Drops any stale captured phase (call before starting a fresh analysis).
+void clear_failure_phase();
 
 namespace detail {
 [[noreturn]] void contract_failure(const char* kind, const char* expr,

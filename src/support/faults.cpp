@@ -1,0 +1,81 @@
+#include "support/faults.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace saintdroid {
+
+namespace {
+
+// The armed flag is the only state touched when injection is off; the
+// plan itself lives behind a mutex-guarded shared_ptr so hit() can read
+// it while arm()/disarm() swap it without lifetime races.
+std::atomic<bool> g_armed{false};
+std::mutex g_plan_mutex;
+std::shared_ptr<const FaultPlan> g_plan;  // guarded by g_plan_mutex
+
+thread_local std::string t_context;
+
+std::shared_ptr<const FaultPlan> current_plan() {
+  const std::lock_guard lock{g_plan_mutex};
+  return g_plan;
+}
+
+}  // namespace
+
+const FaultSpec* FaultPlan::match(std::string_view point,
+                                  std::string_view context) const {
+  for (const auto& spec : faults)
+    if (spec.point == point && (spec.context.empty() || spec.context == context))
+      return &spec;
+  return nullptr;
+}
+
+namespace faults {
+
+bool armed() { return g_armed.load(std::memory_order_relaxed); }
+
+void arm(FaultPlan plan) {
+  {
+    const std::lock_guard lock{g_plan_mutex};
+    g_plan = std::make_shared<const FaultPlan>(std::move(plan));
+  }
+  g_armed.store(true, std::memory_order_release);
+}
+
+void disarm() {
+  g_armed.store(false, std::memory_order_relaxed);
+  const std::lock_guard lock{g_plan_mutex};
+  g_plan.reset();
+}
+
+void hit(const char* point) {
+  const std::shared_ptr<const FaultPlan> plan = current_plan();
+  if (!plan) return;
+  const FaultSpec* spec = plan->match(point, t_context);
+  if (!spec) return;
+  switch (spec->kind) {
+    case FaultSpec::Kind::kParse:
+      throw ParseError("injected fault at " + std::string{point});
+    case FaultSpec::Kind::kResolve:
+      throw ResolveError("injected fault at " + std::string{point});
+    case FaultSpec::Kind::kInjected:
+      break;
+  }
+  throw InjectedFault(point, t_context);
+}
+
+const std::string& context() { return t_context; }
+
+}  // namespace faults
+
+FaultContextScope::FaultContextScope(std::string context)
+    : previous_(std::exchange(t_context, std::move(context))) {}
+
+FaultContextScope::~FaultContextScope() {
+  t_context = std::move(previous_);
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,106 @@
+// Deterministic fault injection for robustness testing.
+//
+// Production code is instrumented with named SD_FAULT_POINT(...) hooks at
+// the places a large corpus run can realistically die: container parsing,
+// framework (ADF) image construction, and CLVM class materialization.
+// When no plan is armed a hook is a single relaxed atomic load — cheap
+// enough to stay compiled into release builds, so the tested binary is
+// the shipped binary.
+//
+// Faults fire from an explicit *injection plan*, never from wall-clock or
+// default-seeded randomness: a plan lists (point, context) pairs, where
+// the context is the app identity the batch harness sets around each
+// per-app analysis (FaultContextScope). The same plan therefore kills
+// exactly the same apps on every run and at every worker count — the
+// property the fault-isolation suite (tests/test_faults.cpp) asserts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/errors.hpp"
+
+namespace saintdroid {
+
+/// Raised by a firing fault point (FaultSpec::Kind::kInjected).
+class InjectedFault : public Error {
+ public:
+  InjectedFault(const std::string& point, const std::string& context)
+      : Error("injected fault at " + point +
+              (context.empty() ? "" : " analyzing " + context)) {}
+};
+
+/// One planned fault.
+struct FaultSpec {
+  /// Which exception type the point raises — kParse/kResolve model real
+  /// failure classes surfacing at that point; kInjected is unmistakably
+  /// synthetic (classified as FailureKind::kInjected in suite rows).
+  enum class Kind : std::uint8_t { kInjected = 0, kParse, kResolve };
+
+  std::string point;    ///< fault-point name ("clvm.materialize", ...)
+  std::string context;  ///< victim context; "" matches any context
+  Kind kind = Kind::kInjected;
+};
+
+/// A set of planned faults. Immutable while armed.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  /// The spec matching (point, context), or nullptr.
+  const FaultSpec* match(std::string_view point,
+                         std::string_view context) const;
+};
+
+namespace faults {
+
+/// True when a plan is armed. The fast path of every fault point.
+bool armed();
+
+/// Arms `plan` process-wide, replacing any armed plan. Test-only by
+/// design; arming while analyses run is safe (hooks copy a shared handle)
+/// but makes *which* apps were hit depend on timing.
+void arm(FaultPlan plan);
+
+/// Disarms fault injection.
+void disarm();
+
+/// Called by SD_FAULT_POINT when armed: throws the planned exception if
+/// the plan matches (point, current context); otherwise returns.
+void hit(const char* point);
+
+/// The calling thread's current fault context ("" outside any scope).
+const std::string& context();
+
+}  // namespace faults
+
+/// Arms a plan for the current scope (test fixture helper).
+class FaultScope {
+ public:
+  explicit FaultScope(FaultPlan plan) { faults::arm(std::move(plan)); }
+  ~FaultScope() { faults::disarm(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+/// Establishes the per-thread fault context (the app under analysis).
+/// Nests; restores the previous context on destruction.
+class FaultContextScope {
+ public:
+  explicit FaultContextScope(std::string context);
+  ~FaultContextScope();
+  FaultContextScope(const FaultContextScope&) = delete;
+  FaultContextScope& operator=(const FaultContextScope&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+}  // namespace saintdroid
+
+/// Names a place where a planned fault may fire. No-op (one relaxed
+/// atomic load) unless a plan is armed.
+#define SD_FAULT_POINT(name)                                              \
+  do {                                                                    \
+    if (::saintdroid::faults::armed()) ::saintdroid::faults::hit(name);   \
+  } while (false)

@@ -20,13 +20,20 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> job) {
   {
-    const std::lock_guard lock{mutex_};
-    // Submitting after the destructor has begun would lose the task; the
-    // queue is drained but no worker will pick up work enqueued past the
-    // stop flag once all workers have exited.
-    queue_.push_back(std::move(job));
+    std::unique_lock lock{mutex_};
+    if (!stopping_) {
+      queue_.push_back(std::move(job));
+      lock.unlock();
+      wake_.notify_one();
+      return;
+    }
   }
-  wake_.notify_one();
+  // Destruction has begun: workers may already have drained the queue and
+  // exited, so a queued task could be orphaned — and its future would
+  // never become ready, deadlocking any get(). Caller-runs instead: the
+  // packaged_task wrapper captures exceptions into the future, so even a
+  // throwing task completes it.
+  job();
 }
 
 void ThreadPool::worker_loop() {

@@ -35,6 +35,9 @@ class ThreadPool {
   /// Enqueues `task`. The returned future yields the task's result or
   /// rethrows the exception it exited with. submit() is safe from any
   /// thread, including from inside a running task (reentrant submit).
+  /// Once destruction has begun, submit() runs the task inline on the
+  /// calling thread (caller-runs) — the future still completes, so a
+  /// racing submit can never strand a waiter.
   template <typename F>
   std::future<std::invoke_result_t<F>> submit(F&& task) {
     using R = std::invoke_result_t<F>;

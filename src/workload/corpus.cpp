@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 #include "workload/app_builder.hpp"
 
 namespace saintdroid {
@@ -146,6 +148,35 @@ BenchApp RealWorldCorpus::generate(int index) const {
 
   auto built = b.build();
   return BenchApp{std::move(built.apk), std::move(built.truth)};
+}
+
+std::vector<BenchApp> RealWorldCorpus::generate_range(int begin, int end,
+                                                      int jobs) const {
+  if (end < begin) end = begin;
+  const std::size_t n = static_cast<std::size_t>(end - begin);
+  std::vector<BenchApp> apps(n);
+  if (jobs > static_cast<int>(n)) jobs = static_cast<int>(n);
+
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i)
+      apps[i] = generate(begin + static_cast<int>(i));
+    return apps;
+  }
+
+  // generate(i) is pure per (config, index), so workers share nothing but
+  // the immutable corpus; each slot is written exactly once at its index.
+  ThreadPool pool{static_cast<std::size_t>(jobs)};
+  std::vector<std::future<void>> done;
+  done.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    done.push_back(pool.submit([&, w] {
+      for (std::size_t i = static_cast<std::size_t>(w); i < n;
+           i += static_cast<std::size_t>(jobs))
+        apps[i] = generate(begin + static_cast<int>(i));
+    }));
+  }
+  for (auto& f : done) f.get();
+  return apps;
 }
 
 }  // namespace saintdroid

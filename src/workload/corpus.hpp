@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "adf/repository.hpp"
 #include "workload/benchmarks.hpp"
@@ -55,6 +56,11 @@ class RealWorldCorpus {
 
   /// Generates app `index` (0-based). Deterministic per (config, index).
   BenchApp generate(int index) const;
+
+  /// Generates apps [begin, end) across `jobs` workers. Because generate(i)
+  /// is pure per (config, index), the result is index-ordered and identical
+  /// for any `jobs`; `jobs <= 1` runs serially on the calling thread.
+  std::vector<BenchApp> generate_range(int begin, int end, int jobs = 1) const;
 
   const CorpusConfig& config() const { return config_; }
 

@@ -1,8 +1,11 @@
 #include "workload/harness.hpp"
 
+#include <memory>
+#include <unordered_map>
 #include <utility>
 
 #include "support/thread_pool.hpp"
+#include "workload/journal.hpp"
 
 namespace saintdroid {
 
@@ -25,12 +28,18 @@ namespace {
 
 /// Analyzes and scores one app — the single definition of row semantics
 /// shared by the serial and parallel paths, so they cannot drift apart.
+/// Runs inside the analyze_outcome isolation boundary: a throwing analysis
+/// becomes a structured failure row, never an escaping exception.
 SuiteAppRow score_app(Analyzer& tool, const BenchApp& app) {
   SuiteAppRow row;
   row.app = app.apk.name;
-  const AnalysisResult result = tool.analyze(app.apk);
+  const AppOutcome outcome = analyze_outcome(tool, app.apk);
+  const AnalysisResult& result = outcome.report;
   row.completed = result.completed;
+  row.incomplete = result.incomplete;
   row.failure_reason = result.failure_reason;
+  row.failure = outcome.failure;
+  row.mismatch_count = result.mismatches.size();
   row.usage = result.usage;
   if (!result.completed) {
     row.scores.api.fn = app.truth.real_count(MismatchKind::kApiInvocation);
@@ -70,16 +79,57 @@ SuiteResult run_suite(Analyzer& tool, std::span<const BenchApp> apps) {
 
 SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
                                std::span<const BenchApp> apps, int jobs) {
+  SuiteRunOptions options;
+  options.jobs = jobs;
+  return run_suite_parallel(factory, apps, options);
+}
+
+SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
+                               std::span<const BenchApp> apps,
+                               const SuiteRunOptions& options) {
   const std::size_t n = apps.size();
+  int jobs = options.jobs;
   if (jobs > static_cast<int>(n)) jobs = static_cast<int>(n);
 
-  if (jobs <= 1) {
-    const std::unique_ptr<Analyzer> tool = factory();
-    return run_suite(*tool, apps);
+  // Resume: journaled rows are merged back verbatim (matched by app name)
+  // and their apps are never re-analyzed or re-journaled.
+  std::unordered_map<std::string, SuiteAppRow> journaled;
+  if (options.resume && !options.journal_path.empty()) {
+    for (auto& row : load_journal(options.journal_path)) {
+      std::string key = row.app;
+      journaled.insert_or_assign(std::move(key), std::move(row));
+    }
+  }
+
+  std::unique_ptr<JournalWriter> journal;
+  if (!options.journal_path.empty()) {
+    journal = std::make_unique<JournalWriter>(options.journal_path,
+                                              options.resume);
   }
 
   SuiteResult suite;
   suite.rows.resize(n);
+  std::vector<char> resumed(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto it = journaled.find(apps[i].apk.name);
+    if (it == journaled.end()) continue;
+    suite.rows[i] = it->second;
+    resumed[i] = 1;
+  }
+
+  const auto process = [&](Analyzer& tool, std::size_t i) {
+    suite.rows[i] = score_app(tool, apps[i]);
+    if (journal) journal->append(suite.rows[i]);
+  };
+
+  if (jobs <= 1) {
+    const std::unique_ptr<Analyzer> tool = factory();
+    suite.tool = std::string{tool->name()};
+    for (std::size_t i = 0; i < n; ++i)
+      if (!resumed[i]) process(*tool, i);
+    aggregate_rows(suite);
+    return suite;
+  }
 
   // One analyzer per worker, constructed up front on this thread so
   // factory() itself needs no synchronization. Worker w owns the
@@ -101,11 +151,12 @@ SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
         Analyzer& tool = *tools[static_cast<std::size_t>(w)];
         for (std::size_t i = static_cast<std::size_t>(w); i < n;
              i += static_cast<std::size_t>(jobs))
-          suite.rows[i] = score_app(tool, apps[i]);
+          if (!resumed[i]) process(tool, i);
       }));
     }
     // get() (not just wait) so a worker's exception propagates to the
-    // caller instead of being swallowed.
+    // caller instead of being swallowed. With the analyze_outcome boundary
+    // in score_app, only harness bugs — not app analyses — can throw here.
     for (auto& f : done) f.get();
   }
 

@@ -7,11 +7,13 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/analyzer.hpp"
+#include "core/outcome.hpp"
 #include "workload/benchmarks.hpp"
 #include "workload/ground_truth.hpp"
 
@@ -31,7 +33,14 @@ struct FamilyScores {
 struct SuiteAppRow {
   std::string app;
   bool completed = true;
+  /// Budget-degraded partial report (run completed, coverage did not).
+  bool incomplete = false;
   std::string failure_reason;
+  /// Structured failure (taxonomy kind, phase, message) when !completed.
+  std::optional<AnalysisFailure> failure;
+  /// Detections reported, independent of ground-truth scoring — what the
+  /// batch CLI prints when no ledger exists.
+  std::size_t mismatch_count = 0;
   FamilyScores scores;
   ResourceUsage usage;
 };
@@ -44,9 +53,11 @@ struct SuiteResult {
   int failures = 0;
 };
 
-/// Runs `tool` over `apps`, scoring each result against its ledger. A
-/// failed analysis contributes every real issue of the app as a false
-/// negative in its family.
+/// Runs `tool` over `apps`, scoring each result against its ledger. Every
+/// per-app analysis runs inside the analyze_outcome isolation boundary: an
+/// app whose analysis throws yields a structured failure row (never sinks
+/// the suite), and a failed analysis contributes every real issue of the
+/// app as a false negative in its family.
 SuiteResult run_suite(Analyzer& tool, std::span<const BenchApp> apps);
 
 /// Makes one analyzer instance for one worker of a parallel suite run.
@@ -66,5 +77,27 @@ using AnalyzerFactory = std::function<std::unique_ptr<Analyzer>()>;
 /// loop on the calling thread.
 SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
                                std::span<const BenchApp> apps, int jobs);
+
+/// Knobs for a journaled (crash-safe, resumable) suite run.
+struct SuiteRunOptions {
+  int jobs = 1;
+  /// When non-empty, every completed row is appended to this JSONL journal
+  /// as soon as it finishes (flushed per row), so a killed run loses at
+  /// most the rows in flight.
+  std::string journal_path;
+  /// Skip apps already present in the journal: their journaled rows are
+  /// merged back verbatim (matched by app name) and only the remainder is
+  /// analyzed. Without a journal_path this is a no-op.
+  bool resume = false;
+};
+
+/// run_suite_parallel with a crash-safe journal. Rows land at their input
+/// index exactly as in the plain overload; journal append order follows
+/// completion order, which is fine because resume matches rows by app
+/// name, not position. A resumed run's SuiteResult equals the result of an
+/// uninterrupted run except for wall-clock usage fields of resumed rows.
+SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
+                               std::span<const BenchApp> apps,
+                               const SuiteRunOptions& options);
 
 }  // namespace saintdroid

@@ -1,0 +1,166 @@
+#include "workload/journal.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <utility>
+
+#include "core/json.hpp"
+#include "support/errors.hpp"
+
+namespace saintdroid {
+
+namespace {
+
+std::string quoted(std::string_view s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+void emit_score(std::ostringstream& out, const char* name,
+                const Score& score) {
+  out << "\"" << name << "\":{\"tp\":" << score.tp << ",\"fp\":" << score.fp
+      << ",\"fn\":" << score.fn << "}";
+}
+
+std::uint64_t read_u64(const JsonValue& object, std::string_view key) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr || value->type() != JsonValue::Type::kNumber) return 0;
+  const double number = value->as_number();
+  return number > 0 ? static_cast<std::uint64_t>(number) : 0;
+}
+
+Score read_score(const JsonValue& scores, std::string_view family) {
+  Score score;
+  const JsonValue* object = scores.find(family);
+  if (object == nullptr) return score;
+  score.tp = static_cast<std::size_t>(read_u64(*object, "tp"));
+  score.fp = static_cast<std::size_t>(read_u64(*object, "fp"));
+  score.fn = static_cast<std::size_t>(read_u64(*object, "fn"));
+  return score;
+}
+
+std::string read_string(const JsonValue& object, std::string_view key) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr || value->type() != JsonValue::Type::kString) return {};
+  return value->as_string();
+}
+
+}  // namespace
+
+std::string journal_line(const SuiteAppRow& row) {
+  std::ostringstream out;
+  out << "{\"app\":" << quoted(row.app)
+      << ",\"completed\":" << (row.completed ? "true" : "false")
+      << ",\"incomplete\":" << (row.incomplete ? "true" : "false");
+  if (!row.failure_reason.empty())
+    out << ",\"failure_reason\":" << quoted(row.failure_reason);
+  if (row.failure.has_value()) {
+    out << ",\"failure\":{\"kind\":"
+        << quoted(failure_kind_name(row.failure->kind))
+        << ",\"phase\":" << quoted(row.failure->phase)
+        << ",\"message\":" << quoted(row.failure->message) << "}";
+  }
+  out << ",\"mismatches\":" << row.mismatch_count << ",\"scores\":{";
+  emit_score(out, "api", row.scores.api);
+  out << ",";
+  emit_score(out, "apc", row.scores.apc);
+  out << ",";
+  emit_score(out, "prm", row.scores.prm);
+  out << "},\"usage\":{\"seconds\":" << row.usage.seconds
+      << ",\"peak_bytes\":" << row.usage.peak_bytes
+      << ",\"loaded_classes\":" << row.usage.loaded_classes << "}}";
+  return out.str();
+}
+
+std::optional<SuiteAppRow> parse_journal_line(std::string_view line) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(line);
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+  const JsonValue* app = doc.find("app");
+  const JsonValue* completed = doc.find("completed");
+  if (app == nullptr || app->type() != JsonValue::Type::kString ||
+      completed == nullptr || completed->type() != JsonValue::Type::kBool)
+    return std::nullopt;
+
+  SuiteAppRow row;
+  row.app = app->as_string();
+  row.completed = completed->as_bool();
+  if (const JsonValue* inc = doc.find("incomplete");
+      inc != nullptr && inc->type() == JsonValue::Type::kBool)
+    row.incomplete = inc->as_bool();
+  row.failure_reason = read_string(doc, "failure_reason");
+  if (const JsonValue* failure = doc.find("failure");
+      failure != nullptr && failure->type() == JsonValue::Type::kObject) {
+    AnalysisFailure parsed;
+    parsed.kind = failure_kind_from_name(read_string(*failure, "kind"));
+    parsed.phase = read_string(*failure, "phase");
+    parsed.message = read_string(*failure, "message");
+    row.failure = std::move(parsed);
+  }
+  row.mismatch_count = static_cast<std::size_t>(read_u64(doc, "mismatches"));
+  if (const JsonValue* scores = doc.find("scores");
+      scores != nullptr && scores->type() == JsonValue::Type::kObject) {
+    row.scores.api = read_score(*scores, "api");
+    row.scores.apc = read_score(*scores, "apc");
+    row.scores.prm = read_score(*scores, "prm");
+  }
+  if (const JsonValue* usage = doc.find("usage");
+      usage != nullptr && usage->type() == JsonValue::Type::kObject) {
+    if (const JsonValue* seconds = usage->find("seconds");
+        seconds != nullptr && seconds->type() == JsonValue::Type::kNumber)
+      row.usage.seconds = seconds->as_number();
+    row.usage.peak_bytes = read_u64(*usage, "peak_bytes");
+    row.usage.loaded_classes = read_u64(*usage, "loaded_classes");
+  }
+  return row;
+}
+
+std::vector<SuiteAppRow> load_journal(const std::string& path) {
+  std::vector<SuiteAppRow> rows;
+  std::ifstream in{path};
+  if (!in.is_open()) return rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (auto row = parse_journal_line(line)) rows.push_back(std::move(*row));
+  }
+  return rows;
+}
+
+JournalWriter::JournalWriter(const std::string& path, bool append) {
+  bool seal = false;
+  if (append) {
+    // A run killed mid-append leaves a partial line with no newline; seal
+    // it so the next row starts on a fresh line (the partial row is then
+    // skipped by load_journal as unparseable).
+    std::ifstream existing{path, std::ios::binary};
+    if (existing.is_open()) {
+      existing.seekg(0, std::ios::end);
+      const auto size = existing.tellg();
+      if (size > 0) {
+        existing.seekg(-1, std::ios::end);
+        char last = '\n';
+        existing.get(last);
+        seal = last != '\n';
+      }
+    }
+  }
+  out_.open(path, append ? (std::ios::out | std::ios::app)
+                         : (std::ios::out | std::ios::trunc));
+  if (!out_.is_open())
+    throw ConfigError("journal: cannot open " + path);
+  if (seal) {
+    out_ << '\n';
+    out_.flush();
+  }
+}
+
+void JournalWriter::append(const SuiteAppRow& row) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  out_ << journal_line(row) << '\n';
+  out_.flush();
+}
+
+}  // namespace saintdroid

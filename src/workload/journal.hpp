@@ -1,0 +1,55 @@
+// Crash-safe suite journal: one JSONL row per completed app analysis.
+//
+// A 15,000-app batch that dies at app 14,990 — power loss, OOM kill, a
+// preempted CI runner — must not start over. The harness appends every
+// finished SuiteAppRow to this journal (one JSON object per line, flushed
+// per row), and a `--resume` run loads the journal, keeps the rows it can
+// parse, and analyzes only the remainder. Robustness rules:
+//
+//   * A truncated final line (the row in flight when the process died) is
+//     skipped on load and sealed with a newline before the writer appends,
+//     so a resumed journal never interleaves two rows on one line.
+//   * Any unparseable line is skipped, never fatal — a corrupt journal
+//     costs re-analysis of the affected apps, nothing more.
+//   * Rows are matched by app name, not file position, so journal append
+//     order (completion order under a parallel run) does not matter.
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/harness.hpp"
+
+namespace saintdroid {
+
+/// Serializes one row as a single JSON object (no trailing newline).
+std::string journal_line(const SuiteAppRow& row);
+
+/// Parses one journal line; nullopt for malformed or truncated lines.
+std::optional<SuiteAppRow> parse_journal_line(std::string_view line);
+
+/// Loads every parseable row from `path`. A missing file yields an empty
+/// vector; corrupt lines are skipped.
+std::vector<SuiteAppRow> load_journal(const std::string& path);
+
+/// Appends rows to a JSONL journal, flushing after every row. Thread-safe:
+/// workers of a parallel suite run share one writer.
+class JournalWriter {
+ public:
+  /// Opens `path` for appending (resume) or truncates it (fresh run). In
+  /// append mode a partial trailing line left by a killed run is sealed
+  /// with a newline first. Throws ConfigError if the file cannot be opened.
+  JournalWriter(const std::string& path, bool append);
+
+  void append(const SuiteAppRow& row);
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+}  // namespace saintdroid

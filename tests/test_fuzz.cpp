@@ -7,7 +7,9 @@
 // to run in well under a second per case.
 #include <gtest/gtest.h>
 
+#include "adf/image.hpp"
 #include "adf/repository.hpp"
+#include "core/arm.hpp"
 #include "core/saintdroid.hpp"
 #include "dex/apk.hpp"
 #include "dex/builder.hpp"
@@ -123,6 +125,74 @@ TEST(Fuzz, ApkContainerMutations) {
       const Apk apk = Apk::parse(bytes);
       for (const auto& dex : apk.dexes) exercise(dex);
       (void)apk.manifest.supported_range();
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST(Fuzz, FrameworkImageTruncationSweep) {
+  // The framework image is itself an SDEX container; a damaged on-disk
+  // framework must fail exactly like a damaged app: ParseError, never a
+  // contract abort or an out-of-bounds read.
+  const auto base =
+      emit_framework_image(FrameworkRepository::standard().spec(), 23)
+          .serialize();
+  for (std::size_t cut = 0; cut < base.size();
+       cut += 1 + cut / 64) {  // denser probing near the header
+    std::span<const std::uint8_t> window(base.data(), cut);
+    try {
+      const DexFile dex = DexFile::parse(window);
+      exercise(dex);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST(Fuzz, FrameworkImageBitFlipSweep) {
+  const auto base =
+      emit_framework_image(FrameworkRepository::standard().spec(), 23)
+          .serialize();
+  Rng rng{0xADFULL};
+  for (int trial = 0; trial < 300; ++trial) {
+    auto bytes = base;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    bytes[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    try {
+      const DexFile dex = DexFile::parse(bytes);
+      exercise(dex);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST(Fuzz, ApiDatabaseTruncationAndBitFlipSweep) {
+  // The persisted ARM database (`saintdroid mine` output) gets the same
+  // treatment: every damaged load either throws ParseError or yields a
+  // database whose accessors are safe to call.
+  const auto base =
+      ApiDatabase::mine(FrameworkRepository::standard()).serialize();
+  for (std::size_t cut = 0; cut < base.size(); cut += 1 + cut / 64) {
+    std::span<const std::uint8_t> window(base.data(), cut);
+    try {
+      const ApiDatabase db = ApiDatabase::parse(window);
+      (void)db.method_count();
+      (void)db.callback_count();
+      (void)db.permission_mapping_count();
+    } catch (const ParseError&) {
+    }
+  }
+  Rng rng{0xA2BULL};
+  for (int trial = 0; trial < 300; ++trial) {
+    auto bytes = base;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    bytes[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    try {
+      const ApiDatabase db = ApiDatabase::parse(bytes);
+      (void)db.method_count();
+      (void)db.callback_count();
+      (void)db.permission_mapping_count();
     } catch (const ParseError&) {
     }
   }

@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "adf/repository.hpp"
@@ -78,6 +80,49 @@ TEST(ThreadPool, ClampsZeroWorkersToOne) {
   ThreadPool pool{0};
   EXPECT_EQ(pool.worker_count(), 1u);
   EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);
+}
+
+TEST(ThreadPool, ThrowingTasksDuringDrainDoNotDeadlockJoin) {
+  // Queue far more throwing tasks than workers, then destroy the pool
+  // without waiting: the destructor's drain must run every task, capture
+  // each exception into its future, and join — never wedge a worker.
+  std::vector<std::future<void>> done;
+  {
+    ThreadPool pool{2};
+    for (int i = 0; i < 64; ++i)
+      done.push_back(
+          pool.submit([] { throw std::runtime_error{"drain boom"}; }));
+  }
+  for (auto& f : done) EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitRacingShutdownNeverStrandsTheFuture) {
+  // A task submits follow-up work while the destructor is (most likely
+  // already) stopping the pool. Whichever side of the race the submit
+  // lands on — enqueued before the stop, or caller-runs after it — the
+  // inner future must complete; a stranded future would deadlock get().
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::future<int> inner;
+  std::thread releaser;
+  {
+    ThreadPool pool{1};
+    auto outer = pool.submit([&] {
+      entered.set_value();
+      release.get_future().wait();
+      inner = pool.submit([] { return 5; });
+    });
+    entered.get_future().wait();
+    releaser = std::thread{[&release] {
+      // Give ~ThreadPool (running on the test thread after this scope
+      // exits) time to set stopping_ so the inner submit exercises the
+      // caller-runs path.
+      std::this_thread::sleep_for(std::chrono::milliseconds{50});
+      release.set_value();
+    }};
+  }  // ~ThreadPool: stop + join; must not deadlock against the worker
+  releaser.join();
+  EXPECT_EQ(inner.get(), 5);
 }
 
 // --- run_suite_parallel determinism --------------------------------------------

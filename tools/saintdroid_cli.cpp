@@ -3,6 +3,7 @@
 //   saintdroid analyze <apk-file> [--json] [--suggest] [--levels a,b,c]
 //                                 [--db <database-file>]
 //   saintdroid batch   <apk-file>... [--jobs N] [--db <database-file>]
+//                                    [--journal <file> [--resume]]
 //   saintdroid disasm  <apk-file>
 //   saintdroid mine    <output-database-file>
 //
@@ -12,8 +13,10 @@
 // version set. `mine` persists the ARM database once so later `analyze
 // --db` runs skip the mining pass (§III-B's reusable model). `batch`
 // analyzes many packages across a worker pool — one mined database shared
-// by every worker, one summary line per app in input order regardless of
-// `--jobs`.
+// by every worker, fault isolation per app, one summary line per app in
+// input order regardless of `--jobs`. `--journal` appends each finished
+// row to a crash-safe JSONL file so a killed batch can pick up where it
+// left off with `--resume`.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +34,7 @@
 #include "support/errors.hpp"
 #include "support/meter.hpp"
 #include "support/thread_pool.hpp"
+#include "workload/harness.hpp"
 
 namespace sd = saintdroid;
 
@@ -62,16 +66,22 @@ int usage() {
                "usage: saintdroid analyze <apk> [--json] [--suggest] "
                "[--levels a,b,c] [--db <file>]\n"
                "       saintdroid batch <apk>... [--jobs N] [--db <file>]\n"
+               "                        [--journal <file> [--resume]]\n"
                "       saintdroid disasm <apk>\n"
                "       saintdroid mine <output-db-file>\n");
   return 2;
 }
 
-/// `saintdroid batch`: parses every package up front, analyzes them across
-/// `jobs` workers sharing one mined database, prints one line per app in
-/// input order. Returns 1 when any app has mismatches, 2 on parse failure.
+/// `saintdroid batch`: parses every package up front, analyzes them through
+/// the fault-isolated suite harness (one mined database shared by every
+/// worker), prints one line per app in input order. An app whose analysis
+/// fails is reported as a structured FAILED row — it never sinks the batch.
+/// With `--journal` every finished row is appended to a crash-safe JSONL
+/// file; `--resume` skips apps already journaled. Returns 1 when any app
+/// has mismatches or failed, 2 on package parse failure.
 int run_batch(const std::vector<std::string>& paths, int jobs,
-              const std::string& db_path) {
+              const std::string& db_path, const std::string& journal_path,
+              bool resume) {
   const auto& repo = sd::FrameworkRepository::standard();
   const std::shared_ptr<const sd::ApiDatabase> db =
       std::make_shared<const sd::ApiDatabase>(
@@ -79,44 +89,48 @@ int run_batch(const std::vector<std::string>& paths, int jobs,
               ? sd::ApiDatabase::mine(repo)
               : sd::ApiDatabase::parse(read_file(db_path)));
 
-  std::vector<sd::Apk> apks;
-  apks.reserve(paths.size());
-  for (const auto& p : paths) apks.push_back(sd::Apk::parse(read_file(p)));
+  std::vector<sd::BenchApp> apps;
+  apps.reserve(paths.size());
+  for (const auto& p : paths) {
+    sd::BenchApp app;
+    app.apk = sd::Apk::parse(read_file(p));
+    apps.push_back(std::move(app));
+  }
 
   if (jobs <= 0) jobs = static_cast<int>(sd::ThreadPool::default_workers());
-  if (jobs > static_cast<int>(apks.size()))
-    jobs = static_cast<int>(apks.size());
 
-  std::vector<sd::AnalysisResult> results{apks.size()};
+  sd::SuiteRunOptions options;
+  options.jobs = jobs;
+  options.journal_path = journal_path;
+  options.resume = resume;
+
   const sd::Stopwatch watch;
-  {
-    sd::ThreadPool pool{static_cast<std::size_t>(jobs)};
-    std::vector<std::future<void>> done;
-    for (int w = 0; w < jobs; ++w) {
-      done.push_back(pool.submit([&, w] {
-        sd::SaintDroid tool{repo, db};  // per-worker facade, shared model
-        for (std::size_t i = static_cast<std::size_t>(w); i < apks.size();
-             i += static_cast<std::size_t>(jobs))
-          results[i] = tool.analyze(apks[i]);
-      }));
-    }
-    for (auto& f : done) f.get();
-  }
+  const sd::SuiteResult suite = sd::run_suite_parallel(
+      [&] { return std::make_unique<sd::SaintDroid>(repo, db); }, apps,
+      options);
   const double elapsed = watch.seconds();
 
   std::uint64_t total = 0;
-  for (std::size_t i = 0; i < apks.size(); ++i) {
-    const auto count = results[i].mismatches.size();
-    total += count;
-    std::printf("%-24s %s  %zu mismatch%s (%.1f ms)\n",
-                apks[i].name.c_str(),
-                results[i].completed ? "ok    " : "FAILED", count,
-                count == 1 ? "" : "es", results[i].usage.seconds * 1000.0);
+  for (const auto& row : suite.rows) {
+    total += row.mismatch_count;
+    if (row.failure.has_value()) {
+      std::printf("%-24s FAILED  %s in %s: %s\n", row.app.c_str(),
+                  sd::failure_kind_name(row.failure->kind),
+                  row.failure->phase.c_str(), row.failure->message.c_str());
+    } else {
+      std::printf("%-24s %s  %zu mismatch%s (%.1f ms)\n", row.app.c_str(),
+                  row.completed ? (row.incomplete ? "part  " : "ok    ")
+                                : "FAILED",
+                  row.mismatch_count, row.mismatch_count == 1 ? "" : "es",
+                  row.usage.seconds * 1000.0);
+    }
   }
-  std::printf("%zu apps, %llu mismatches, %d jobs, %.2fs (%.1f apps/sec)\n",
-              apks.size(), static_cast<unsigned long long>(total), jobs,
-              elapsed, elapsed > 0 ? apks.size() / elapsed : 0.0);
-  return total == 0 ? 0 : 1;
+  std::printf("%zu apps, %llu mismatches, %d failures, %d jobs, %.2fs "
+              "(%.1f apps/sec)\n",
+              apps.size(), static_cast<unsigned long long>(total),
+              suite.failures, jobs, elapsed,
+              elapsed > 0 ? apps.size() / elapsed : 0.0);
+  return total == 0 && suite.failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -130,19 +144,26 @@ int main(int argc, char** argv) {
     std::vector<std::string> paths;
     int jobs = 0;  // 0 -> hardware concurrency
     std::string db_path;
+    std::string journal_path;
+    bool resume = false;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
         jobs = std::atoi(argv[++i]);
       else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc)
         db_path = argv[++i];
+      else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc)
+        journal_path = argv[++i];
+      else if (std::strcmp(argv[i], "--resume") == 0)
+        resume = true;
       else if (argv[i][0] == '-')
         return usage();
       else
         paths.emplace_back(argv[i]);
     }
     if (paths.empty()) return usage();
+    if (resume && journal_path.empty()) return usage();
     try {
-      return run_batch(paths, jobs, db_path);
+      return run_batch(paths, jobs, db_path, journal_path, resume);
     } catch (const sd::Error& e) {
       std::fprintf(stderr, "saintdroid: %s\n", e.what());
       return 2;
