@@ -16,11 +16,15 @@
 // After the mismatch-rate study, the corpus doubles as the RQ2 throughput
 // workload: the same apps run through run_suite_parallel serially and with
 // one worker per hardware thread, and both apps/sec figures are written to
-// BENCH_parallel.json so the perf trajectory is tracked per commit.
+// BENCH_parallel.json so the perf trajectory is tracked per commit. A
+// second axis toggles the shared framework substrate on and off over the
+// corpus's library-heavy stratum (BENCH_substrate.json), with a
+// byte-identity check across jobs {1, 2, 8} and both substrate settings.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "adf/repository.hpp"
@@ -30,8 +34,26 @@
 #include "workload/corpus.hpp"
 #include "workload/ground_truth.hpp"
 #include "workload/harness.hpp"
+#include "workload/journal.hpp"
 
 namespace sd = saintdroid;
+
+namespace {
+
+/// Canonical byte form of a suite: one journal line per row with the
+/// wall-clock field zeroed (timing is the one legitimately nondeterministic
+/// field). Two runs are byte-identical iff these strings match.
+std::string suite_bytes(const sd::SuiteResult& suite) {
+  std::string bytes;
+  for (sd::SuiteAppRow row : suite.rows) {
+    row.usage.seconds = 0.0;
+    bytes += sd::journal_line(row);
+    bytes += '\n';
+  }
+  return bytes;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto& repo = sd::FrameworkRepository::standard();
@@ -39,7 +61,14 @@ int main(int argc, char** argv) {
   int count = corpus.size();
   if (argc > 1) count = std::min(count, std::atoi(argv[1]));
 
-  sd::SaintDroid tool{repo};
+  // Per-app wall-clock deadline so one pathological app degrades to a
+  // partial report instead of stalling the whole corpus run (see
+  // docs/robustness.md). Generous relative to the ~ms medians: it should
+  // never fire on a healthy host, but bounds the worst case.
+  sd::SaintDroidOptions tool_options;
+  tool_options.budget.deadline_seconds = 10.0;
+
+  sd::SaintDroid tool{repo, tool_options};
 
   std::uint64_t api_total = 0;
   std::uint64_t apc_total = 0;
@@ -137,18 +166,29 @@ int main(int argc, char** argv) {
     suite_apps.push_back(corpus.generate(i));
 
   const auto db = tool.shared_database();
-  const sd::AnalyzerFactory factory = [&repo, &db] {
-    return std::make_unique<sd::SaintDroid>(repo, db);
+  const auto make_factory = [&repo, &db,
+                             &tool_options](bool shared_substrate) {
+    sd::SaintDroidOptions options = tool_options;
+    options.shared_substrate = shared_substrate;
+    return sd::AnalyzerFactory{[&repo, &db, options] {
+      return std::make_unique<sd::SaintDroid>(repo, db, options);
+    }};
   };
+  const sd::AnalyzerFactory factory = make_factory(true);
   const int hw = static_cast<int>(sd::ThreadPool::default_workers());
 
-  const auto throughput = [&](int jobs) {
+  const auto timed_suite = [&](const sd::AnalyzerFactory& f,
+                               const std::vector<sd::BenchApp>& apps,
+                               int jobs, double& wall) {
     const sd::Stopwatch watch;
-    const sd::SuiteResult suite =
-        sd::run_suite_parallel(factory, suite_apps, jobs);
-    const double elapsed = watch.seconds();
-    (void)suite;
-    return elapsed > 0 ? suite_count / elapsed : 0.0;
+    sd::SuiteResult suite = sd::run_suite_parallel(f, apps, jobs);
+    wall = watch.seconds();
+    return suite;
+  };
+  const auto throughput = [&](int jobs) {
+    double wall = 0.0;
+    (void)timed_suite(factory, suite_apps, jobs, wall);
+    return wall > 0 ? suite_count / wall : 0.0;
   };
 
   const double serial_aps = throughput(1);
@@ -174,5 +214,85 @@ int main(int argc, char** argv) {
     std::fclose(out);
     std::printf("  -> BENCH_parallel.json\n");
   }
-  return 0;
+
+  // --- substrate axis: shared framework substrate on vs off -------------
+  // Measured on the library-heavy stratum of the corpus (the Fig. 3
+  // outliers: library_heavy_fraction of the population, apps whose
+  // defining trait is touching hundreds of distinct framework classes).
+  // That is the regime the substrate exists for — the unshared
+  // configuration re-materializes every touched framework class per
+  // analyzer, the shared one reads the per-level substrate built once per
+  // process. Both settings run the identical slice at jobs=8, and rows
+  // must be byte-identical across both settings and across jobs {1, 2, 8}
+  // — the substrate is a pure caching layer, invisible in every reported
+  // field.
+  sd::CorpusConfig heavy_config = corpus.config();
+  heavy_config.library_heavy_fraction = 1.0;
+  const sd::RealWorldCorpus heavy_corpus{repo, heavy_config};
+  const std::vector<sd::BenchApp> heavy_apps =
+      heavy_corpus.generate_range(0, suite_count, hw);
+  const sd::AnalyzerFactory unshared_factory = make_factory(false);
+
+  double unshared_wall = 0.0;
+  const sd::SuiteResult unshared_suite =
+      timed_suite(unshared_factory, heavy_apps, 8, unshared_wall);
+
+  // Warm every substrate level outside the timed region: the steady-state
+  // cost of the shared configuration is what a long-running batch pays,
+  // not the one-off builds.
+  {
+    std::vector<char> warmed(sd::kMaxApiLevel + 1, 0);
+    for (const auto& app : heavy_apps) {
+      const int level =
+          sd::FrameworkRepository::clamp_level(app.apk.manifest.target_sdk);
+      if (warmed[static_cast<std::size_t>(level)]) continue;
+      warmed[static_cast<std::size_t>(level)] = 1;
+      (void)repo.substrate(level);
+    }
+  }
+  double shared_wall = 0.0;
+  const sd::SuiteResult shared_suite =
+      timed_suite(factory, heavy_apps, 8, shared_wall);
+
+  const std::string reference = suite_bytes(shared_suite);
+  bool deterministic = suite_bytes(unshared_suite) == reference;
+  for (const int jobs : {1, 2, 8}) {
+    double wall = 0.0;
+    deterministic =
+        deterministic &&
+        suite_bytes(timed_suite(factory, heavy_apps, jobs, wall)) ==
+            reference &&
+        suite_bytes(timed_suite(unshared_factory, heavy_apps, jobs, wall)) ==
+            reference;
+  }
+
+  const double ratio =
+      unshared_wall > 0 ? shared_wall / unshared_wall : 0.0;
+  std::printf("\nsubstrate axis over %d library-heavy corpus apps "
+              "(jobs=8):\n"
+              "  unshared  %8.3fs wall\n"
+              "  shared    %8.3fs wall  (%.3fx of unshared)\n"
+              "  byte-identical rows across jobs {1,2,8} x {shared,unshared}:"
+              " %s\n",
+              suite_count, unshared_wall, shared_wall, ratio,
+              deterministic ? "yes" : "NO");
+
+  if (std::FILE* out = std::fopen("BENCH_substrate.json", "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"rq2_substrate_axis\",\n"
+                 "  \"slice\": \"library_heavy\",\n"
+                 "  \"apps\": %d,\n"
+                 "  \"jobs\": 8,\n"
+                 "  \"unshared_wall_seconds\": %.4f,\n"
+                 "  \"shared_wall_seconds\": %.4f,\n"
+                 "  \"shared_over_unshared\": %.4f,\n"
+                 "  \"deterministic_across_jobs_and_sharing\": %s\n"
+                 "}\n",
+                 suite_count, unshared_wall, shared_wall, ratio,
+                 deterministic ? "true" : "false");
+    std::fclose(out);
+    std::printf("  -> BENCH_substrate.json\n");
+  }
+  return deterministic ? 0 : 1;
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: the exact configure/build/ctest sequence CI
+# runs on every commit, plus the ThreadSanitizer leg over the concurrency
+# suites (ci/sanitize.sh tsan). Run before pushing; a clean exit here is
+# what "tier-1 green" means in ROADMAP.md.
+#
+# Usage: ci/verify.sh [--no-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+tsan=1
+[[ "${1:-}" == "--no-tsan" ]] && tsan=0
+
+echo "=== tier-1: configure + build + ctest ==="
+cmake -B build -S . > /dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$tsan" == 1 ]]; then
+  ci/sanitize.sh tsan
+fi
+
+echo "verify: OK"

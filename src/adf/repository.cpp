@@ -7,6 +7,22 @@
 
 namespace saintdroid {
 
+namespace {
+
+std::atomic<std::uint64_t> g_framework_retries{0};
+
+/// First attempt is not a retry; every re-entry after a failed build is.
+void count_attempt(std::atomic<std::uint32_t>& attempts) {
+  if (attempts.fetch_add(1, std::memory_order_relaxed) > 0)
+    g_framework_retries.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::uint64_t framework_build_retries() {
+  return g_framework_retries.load(std::memory_order_relaxed);
+}
+
 FrameworkRepository::FrameworkRepository(FrameworkConfig cfg)
     : cfg_(cfg), spec_(build_framework_spec(cfg_)) {}
 
@@ -14,9 +30,10 @@ const DexFile& FrameworkRepository::image(int level) const {
   const std::size_t slot_idx =
       static_cast<std::size_t>(clamp_level(level));
   auto& slot = images_[slot_idx];
-  std::call_once(image_once_[slot_idx], [&] {
-    // A fault here propagates out of call_once without satisfying it, so
-    // the next caller retries the build — an injected repository failure
+  image_once_[slot_idx].call([&] {
+    count_attempt(image_attempts_[slot_idx]);
+    // A fault here propagates without satisfying the once-guard, so the
+    // next caller retries the build — an injected repository failure
     // poisons one analysis, not the level, matching real transient I/O.
     SD_FAULT_POINT("adf.image");
     slot = emit_framework_image(spec_, static_cast<int>(slot_idx));
@@ -28,7 +45,7 @@ const FrameworkClassIndex& FrameworkRepository::class_index(int level) const {
   const std::size_t slot_idx =
       static_cast<std::size_t>(clamp_level(level));
   auto& slot = indexes_[slot_idx];
-  std::call_once(index_once_[slot_idx], [&] {
+  index_once_[slot_idx].call([&] {
     const DexFile& dex = image(static_cast<int>(slot_idx));
     FrameworkClassIndex index;
     index.reserve(dex.classes().size());
@@ -37,6 +54,34 @@ const FrameworkClassIndex& FrameworkRepository::class_index(int level) const {
     slot = std::move(index);
   });
   return *slot;
+}
+
+std::shared_ptr<const FrameworkSubstrate> FrameworkRepository::substrate(
+    int level, SubstrateOptions options) const {
+  const int lvl = clamp_level(level);
+  SubstrateSlot* slot = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock{substrate_mutex_};
+    auto& entry = substrates_[SubstrateKey{lvl, options.index_methods}];
+    if (!entry) entry = std::make_unique<SubstrateSlot>();
+    slot = entry.get();
+  }
+  // Build the image before entering the substrate's fault context so an
+  // "adf.image" fault keeps its own (app-scoped) attribution.
+  const DexFile& img = image(lvl);
+  slot->once.call([&] {
+    count_attempt(slot->attempts);
+    // The substrate is a shared artifact with no single app owner, so its
+    // fault point fires under a level-scoped context: a plan can poison
+    // exactly one level's substrate and every analysis against that level
+    // (and only that level) fails until the plan is disarmed — then the
+    // unsatisfied once-guard simply rebuilds.
+    const FaultContextScope scope{"substrate:level" + std::to_string(lvl)};
+    SD_FAULT_POINT("adf.substrate");
+    slot->value = std::make_shared<const FrameworkSubstrate>(img, lvl, options);
+    substrate_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return slot->value;
 }
 
 int FrameworkRepository::clamp_level(int level) {

@@ -5,17 +5,30 @@
 // of all apps relies" (§III-B). Images are built lazily per level and
 // cached for the repository's lifetime; standard() provides a process-wide
 // immutable default so tests and benches share one build.
+//
+// Besides the raw images and their class-name indexes, the repository
+// caches one FrameworkSubstrate per (level, SubstrateOptions) key — the
+// shared, immutable, eagerly-materialized framework layer of the class
+// hierarchy that per-app analyses point into instead of re-materializing
+// (see clvm/substrate.hpp and docs/ARCHITECTURE.md). Each key is built
+// once under its own exception-safe once-guard and handed out as shared_ptr<const>.
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "adf/image.hpp"
 #include "adf/synthetic.hpp"
+#include "clvm/substrate.hpp"
+#include "support/once.hpp"
 
 namespace saintdroid {
 
@@ -32,7 +45,7 @@ class FrameworkRepository {
   const FrameworkConfig& config() const { return cfg_; }
 
   /// The framework image at `level`, built on first request. Thread-safe:
-  /// the first access at each level builds under a std::call_once guard,
+  /// the first access at each level builds under an exception-safe once-guard,
   /// every later access reads the immutable cached image without locking —
   /// one repository safely serves N analysis workers.
   const DexFile& image(int level) const;
@@ -41,6 +54,23 @@ class FrameworkRepository {
   /// the image, so per-app loaders need not rescan the framework's class
   /// table. Same concurrency contract as image().
   const FrameworkClassIndex& class_index(int level) const;
+
+  /// The shared framework substrate for (level, options), built on first
+  /// request under a per-key once-guard and immutable afterwards. The
+  /// returned handle stays valid past the call (workers hold it across an
+  /// analysis), but the repository must outlive every handle — substrate
+  /// classes point into the repository's image. A build failure (e.g. an
+  /// injected "adf.substrate" fault, fired under the level-scoped context
+  /// "substrate:level<L>") propagates without satisfying the guard, so
+  /// the next caller retries — one poisoned level never sinks the others.
+  std::shared_ptr<const FrameworkSubstrate> substrate(
+      int level, SubstrateOptions options = {}) const;
+
+  /// Completed substrate builds over this repository's lifetime — lets the
+  /// stampede test assert that N concurrent first requests build once.
+  std::uint64_t substrate_build_count() const {
+    return substrate_builds_.load(std::memory_order_relaxed);
+  }
 
   /// Clamps an arbitrary requested level into the modelled range — apps may
   /// declare targets outside it.
@@ -51,16 +81,41 @@ class FrameworkRepository {
   static const FrameworkRepository& standard();
 
  private:
+  struct SubstrateSlot {
+    RetryOnce once;
+    std::atomic<std::uint32_t> attempts{0};
+    std::shared_ptr<const FrameworkSubstrate> value;
+  };
+  // (clamped level, options) -> slot; the map only hands out stable slot
+  // pointers, the build itself runs under the slot's once-guard outside the
+  // map lock so one slow level never serializes the others.
+  using SubstrateKey = std::pair<int, bool>;
+
   FrameworkConfig cfg_;
   FrameworkSpec spec_;
-  // Lazily built per level. The once_flag arrays serialize only the first
-  // build of each slot; after the call_once returns, the slot is immutable
-  // and read lock-free on the analysis hot path.
+  // Lazily built per level. The RetryOnce arrays serialize only the first
+  // build of each slot (and, unlike std::call_once, stay retryable under
+  // sanitizers when a build throws — see support/once.hpp); after the
+  // guarded build returns, the slot is immutable and read lock-free on
+  // the analysis hot path.
   mutable std::array<std::optional<DexFile>, kMaxApiLevel + 1> images_;
-  mutable std::array<std::once_flag, kMaxApiLevel + 1> image_once_;
+  mutable std::array<RetryOnce, kMaxApiLevel + 1> image_once_;
+  mutable std::array<std::atomic<std::uint32_t>, kMaxApiLevel + 1>
+      image_attempts_{};
   mutable std::array<std::optional<FrameworkClassIndex>, kMaxApiLevel + 1>
       indexes_;
-  mutable std::array<std::once_flag, kMaxApiLevel + 1> index_once_;
+  mutable std::array<RetryOnce, kMaxApiLevel + 1> index_once_;
+  mutable std::mutex substrate_mutex_;
+  mutable std::map<SubstrateKey, std::unique_ptr<SubstrateSlot>> substrates_;
+  mutable std::atomic<std::uint64_t> substrate_builds_{0};
 };
+
+/// Process-wide count of framework build *retries*: re-entries of a
+/// per-level image or substrate once-guard after an earlier attempt threw
+/// (transient-by-design failures; the build is simply re-run by the next
+/// analysis that needs it). The suite harness snapshots this around a run
+/// and surfaces the delta in SuiteResult::framework_retries so
+/// flaky-framework hosts are visible in batch summaries.
+std::uint64_t framework_build_retries();
 
 }  // namespace saintdroid

@@ -27,6 +27,12 @@ struct LoadedClass {
   const ClassDef* def = nullptr;    ///< definition within `dex`
   bool from_framework = false;      ///< true when loaded from the ADF image
   std::uint64_t footprint = 0;      ///< bytes accounted when loaded
+  /// Back-pointer to the FrameworkSubstrate::ClassEntry this object is
+  /// embedded in, or nullptr for privately materialized classes. Lookups
+  /// verify identity (the entry's class address must be this object), so
+  /// a copied LoadedClass — which drags the pointer along — never passes
+  /// for a substrate-owned one. Opaque here to keep the dex/clvm layering.
+  const void* substrate_entry = nullptr;
 };
 
 /// Abstract class source. Implementations: ClassLoaderVm (lazy, clvm/),
@@ -41,6 +47,18 @@ class ClassProvider {
   /// returned pointer is stable for the provider's lifetime.
   virtual const LoadedClass* load(const std::string& name) = 0;
 
+  /// Fast path for re-loading a framework class out of a shared substrate:
+  /// `cls` is the substrate's object and `slot` its dense substrate index
+  /// (FrameworkSubstrate::ClassEntry::slot). Semantically identical to
+  /// load(cls->name) — same shadowing, budget, fault and accounting
+  /// behaviour — but implementations may answer repeat loads with a flag
+  /// check instead of a name lookup. The default just delegates.
+  virtual const LoadedClass* load_framework(const LoadedClass* cls,
+                                            std::uint32_t slot) {
+    (void)slot;
+    return load(cls->name);
+  }
+
   /// Classes materialized so far.
   virtual std::uint64_t loaded_class_count() const = 0;
 
@@ -51,5 +69,12 @@ class ClassProvider {
 /// Approximate in-memory footprint of one class definition (the unit the
 /// providers charge to their MemoryMeter).
 std::uint64_t class_footprint_bytes(const DexFile& dex, const ClassDef& cls);
+
+/// Builds the LoadedClass for `def` — names, footprint, provenance. The
+/// single materialization routine shared by the per-analysis loaders and
+/// the cross-app FrameworkSubstrate, so a shared framework class carries
+/// exactly the fields (and exactly the footprint) a private copy would.
+LoadedClass materialize_loaded_class(const DexFile& dex, const ClassDef& def,
+                                     bool from_framework);
 
 }  // namespace saintdroid

@@ -19,10 +19,8 @@ std::uint64_t class_footprint_bytes(const DexFile& dex, const ClassDef& cls) {
   return bytes;
 }
 
-namespace {
-
-LoadedClass make_loaded(const DexFile& dex, const ClassDef& def,
-                        bool from_framework) {
+LoadedClass materialize_loaded_class(const DexFile& dex, const ClassDef& def,
+                                     bool from_framework) {
   LoadedClass lc;
   lc.name = dex.type_name(def.type);
   lc.super_name =
@@ -37,22 +35,26 @@ LoadedClass make_loaded(const DexFile& dex, const ClassDef& def,
   return lc;
 }
 
-}  // namespace
-
 // ---------------------------------------------------------------------------
 // ClassLoaderVm
 
 ClassLoaderVm::ClassLoaderVm(const Apk& apk, const DexFile& framework,
                              bool include_secondary_dexes,
                              const ClassNameIndex* framework_index,
-                             BudgetTracker* budget)
-    : apk_(&apk), framework_(&framework), budget_(budget) {
+                             BudgetTracker* budget,
+                             std::shared_ptr<const FrameworkSubstrate> substrate)
+    : apk_(&apk),
+      framework_(&framework),
+      budget_(budget),
+      substrate_(std::move(substrate)) {
   const std::size_t dex_limit =
       include_secondary_dexes ? apk.dexes.size() : std::size_t{1};
   for (std::size_t d = 0; d < dex_limit; ++d)
     for (const auto& cls : apk.dexes[d].classes())
       index_.emplace(apk.dexes[d].type_name(cls.type),
                      Source{&apk.dexes[d], &cls, false});
+  // With a substrate attached, framework lookups never touch an index.
+  if (substrate_) return;
   if (framework_index) {
     framework_index_ = framework_index;
   } else {
@@ -63,9 +65,21 @@ ClassLoaderVm::ClassLoaderVm(const Apk& apk, const DexFile& framework,
   }
 }
 
+const LoadedClass* ClassLoaderVm::insert_owned(const std::string& name,
+                                               const DexFile& dex,
+                                               const ClassDef& def,
+                                               bool from_framework) {
+  owned_.push_back(std::make_unique<LoadedClass>(
+      materialize_loaded_class(dex, def, from_framework)));
+  const LoadedClass* loaded = owned_.back().get();
+  memory_.allocate(loaded->footprint);
+  cache_.emplace(name, loaded);
+  return loaded;
+}
+
 const LoadedClass* ClassLoaderVm::load(const std::string& name) {
   if (const auto it = cache_.find(name); it != cache_.end())
-    return it->second.get();
+    return it->second;
   // Budget guard: past the class cap a fresh load degrades to "unknown
   // class" — callers already handle nullptr conservatively — and the
   // tracker records the exhaustion for the incomplete-report flag.
@@ -73,21 +87,40 @@ const LoadedClass* ClassLoaderVm::load(const std::string& name) {
   SD_FAULT_POINT("clvm.materialize");
   // App classes shadow framework classes of the same name (same as the
   // runtime's delegation order for the packaged classloader path we model).
-  Source src;
-  if (const auto it = index_.find(name); it != index_.end()) {
-    src = it->second;
-  } else if (const auto fit = framework_index_->find(name);
-             fit != framework_index_->end()) {
-    src = Source{framework_, fit->second, true};
-  } else {
-    return nullptr;
+  if (const auto it = index_.find(name); it != index_.end())
+    return insert_owned(name, *it->second.dex, *it->second.def, false);
+  if (substrate_) {
+    // Shared framework layer: hand out the substrate's pointer, charging
+    // its precomputed footprint — the same bytes a private copy costs, so
+    // peak_bytes/loaded_classes match the unshared run exactly.
+    const LoadedClass* loaded = substrate_->find_class(name);
+    if (loaded == nullptr) return nullptr;
+    memory_.allocate(loaded->footprint);
+    cache_.emplace(name, loaded);
+    return loaded;
   }
-  auto loaded =
-      std::make_unique<LoadedClass>(make_loaded(*src.dex, *src.def,
-                                                src.framework));
-  memory_.allocate(loaded->footprint);
-  const auto [it, inserted] = cache_.emplace(name, std::move(loaded));
-  return it->second.get();
+  if (const auto fit = framework_index_->find(name);
+      fit != framework_index_->end())
+    return insert_owned(name, *framework_, *fit->second, true);
+  return nullptr;
+}
+
+const LoadedClass* ClassLoaderVm::load_framework(const LoadedClass* cls,
+                                                std::uint32_t slot) {
+  // Repeat loads of an already-loaded class are observable no-ops in the
+  // name path (pure cache hit: no budget check, no fault point, no
+  // accounting), so once the first load has gone through load() — which
+  // also settles app-class shadowing — a flag check answers all later
+  // calls. The flag is only set when the name path actually resolved to
+  // the substrate's object; a shadowed name keeps delegating.
+  if (slot < substrate_loaded_.size() && substrate_loaded_[slot]) return cls;
+  const LoadedClass* loaded = load(cls->name);
+  if (loaded == cls) {
+    if (substrate_loaded_.empty() && substrate_)
+      substrate_loaded_.resize(substrate_->class_count(), 0);
+    if (slot < substrate_loaded_.size()) substrate_loaded_[slot] = 1;
+  }
+  return loaded;
 }
 
 std::uint64_t ClassLoaderVm::loaded_class_count() const {
@@ -110,8 +143,8 @@ EagerLoader::EagerLoader(const Apk& apk, const DexFile& framework,
 
 void EagerLoader::materialize(const DexFile& dex, bool from_framework) {
   for (const auto& cls : dex.classes()) {
-    auto loaded =
-        std::make_unique<LoadedClass>(make_loaded(dex, cls, from_framework));
+    auto loaded = std::make_unique<LoadedClass>(
+        materialize_loaded_class(dex, cls, from_framework));
     const auto& name = loaded->name;
     if (cache_.contains(name)) continue;  // first definition wins
     memory_.allocate(loaded->footprint);

@@ -8,6 +8,13 @@
 // proportional to what it actually reached — the property that makes
 // SAINTDroid ~4x leaner than eager-loading tools (Fig. 4).
 //
+// Framework classes may come from a shared FrameworkSubstrate (see
+// clvm/substrate.hpp): the VM then hands out pointers into the immutable
+// shared layer instead of materializing private copies, while charging the
+// same footprint and counting the class in loaded_class_count() exactly as
+// a private copy would — accounting (and therefore every reported number)
+// is byte-identical with or without sharing; only the work moves.
+//
 // EagerLoader is the contrasting strategy used by the CID baseline: it
 // materializes every app class and the entire framework image up front
 // ("existing analysis techniques first load all code in the project",
@@ -17,8 +24,10 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "clvm/class_provider.hpp"
+#include "clvm/substrate.hpp"
 #include "support/budget.hpp"
 
 namespace saintdroid {
@@ -40,12 +49,19 @@ class ClassLoaderVm : public ClassProvider {
   /// nullptr (degrading exactly like an unknown class) instead of
   /// materializing — the cooperative backstop that keeps a pathological
   /// hierarchy from sinking a batch run.
+  /// `substrate`, when provided, is the shared immutable framework layer
+  /// for `framework`'s level: framework loads resolve to substrate
+  /// pointers (no private copy, no index needed) with identical shadowing,
+  /// budget, fault, and accounting semantics.
   ClassLoaderVm(const Apk& apk, const DexFile& framework,
                 bool include_secondary_dexes = true,
                 const ClassNameIndex* framework_index = nullptr,
-                BudgetTracker* budget = nullptr);
+                BudgetTracker* budget = nullptr,
+                std::shared_ptr<const FrameworkSubstrate> substrate = nullptr);
 
   const LoadedClass* load(const std::string& name) override;
+  const LoadedClass* load_framework(const LoadedClass* cls,
+                                    std::uint32_t slot) override;
   std::uint64_t loaded_class_count() const override;
   const MemoryMeter& memory() const override;
 
@@ -56,17 +72,29 @@ class ClassLoaderVm : public ClassProvider {
     bool framework = false;
   };
 
+  const LoadedClass* insert_owned(const std::string& name, const DexFile& dex,
+                                  const ClassDef& def, bool from_framework);
+
   const Apk* apk_;
   const DexFile* framework_;
   // Name -> definition index over the app's containers; building the
   // index reads only class headers and is not charged as materialization.
-  // Framework lookups go through the (possibly shared) framework index.
+  // Framework lookups go through the substrate when one is attached, else
+  // through the (possibly shared) framework index.
   std::unordered_map<std::string, Source> index_;
   const ClassNameIndex* framework_index_ = nullptr;  // shared, not owned
   ClassNameIndex owned_framework_index_;             // fallback
   BudgetTracker* budget_ = nullptr;                  // optional, not owned
-  // Materialized classes; unique_ptr keeps pointers stable across rehash.
-  std::unordered_map<std::string, std::unique_ptr<LoadedClass>> cache_;
+  std::shared_ptr<const FrameworkSubstrate> substrate_;  // optional
+  // Classes this analysis touched: app classes (and unshared framework
+  // classes) are owned here; shared framework classes point into the
+  // substrate. unique_ptr keeps owned pointers stable across rehash.
+  std::unordered_map<std::string, const LoadedClass*> cache_;
+  std::vector<std::unique_ptr<LoadedClass>> owned_;
+  // Per-slot "this substrate class is loaded (and unshadowed)" flags: the
+  // load_framework repeat path checks one byte instead of hashing the
+  // class name. Sized lazily on first use.
+  std::vector<std::uint8_t> substrate_loaded_;
   MemoryMeter memory_;
 };
 

@@ -1,0 +1,87 @@
+#include "clvm/substrate.hpp"
+
+namespace saintdroid {
+
+FrameworkSubstrate::FrameworkSubstrate(const DexFile& image, int level,
+                                       SubstrateOptions options)
+    : level_(level), options_(options) {
+  by_name_.reserve(image.classes().size());
+  for (const auto& def : image.classes()) {
+    ClassEntry& entry = entries_.emplace_back();
+    entry.cls = materialize_loaded_class(image, def, /*from_framework=*/true);
+    // First definition wins, matching the name-index semantics of the
+    // per-analysis loaders.
+    const auto [it, inserted] = by_name_.emplace(entry.cls.name, &entry);
+    if (!inserted) {
+      entries_.pop_back();
+      continue;
+    }
+    entry.slot = static_cast<std::uint32_t>(entries_.size() - 1);
+    entry.cls.substrate_entry = &entry;  // identity-checked in entry_of
+    total_footprint_ += entry.cls.footprint;
+  }
+
+  // Second pass, once the surviving entries are fixed: super edges and
+  // (when indexing) method tables plus invoke edges.
+  // Same method ref -> same callee identity; build each MethodId once.
+  std::unordered_map<std::uint32_t, CalleeEdge> edges_by_ref;
+  for (ClassEntry& entry : entries_) {
+    if (!entry.cls.super_name.empty()) {
+      const auto sit = by_name_.find(std::string_view{entry.cls.super_name});
+      if (sit != by_name_.end()) entry.super = sit->second;
+    }
+    if (!options_.index_methods) continue;
+    const auto& methods = entry.cls.def->methods;
+    entry.methods.reserve(methods.size());
+    for (const auto& m : methods) {
+      MethodEntry& me = entry.methods.emplace_back();
+      me.def = &m;
+      me.name = image.string_at(m.name);
+      me.descriptor = image.descriptor_of(m.proto);
+      me.slot = static_cast<std::uint32_t>(method_count_++);
+      if (!m.code) continue;
+      for (const auto& insn : m.code->insns) {
+        if (insn.op != Opcode::kInvoke) continue;
+        auto& edge = edges_by_ref[insn.index];
+        if (edge.id == nullptr) {
+          callee_pool_.push_back(image.method_id_at(insn.index));
+          edge.id = &callee_pool_.back();
+          const auto tit =
+              by_name_.find(std::string_view{edge.id->class_name});
+          if (tit != by_name_.end()) {
+            edge.target = &tit->second->cls;
+            edge.target_slot = tit->second->slot;
+          }
+        }
+        me.callees.push_back(edge);
+      }
+    }
+  }
+
+  // Third pass, once every method table is fixed: resolve each edge to the
+  // target's own MethodEntry (first declaration-order match, exactly what
+  // find_method_in returns), so the walk can recurse without comparing
+  // strings.
+  for (ClassEntry& entry : entries_) {
+    for (MethodEntry& me : entry.methods) {
+      for (CalleeEdge& edge : me.callees) {
+        if (edge.target == nullptr) continue;
+        for (const MethodEntry& cand : entries_[edge.target_slot].methods) {
+          if (cand.name == edge.id->name &&
+              cand.descriptor == edge.id->descriptor) {
+            edge.resolved = &cand;
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+const LoadedClass* FrameworkSubstrate::find_class(
+    const std::string& name) const {
+  const auto it = by_name_.find(std::string_view{name});
+  return it == by_name_.end() ? nullptr : &it->second->cls;
+}
+
+}  // namespace saintdroid

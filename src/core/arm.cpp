@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <deque>
+#include <future>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "support/bytes.hpp"
+#include "support/thread_pool.hpp"
 
 #include "adf/spec.hpp"
 
@@ -34,58 +38,118 @@ std::vector<std::string> mine_direct_permissions(const DexFile& dex,
   return perms;
 }
 
-}  // namespace
+/// Everything one level's scan contributes, in scan order, with no shared
+/// state touched — the unit of work a pool worker produces. Deduplication
+/// and map insertion happen only at merge time, on the calling thread, in
+/// level order, so the mined database is bit-for-bit independent of how
+/// many workers scanned.
+struct MethodScan {
+  MethodId id;
+  bool dispatcher = false;
+  std::vector<MethodId> callback_targets;  ///< dispatcher bodies only
+  std::vector<std::string> direct_perms;   ///< raw, pre-dedup
+  std::vector<MethodId> callees;           ///< instruction order, pre-dedup
+};
 
-ApiDatabase ApiDatabase::mine(const FrameworkRepository& repo) {
-  ApiDatabase db;
+struct LevelPartial {
+  std::vector<std::string> class_names;
+  std::vector<MethodScan> methods;
+};
 
-  // Union call graph across levels for transitive permission propagation.
-  std::unordered_map<MethodId, std::vector<MethodId>> callers_of;
-  std::unordered_map<MethodId, std::vector<std::string>> direct_perms;
-
-  for (int level = kMinApiLevel; level <= kMaxApiLevel; ++level) {
-    const DexFile& image = repo.image(level);
-    for (const auto& cls : image.classes()) {
-      db.classes_.insert(image.type_name(cls.type));
-      for (const auto& m : cls.methods) {
-        const MethodId id = image.method_id(cls, m);
-        const bool is_dispatcher = id.name == kCallbackDispatcherName;
-        if (!is_dispatcher) {
-          db.presence_[id] |= std::uint32_t{1} << level;
-          db.method_names_.insert(id.class_name + "|" + id.name);
-        }
-        if (!m.code) continue;
-
-        if (is_dispatcher) {
+LevelPartial scan_level(const DexFile& image) {
+  LevelPartial out;
+  for (const auto& cls : image.classes()) {
+    out.class_names.push_back(image.type_name(cls.type));
+    for (const auto& m : cls.methods) {
+      MethodScan scan;
+      scan.id = image.method_id(cls, m);
+      scan.dispatcher = scan.id.name == kCallbackDispatcherName;
+      if (m.code) {
+        if (scan.dispatcher) {
           // Callback mining: dispatcher bodies list the methods the
           // framework invokes on subclasses.
           for (const auto& insn : m.code->insns)
             if (insn.op == Opcode::kInvoke &&
                 (insn.invoke_kind == InvokeKind::kVirtual ||
                  insn.invoke_kind == InvokeKind::kInterface))
-              db.callbacks_.insert(image.method_id_at(insn.index));
-          continue;
-        }
-
-        // Permission mining: direct enforcement plus reverse call edges.
-        auto perms = mine_direct_permissions(image, *m.code);
-        if (!perms.empty()) {
-          auto& slot = direct_perms[id];
-          for (auto& p : perms) {
-            if (std::find(slot.begin(), slot.end(), p) == slot.end())
-              slot.push_back(std::move(p));
+              scan.callback_targets.push_back(image.method_id_at(insn.index));
+        } else {
+          // Permission mining: direct enforcement plus reverse call edges.
+          scan.direct_perms = mine_direct_permissions(image, *m.code);
+          for (const auto& insn : m.code->insns) {
+            if (insn.op != Opcode::kInvoke) continue;
+            MethodId callee = image.method_id_at(insn.index);
+            if (callee.class_name == kPermissionEnforcerClass) continue;
+            scan.callees.push_back(std::move(callee));
           }
         }
-        for (const auto& insn : m.code->insns) {
-          if (insn.op != Opcode::kInvoke) continue;
-          const MethodId callee = image.method_id_at(insn.index);
-          if (callee.class_name == kPermissionEnforcerClass) continue;
-          auto& callers = callers_of[callee];
-          if (std::find(callers.begin(), callers.end(), id) == callers.end())
-            callers.push_back(id);
+      }
+      out.methods.push_back(std::move(scan));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ApiDatabase ApiDatabase::mine(const FrameworkRepository& repo, int jobs) {
+  ApiDatabase db;
+
+  // Union call graph across levels for transitive permission propagation.
+  std::unordered_map<MethodId, std::vector<MethodId>> callers_of;
+  std::unordered_map<MethodId, std::vector<std::string>> direct_perms;
+
+  // Folds one level's partial into the database with exactly the insertion
+  // sequence the serial miner used, so even unordered-map iteration orders
+  // (which the permission closure below observes) match a serial mine.
+  const auto merge_level = [&](int level, LevelPartial partial) {
+    for (auto& name : partial.class_names)
+      db.classes_.insert(std::move(name));
+    for (auto& scan : partial.methods) {
+      if (!scan.dispatcher) {
+        db.presence_[scan.id] |= std::uint32_t{1} << level;
+        db.method_names_.insert(scan.id.class_name + "|" + scan.id.name);
+      } else {
+        for (auto& target : scan.callback_targets)
+          db.callbacks_.insert(std::move(target));
+      }
+      if (!scan.direct_perms.empty()) {
+        auto& slot = direct_perms[scan.id];
+        for (auto& p : scan.direct_perms) {
+          if (std::find(slot.begin(), slot.end(), p) == slot.end())
+            slot.push_back(std::move(p));
         }
       }
+      for (auto& callee : scan.callees) {
+        auto& callers = callers_of[callee];
+        if (std::find(callers.begin(), callers.end(), scan.id) ==
+            callers.end())
+          callers.push_back(scan.id);
+      }
     }
+  };
+
+  if (jobs <= 0) jobs = static_cast<int>(ThreadPool::default_workers());
+  constexpr int kLevels = kMaxApiLevel - kMinApiLevel + 1;
+  if (jobs > kLevels) jobs = kLevels;
+
+  if (jobs <= 1) {
+    for (int level = kMinApiLevel; level <= kMaxApiLevel; ++level)
+      merge_level(level, scan_level(repo.image(level)));
+  } else {
+    // One task per level: workers scan (and, on a cold repository, build)
+    // level images concurrently; the calling thread merges completed
+    // partials strictly in level order. An image-build failure surfaces at
+    // the lowest failing level's get(), matching the serial pass.
+    ThreadPool pool{static_cast<std::size_t>(jobs)};
+    std::vector<std::future<LevelPartial>> scans;
+    scans.reserve(kLevels);
+    for (int level = kMinApiLevel; level <= kMaxApiLevel; ++level)
+      scans.push_back(pool.submit(
+          [&repo, level] { return scan_level(repo.image(level)); }));
+    for (int level = kMinApiLevel; level <= kMaxApiLevel; ++level)
+      merge_level(level,
+                  scans[static_cast<std::size_t>(level - kMinApiLevel)].get());
   }
 
   // Transitive closure: propagate each required permission backwards along

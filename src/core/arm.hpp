@@ -27,7 +27,11 @@ namespace saintdroid {
 class ApiDatabase {
  public:
   /// Mines every level image of `repo`. `repo` must outlive the database.
-  static ApiDatabase mine(const FrameworkRepository& repo);
+  /// The per-level scan passes fan out over `jobs` pool workers (0 = one
+  /// per hardware thread; <= 1 = serial); results are merged level-by-level
+  /// in level order on the calling thread, so the mined database — down to
+  /// hash-map iteration order — is identical at every jobs value.
+  static ApiDatabase mine(const FrameworkRepository& repo, int jobs = 0);
 
   /// The database is "constructed once for a given framework ... as a
   /// reusable model" (§III-B): serialize/parse persist it so later runs

@@ -56,16 +56,66 @@ void Aum::walk_framework(const MethodId& api, int depth) {
     return;
   const LoadedClass* cls = hierarchy_->load(api.class_name);
   if (!cls || !cls->from_framework) return;
-  for (const auto& m : cls->def->methods) {
-    if (!method_matches(*cls->dex, m, api.name, api.descriptor)) continue;
-    if (!m.code) return;
-    for (const auto& insn : m.code->insns) {
-      if (insn.op != Opcode::kInvoke) continue;
-      const MethodId callee = cls->dex->method_id_at(insn.index);
-      hierarchy_->load(callee.class_name);  // materialize what the ADF touches
-      walk_framework(callee, depth + 1);
-    }
+  const MethodDef* method =
+      hierarchy_->find_method_in(*cls, api.name, api.descriptor);
+  if (!method || !method->code) return;
+  for (const auto& insn : method->code->insns) {
+    if (insn.op != Opcode::kInvoke) continue;
+    const MethodId callee = cls->dex->method_id_at(insn.index);
+    hierarchy_->load(callee.class_name);  // materialize what the ADF touches
+    walk_framework(callee, depth + 1);
+  }
+}
+
+// The two fast-path methods replay walk_framework over the substrate's
+// precomputed graph. Load-for-load equivalence with the string path:
+//   - the per-edge class load happens for every edge arrival in both paths
+//     (walk_framework loads callee.class_name before recursing);
+//   - walk_framework's load at recursion entry is always a cache hit — the
+//     parent loop (or, for roots, resolve_ref) just loaded the same class —
+//     except for callees the substrate does not own, where the first
+//     arrival takes the full miss path (budget check, fault point). Those
+//     keep walk_framework's exact bookkeeping: a framework_walked_ entry
+//     plus the one extra load on first arrival.
+void Aum::walk_root_fast(const MethodResolution& res) {
+  if (options_.framework_walk_depth <= 0) return;
+  const auto* entry = FrameworkSubstrate::entry_of(*res.declaring_class);
+  if (entry == nullptr) {
+    // Not substrate-owned (possible only if a provider mixes private
+    // framework copies in): take the string path, which handles anything.
+    walk_framework(res.id, 0);
     return;
+  }
+  // res.method points into the declaring class's definition, so the
+  // parallel method table gives the MethodEntry by index.
+  const auto& me = entry->methods[static_cast<std::size_t>(
+      res.method - entry->cls.def->methods.data())];
+  if (walked_fast_[me.slot]) return;
+  walked_fast_[me.slot] = 1;
+  walk_edges_fast(me, 0);
+}
+
+void Aum::walk_edges_fast(const FrameworkSubstrate::MethodEntry& me,
+                          int depth) {
+  for (const auto& edge : me.callees) {
+    if (edge.target != nullptr)
+      hierarchy_->load_framework(edge.target, edge.target_slot);
+    else
+      hierarchy_->load(edge.id->class_name);
+    const int child_depth = depth + 1;
+    if (child_depth >= options_.framework_walk_depth) continue;
+    if (edge.target == nullptr) {
+      // Outside the substrate: mirror walk_framework exactly — memoize the
+      // identity and retry the load once (the recursion-entry load, a full
+      // miss every time for a class that never materializes).
+      if (framework_walked_.emplace(*edge.id, true).second)
+        hierarchy_->load(edge.id->class_name);
+      continue;
+    }
+    if (edge.resolved == nullptr) continue;  // target declares no such method
+    if (walked_fast_[edge.resolved->slot]) continue;
+    walked_fast_[edge.resolved->slot] = 1;
+    walk_edges_fast(*edge.resolved, child_depth);
   }
 }
 
@@ -180,7 +230,10 @@ void Aum::explore_method(const MethodWork& work, UsageModel& model) {
         }
       }
 
-      walk_framework(api, 0);
+      if (use_fast_walk_)
+        walk_root_fast(*resolution);
+      else
+        walk_framework(api, 0);
       continue;
     }
 
@@ -240,6 +293,10 @@ UsageModel Aum::model(const Apk& apk) {
   framework_walked_.clear();
   ref_cache_.clear();
   worklist_.clear();
+
+  const FrameworkSubstrate* substrate = hierarchy_->substrate();
+  use_fast_walk_ = substrate != nullptr && substrate->options().index_methods;
+  walked_fast_.assign(use_fast_walk_ ? substrate->method_count() : 0, 0);
 
   UsageModel model;
   const ApiInterval app_range =

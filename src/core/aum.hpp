@@ -107,6 +107,12 @@ class Aum {
 
   void explore_method(const MethodWork& work, UsageModel& model);
   void walk_framework(const MethodId& api, int depth);
+  /// Substrate fast path for the framework walk: recurses over the
+  /// precomputed invoke edges by pointer, memoizing visited methods in a
+  /// flat bitmap (walked_fast_, indexed by MethodEntry::slot). Same loads,
+  /// same order, same truncation as walk_framework — no string building.
+  void walk_root_fast(const MethodResolution& res);
+  void walk_edges_fast(const FrameworkSubstrate::MethodEntry& me, int depth);
   const Cfg& cfg_for(const MethodDef& def);
 
   /// Cached identity + hierarchy resolution for a method-ref pool entry.
@@ -135,6 +141,11 @@ class Aum {
                      std::vector<std::pair<std::string, std::size_t>>>
       perm_site_index_;
   std::unordered_map<MethodId, bool> framework_walked_;
+  /// True when the hierarchy runs over an indexed substrate: walks take
+  /// the pointer path, with framework_walked_ kept only for callees whose
+  /// class the substrate does not own.
+  bool use_fast_walk_ = false;
+  std::vector<std::uint8_t> walked_fast_;  // by MethodEntry::slot
   std::unordered_map<const DexFile*,
                      std::vector<std::unique_ptr<RefResolution>>>
       ref_cache_;

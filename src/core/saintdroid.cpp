@@ -116,10 +116,19 @@ AnalysisResult SaintDroid::analyze_at_level(const Apk& apk, int level) {
 
   const DexFile* framework = nullptr;
   const FrameworkClassIndex* framework_index = nullptr;
+  std::shared_ptr<const FrameworkSubstrate> substrate;
   {
     const PhaseScope phase{"framework"};
     framework = &repo_->image(level);
-    if (options_.lazy_loading) framework_index = &repo_->class_index(level);
+    if (options_.lazy_loading) {
+      // The shared substrate subsumes the class-name index: a failure here
+      // (first build of a poisoned level) fails this analysis in the
+      // "framework" phase and the unsatisfied once-guard retries next time.
+      if (options_.shared_substrate)
+        substrate = repo_->substrate(level, options_.substrate);
+      else
+        framework_index = &repo_->class_index(level);
+    }
   }
 
   std::unique_ptr<ClassProvider> provider;
@@ -128,14 +137,15 @@ AnalysisResult SaintDroid::analyze_at_level(const Apk& apk, int level) {
     if (options_.lazy_loading)
       provider = std::make_unique<ClassLoaderVm>(apk, *framework,
                                                  /*include_secondary=*/true,
-                                                 framework_index, &budget);
+                                                 framework_index, &budget,
+                                                 substrate);
     else
       provider = std::make_unique<EagerLoader>(apk, *framework,
                                                /*include_secondary=*/true,
                                                /*load_framework=*/true);
   }
 
-  ClassHierarchy hierarchy{*provider};
+  ClassHierarchy hierarchy{*provider, substrate.get()};
   UsageModel model;
   {
     const PhaseScope phase{"model"};

@@ -8,18 +8,40 @@ bool method_matches(const DexFile& dex, const MethodDef& method,
          dex.descriptor_of(method.proto) == descriptor;
 }
 
+const MethodDef* ClassHierarchy::find_method_in(
+    const LoadedClass& cls, const std::string& name,
+    const std::string& descriptor) const {
+  if (const auto* entry = substrate_entry(cls)) {
+    // Declaration order with prebuilt names and descriptors: the first
+    // match is the same method the fallback scan finds, without any
+    // string building.
+    for (const auto& m : entry->methods)
+      if (m.name == name && m.descriptor == descriptor) return m.def;
+    return nullptr;
+  }
+  for (const auto& m : cls.def->methods)
+    if (method_matches(*cls.dex, m, name, descriptor)) return &m;
+  return nullptr;
+}
+
+const LoadedClass* ClassHierarchy::load_super(const LoadedClass& cls) {
+  if (substrate_ != nullptr && cls.from_framework) {
+    if (const auto* e = substrate_->entry_of(cls); e && e->super)
+      return provider_->load_framework(&e->super->cls, e->super->slot);
+  }
+  return provider_->load(cls.super_name);
+}
+
 std::optional<MethodResolution> ClassHierarchy::find_in_class(
     const LoadedClass& cls, const std::string& name,
     const std::string& descriptor) {
-  for (const auto& m : cls.def->methods) {
-    if (!method_matches(*cls.dex, m, name, descriptor)) continue;
-    MethodResolution res;
-    res.declaring_class = &cls;
-    res.method = &m;
-    res.id = MethodId{cls.name, name, descriptor};
-    return res;
-  }
-  return std::nullopt;
+  const MethodDef* method = find_method_in(cls, name, descriptor);
+  if (method == nullptr) return std::nullopt;
+  MethodResolution res;
+  res.declaring_class = &cls;
+  res.method = method;
+  res.id = MethodId{cls.name, name, descriptor};
+  return res;
 }
 
 std::optional<MethodResolution> ClassHierarchy::resolve_in_interfaces(
@@ -47,7 +69,7 @@ std::optional<MethodResolution> ClassHierarchy::resolve(
     if (auto res = find_in_class(*current, name, descriptor)) return res;
     chain.push_back(current);
     if (current->super_name.empty()) break;
-    current = provider_->load(current->super_name);
+    current = load_super(*current);
   }
   for (const auto* cls : chain)
     if (auto res = resolve_in_interfaces(*cls, name, descriptor)) return res;
@@ -75,18 +97,35 @@ std::optional<MethodResolution> ClassHierarchy::overridden_framework_method(
   const LoadedClass* current =
       cls.super_name.empty() ? nullptr : provider_->load(cls.super_name);
   while (current) {
-    for (const auto& m : current->def->methods) {
-      if (!matches(*current, m)) continue;
-      if (!current->from_framework) return std::nullopt;  // app override
-      MethodResolution res;
-      res.declaring_class = current;
-      res.method = &m;
-      res.id = MethodId{current->name, name, descriptor};
-      return res;
+    const auto* entry = substrate_entry(*current);
+    if (entry != nullptr) {
+      // A substrate-owned ancestor is framework by construction, so any
+      // name+descriptor match is the overridden framework declaration.
+      for (const auto& c : entry->methods) {
+        if (c.name != name) continue;
+        if (descriptor.empty())
+          descriptor = cls.dex->descriptor_of(method.proto);
+        if (c.descriptor != descriptor) continue;
+        MethodResolution res;
+        res.declaring_class = current;
+        res.method = c.def;
+        res.id = MethodId{current->name, name, descriptor};
+        return res;
+      }
+    } else {
+      for (const auto& m : current->def->methods) {
+        if (!matches(*current, m)) continue;
+        if (!current->from_framework) return std::nullopt;  // app override
+        MethodResolution res;
+        res.declaring_class = current;
+        res.method = &m;
+        res.id = MethodId{current->name, name, descriptor};
+        return res;
+      }
     }
     chain.push_back(current);
     if (current->super_name.empty()) break;
-    current = provider_->load(current->super_name);
+    current = load_super(*current);
   }
   for (const auto* link : chain) {
     if (link->interface_names.empty()) continue;
@@ -106,7 +145,7 @@ bool ClassHierarchy::is_subtype_of(const std::string& derived,
     for (const auto& iface : cls->interface_names)
       if (is_subtype_of(iface, base)) return true;
     if (cls->super_name.empty()) return false;
-    cls = provider_->load(cls->super_name);
+    cls = load_super(*cls);
   }
   return false;
 }
@@ -117,7 +156,7 @@ const LoadedClass* ClassHierarchy::nearest_framework_ancestor(
   while (cls) {
     if (cls->from_framework) return cls;
     if (cls->super_name.empty()) return nullptr;
-    cls = provider_->load(cls->super_name);
+    cls = load_super(*cls);
   }
   return nullptr;
 }

@@ -7,12 +7,21 @@
 // also where override detection lives: an app method "overrides an API
 // callback" (Algorithm 3) when a framework ancestor declares a method with
 // the same name and descriptor.
+//
+// When the analysis runs against a shared FrameworkSubstrate, queries over
+// substrate-owned framework classes ride its precomputed structure: method
+// tables with prebuilt descriptors (no per-app string building), direct
+// superclass pointers (chain walks skip name lookups via
+// ClassProvider::load_framework), and per-method invoke edges (the
+// framework walk replays pointers instead of re-decoding instructions).
+// Results are identical to the scans — only the work moves.
 #pragma once
 
 #include <optional>
 #include <string>
 
 #include "clvm/class_provider.hpp"
+#include "clvm/substrate.hpp"
 #include "dex/ids.hpp"
 
 namespace saintdroid {
@@ -28,8 +37,13 @@ struct MethodResolution {
 
 class ClassHierarchy {
  public:
-  /// `provider` must outlive the hierarchy.
-  explicit ClassHierarchy(ClassProvider& provider) : provider_(&provider) {}
+  /// `provider` (and `substrate`, when given) must outlive the hierarchy.
+  /// `substrate` should be the shared framework layer the provider hands
+  /// out pointers into; lookups fall back to scanning for any class the
+  /// substrate does not own, so a mismatched substrate is slow, not wrong.
+  explicit ClassHierarchy(ClassProvider& provider,
+                          const FrameworkSubstrate* substrate = nullptr)
+      : provider_(&provider), substrate_(substrate) {}
 
   /// Passthrough load (kept so callers need only a hierarchy reference).
   const LoadedClass* load(const std::string& name) {
@@ -58,9 +72,40 @@ class ClassHierarchy {
   /// modelled-class check), or nullptr.
   const LoadedClass* nearest_framework_ancestor(const std::string& class_name);
 
+  /// The first method of `cls` (declaration order) matching
+  /// `name:descriptor`, or nullptr — the indexed equivalent of scanning
+  /// cls.def->methods with method_matches(). Does not walk ancestors.
+  const MethodDef* find_method_in(const LoadedClass& cls,
+                                  const std::string& name,
+                                  const std::string& descriptor) const;
+
+  /// The shared framework substrate this hierarchy reads, or nullptr —
+  /// callers (the AUM framework walk) use its precomputed method tables
+  /// and invoke edges directly when present and indexed.
+  const FrameworkSubstrate* substrate() const { return substrate_; }
+
+  /// Passthrough to ClassProvider::load_framework (see there).
+  const LoadedClass* load_framework(const LoadedClass* cls,
+                                    std::uint32_t slot) {
+    return provider_->load_framework(cls, slot);
+  }
+
   ClassProvider& provider() { return *provider_; }
 
  private:
+  /// The substrate entry for `cls` when its precomputed method tables may
+  /// be used, else nullptr.
+  const FrameworkSubstrate::ClassEntry* substrate_entry(
+      const LoadedClass& cls) const {
+    if (substrate_ == nullptr || !cls.from_framework) return nullptr;
+    if (!substrate_->options().index_methods) return nullptr;
+    return substrate_->entry_of(cls);
+  }
+
+  /// Advances a chain walk to `cls`'s superclass, taking the substrate's
+  /// direct super pointer when available.
+  const LoadedClass* load_super(const LoadedClass& cls);
+
   std::optional<MethodResolution> find_in_class(const LoadedClass& cls,
                                                 const std::string& name,
                                                 const std::string& descriptor);
@@ -69,6 +114,7 @@ class ClassHierarchy {
       const std::string& descriptor);
 
   ClassProvider* provider_;
+  const FrameworkSubstrate* substrate_ = nullptr;  // optional, not owned
 };
 
 /// True when a method definition in `dex` matches `name:descriptor`.

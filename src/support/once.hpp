@@ -1,0 +1,51 @@
+// RetryOnce: call_once semantics with a well-defined exceptional path.
+//
+// std::call_once promises that a throwing callable leaves the flag
+// unsatisfied so a later caller retries — exactly the contract the
+// framework caches want (a transient build failure poisons one analysis,
+// not the slot). In practice that exceptional path is a portability trap:
+// ThreadSanitizer's pthread_once interceptor (and glibc builds where
+// call_once lowers to pthread_once) never resets the in-progress state
+// when the callable unwinds, so the *next* caller deadlocks on a futex
+// nobody will ever wake. Our sanitizer CI runs the fault-injection tests,
+// which throw from inside once-guarded builds on purpose, so the trap is
+// load-bearing here.
+//
+// RetryOnce is the boring, correct alternative: double-checked locking
+// over a plain mutex. Success publishes with a release store matched by
+// the fast-path acquire load; an exception unlocks the mutex and leaves
+// `done_` false, so the next caller simply rebuilds. Concurrent first
+// callers serialize on the mutex like call_once's passive waiters, and
+// after the first success the cost is one uncontended atomic load.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+namespace saintdroid {
+
+class RetryOnce {
+ public:
+  /// Runs `fn` if no prior call succeeded; returns once some call has.
+  /// If `fn` throws, the exception propagates and the flag stays
+  /// unsatisfied — the next call() retries.
+  template <typename Fn>
+  void call(Fn&& fn) {
+    if (done_.load(std::memory_order_acquire)) return;
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (done_.load(std::memory_order_relaxed)) return;
+    std::forward<Fn>(fn)();
+    done_.store(true, std::memory_order_release);
+  }
+
+  /// True once a call() has completed successfully (acquire-ordered, so a
+  /// true result also publishes everything the callable wrote).
+  bool satisfied() const { return done_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> done_{false};
+  std::mutex mutex_;
+};
+
+}  // namespace saintdroid

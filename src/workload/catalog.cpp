@@ -257,6 +257,56 @@ std::vector<ApiUse> collect_safe_apis(const FrameworkSpec& spec,
   return out;
 }
 
+std::vector<ApiUse> collect_breadth_apis(const FrameworkSpec& spec,
+                                         ApiInterval range,
+                                         std::size_t limit) {
+  // Local indices: FrameworkSpec::find_* scans linearly, and the
+  // transitive check below resolves one callee per CallSpec edge.
+  std::unordered_map<std::string_view, const ClassSpec*> by_name;
+  by_name.reserve(spec.classes.size());
+  for (const auto& cls : spec.classes) by_name.emplace(cls.name, &cls);
+  const auto find_method = [&by_name](const std::string& cls,
+                                      const std::string& name)
+      -> const MethodSpec* {
+    const auto it = by_name.find(std::string_view{cls});
+    if (it == by_name.end()) return nullptr;
+    for (const auto& m : it->second->methods)
+      if (m.name == name) return &m;
+    return nullptr;
+  };
+
+  // Transitive permission-freedom, memoized per method. Unresolvable
+  // callees (and cycles mid-visit) are conservatively permission-relevant.
+  std::unordered_map<const MethodSpec*, bool> clean;
+  const auto permission_free = [&](const MethodSpec& m,
+                                   const auto& self) -> bool {
+    if (const auto it = clean.find(&m); it != clean.end()) return it->second;
+    bool& slot = clean.emplace(&m, false).first->second;
+    if (!m.permission.empty()) return false;
+    for (const auto& call : m.calls) {
+      const MethodSpec* callee = find_method(call.cls, call.name);
+      if (callee == nullptr || !self(*callee, self)) return false;
+    }
+    return slot = true;
+  };
+
+  std::vector<ApiUse> out;
+  for (const auto& cls : spec.classes) {
+    if (out.size() >= limit) break;
+    if (cls.is_interface) continue;
+    if (!covers(spec_existence(cls.life), range)) continue;
+    for (const auto& m : cls.methods) {
+      if (m.callback || m.name == "<init>") continue;
+      if (!covers(spec_existence(m.life), range)) continue;
+      if (!permission_free(m, permission_free)) continue;
+      out.push_back(ApiUse{cls.name, cls.name, m.name, m.return_type,
+                           m.params, m.is_static});
+      break;  // one per class: breadth over distinct classes, not depth
+    }
+  }
+  return out;
+}
+
 std::vector<ApiUse> collect_mismatch_apis(const FrameworkSpec& spec,
                                           ApiInterval range,
                                           std::size_t limit) {

@@ -131,6 +131,17 @@ std::vector<ApiUse> collect_safe_apis(const FrameworkSpec& spec,
                                       ApiInterval range,
                                       std::size_t limit = 2000);
 
+/// Breadth filler: at most one safe method per spec class — alive across
+/// the whole range, not a callback, and *transitively* permission-free
+/// (the callee chain never reaches an enforced permission, so the mined
+/// permission map stays silent about it). Where collect_safe_apis keeps
+/// only leaf methods of the curated classes, this spans the full synthetic
+/// framework — the material for library-heavy apps, whose defining trait
+/// is how many distinct framework classes they touch (Fig. 3's outliers).
+std::vector<ApiUse> collect_breadth_apis(const FrameworkSpec& spec,
+                                         ApiInterval range,
+                                         std::size_t limit = 2000);
+
 /// Spec methods whose introduction falls strictly inside `range` (usable as
 /// backward-mismatch material), excluding permission-requiring ones.
 std::vector<ApiUse> collect_mismatch_apis(const FrameworkSpec& spec,

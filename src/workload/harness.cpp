@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "adf/repository.hpp"
 #include "support/thread_pool.hpp"
 #include "workload/journal.hpp"
 
@@ -69,11 +70,13 @@ void aggregate_rows(SuiteResult& suite) {
 }  // namespace
 
 SuiteResult run_suite(Analyzer& tool, std::span<const BenchApp> apps) {
+  const std::uint64_t retries_before = framework_build_retries();
   SuiteResult suite;
   suite.tool = std::string{tool.name()};
   suite.rows.reserve(apps.size());
   for (const auto& app : apps) suite.rows.push_back(score_app(tool, app));
   aggregate_rows(suite);
+  suite.framework_retries = framework_build_retries() - retries_before;
   return suite;
 }
 
@@ -88,6 +91,7 @@ SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
                                std::span<const BenchApp> apps,
                                const SuiteRunOptions& options) {
   const std::size_t n = apps.size();
+  const std::uint64_t retries_before = framework_build_retries();
   int jobs = options.jobs;
   if (jobs > static_cast<int>(n)) jobs = static_cast<int>(n);
 
@@ -117,6 +121,10 @@ SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
     resumed[i] = 1;
   }
 
+  // Warm shared immutable state (images, substrates) once, on this thread,
+  // before any analyzer exists — the fan-out then reads hot caches.
+  if (options.warmup) options.warmup();
+
   const auto process = [&](Analyzer& tool, std::size_t i) {
     suite.rows[i] = score_app(tool, apps[i]);
     if (journal) journal->append(suite.rows[i]);
@@ -128,6 +136,7 @@ SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
     for (std::size_t i = 0; i < n; ++i)
       if (!resumed[i]) process(*tool, i);
     aggregate_rows(suite);
+    suite.framework_retries = framework_build_retries() - retries_before;
     return suite;
   }
 
@@ -161,6 +170,7 @@ SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
   }
 
   aggregate_rows(suite);
+  suite.framework_retries = framework_build_retries() - retries_before;
   return suite;
 }
 

@@ -5,6 +5,7 @@
 // every real issue in the app as a miss, per family).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -51,6 +52,13 @@ struct SuiteResult {
   std::vector<SuiteAppRow> rows;
   FamilyScores aggregate;
   int failures = 0;
+  /// Framework build retries (see framework_build_retries() in
+  /// adf/repository.hpp) observed process-wide during this run: image or
+  /// substrate once-guard re-entries after a failed attempt. Zero on a
+  /// healthy host; nonzero means transient framework failures were retried
+  /// and is worth surfacing in batch summaries. Operational telemetry —
+  /// not part of the deterministic row contract.
+  std::uint64_t framework_retries = 0;
 };
 
 /// Runs `tool` over `apps`, scoring each result against its ledger. Every
@@ -89,6 +97,12 @@ struct SuiteRunOptions {
   /// merged back verbatim (matched by app name) and only the remainder is
   /// analyzed. Without a journal_path this is a no-op.
   bool resume = false;
+  /// Run once on the calling thread after resume merging, before the
+  /// serial loop or any worker starts — the place to pre-build shared
+  /// immutable state (framework images, substrates) so a cold cache is
+  /// warmed once instead of stampeded by the fan-out. Must not throw;
+  /// swallow per-level failures and let the analyses attribute them.
+  std::function<void()> warmup;
 };
 
 /// run_suite_parallel with a crash-safe journal. Rows land at their input

@@ -103,6 +103,23 @@ int run_batch(const std::vector<std::string>& paths, int jobs,
   options.jobs = jobs;
   options.journal_path = journal_path;
   options.resume = resume;
+  // Pre-build the shared framework substrate for every level the batch
+  // targets, once, before the worker fan-out. A level whose build fails
+  // here is skipped: the analyses against it retry and attribute the
+  // failure to their own rows.
+  options.warmup = [&repo, &apps] {
+    std::vector<char> warmed(sd::kMaxApiLevel + 1, 0);
+    for (const auto& app : apps) {
+      const int level =
+          sd::FrameworkRepository::clamp_level(app.apk.manifest.target_sdk);
+      if (warmed[static_cast<std::size_t>(level)]) continue;
+      warmed[static_cast<std::size_t>(level)] = 1;
+      try {
+        (void)repo.substrate(level);
+      } catch (const std::exception&) {
+      }
+    }
+  };
 
   const sd::Stopwatch watch;
   const sd::SuiteResult suite = sd::run_suite_parallel(
@@ -126,10 +143,12 @@ int run_batch(const std::vector<std::string>& paths, int jobs,
     }
   }
   std::printf("%zu apps, %llu mismatches, %d failures, %d jobs, %.2fs "
-              "(%.1f apps/sec)\n",
+              "(%.1f apps/sec, %llu framework retr%s)\n",
               apps.size(), static_cast<unsigned long long>(total),
               suite.failures, jobs, elapsed,
-              elapsed > 0 ? apps.size() / elapsed : 0.0);
+              elapsed > 0 ? apps.size() / elapsed : 0.0,
+              static_cast<unsigned long long>(suite.framework_retries),
+              suite.framework_retries == 1 ? "y" : "ies");
   return total == 0 && suite.failures == 0 ? 0 : 1;
 }
 
