@@ -20,11 +20,24 @@
 // second axis toggles the shared framework substrate on and off over the
 // corpus's library-heavy stratum (BENCH_substrate.json), with a
 // byte-identity check across jobs {1, 2, 8} and both substrate settings.
+//
+// The bench is journal-aware: `--journal <file>` runs the corpus suite
+// through the crash-safe journal and `--resume` merges an existing
+// journal's rows back instead of re-analyzing them, so the full 3,571-app
+// study survives preemption (`bench_rq2_corpus 3571 --journal rq2.jsonl
+// [--resume]` after a kill picks up where it died). A shard/resume axis
+// then proves the multi-process story on the same slice — N shard
+// journals merged with merge_journals, and a torn-journal resume, both
+// byte-identical to the single-process run — and records the numbers in
+// BENCH_shard.json.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "adf/repository.hpp"
@@ -53,13 +66,42 @@ std::string suite_bytes(const sd::SuiteResult& suite) {
   return bytes;
 }
 
+/// Canonical byte form of a row *set*: sorted by app name, seconds zeroed.
+/// The comparison currency between a single-process SuiteResult and the
+/// app-name-ordered output of merge_journals.
+std::string sorted_bytes(std::span<const sd::SuiteAppRow> rows) {
+  std::vector<std::string> lines;
+  lines.reserve(rows.size());
+  for (const auto& row : rows) lines.push_back(sd::canonical_row_bytes(row));
+  std::sort(lines.begin(), lines.end());
+  std::string bytes;
+  for (const auto& line : lines) {
+    bytes += line;
+    bytes += '\n';
+  }
+  return bytes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto& repo = sd::FrameworkRepository::standard();
   const sd::RealWorldCorpus corpus{repo};
   int count = corpus.size();
-  if (argc > 1) count = std::min(count, std::atoi(argv[1]));
+  std::string journal_path;
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--journal" && i + 1 < argc)
+      journal_path = argv[++i];
+    else if (std::string_view{argv[i]} == "--resume")
+      resume = true;
+    else if (argv[i][0] != '-')
+      count = std::min(count, std::atoi(argv[i]));
+  }
+  if (resume && journal_path.empty()) {
+    std::fprintf(stderr, "bench_rq2_corpus: --resume needs --journal\n");
+    return 2;
+  }
 
   // Per-app wall-clock deadline so one pathological app degrades to a
   // partial report instead of stalling the whole corpus run (see
@@ -294,5 +336,141 @@ int main(int argc, char** argv) {
     std::fclose(out);
     std::printf("  -> BENCH_substrate.json\n");
   }
-  return deterministic ? 0 : 1;
+
+  // --- journal pass-through: the resumable full-corpus study -------------
+  // With --journal the whole count-app suite runs through the crash-safe
+  // journal: a killed run re-invoked with --resume merges every journaled
+  // row back and analyzes only the remainder, so the full 3,571-app study
+  // survives preemption at the cost of re-running only the in-flight apps.
+  if (!journal_path.empty()) {
+    const std::vector<sd::BenchApp> all_apps =
+        count == suite_count ? suite_apps
+                             : corpus.generate_range(0, count, hw);
+    sd::SuiteRunOptions journal_options;
+    journal_options.jobs = hw;
+    journal_options.journal_path = journal_path;
+    journal_options.resume = resume;
+    journal_options.corpus_id = sd::corpus_fingerprint(all_apps);
+    const sd::Stopwatch watch;
+    const sd::SuiteResult suite =
+        sd::run_suite_parallel(factory, all_apps, journal_options);
+    std::printf("\njournaled corpus suite -> %s: %zu apps, %zu resumed "
+                "from journal, %zu analyzed, %.2fs\n",
+                journal_path.c_str(), suite.rows.size(), suite.resumed_rows,
+                suite.rows.size() - suite.resumed_rows, watch.seconds());
+  }
+
+  // --- shard/resume axis: multi-process equivalence ----------------------
+  // The multi-host fan-out story over the same slice: (a) three shard
+  // journals merged with merge_journals, (b) a run killed mid-append
+  // (torn trailing row) and resumed — both must reproduce the
+  // single-process suite byte-for-byte (app-name order, seconds zeroed).
+  const std::string corpus_id = sd::corpus_fingerprint(suite_apps);
+  double reference_wall = 0.0;
+  const sd::SuiteResult single_process =
+      timed_suite(factory, suite_apps, hw, reference_wall);
+  const std::string reference_bytes = sorted_bytes(single_process.rows);
+
+  const int shard_count = 3;
+  std::vector<std::string> shard_files;
+  double shard_wall_max = 0.0;  // a multi-host run costs its slowest shard
+  for (int s = 0; s < shard_count; ++s) {
+    const std::string file = "rq2_shard" + std::to_string(s) + ".jsonl";
+    const std::vector<sd::BenchApp> slice =
+        sd::shard_slice(suite_apps, s, shard_count);
+    sd::SuiteRunOptions options;
+    options.jobs = hw;
+    options.journal_path = file;
+    options.corpus_id = corpus_id;
+    options.shard_index = s;
+    options.shard_count = shard_count;
+    const sd::Stopwatch watch;
+    (void)sd::run_suite_parallel(factory, slice, options);
+    shard_wall_max = std::max(shard_wall_max, watch.seconds());
+    shard_files.push_back(file);
+  }
+  const sd::JournalMerge merged = sd::merge_journals(shard_files);
+  const bool shard_identical =
+      merged.clean() && sorted_bytes(merged.rows) == reference_bytes;
+
+  // Kill-and-resume: journal the first half, tear the trailing row the way
+  // a mid-append kill does, then resume over the full slice.
+  const std::string resume_file = "rq2_resume.jsonl";
+  const std::size_t first_leg = static_cast<std::size_t>(suite_count) / 2;
+  {
+    const std::vector<sd::BenchApp> head{
+        suite_apps.begin(),
+        suite_apps.begin() + static_cast<std::ptrdiff_t>(first_leg)};
+    sd::SuiteRunOptions options;
+    options.jobs = hw;
+    options.journal_path = resume_file;
+    options.corpus_id = corpus_id;
+    (void)sd::run_suite_parallel(factory, head, options);
+  }
+  {
+    std::vector<std::string> lines;
+    std::ifstream in{resume_file};
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    in.close();
+    std::ofstream out{resume_file, std::ios::trunc};
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) out << lines[i] << "\n";
+    out << lines.back().substr(0, lines.back().size() / 2);  // torn row
+  }
+  sd::SuiteRunOptions resume_options;
+  resume_options.jobs = hw;
+  resume_options.journal_path = resume_file;
+  resume_options.resume = true;
+  resume_options.corpus_id = corpus_id;
+  const sd::Stopwatch resume_watch;
+  const sd::SuiteResult resumed =
+      sd::run_suite_parallel(factory, suite_apps, resume_options);
+  const double resume_wall = resume_watch.seconds();
+  const bool resume_identical = sorted_bytes(resumed.rows) == reference_bytes;
+  // The torn row is the only journaled app that must be re-analyzed.
+  const bool resume_skipped_completed = resumed.resumed_rows == first_leg - 1;
+
+  std::printf("\nshard/resume axis over %d corpus apps (jobs=%d):\n"
+              "  single process  %8.3fs wall\n"
+              "  %d shards        %8.3fs wall (slowest shard), merged: "
+              "%zu apps, %zu dups, %zu conflicts\n"
+              "  merged == single process: %s\n"
+              "  kill+resume: %zu rows resumed, %zu re-analyzed, %.3fs, "
+              "identical: %s\n",
+              suite_count, hw, reference_wall, shard_count, shard_wall_max,
+              merged.rows.size(), merged.duplicates, merged.conflicts.size(),
+              shard_identical ? "yes" : "NO", resumed.resumed_rows,
+              resumed.rows.size() - resumed.resumed_rows, resume_wall,
+              resume_identical && resume_skipped_completed ? "yes" : "NO");
+
+  if (std::FILE* out = std::fopen("BENCH_shard.json", "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"rq2_shard_resume\",\n"
+                 "  \"apps\": %d,\n"
+                 "  \"jobs\": %d,\n"
+                 "  \"shards\": %d,\n"
+                 "  \"single_process_wall_seconds\": %.4f,\n"
+                 "  \"slowest_shard_wall_seconds\": %.4f,\n"
+                 "  \"merge_duplicates\": %zu,\n"
+                 "  \"merge_conflicts\": %zu,\n"
+                 "  \"shard_merge_identical\": %s,\n"
+                 "  \"resume_resumed_rows\": %zu,\n"
+                 "  \"resume_reanalyzed_rows\": %zu,\n"
+                 "  \"resume_wall_seconds\": %.4f,\n"
+                 "  \"resume_identical\": %s\n"
+                 "}\n",
+                 suite_count, hw, shard_count, reference_wall, shard_wall_max,
+                 merged.duplicates, merged.conflicts.size(),
+                 shard_identical ? "true" : "false", resumed.resumed_rows,
+                 resumed.rows.size() - resumed.resumed_rows, resume_wall,
+                 resume_identical && resume_skipped_completed ? "true"
+                                                              : "false");
+    std::fclose(out);
+    std::printf("  -> BENCH_shard.json\n");
+  }
+  return deterministic && shard_identical && resume_identical &&
+                 resume_skipped_completed
+             ? 0
+             : 1;
 }

@@ -16,13 +16,14 @@ leg="${1:-all}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 run_tsan() {
-  echo "=== ThreadSanitizer: test_parallel + test_faults + test_substrate ==="
+  echo "=== ThreadSanitizer: test_parallel + test_faults + test_shard + test_substrate ==="
   cmake -B build-tsan -S . -DSD_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build build-tsan -j "$jobs" \
-        --target test_parallel test_faults test_substrate
+        --target test_parallel test_faults test_shard test_substrate
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_faults
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_shard
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_substrate
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "adf/repository.hpp"
+#include "support/errors.hpp"
 #include "support/thread_pool.hpp"
 #include "workload/journal.hpp"
 
@@ -69,6 +70,39 @@ void aggregate_rows(SuiteResult& suite) {
 
 }  // namespace
 
+std::vector<BenchApp> shard_slice(std::span<const BenchApp> apps,
+                                  int shard_index, int shard_count) {
+  if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count)
+    throw ConfigError("shard_slice: invalid shard " +
+                      std::to_string(shard_index) + "/" +
+                      std::to_string(shard_count));
+  std::vector<BenchApp> slice;
+  slice.reserve(apps.size() / static_cast<std::size_t>(shard_count) + 1);
+  for (std::size_t i = static_cast<std::size_t>(shard_index); i < apps.size();
+       i += static_cast<std::size_t>(shard_count))
+    slice.push_back(apps[i]);
+  return slice;
+}
+
+std::string corpus_fingerprint(std::span<const BenchApp> apps) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  const auto mix = [&hash](unsigned char byte) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  };
+  for (const auto& app : apps) {
+    for (const char c : app.apk.name) mix(static_cast<unsigned char>(c));
+    mix('\n');  // separator: names must not concatenate ambiguously
+  }
+  static const char* digits = "0123456789abcdef";
+  std::string hex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = digits[hash & 0xF];
+    hash >>= 4;
+  }
+  return hex;
+}
+
 SuiteResult run_suite(Analyzer& tool, std::span<const BenchApp> apps) {
   const std::uint64_t retries_before = framework_build_retries();
   SuiteResult suite;
@@ -107,8 +141,12 @@ SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
 
   std::unique_ptr<JournalWriter> journal;
   if (!options.journal_path.empty()) {
+    JournalHeader header;
+    header.corpus = options.corpus_id;
+    header.shard_index = options.shard_index;
+    header.shard_count = options.shard_count;
     journal = std::make_unique<JournalWriter>(options.journal_path,
-                                              options.resume);
+                                              options.resume, header);
   }
 
   SuiteResult suite;
@@ -119,6 +157,7 @@ SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
     if (it == journaled.end()) continue;
     suite.rows[i] = it->second;
     resumed[i] = 1;
+    ++suite.resumed_rows;
   }
 
   // Warm shared immutable state (images, substrates) once, on this thread,

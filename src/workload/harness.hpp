@@ -59,7 +59,27 @@ struct SuiteResult {
   /// and is worth surfacing in batch summaries. Operational telemetry —
   /// not part of the deterministic row contract.
   std::uint64_t framework_retries = 0;
+  /// Rows merged back from the journal instead of being analyzed (only a
+  /// resumed run has any). Operational telemetry — the rows themselves are
+  /// identical either way, this just records how much work resume saved.
+  std::size_t resumed_rows = 0;
 };
+
+/// Deterministic interleaved shard slice for multi-process corpus runs:
+/// shard `shard_index` of `shard_count` owns apps at input positions
+/// {shard_index, shard_index + shard_count, ...}, in input order. The
+/// slices partition the input exactly, and interleaving balances the
+/// long-tailed app-size distribution across shards the same way the
+/// in-process worker sharding does. Throws ConfigError unless
+/// 0 <= shard_index < shard_count.
+std::vector<BenchApp> shard_slice(std::span<const BenchApp> apps,
+                                  int shard_index, int shard_count);
+
+/// Order-sensitive FNV-1a fingerprint over the app names of `apps`,
+/// rendered as 16 hex digits. Two shard journals merge only if they were
+/// cut from app lists with the same fingerprint — always fingerprint the
+/// *full* list, before shard_slice.
+std::string corpus_fingerprint(std::span<const BenchApp> apps);
 
 /// Runs `tool` over `apps`, scoring each result against its ledger. Every
 /// per-app analysis runs inside the analyze_outcome isolation boundary: an
@@ -97,6 +117,15 @@ struct SuiteRunOptions {
   /// merged back verbatim (matched by app name) and only the remainder is
   /// analyzed. Without a journal_path this is a no-op.
   bool resume = false;
+  /// Journal header metadata (journal schema 2): the fingerprint of the
+  /// full app list this run is a slice of (corpus_fingerprint, empty for
+  /// "unspecified") and this run's shard spec. Recorded as the journal's
+  /// first line; on resume, a journal whose header names a different
+  /// corpus or shard fails loudly instead of silently interleaving runs,
+  /// and merge-journals uses the same header to refuse mismatched shards.
+  std::string corpus_id;
+  int shard_index = 0;
+  int shard_count = 1;
   /// Run once on the calling thread after resume merging, before the
   /// serial loop or any worker starts — the place to pre-build shared
   /// immutable state (framework images, substrates) so a cold cache is

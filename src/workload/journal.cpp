@@ -1,7 +1,9 @@
 #include "workload/journal.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "core/json.hpp"
@@ -44,7 +46,58 @@ std::string read_string(const JsonValue& object, std::string_view key) {
   return value->as_string();
 }
 
+std::string shard_spec(const JournalHeader& header) {
+  if (header.merged()) return "merged/" + std::to_string(header.shard_count);
+  return std::to_string(header.shard_index) + "/" +
+         std::to_string(header.shard_count);
+}
+
 }  // namespace
+
+std::string journal_header_line(const JournalHeader& header) {
+  std::ostringstream out;
+  out << "{\"journal\":\"saintdroid-suite\",\"schema\":" << header.schema
+      << ",\"corpus\":" << quoted(header.corpus)
+      << ",\"shard\":{\"index\":" << header.shard_index
+      << ",\"count\":" << header.shard_count << "}";
+  if (!header.tool.empty()) out << ",\"tool\":" << quoted(header.tool);
+  out << "}";
+  return out.str();
+}
+
+std::optional<JournalHeader> parse_journal_header(std::string_view line) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(line);
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+  const JsonValue* marker = doc.find("journal");
+  const JsonValue* schema = doc.find("schema");
+  const JsonValue* shard = doc.find("shard");
+  if (marker == nullptr || marker->type() != JsonValue::Type::kString ||
+      schema == nullptr || schema->type() != JsonValue::Type::kNumber ||
+      shard == nullptr || shard->type() != JsonValue::Type::kObject)
+    return std::nullopt;
+  const JsonValue* index = shard->find("index");
+  const JsonValue* count = shard->find("count");
+  if (index == nullptr || index->type() != JsonValue::Type::kNumber ||
+      count == nullptr || count->type() != JsonValue::Type::kNumber)
+    return std::nullopt;
+
+  JournalHeader header;
+  header.schema = static_cast<int>(schema->as_number());
+  header.corpus = read_string(doc, "corpus");
+  header.shard_index = static_cast<int>(index->as_number());
+  header.shard_count = static_cast<int>(count->as_number());
+  header.tool = read_string(doc, "tool");
+  return header;
+}
+
+bool headers_compatible(const JournalHeader& a, const JournalHeader& b) {
+  return a.schema == b.schema && a.corpus == b.corpus &&
+         a.shard_count == b.shard_count;
+}
 
 std::string journal_line(const SuiteAppRow& row) {
   std::ostringstream out;
@@ -117,33 +170,149 @@ std::optional<SuiteAppRow> parse_journal_line(std::string_view line) {
   return row;
 }
 
-std::vector<SuiteAppRow> load_journal(const std::string& path) {
-  std::vector<SuiteAppRow> rows;
-  std::ifstream in{path};
-  if (!in.is_open()) return rows;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    if (auto row = parse_journal_line(line)) rows.push_back(std::move(*row));
-  }
-  return rows;
+std::string canonical_row_bytes(const SuiteAppRow& row) {
+  SuiteAppRow canonical = row;
+  canonical.usage.seconds = 0.0;
+  return journal_line(canonical);
 }
 
-JournalWriter::JournalWriter(const std::string& path, bool append) {
+std::vector<SuiteAppRow> load_journal(const std::string& path) {
+  return load_journal_file(path).rows;
+}
+
+JournalFile load_journal_file(const std::string& path) {
+  JournalFile file;
+  std::ifstream in{path};
+  if (!in.is_open()) return file;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {
+      first = false;
+      if (!line.empty()) {
+        if (auto header = parse_journal_header(line)) {
+          file.header = std::move(*header);
+          continue;
+        }
+      }
+    }
+    if (line.empty()) continue;
+    if (auto row = parse_journal_line(line))
+      file.rows.push_back(std::move(*row));
+  }
+  return file;
+}
+
+JournalMerge merge_journals(const std::vector<std::string>& inputs) {
+  if (inputs.empty())
+    throw ConfigError("merge-journals: no input journals given");
+
+  JournalMerge merge;
+  std::optional<JournalHeader> reference;
+  std::string reference_path;
+  std::unordered_map<std::string, std::size_t> by_app;
+
+  for (const auto& path : inputs) {
+    {
+      const std::ifstream probe{path, std::ios::binary};
+      if (!probe.is_open())
+        throw ConfigError("merge-journals: cannot open " + path);
+    }
+    JournalFile file = load_journal_file(path);
+    if (file.header.has_value()) {
+      if (!reference.has_value()) {
+        reference = *file.header;
+        reference_path = path;
+      } else if (!headers_compatible(*reference, *file.header)) {
+        throw ConfigError(
+            "merge-journals: " + path + " (schema " +
+            std::to_string(file.header->schema) + ", corpus \"" +
+            file.header->corpus + "\", shard " + shard_spec(*file.header) +
+            ") is not mergeable with " + reference_path + " (schema " +
+            std::to_string(reference->schema) + ", corpus \"" +
+            reference->corpus + "\", shard " + shard_spec(*reference) + ")");
+      }
+    }
+    for (auto& row : file.rows) {
+      const auto it = by_app.find(row.app);
+      if (it == by_app.end()) {
+        by_app.emplace(row.app, merge.rows.size());
+        merge.rows.push_back(std::move(row));
+        continue;
+      }
+      SuiteAppRow& kept = merge.rows[it->second];
+      if (canonical_row_bytes(kept) == canonical_row_bytes(row)) {
+        ++merge.duplicates;  // same result twice: silently keep the later
+      } else {
+        merge.conflicts.push_back({row.app, row, kept});
+      }
+      kept = std::move(row);  // last writer wins either way
+    }
+  }
+
+  merge.header.schema = kJournalSchemaVersion;
+  merge.header.shard_index = -1;  // "merged"
+  if (reference.has_value()) {
+    merge.header.corpus = reference->corpus;
+    merge.header.shard_count = reference->shard_count;
+    merge.header.tool = reference->tool;
+  }
+  std::sort(merge.rows.begin(), merge.rows.end(),
+            [](const SuiteAppRow& a, const SuiteAppRow& b) {
+              return a.app < b.app;
+            });
+  return merge;
+}
+
+void write_journal(const std::string& path, const JournalHeader& header,
+                   std::span<const SuiteAppRow> rows) {
+  std::ofstream out{path, std::ios::out | std::ios::trunc};
+  if (!out.is_open())
+    throw ConfigError("journal: cannot write " + path);
+  out << journal_header_line(header) << '\n';
+  for (const auto& row : rows) out << journal_line(row) << '\n';
+  out.flush();
+  if (!out)
+    throw ConfigError("journal: short write to " + path);
+}
+
+JournalWriter::JournalWriter(const std::string& path, bool append,
+                             const std::optional<JournalHeader>& header) {
   bool seal = false;
+  bool emit_header = header.has_value();
   if (append) {
     // A run killed mid-append leaves a partial line with no newline; seal
     // it so the next row starts on a fresh line (the partial row is then
-    // skipped by load_journal as unparseable).
+    // skipped by load_journal as unparseable). An existing non-empty
+    // journal keeps its header (or legacy headerlessness); writing a
+    // second header mid-file would just be an unparseable row.
     std::ifstream existing{path, std::ios::binary};
     if (existing.is_open()) {
       existing.seekg(0, std::ios::end);
       const auto size = existing.tellg();
       if (size > 0) {
+        emit_header = false;
         existing.seekg(-1, std::ios::end);
         char last = '\n';
         existing.get(last);
         seal = last != '\n';
+        if (header.has_value()) {
+          // Resuming into the wrong journal must fail loudly: the first
+          // line's header (when present) has to denote the same run slice.
+          existing.seekg(0, std::ios::beg);
+          std::string first;
+          std::getline(existing, first);
+          if (const auto found = parse_journal_header(first);
+              found.has_value() &&
+              (!headers_compatible(*found, *header) ||
+               found->shard_index != header->shard_index)) {
+            throw ConfigError("journal: " + path + " belongs to shard " +
+                              shard_spec(*found) + " of corpus \"" +
+                              found->corpus + "\", not shard " +
+                              shard_spec(*header) + " of corpus \"" +
+                              header->corpus + "\"");
+          }
+        }
       }
     }
   }
@@ -153,6 +322,10 @@ JournalWriter::JournalWriter(const std::string& path, bool append) {
     throw ConfigError("journal: cannot open " + path);
   if (seal) {
     out_ << '\n';
+    out_.flush();
+  }
+  if (emit_header) {
+    out_ << journal_header_line(*header) << '\n';
     out_.flush();
   }
 }

@@ -13,11 +13,21 @@
 //     costs re-analysis of the affected apps, nothing more.
 //   * Rows are matched by app name, not file position, so journal append
 //     order (completion order under a parallel run) does not matter.
+//
+// Since schema 2 a journal may begin with a *header row* — a JSON object
+// identified by a "journal" key — that records the schema version, a
+// corpus fingerprint and the shard spec of the run that wrote it. The
+// header is what makes journals a safe multi-process interchange format:
+// `merge_journals` refuses to combine shard journals whose headers
+// disagree (different corpus, schema or shard count), so merging the
+// outputs of mismatched runs fails loudly instead of producing a quietly
+// wrong SuiteResult. Headerless journals (schema 1) still load and merge.
 #pragma once
 
 #include <fstream>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,15 +36,104 @@
 
 namespace saintdroid {
 
+/// Journal schema emitted by this build. Bumped when the row or header
+/// layout changes incompatibly; merge_journals rejects mixed schemas.
+inline constexpr int kJournalSchemaVersion = 2;
+
+/// First-line metadata of a sharded (or merged) journal.
+struct JournalHeader {
+  int schema = kJournalSchemaVersion;
+  /// Fingerprint of the *full* app list the run sharded (corpus_fingerprint
+  /// over every app, not just this shard's slice) — two shards merge only
+  /// if they were cut from the same list. Empty means "unspecified" and
+  /// matches only other unspecified headers.
+  std::string corpus;
+  /// This journal's slice: shard_index in [0, shard_count), or -1 for the
+  /// output of merge_journals ("merged").
+  int shard_index = 0;
+  int shard_count = 1;
+  /// Tool name, informational only (not part of compatibility).
+  std::string tool;
+
+  bool merged() const { return shard_index < 0; }
+};
+
+/// Serializes a header as a single JSON object (no trailing newline).
+std::string journal_header_line(const JournalHeader& header);
+
+/// Parses a header line; nullopt unless the line is a JSON object with the
+/// "journal" marker key, an int "schema" and a "shard" object.
+std::optional<JournalHeader> parse_journal_header(std::string_view line);
+
+/// True when the two headers may be merged into one result: same schema,
+/// same corpus fingerprint, same shard count.
+bool headers_compatible(const JournalHeader& a, const JournalHeader& b);
+
 /// Serializes one row as a single JSON object (no trailing newline).
 std::string journal_line(const SuiteAppRow& row);
 
-/// Parses one journal line; nullopt for malformed or truncated lines.
+/// Parses one journal line; nullopt for malformed or truncated lines and
+/// for header lines (a header is not a row).
 std::optional<SuiteAppRow> parse_journal_line(std::string_view line);
 
+/// Canonical byte form of a row: journal_line with the wall-clock seconds
+/// zeroed. Two rows are "the same result" iff their canonical bytes match;
+/// this is the comparison merge_journals deduplicates on and the byte-
+/// identity currency of the shard differential tests.
+std::string canonical_row_bytes(const SuiteAppRow& row);
+
 /// Loads every parseable row from `path`. A missing file yields an empty
-/// vector; corrupt lines are skipped.
+/// vector; header lines and corrupt lines are skipped.
 std::vector<SuiteAppRow> load_journal(const std::string& path);
+
+/// A fully loaded journal: the header (when the first line carries one)
+/// plus every parseable row, in file order.
+struct JournalFile {
+  std::optional<JournalHeader> header;
+  std::vector<SuiteAppRow> rows;
+};
+
+/// Loads header and rows from `path`. Missing file: no header, no rows.
+JournalFile load_journal_file(const std::string& path);
+
+/// Two rows for the same app whose canonical bytes diverge — evidence that
+/// the inputs were not shards of one deterministic run.
+struct MergeConflict {
+  std::string app;
+  SuiteAppRow kept;      ///< the row that won (last writer)
+  SuiteAppRow discarded; ///< the earlier divergent row
+};
+
+/// Result of merging shard journals.
+struct JournalMerge {
+  /// Synthesized header: current schema, the inputs' corpus fingerprint,
+  /// shard_index -1 ("merged"), shard_count from the inputs.
+  JournalHeader header;
+  /// One row per app, sorted lexicographically by app name — deterministic
+  /// regardless of input file order or per-shard completion order.
+  std::vector<SuiteAppRow> rows;
+  /// Divergent duplicate apps (see MergeConflict). A clean shard merge has
+  /// none; any entry means the merged rows must not be trusted.
+  std::vector<MergeConflict> conflicts;
+  /// Duplicate rows whose canonical bytes matched and were deduplicated
+  /// silently (last writer wins, so its wall-clock fields are kept).
+  std::size_t duplicates = 0;
+
+  bool clean() const { return conflicts.empty(); }
+};
+
+/// Merges shard journals into one canonical row set. App-name dedup across
+/// (and within) inputs: identical canonical payloads dedup silently with
+/// last-writer-wins; divergent payloads keep the last writer and record a
+/// MergeConflict. Throws ConfigError when `inputs` is empty, a file cannot
+/// be read at all, or two headers are incompatible (schema, corpus or
+/// shard-count mismatch — mismatched runs must fail loudly).
+JournalMerge merge_journals(const std::vector<std::string>& inputs);
+
+/// Writes a journal in one pass: header line first, then one line per row
+/// in the given order. Throws ConfigError if the file cannot be opened.
+void write_journal(const std::string& path, const JournalHeader& header,
+                   std::span<const SuiteAppRow> rows);
 
 /// Appends rows to a JSONL journal, flushing after every row. Thread-safe:
 /// workers of a parallel suite run share one writer.
@@ -42,8 +141,14 @@ class JournalWriter {
  public:
   /// Opens `path` for appending (resume) or truncates it (fresh run). In
   /// append mode a partial trailing line left by a killed run is sealed
-  /// with a newline first. Throws ConfigError if the file cannot be opened.
-  JournalWriter(const std::string& path, bool append);
+  /// with a newline first. When `header` is set, a fresh (or empty) journal
+  /// starts with its header line, and appending to an existing journal
+  /// whose header is incompatible throws ConfigError — a resume against
+  /// the wrong shard's journal must fail loudly, not silently interleave
+  /// two runs. A headerless existing journal is accepted as legacy. Throws
+  /// ConfigError if the file cannot be opened.
+  JournalWriter(const std::string& path, bool append,
+                const std::optional<JournalHeader>& header = std::nullopt);
 
   void append(const SuiteAppRow& row);
 

@@ -430,18 +430,18 @@ TEST_F(FaultSuite, KillAndResumeReproducesUninterruptedRun) {
     (void)run_suite_parallel(factory(), head, options);
   }
 
-  // Simulate a kill mid-append: truncate to 40 complete lines plus one
-  // partial line.
+  // Simulate a kill mid-append: truncate to the header plus 40 complete
+  // rows plus one partial line.
   {
     std::vector<std::string> lines;
     std::ifstream in{path};
     std::string line;
     while (std::getline(in, line)) lines.push_back(line);
-    ASSERT_EQ(lines.size(), first_leg);
+    ASSERT_EQ(lines.size(), first_leg + 1);  // header row + journaled rows
     in.close();
     std::ofstream out{path, std::ios::trunc};
-    for (std::size_t i = 0; i < 40; ++i) out << lines[i] << "\n";
-    out << lines[40].substr(0, lines[40].size() / 2);  // torn row
+    for (std::size_t i = 0; i < 41; ++i) out << lines[i] << "\n";
+    out << lines[41].substr(0, lines[41].size() / 2);  // torn row
   }
 
   // Leg 2: resume over the full corpus.

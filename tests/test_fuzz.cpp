@@ -7,6 +7,9 @@
 // to run in well under a second per case.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "adf/image.hpp"
 #include "adf/repository.hpp"
 #include "core/arm.hpp"
@@ -14,8 +17,11 @@
 #include "dex/apk.hpp"
 #include "dex/builder.hpp"
 #include "dex/disasm.hpp"
+#include "core/outcome.hpp"
 #include "support/rng.hpp"
 #include "workload/app_builder.hpp"
+#include "workload/harness.hpp"
+#include "workload/journal.hpp"
 
 namespace saintdroid {
 namespace {
@@ -226,6 +232,199 @@ TEST(Fuzz, AcceptedMutantsSurviveAnalysis) {
   }
   // Some mutants must survive parsing or the test proves nothing.
   EXPECT_GT(analyzed, 0);
+}
+
+// --- journal line fuzzing ------------------------------------------------------
+//
+// The suite journal is the one format other *processes* hand us (shard
+// journals cross machine boundaries before merge-journals reads them), so
+// its line parsers get the same treatment as the binary decoders: any
+// damaged line must yield nullopt or a fully-formed row — never a crash.
+
+/// A row exercising every field: escapes in strings, a structured failure,
+/// nonzero scores in all three families, and resource usage.
+SuiteAppRow rich_row() {
+  SuiteAppRow row;
+  row.app = "fuzz-app \"quoted\"\n\tand\\slashed";
+  row.completed = false;
+  row.incomplete = true;
+  row.failure_reason = "reason with \x01 control bytes";
+  AnalysisFailure failure;
+  failure.kind = FailureKind::kInjected;
+  failure.phase = "model";
+  failure.message = "injected fault at clvm.materialize";
+  row.failure = failure;
+  row.mismatch_count = 17;
+  row.scores.api = {3, 1, 2};
+  row.scores.apc = {0, 0, 5};
+  row.scores.prm = {1, 0, 0};
+  row.usage.seconds = 0.25;
+  row.usage.peak_bytes = 123456;
+  row.usage.loaded_classes = 42;
+  return row;
+}
+
+/// Touches every field of an accepted row, so a malformed-but-accepted
+/// parse that left dangling state would be caught by sanitizers.
+void exercise_row(const SuiteAppRow& row) {
+  (void)row.app.size();
+  (void)row.failure_reason.size();
+  if (row.failure.has_value()) {
+    (void)failure_kind_name(row.failure->kind);
+    (void)row.failure->phase.size();
+    (void)row.failure->message.size();
+  }
+  (void)canonical_row_bytes(row);  // re-serialization must also be safe
+}
+
+TEST(JournalFuzz, EveryTruncationRejectsOrParses) {
+  const std::string line = journal_line(rich_row());
+  for (std::size_t cut = 0; cut <= line.size(); ++cut) {
+    const auto parsed = parse_journal_line(line.substr(0, cut));
+    if (parsed.has_value()) exercise_row(*parsed);
+    // Only the full line is balanced JSON; every proper prefix is cut
+    // mid-object and must be rejected.
+    EXPECT_EQ(parsed.has_value(), cut == line.size());
+  }
+  JournalHeader header;
+  header.corpus = "0123456789abcdef";
+  header.shard_index = 2;
+  header.shard_count = 7;
+  header.tool = "fuzz";
+  const std::string head = journal_header_line(header);
+  for (std::size_t cut = 0; cut <= head.size(); ++cut) {
+    const auto parsed = parse_journal_header(head.substr(0, cut));
+    EXPECT_EQ(parsed.has_value(), cut == head.size());
+  }
+}
+
+TEST(JournalFuzz, BitFlippedLinesNeverCrash) {
+  const std::string base = journal_line(rich_row());
+  Rng rng{0x70A57ULL};
+  for (int trial = 0; trial < 600; ++trial) {
+    std::string line = base;
+    const int mutations = static_cast<int>(rng.uniform(1, 3));
+    for (int m = 0; m < mutations; ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(line.size()) - 1));
+      line[pos] = static_cast<char>(
+          static_cast<unsigned char>(line[pos]) ^
+          static_cast<unsigned char>(rng.uniform(1, 255)));
+    }
+    const auto parsed = parse_journal_line(line);
+    if (parsed.has_value()) exercise_row(*parsed);
+    (void)parse_journal_header(line);  // header probe must be equally safe
+  }
+}
+
+TEST(JournalFuzz, InterleavedLineSplicesNeverCrash) {
+  // Two processes writing one journal without the append discipline would
+  // interleave arbitrary line fragments; the reader must shrug them off.
+  const std::string a = journal_line(rich_row());
+  SuiteAppRow other;
+  other.app = "other-app";
+  other.mismatch_count = 2;
+  const std::string b = journal_line(other);
+  Rng rng{0x5B11CEULL};
+  for (int trial = 0; trial < 600; ++trial) {
+    const auto cut_a = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(a.size())));
+    const auto cut_b = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(b.size())));
+    const std::string spliced = a.substr(0, cut_a) + b.substr(cut_b);
+    const auto parsed = parse_journal_line(spliced);
+    if (parsed.has_value()) exercise_row(*parsed);
+  }
+}
+
+TEST(JournalFuzz, RandomizedRowsRoundTripThroughTheirLine) {
+  Rng rng{0xD0E5ULL};
+  const auto random_text = [&rng]() {
+    std::string text(static_cast<std::size_t>(rng.uniform(0, 24)), '\0');
+    for (auto& c : text) {
+      // Bias toward JSON-hostile bytes: quotes, backslashes, newlines and
+      // other control characters; never NUL.
+      if (rng.chance(0.3)) {
+        static const char hostile[] = {'"', '\\', '\n', '\t', '\r',
+                                       '\x01', '\x1f', '{', '}', ','};
+        c = hostile[rng.uniform(0, 9)];
+      } else {
+        c = static_cast<char>(rng.uniform(32, 126));
+      }
+    }
+    return text;
+  };
+  static const FailureKind kinds[] = {FailureKind::kParse,
+                                      FailureKind::kResolve,
+                                      FailureKind::kConfig,
+                                      FailureKind::kInjected,
+                                      FailureKind::kInternal};
+  for (int trial = 0; trial < 300; ++trial) {
+    SuiteAppRow row;
+    row.app = random_text();
+    row.completed = rng.chance(0.7);
+    row.incomplete = rng.chance(0.2);
+    row.failure_reason = random_text();
+    if (!row.completed || rng.chance(0.2)) {
+      AnalysisFailure failure;
+      failure.kind = kinds[rng.uniform(0, 4)];
+      failure.phase = random_text();
+      failure.message = random_text();
+      row.failure = failure;  // error-outcome rows are journal citizens too
+    }
+    row.mismatch_count = static_cast<std::size_t>(rng.uniform(0, 1 << 20));
+    const auto score = [&rng] {
+      return Score{static_cast<std::size_t>(rng.uniform(0, 1000)),
+                   static_cast<std::size_t>(rng.uniform(0, 1000)),
+                   static_cast<std::size_t>(rng.uniform(0, 1000))};
+    };
+    row.scores.api = score();
+    row.scores.apc = score();
+    row.scores.prm = score();
+    row.usage.seconds = rng.uniform01() * 1000.0;
+    // JSON numbers ride through a double: integers round-trip exactly up
+    // to 2^53, which is the journal's stated integer range (a peak_bytes
+    // beyond it would claim >9 PB of resident memory).
+    row.usage.peak_bytes =
+        static_cast<std::uint64_t>(rng.uniform(0, (1LL << 53) - 1));
+    row.usage.loaded_classes =
+        static_cast<std::uint64_t>(rng.uniform(0, 1 << 30));
+
+    const std::string line = journal_line(row);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    const auto parsed = parse_journal_line(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_EQ(parsed->app, row.app);
+    EXPECT_EQ(parsed->completed, row.completed);
+    EXPECT_EQ(parsed->incomplete, row.incomplete);
+    EXPECT_EQ(parsed->failure_reason, row.failure_reason);
+    ASSERT_EQ(parsed->failure.has_value(), row.failure.has_value());
+    if (row.failure.has_value()) {
+      EXPECT_EQ(parsed->failure->kind, row.failure->kind);
+      EXPECT_EQ(parsed->failure->phase, row.failure->phase);
+      EXPECT_EQ(parsed->failure->message, row.failure->message);
+    }
+    EXPECT_EQ(parsed->mismatch_count, row.mismatch_count);
+    EXPECT_EQ(parsed->scores.api.tp, row.scores.api.tp);
+    EXPECT_EQ(parsed->scores.api.fp, row.scores.api.fp);
+    EXPECT_EQ(parsed->scores.api.fn, row.scores.api.fn);
+    EXPECT_EQ(parsed->scores.apc.tp, row.scores.apc.tp);
+    EXPECT_EQ(parsed->scores.apc.fp, row.scores.apc.fp);
+    EXPECT_EQ(parsed->scores.apc.fn, row.scores.apc.fn);
+    EXPECT_EQ(parsed->scores.prm.tp, row.scores.prm.tp);
+    EXPECT_EQ(parsed->scores.prm.fp, row.scores.prm.fp);
+    EXPECT_EQ(parsed->scores.prm.fn, row.scores.prm.fn);
+    EXPECT_EQ(parsed->usage.peak_bytes, row.usage.peak_bytes);
+    EXPECT_EQ(parsed->usage.loaded_classes, row.usage.loaded_classes);
+    // seconds crosses a 6-significant-digit text representation; it is the
+    // one field the contract only carries approximately (and the one field
+    // canonical_row_bytes zeroes out of byte-identity comparisons).
+    EXPECT_NEAR(parsed->usage.seconds, row.usage.seconds,
+                row.usage.seconds * 1e-5 + 1e-9);
+    // Serialization is a fixed point: re-emitting the parsed row must
+    // reproduce the exact line (this is what merge dedup relies on).
+    EXPECT_EQ(journal_line(*parsed), line);
+  }
 }
 
 }  // namespace

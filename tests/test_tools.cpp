@@ -118,5 +118,70 @@ TEST_F(ToolsEndToEnd, UsageOnBadArguments) {
   EXPECT_NE(out.find("usage:"), std::string::npos);
 }
 
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST_F(ToolsEndToEnd, ShardedBatchesMergeIntoOneCanonicalJournal) {
+  auto [gen_rc, gen_out] =
+      run(std::string(tool_dir()) + "/apkgen corpus tool_test_tmp/corpus 9");
+  ASSERT_EQ(gen_rc, 0) << gen_out;
+
+  // The app-file list, in one fixed order: the order defines the corpus
+  // fingerprint, so every shard invocation must see the same list.
+  std::string files;
+  for (int i = 0; i < 9; ++i) {
+    const std::string path =
+        "tool_test_tmp/corpus/fdroid-app-" + std::to_string(i) + ".apk";
+    ASSERT_TRUE(fs::exists(path)) << path;
+    files += " " + path;
+  }
+
+  // Two shard processes, each journaling its interleaved slice. Corpus
+  // apps have mismatches, so batch exits 1 — not a failure here.
+  for (int s = 0; s < 2; ++s) {
+    auto [rc, out] = run(std::string(tool_dir()) + "/saintdroid batch" +
+                         files + " --jobs 2 --shard " + std::to_string(s) +
+                         "/2 --journal tool_test_tmp/shard" +
+                         std::to_string(s) + ".jsonl");
+    EXPECT_LE(WEXITSTATUS(rc), 1) << out;
+    EXPECT_NE(out.find("shard " + std::to_string(s) + "/2"),
+              std::string::npos);
+  }
+
+  auto [rc, out] = run(std::string(tool_dir()) +
+                       "/saintdroid merge-journals tool_test_tmp/merged.jsonl"
+                       " tool_test_tmp/shard0.jsonl"
+                       " tool_test_tmp/shard1.jsonl");
+  EXPECT_EQ(WEXITSTATUS(rc), 0) << out;
+  EXPECT_NE(out.find("9 apps, 0 duplicate"), std::string::npos);
+  EXPECT_NE(out.find("0 conflicts"), std::string::npos);
+
+  // Merging in the opposite input order produces a byte-identical file.
+  auto [rev_rc, rev_out] =
+      run(std::string(tool_dir()) +
+          "/saintdroid merge-journals tool_test_tmp/merged_rev.jsonl"
+          " tool_test_tmp/shard1.jsonl"
+          " tool_test_tmp/shard0.jsonl");
+  EXPECT_EQ(WEXITSTATUS(rev_rc), 0) << rev_out;
+  EXPECT_EQ(slurp("tool_test_tmp/merged.jsonl"),
+            slurp("tool_test_tmp/merged_rev.jsonl"));
+
+  // A journal from a different shard layout (an unsharded run of the same
+  // apps) is refused loudly, not silently interleaved.
+  auto [full_rc, full_out] =
+      run(std::string(tool_dir()) + "/saintdroid batch" + files +
+          " --jobs 2 --journal tool_test_tmp/full.jsonl");
+  EXPECT_LE(WEXITSTATUS(full_rc), 1) << full_out;
+  auto [bad_rc, bad_out] =
+      run(std::string(tool_dir()) +
+          "/saintdroid merge-journals tool_test_tmp/merged_bad.jsonl"
+          " tool_test_tmp/shard0.jsonl tool_test_tmp/full.jsonl");
+  EXPECT_EQ(WEXITSTATUS(bad_rc), 2) << bad_out;
+  EXPECT_NE(bad_out.find("merge-journals"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace saintdroid

@@ -3,7 +3,9 @@
 //   saintdroid analyze <apk-file> [--json] [--suggest] [--levels a,b,c]
 //                                 [--db <database-file>]
 //   saintdroid batch   <apk-file>... [--jobs N] [--db <database-file>]
+//                                    [--shard i/N]
 //                                    [--journal <file> [--resume]]
+//   saintdroid merge-journals <out-journal> <in-journal>...
 //   saintdroid disasm  <apk-file>
 //   saintdroid mine    <output-database-file>
 //
@@ -16,7 +18,13 @@
 // by every worker, fault isolation per app, one summary line per app in
 // input order regardless of `--jobs`. `--journal` appends each finished
 // row to a crash-safe JSONL file so a killed batch can pick up where it
-// left off with `--resume`.
+// left off with `--resume`. `--shard i/N` analyzes only the deterministic
+// interleaved slice {i, i+N, ...} of the app list — the multi-process /
+// multi-host fan-out: give every process the *same* app list and a
+// distinct shard, then combine the per-shard journals with
+// `merge-journals`, which deduplicates by app name, fails loudly when the
+// journals came from different corpora or shard layouts, and reports (and
+// exits non-zero on) divergent duplicate rows.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +43,7 @@
 #include "support/meter.hpp"
 #include "support/thread_pool.hpp"
 #include "workload/harness.hpp"
+#include "workload/journal.hpp"
 
 namespace sd = saintdroid;
 
@@ -65,11 +74,28 @@ int usage() {
   std::fprintf(stderr,
                "usage: saintdroid analyze <apk> [--json] [--suggest] "
                "[--levels a,b,c] [--db <file>]\n"
-               "       saintdroid batch <apk>... [--jobs N] [--db <file>]\n"
+               "       saintdroid batch <apk>... [--jobs N] [--db <file>] "
+               "[--shard i/N]\n"
                "                        [--journal <file> [--resume]]\n"
+               "       saintdroid merge-journals <out-journal> "
+               "<in-journal>...\n"
                "       saintdroid disasm <apk>\n"
                "       saintdroid mine <output-db-file>\n");
   return 2;
+}
+
+/// Parses "i/N" into {i, N}; false on malformed specs or i outside [0, N).
+bool parse_shard_spec(const char* arg, int& index, int& count) {
+  char* end = nullptr;
+  const long i = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '/') return false;
+  const char* count_text = end + 1;
+  const long n = std::strtol(count_text, &end, 10);
+  if (end == count_text || *end != '\0') return false;
+  if (n < 1 || i < 0 || i >= n) return false;
+  index = static_cast<int>(i);
+  count = static_cast<int>(n);
+  return true;
 }
 
 /// `saintdroid batch`: parses every package up front, analyzes them through
@@ -81,7 +107,7 @@ int usage() {
 /// has mismatches or failed, 2 on package parse failure.
 int run_batch(const std::vector<std::string>& paths, int jobs,
               const std::string& db_path, const std::string& journal_path,
-              bool resume) {
+              bool resume, int shard_index, int shard_count) {
   const auto& repo = sd::FrameworkRepository::standard();
   const std::shared_ptr<const sd::ApiDatabase> db =
       std::make_shared<const sd::ApiDatabase>(
@@ -89,13 +115,21 @@ int run_batch(const std::vector<std::string>& paths, int jobs,
               ? sd::ApiDatabase::mine(repo)
               : sd::ApiDatabase::parse(read_file(db_path)));
 
-  std::vector<sd::BenchApp> apps;
-  apps.reserve(paths.size());
+  std::vector<sd::BenchApp> full_list;
+  full_list.reserve(paths.size());
   for (const auto& p : paths) {
     sd::BenchApp app;
     app.apk = sd::Apk::parse(read_file(p));
-    apps.push_back(std::move(app));
+    full_list.push_back(std::move(app));
   }
+
+  // The corpus fingerprint covers the *full* app list — every shard of one
+  // run computes the same id, so merge-journals can refuse shards cut from
+  // different lists. The shard then analyzes only its interleaved slice.
+  const std::string corpus_id = sd::corpus_fingerprint(full_list);
+  const std::vector<sd::BenchApp> apps =
+      shard_count > 1 ? sd::shard_slice(full_list, shard_index, shard_count)
+                      : std::move(full_list);
 
   if (jobs <= 0) jobs = static_cast<int>(sd::ThreadPool::default_workers());
 
@@ -103,6 +137,9 @@ int run_batch(const std::vector<std::string>& paths, int jobs,
   options.jobs = jobs;
   options.journal_path = journal_path;
   options.resume = resume;
+  options.corpus_id = corpus_id;
+  options.shard_index = shard_index;
+  options.shard_count = shard_count;
   // Pre-build the shared framework substrate for every level the batch
   // targets, once, before the worker fan-out. A level whose build fails
   // here is skipped: the analyses against it retry and attribute the
@@ -142,6 +179,9 @@ int run_batch(const std::vector<std::string>& paths, int jobs,
                   row.usage.seconds * 1000.0);
     }
   }
+  if (shard_count > 1)
+    std::printf("shard %d/%d (corpus %s): ", shard_index, shard_count,
+                corpus_id.c_str());
   std::printf("%zu apps, %llu mismatches, %d failures, %d jobs, %.2fs "
               "(%.1f apps/sec, %llu framework retr%s)\n",
               apps.size(), static_cast<unsigned long long>(total),
@@ -150,6 +190,32 @@ int run_batch(const std::vector<std::string>& paths, int jobs,
               static_cast<unsigned long long>(suite.framework_retries),
               suite.framework_retries == 1 ? "y" : "ies");
   return total == 0 && suite.failures == 0 ? 0 : 1;
+}
+
+/// `saintdroid merge-journals`: merges per-shard journals into one
+/// canonical journal — one row per app, sorted by app name, behind a
+/// "merged" header. Identical duplicate rows dedup silently; divergent
+/// duplicates are printed (both rows) and make the exit code 1; journals
+/// from different corpora/schemas/shard layouts are refused (exit 2).
+int run_merge_journals(const std::string& out_path,
+                       const std::vector<std::string>& inputs) {
+  const sd::JournalMerge merge = sd::merge_journals(inputs);
+  sd::write_journal(out_path, merge.header, merge.rows);
+  for (const auto& conflict : merge.conflicts) {
+    std::fprintf(stderr,
+                 "merge-journals: divergent rows for app %s\n"
+                 "  kept:      %s\n"
+                 "  discarded: %s\n",
+                 conflict.app.c_str(),
+                 sd::canonical_row_bytes(conflict.kept).c_str(),
+                 sd::canonical_row_bytes(conflict.discarded).c_str());
+  }
+  std::printf("merged %zu journals -> %s: %zu apps, %zu duplicate row%s "
+              "deduped, %zu conflict%s\n",
+              inputs.size(), out_path.c_str(), merge.rows.size(),
+              merge.duplicates, merge.duplicates == 1 ? "" : "s",
+              merge.conflicts.size(), merge.conflicts.size() == 1 ? "" : "s");
+  return merge.clean() ? 0 : 1;
 }
 
 }  // namespace
@@ -165,6 +231,8 @@ int main(int argc, char** argv) {
     std::string db_path;
     std::string journal_path;
     bool resume = false;
+    int shard_index = 0;
+    int shard_count = 1;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
         jobs = std::atoi(argv[++i]);
@@ -174,7 +242,10 @@ int main(int argc, char** argv) {
         journal_path = argv[++i];
       else if (std::strcmp(argv[i], "--resume") == 0)
         resume = true;
-      else if (argv[i][0] == '-')
+      else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+        if (!parse_shard_spec(argv[++i], shard_index, shard_count))
+          return usage();
+      } else if (argv[i][0] == '-')
         return usage();
       else
         paths.emplace_back(argv[i]);
@@ -182,7 +253,24 @@ int main(int argc, char** argv) {
     if (paths.empty()) return usage();
     if (resume && journal_path.empty()) return usage();
     try {
-      return run_batch(paths, jobs, db_path, journal_path, resume);
+      return run_batch(paths, jobs, db_path, journal_path, resume,
+                       shard_index, shard_count);
+    } catch (const sd::Error& e) {
+      std::fprintf(stderr, "saintdroid: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (command == "merge-journals") {
+    // argv[2] is the output journal; every further argument is an input.
+    std::vector<std::string> inputs;
+    for (int i = 3; i < argc; ++i) {
+      if (argv[i][0] == '-') return usage();
+      inputs.emplace_back(argv[i]);
+    }
+    if (inputs.empty()) return usage();
+    try {
+      return run_merge_journals(path, inputs);
     } catch (const sd::Error& e) {
       std::fprintf(stderr, "saintdroid: %s\n", e.what());
       return 2;
