@@ -1,0 +1,161 @@
+// Cold- vs warm-start benchmark for the on-disk model cache.
+//
+// Simulates two consecutive process starts sharing one `--model-cache`
+// directory: the first (cold) finds it empty, so it mines the ApiDatabase
+// and derives every level's substrate from instruction streams, publishing
+// both; the second (warm) must skip the mining pass entirely — database
+// served from cache, every substrate rebound from its persisted tables.
+// Per-level substrate timings and the full-repo model-phase totals go to
+// BENCH_coldstart.json; the run fails unless the warm start actually
+// skipped mining (served_from_cache, zero stores, one hit per level) and
+// its model-phase time is strictly below the cold start's.
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adf/repository.hpp"
+#include "core/model_cache.hpp"
+#include "support/meter.hpp"
+#include "support/thread_pool.hpp"
+
+namespace sd = saintdroid;
+
+namespace {
+
+struct PhaseResult {
+  bool db_from_cache = false;
+  double db_seconds = 0.0;
+  std::vector<double> level_seconds;  // one per modelled level, in order
+  double substrate_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_stores = 0;
+};
+
+/// One process start: a fresh repository (per-process state) pointed at the
+/// shared cache directory, timing the whole model phase — database
+/// acquisition plus one substrate per modelled level.
+PhaseResult run_phase(const std::string& cache_dir, int jobs) {
+  PhaseResult r;
+  const sd::FrameworkRepository repo{};
+  const sd::ModelCache cache{cache_dir};
+  cache.attach_substrate_cache(repo);
+
+  const sd::Stopwatch total;
+  {
+    const sd::Stopwatch watch;
+    (void)cache.api_database(repo, jobs, &r.db_from_cache);
+    r.db_seconds = watch.seconds();
+  }
+  // Emit every level image before timing the substrates: the cold phase
+  // already built them all as a side effect of mining, so without this the
+  // warm per-level numbers would charge image emission to the rebind and
+  // the comparison would not be build-vs-rebind. (total_seconds still
+  // covers the whole phase, emission included.)
+  for (int level = sd::kMinApiLevel; level <= sd::kMaxApiLevel; ++level)
+    (void)repo.image(level);
+  for (int level = sd::kMinApiLevel; level <= sd::kMaxApiLevel; ++level) {
+    const sd::Stopwatch watch;
+    (void)repo.substrate(level);
+    const double seconds = watch.seconds();
+    r.level_seconds.push_back(seconds);
+    r.substrate_seconds += seconds;
+  }
+  r.total_seconds = total.seconds();
+  r.cache_hits = repo.substrate_cache_hits();
+  r.cache_stores = repo.substrate_cache_stores();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const int jobs = static_cast<int>(sd::ThreadPool::default_workers());
+  const int levels = sd::kMaxApiLevel - sd::kMinApiLevel + 1;
+  const std::string cache_dir = "BENCH_coldstart.cache";
+  std::filesystem::remove_all(cache_dir);
+
+  std::printf("cold start (empty cache, %d jobs)...\n", jobs);
+  const PhaseResult cold = run_phase(cache_dir, jobs);
+  std::printf("warm start (populated cache)...\n");
+  const PhaseResult warm = run_phase(cache_dir, jobs);
+  std::filesystem::remove_all(cache_dir);
+
+  std::printf("\n%-8s %12s %12s\n", "level", "cold ms", "warm ms");
+  for (int i = 0; i < levels; ++i)
+    std::printf("%-8d %12.2f %12.2f\n", sd::kMinApiLevel + i,
+                1000.0 * cold.level_seconds[static_cast<std::size_t>(i)],
+                1000.0 * warm.level_seconds[static_cast<std::size_t>(i)]);
+  std::printf("%-8s %12.2f %12.2f  (database: %.2f vs %.2f)\n", "total",
+              1000.0 * cold.total_seconds, 1000.0 * warm.total_seconds,
+              1000.0 * cold.db_seconds, 1000.0 * warm.db_seconds);
+  std::printf("cold: mined db, %llu stores; warm: %s, %llu hits, "
+              "%llu stores; speedup %.2fx\n",
+              static_cast<unsigned long long>(cold.cache_stores),
+              warm.db_from_cache ? "db from cache" : "DB RE-MINED",
+              static_cast<unsigned long long>(warm.cache_hits),
+              static_cast<unsigned long long>(warm.cache_stores),
+              warm.total_seconds > 0
+                  ? cold.total_seconds / warm.total_seconds
+                  : 0.0);
+
+  // The acceptance gate: the warm process skipped mining entirely and its
+  // model phase is strictly faster than the cold one's.
+  const bool skipped_mining = !cold.db_from_cache && warm.db_from_cache &&
+                              warm.cache_stores == 0 &&
+                              warm.cache_hits ==
+                                  static_cast<std::uint64_t>(levels);
+  const bool faster = warm.total_seconds < cold.total_seconds;
+
+  if (std::FILE* out = std::fopen("BENCH_coldstart.json", "w")) {
+    const auto phase_json = [out](const char* name, const PhaseResult& r) {
+      std::fprintf(out,
+                   "  \"%s\": {\n"
+                   "    \"db_from_cache\": %s,\n"
+                   "    \"db_seconds\": %.4f,\n"
+                   "    \"substrate_seconds\": %.4f,\n"
+                   "    \"total_seconds\": %.4f,\n"
+                   "    \"cache_hits\": %llu,\n"
+                   "    \"cache_stores\": %llu,\n"
+                   "    \"level_seconds\": [",
+                   name, r.db_from_cache ? "true" : "false", r.db_seconds,
+                   r.substrate_seconds, r.total_seconds,
+                   static_cast<unsigned long long>(r.cache_hits),
+                   static_cast<unsigned long long>(r.cache_stores));
+      for (std::size_t i = 0; i < r.level_seconds.size(); ++i)
+        std::fprintf(out, "%s%.4f", i == 0 ? "" : ", ", r.level_seconds[i]);
+      std::fprintf(out, "]\n  }");
+    };
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"model_cache_coldstart\",\n"
+                 "  \"jobs\": %d,\n"
+                 "  \"levels\": %d,\n"
+                 "  \"warm_skipped_mining\": %s,\n"
+                 "  \"warm_strictly_faster\": %s,\n"
+                 "  \"speedup\": %.2f,\n",
+                 jobs, levels, skipped_mining ? "true" : "false",
+                 faster ? "true" : "false",
+                 warm.total_seconds > 0
+                     ? cold.total_seconds / warm.total_seconds
+                     : 0.0);
+    phase_json("cold", cold);
+    std::fprintf(out, ",\n");
+    phase_json("warm", warm);
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+    std::printf("-> BENCH_coldstart.json\n");
+  }
+
+  if (!skipped_mining) {
+    std::fprintf(stderr, "WARM START DID NOT SKIP MINING\n");
+    return 1;
+  }
+  if (!faster) {
+    std::fprintf(stderr, "WARM START NOT FASTER THAN COLD\n");
+    return 1;
+  }
+  return 0;
+}

@@ -4,6 +4,7 @@
 
 #include "support/errors.hpp"
 #include "support/faults.hpp"
+#include "support/sdmc.hpp"
 
 namespace saintdroid {
 
@@ -24,7 +25,20 @@ std::uint64_t framework_build_retries() {
 }
 
 FrameworkRepository::FrameworkRepository(FrameworkConfig cfg)
-    : cfg_(cfg), spec_(build_framework_spec(cfg_)) {}
+    : cfg_(cfg),
+      spec_(build_framework_spec(cfg_)),
+      fingerprint_(framework_fingerprint(spec_)) {}
+
+void FrameworkRepository::set_model_cache_dir(std::string dir) const {
+  if (!dir.empty()) ensure_directory(dir);
+  const std::lock_guard<std::mutex> lock{cache_dir_mutex_};
+  model_cache_dir_ = std::move(dir);
+}
+
+std::string FrameworkRepository::model_cache_dir() const {
+  const std::lock_guard<std::mutex> lock{cache_dir_mutex_};
+  return model_cache_dir_;
+}
 
 const DexFile& FrameworkRepository::image(int level) const {
   const std::size_t slot_idx =
@@ -78,7 +92,48 @@ std::shared_ptr<const FrameworkSubstrate> FrameworkRepository::substrate(
     // unsatisfied once-guard simply rebuilds.
     const FaultContextScope scope{"substrate:level" + std::to_string(lvl)};
     SD_FAULT_POINT("adf.substrate");
-    slot->value = std::make_shared<const FrameworkSubstrate>(img, lvl, options);
+
+    // Model cache: try rebinding persisted structural tables before paying
+    // the full per-method instruction re-decode. A stale, foreign or
+    // corrupt entry throws ParseError inside sdmc_open / the rebind
+    // constructor and falls through to a full build, whose tables are then
+    // published rename-atomically (overwriting the bad entry). Cache I/O
+    // never fails the build itself.
+    const std::string cache_dir = model_cache_dir();
+    std::string cache_path;
+    SdmcKey key;
+    if (!cache_dir.empty()) {
+      key.kind = SdmcKind::kSubstrateTables;
+      key.fingerprint = fingerprint_;
+      key.level = lvl;
+      key.options = options.index_methods ? 1u : 0u;
+      cache_path = cache_dir + "/substrate-" + fingerprint_ + "-L" +
+                   std::to_string(lvl) + "-m" +
+                   (options.index_methods ? "1" : "0") + ".sdmc";
+      try {
+        if (const auto blob = read_file_bytes(cache_path)) {
+          const std::vector<std::uint8_t> tables = sdmc_open(*blob, key);
+          slot->value = std::make_shared<const FrameworkSubstrate>(
+              img, lvl, options, tables);
+          substrate_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const Error&) {
+        slot->value = nullptr;  // stale/corrupt entry: fall back to mining
+      }
+    }
+    if (!slot->value) {
+      slot->value =
+          std::make_shared<const FrameworkSubstrate>(img, lvl, options);
+      if (!cache_path.empty()) {
+        try {
+          write_file_atomic(cache_path,
+                            sdmc_seal(key, slot->value->serialize_tables()));
+          substrate_cache_stores_.fetch_add(1, std::memory_order_relaxed);
+        } catch (const Error&) {
+          // A read-only or full cache directory costs only the warm start.
+        }
+      }
+    }
     substrate_builds_.fetch_add(1, std::memory_order_relaxed);
   });
   return slot->value;

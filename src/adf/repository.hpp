@@ -72,6 +72,33 @@ class FrameworkRepository {
     return substrate_builds_.load(std::memory_order_relaxed);
   }
 
+  /// Stable 16-hex-digit fingerprint of this repository's framework spec
+  /// (framework_fingerprint), computed once at construction. The key
+  /// component that binds on-disk model-cache entries to this framework.
+  const std::string& fingerprint() const { return fingerprint_; }
+
+  /// Points substrate materialization at an on-disk model cache: every
+  /// substrate slot built after this call first tries to load its
+  /// structural tables from `dir` (`substrate-<fingerprint>-L<level>-m<o>
+  /// .sdmc`) and rebind instead of re-deriving them from instruction
+  /// streams; a miss builds normally and publishes the tables
+  /// rename-atomically, so concurrent shard processes can share one
+  /// directory. A stale or corrupt entry falls back to a full build (and
+  /// is overwritten); cache I/O failures never fail an analysis. Empty
+  /// disables caching. Thread-safe; already-built slots are unaffected.
+  void set_model_cache_dir(std::string dir) const;
+  std::string model_cache_dir() const;
+
+  /// Substrate slots served by rebinding cached tables / table files
+  /// written, over this repository's lifetime. Operational telemetry for
+  /// tests and the cold-start bench.
+  std::uint64_t substrate_cache_hits() const {
+    return substrate_cache_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t substrate_cache_stores() const {
+    return substrate_cache_stores_.load(std::memory_order_relaxed);
+  }
+
   /// Clamps an arbitrary requested level into the modelled range — apps may
   /// declare targets outside it.
   static int clamp_level(int level);
@@ -93,6 +120,13 @@ class FrameworkRepository {
 
   FrameworkConfig cfg_;
   FrameworkSpec spec_;
+  std::string fingerprint_;
+  // Model-cache wiring: the directory is snapshotted under its own mutex
+  // at each substrate build; counters are telemetry only.
+  mutable std::mutex cache_dir_mutex_;
+  mutable std::string model_cache_dir_;
+  mutable std::atomic<std::uint64_t> substrate_cache_hits_{0};
+  mutable std::atomic<std::uint64_t> substrate_cache_stores_{0};
   // Lazily built per level. The RetryOnce arrays serialize only the first
   // build of each slot (and, unlike std::call_once, stay retryable under
   // sanitizers when a build throws — see support/once.hpp); after the

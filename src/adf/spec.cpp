@@ -1,5 +1,7 @@
 #include "adf/spec.hpp"
 
+#include <cstdint>
+
 namespace saintdroid {
 
 const ClassSpec* FrameworkSpec::find_class(const std::string& name) const {
@@ -15,6 +17,59 @@ const MethodSpec* FrameworkSpec::find_method(const std::string& cls,
   for (const auto& m : spec->methods)
     if (m.name == method) return &m;
   return nullptr;
+}
+
+std::string framework_fingerprint(const FrameworkSpec& spec) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  const auto mix_byte = [&hash](unsigned char byte) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  };
+  const auto mix_str = [&mix_byte](const std::string& s) {
+    for (const char c : s) mix_byte(static_cast<unsigned char>(c));
+    mix_byte(0);  // terminator: adjacent strings must not concatenate
+  };
+  const auto mix_int = [&mix_byte](std::int64_t v) {
+    for (int i = 0; i < 8; ++i)
+      mix_byte(static_cast<unsigned char>((static_cast<std::uint64_t>(v) >>
+                                           (8 * i)) & 0xFF));
+  };
+  mix_int(kMinApiLevel);
+  mix_int(kMaxApiLevel);
+  mix_int(static_cast<std::int64_t>(spec.classes.size()));
+  for (const auto& cls : spec.classes) {
+    mix_str(cls.name);
+    mix_str(cls.super);
+    for (const auto& iface : cls.interfaces) mix_str(iface);
+    mix_int(cls.life.introduced);
+    mix_int(cls.life.removed);
+    mix_int(cls.is_interface ? 1 : 0);
+    mix_int(static_cast<std::int64_t>(cls.methods.size()));
+    for (const auto& m : cls.methods) {
+      mix_str(m.name);
+      mix_str(m.return_type);
+      for (const auto& p : m.params) mix_str(p);
+      mix_int(m.life.introduced);
+      mix_int(m.life.removed);
+      mix_int((m.callback ? 1 : 0) | (m.is_static ? 2 : 0));
+      mix_str(m.permission);
+      mix_int(static_cast<std::int64_t>(m.calls.size()));
+      for (const auto& call : m.calls) {
+        mix_str(call.cls);
+        mix_str(call.name);
+        mix_str(call.return_type);
+        for (const auto& p : call.params) mix_str(p);
+        mix_int(call.is_static ? 1 : 0);
+      }
+    }
+  }
+  static const char* digits = "0123456789abcdef";
+  std::string hex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = digits[hash & 0xF];
+    hash >>= 4;
+  }
+  return hex;
 }
 
 bool is_framework_class_name(const std::string& class_name) {

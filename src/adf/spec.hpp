@@ -83,6 +83,15 @@ struct FrameworkSpec {
                                 const std::string& method) const;
 };
 
+/// Order-sensitive FNV-1a fingerprint over the complete content of `spec`
+/// — every class, lifecycle, method, permission and internal call edge,
+/// plus the modelled level range — rendered as 16 hex digits. This is the
+/// cache-key component binding a persisted model (mined ApiDatabase,
+/// substrate tables) to the framework it was computed from: any spec
+/// change, however small, changes the fingerprint and strands the old
+/// cache entries.
+std::string framework_fingerprint(const FrameworkSpec& spec);
+
 /// The curated portion of the framework: ~40 classes mirroring real Android
 /// with the exact lifecycle facts the paper's examples rely on
 /// (getColorStateList@23, Fragment.onAttach(Context)@23,

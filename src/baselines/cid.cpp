@@ -64,8 +64,11 @@ std::vector<ApiCallSite> cid_scan(const Apk& apk, ClassHierarchy& hierarchy,
 
 }  // namespace
 
-CidAnalyzer::CidAnalyzer(const FrameworkRepository& repo, CidOptions options)
-    : repo_(&repo), options_(options), db_(ApiDatabase::mine(repo)) {}
+CidAnalyzer::CidAnalyzer(const FrameworkRepository& repo, CidOptions options,
+                         std::shared_ptr<const ApiDatabase> database)
+    : repo_(&repo),
+      options_(options),
+      db_(database ? std::move(database) : shared_api_database(repo)) {}
 
 AnalysisResult CidAnalyzer::analyze(const Apk& apk) {
   AnalysisResult result;
@@ -101,14 +104,14 @@ AnalysisResult CidAnalyzer::analyze(const Apk& apk) {
   build_graphs(repo_->image(level));
 
   UsageModel model;
-  model.api_calls = cid_scan(apk, hierarchy, db_);
+  model.api_calls = cid_scan(apk, hierarchy, *db_);
 
   AmdOptions amd_options;
   amd_options.detect_api = true;
   amd_options.detect_callbacks = false;
   amd_options.detect_permissions = false;
   amd_options.detect_forward = false;  // backward incompatibility only
-  const Amd amd{db_, amd_options};
+  const Amd amd{*db_, amd_options};
   result.mismatches = amd.detect(apk.manifest, model);
 
   result.usage.seconds = watch.seconds();

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "adf/repository.hpp"
 #include "core/analyzer.hpp"
@@ -32,9 +33,14 @@ struct CidOptions {
 
 class CidAnalyzer final : public Analyzer {
  public:
+  /// `database` must be mined from `repo` (or null). Null resolves via
+  /// shared_api_database(repo): the standard repository borrows the
+  /// process-wide database — a batch comparing all three analyzers no
+  /// longer pays one private mining pass per baseline instance.
   explicit CidAnalyzer(
       const FrameworkRepository& repo = FrameworkRepository::standard(),
-      CidOptions options = {});
+      CidOptions options = {},
+      std::shared_ptr<const ApiDatabase> database = nullptr);
 
   std::string_view name() const override { return "CID"; }
   AnalysisResult analyze(const Apk& apk) override;
@@ -43,7 +49,7 @@ class CidAnalyzer final : public Analyzer {
  private:
   const FrameworkRepository* repo_;
   CidOptions options_;
-  ApiDatabase db_;
+  std::shared_ptr<const ApiDatabase> db_;
 };
 
 }  // namespace saintdroid

@@ -9,8 +9,11 @@
 namespace saintdroid {
 
 LintAnalyzer::LintAnalyzer(const FrameworkRepository& repo,
-                           LintOptions options)
-    : repo_(&repo), options_(options), db_(ApiDatabase::mine(repo)) {}
+                           LintOptions options,
+                           std::shared_ptr<const ApiDatabase> database)
+    : repo_(&repo),
+      options_(options),
+      db_(database ? std::move(database) : shared_api_database(repo)) {}
 
 AnalysisResult LintAnalyzer::analyze(const Apk& apk) {
   AnalysisResult result;
@@ -58,7 +61,7 @@ AnalysisResult LintAnalyzer::analyze(const Apk& apk) {
   // receiver; it does not resolve through the class hierarchy.
   scan.resolve_framework_receivers = false;
   UsageModel model;
-  model.api_calls = flat_scan(apk, hierarchy, db_, scan);
+  model.api_calls = flat_scan(apk, hierarchy, *db_, scan);
   if (options_.stale_database) {
     // Drop everything its stale database has no entry for.
     std::erase_if(model.api_calls, [](const ApiCallSite& site) {
@@ -71,7 +74,7 @@ AnalysisResult LintAnalyzer::analyze(const Apk& apk) {
   amd_options.detect_callbacks = false;
   amd_options.detect_permissions = false;
   amd_options.detect_forward = false;
-  const Amd amd{db_, amd_options};
+  const Amd amd{*db_, amd_options};
   result.mismatches = amd.detect(apk.manifest, model);
 
   result.usage.seconds = watch.seconds();

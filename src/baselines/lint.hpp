@@ -15,6 +15,8 @@
 //   * backward incompatibility only; no APC, no PRM.
 #pragma once
 
+#include <memory>
+
 #include "adf/repository.hpp"
 #include "core/analyzer.hpp"
 #include "core/arm.hpp"
@@ -38,9 +40,14 @@ struct LintOptions {
 
 class LintAnalyzer final : public Analyzer {
  public:
+  /// `database` must be mined from `repo` (or null). Null resolves via
+  /// shared_api_database(repo): the standard repository borrows the
+  /// process-wide database — a batch comparing all three analyzers no
+  /// longer pays one private mining pass per baseline instance.
   explicit LintAnalyzer(
       const FrameworkRepository& repo = FrameworkRepository::standard(),
-      LintOptions options = {});
+      LintOptions options = {},
+      std::shared_ptr<const ApiDatabase> database = nullptr);
 
   std::string_view name() const override { return "Lint"; }
   AnalysisResult analyze(const Apk& apk) override;
@@ -49,7 +56,7 @@ class LintAnalyzer final : public Analyzer {
  private:
   const FrameworkRepository* repo_;
   LintOptions options_;
-  ApiDatabase db_;
+  std::shared_ptr<const ApiDatabase> db_;
 };
 
 }  // namespace saintdroid

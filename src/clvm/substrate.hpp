@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -104,6 +105,34 @@ class FrameworkSubstrate {
   FrameworkSubstrate(const DexFile& image, int level,
                      SubstrateOptions options);
 
+  /// Rebinds a substrate from previously serialized structural tables
+  /// instead of re-deriving them from the image's instruction streams: the
+  /// class pass still materializes LoadedClass objects (they carry strings
+  /// and footprints the tables do not duplicate), but the expensive second
+  /// and third passes — per-method instruction decoding, callee MethodId
+  /// string building, descriptor construction and declaration-order
+  /// resolution scans — become a bounds-checked bulk read of `tables`,
+  /// with every stored slot and index rebound to a pointer into this
+  /// substrate. `tables` must be the serialize_tables() output of a
+  /// substrate built from an identical (image, options) pair — the model
+  /// cache guarantees this via its (fingerprint, level, options) key —
+  /// and the resulting substrate is structurally identical to a full
+  /// build (serialize_tables round-trips byte-for-byte). Throws ParseError
+  /// on any truncation, count mismatch against the image, or out-of-range
+  /// slot.
+  FrameworkSubstrate(const DexFile& image, int level,
+                     SubstrateOptions options,
+                     std::span<const std::uint8_t> tables);
+
+  /// Serializes the structural tables — per-entry method-table layouts
+  /// (prebuilt descriptors), the deduplicated callee-edge pool with dense
+  /// target slots and resolved method indices, and per-method edge lists —
+  /// as the payload the rebinding constructor consumes. Pointer-free:
+  /// every cross-reference is a dense slot or pool index, so the payload
+  /// is position-independent and two substrates with equal structure
+  /// serialize byte-identically.
+  std::vector<std::uint8_t> serialize_tables() const;
+
   FrameworkSubstrate(const FrameworkSubstrate&) = delete;
   FrameworkSubstrate& operator=(const FrameworkSubstrate&) = delete;
 
@@ -132,6 +161,11 @@ class FrameworkSubstrate {
   static bool owns(const LoadedClass& cls) { return entry_of(cls) != nullptr; }
 
  private:
+  /// Pass 1 shared by both constructors: materialize every image class
+  /// (first definition of a name wins), assign dense slots, and bind the
+  /// superclass edges. No instruction stream is touched.
+  void materialize_classes(const DexFile& image);
+
   int level_;
   SubstrateOptions options_;
   std::uint64_t total_footprint_ = 0;

@@ -323,4 +323,15 @@ const ApiDatabase& standard_api_database() {
   return db;
 }
 
+std::shared_ptr<const ApiDatabase> shared_api_database(
+    const FrameworkRepository& repo) {
+  if (&repo == &FrameworkRepository::standard()) {
+    // Aliasing handle: the static database outlives every caller, so the
+    // handle carries no ownership.
+    return std::shared_ptr<const ApiDatabase>{std::shared_ptr<const void>{},
+                                              &standard_api_database()};
+  }
+  return std::make_shared<const ApiDatabase>(ApiDatabase::mine(repo));
+}
+
 }  // namespace saintdroid

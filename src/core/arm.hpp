@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -81,5 +82,14 @@ class ApiDatabase {
 /// Process-wide database mined from FrameworkRepository::standard(); built
 /// on first use.
 const ApiDatabase& standard_api_database();
+
+/// A shareable handle on the database for `repo`: the standard repository
+/// borrows the process-wide standard_api_database() (non-owning aliasing
+/// handle — no second mining pass, no copy), any other repository mines a
+/// fresh owned database. The cheap default for components that accept an
+/// injected database but are constructed without one (see the Lint and CID
+/// baselines).
+std::shared_ptr<const ApiDatabase> shared_api_database(
+    const FrameworkRepository& repo);
 
 }  // namespace saintdroid

@@ -1,0 +1,64 @@
+#include "core/model_cache.hpp"
+
+#include <utility>
+
+#include "support/errors.hpp"
+#include "support/sdmc.hpp"
+
+namespace saintdroid {
+
+namespace {
+
+SdmcKey api_database_key(const FrameworkRepository& repo) {
+  SdmcKey key;
+  key.kind = SdmcKind::kApiDatabase;
+  key.fingerprint = repo.fingerprint();
+  return key;
+}
+
+}  // namespace
+
+ModelCache::ModelCache(std::string dir) : dir_(std::move(dir)) {
+  ensure_directory(dir_);
+}
+
+std::string ModelCache::api_database_path(
+    const FrameworkRepository& repo) const {
+  return dir_ + "/apidb-" + repo.fingerprint() + ".sdmc";
+}
+
+std::optional<ApiDatabase> ModelCache::try_load_api_database(
+    const FrameworkRepository& repo) const {
+  try {
+    const auto blob = read_file_bytes(api_database_path(repo));
+    if (!blob) return std::nullopt;
+    return ApiDatabase::parse(sdmc_open(*blob, api_database_key(repo)));
+  } catch (const Error&) {
+    return std::nullopt;  // stale/foreign/corrupt entry: caller re-mines
+  }
+}
+
+void ModelCache::store_api_database(const FrameworkRepository& repo,
+                                    const ApiDatabase& db) const {
+  write_file_atomic(api_database_path(repo),
+                    sdmc_seal(api_database_key(repo), db.serialize()));
+}
+
+std::shared_ptr<const ApiDatabase> ModelCache::api_database(
+    const FrameworkRepository& repo, int jobs,
+    bool* served_from_cache) const {
+  if (auto cached = try_load_api_database(repo)) {
+    if (served_from_cache != nullptr) *served_from_cache = true;
+    return std::make_shared<const ApiDatabase>(*std::move(cached));
+  }
+  if (served_from_cache != nullptr) *served_from_cache = false;
+  auto db = std::make_shared<const ApiDatabase>(ApiDatabase::mine(repo, jobs));
+  try {
+    store_api_database(repo, *db);
+  } catch (const Error&) {
+    // A read-only or full cache directory costs only the next warm start.
+  }
+  return db;
+}
+
+}  // namespace saintdroid

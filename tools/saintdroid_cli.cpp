@@ -2,9 +2,11 @@
 //
 //   saintdroid analyze <apk-file> [--json] [--suggest] [--levels a,b,c]
 //                                 [--db <database-file>]
+//                                 [--model-cache <dir>]
 //   saintdroid batch   <apk-file>... [--jobs N] [--db <database-file>]
 //                                    [--shard i/N]
 //                                    [--journal <file> [--resume]]
+//                                    [--model-cache <dir>]
 //   saintdroid merge-journals <out-journal> <in-journal>...
 //   saintdroid disasm  <apk-file>
 //   saintdroid mine    <output-database-file>
@@ -24,19 +26,26 @@
 // distinct shard, then combine the per-shard journals with
 // `merge-journals`, which deduplicates by app name, fails loudly when the
 // journals came from different corpora or shard layouts, and reports (and
-// exits non-zero on) divergent duplicate rows.
+// exits non-zero on) divergent duplicate rows. `--model-cache <dir>` keeps
+// the mined models (ARM database and framework substrate tables) in an
+// on-disk cache keyed by framework fingerprint: the first run in a fresh
+// directory mines and stores, every later process — including concurrent
+// shards sharing the directory — starts warm, skipping the mining pass
+// entirely with byte-identical results (see docs/FORMAT.md, `.sdmc`).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "adf/repository.hpp"
 #include "core/advisor.hpp"
 #include "core/json.hpp"
+#include "core/model_cache.hpp"
 #include "core/saintdroid.hpp"
 #include "dex/disasm.hpp"
 #include "support/errors.hpp"
@@ -74,9 +83,11 @@ int usage() {
   std::fprintf(stderr,
                "usage: saintdroid analyze <apk> [--json] [--suggest] "
                "[--levels a,b,c] [--db <file>]\n"
+               "                          [--model-cache <dir>]\n"
                "       saintdroid batch <apk>... [--jobs N] [--db <file>] "
                "[--shard i/N]\n"
                "                        [--journal <file> [--resume]]\n"
+               "                        [--model-cache <dir>]\n"
                "       saintdroid merge-journals <out-journal> "
                "<in-journal>...\n"
                "       saintdroid disasm <apk>\n"
@@ -107,13 +118,21 @@ bool parse_shard_spec(const char* arg, int& index, int& count) {
 /// has mismatches or failed, 2 on package parse failure.
 int run_batch(const std::vector<std::string>& paths, int jobs,
               const std::string& db_path, const std::string& journal_path,
-              bool resume, int shard_index, int shard_count) {
+              bool resume, int shard_index, int shard_count,
+              const std::string& model_cache_dir) {
   const auto& repo = sd::FrameworkRepository::standard();
-  const std::shared_ptr<const sd::ApiDatabase> db =
-      std::make_shared<const sd::ApiDatabase>(
-          db_path.empty()
-              ? sd::ApiDatabase::mine(repo)
-              : sd::ApiDatabase::parse(read_file(db_path)));
+  // Database precedence: an explicit --db file wins; otherwise the model
+  // cache serves (or mines once and stores) it; otherwise mine per run.
+  std::optional<sd::ModelCache> cache;
+  if (!model_cache_dir.empty()) cache.emplace(model_cache_dir);
+  std::shared_ptr<const sd::ApiDatabase> db;
+  if (!db_path.empty())
+    db = std::make_shared<const sd::ApiDatabase>(
+        sd::ApiDatabase::parse(read_file(db_path)));
+  else if (cache)
+    db = cache->api_database(repo, jobs);
+  else
+    db = std::make_shared<const sd::ApiDatabase>(sd::ApiDatabase::mine(repo));
 
   std::vector<sd::BenchApp> full_list;
   full_list.reserve(paths.size());
@@ -140,6 +159,8 @@ int run_batch(const std::vector<std::string>& paths, int jobs,
   options.corpus_id = corpus_id;
   options.shard_index = shard_index;
   options.shard_count = shard_count;
+  options.model_cache_dir = model_cache_dir;
+  options.repository = &repo;
   // Pre-build the shared framework substrate for every level the batch
   // targets, once, before the worker fan-out. A level whose build fails
   // here is skipped: the analyses against it retry and attribute the
@@ -230,6 +251,7 @@ int main(int argc, char** argv) {
     int jobs = 0;  // 0 -> hardware concurrency
     std::string db_path;
     std::string journal_path;
+    std::string model_cache_dir;
     bool resume = false;
     int shard_index = 0;
     int shard_count = 1;
@@ -242,6 +264,8 @@ int main(int argc, char** argv) {
         journal_path = argv[++i];
       else if (std::strcmp(argv[i], "--resume") == 0)
         resume = true;
+      else if (std::strcmp(argv[i], "--model-cache") == 0 && i + 1 < argc)
+        model_cache_dir = argv[++i];
       else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
         if (!parse_shard_spec(argv[++i], shard_index, shard_count))
           return usage();
@@ -254,7 +278,7 @@ int main(int argc, char** argv) {
     if (resume && journal_path.empty()) return usage();
     try {
       return run_batch(paths, jobs, db_path, journal_path, resume,
-                       shard_index, shard_count);
+                       shard_index, shard_count, model_cache_dir);
     } catch (const sd::Error& e) {
       std::fprintf(stderr, "saintdroid: %s\n", e.what());
       return 2;
@@ -281,6 +305,7 @@ int main(int argc, char** argv) {
   bool suggest = false;
   std::vector<int> levels;
   std::string db_path;
+  std::string model_cache_dir;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0)
       json = true;
@@ -290,6 +315,8 @@ int main(int argc, char** argv) {
       levels = parse_levels(argv[++i]);
     else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc)
       db_path = argv[++i];
+    else if (std::strcmp(argv[i], "--model-cache") == 0 && i + 1 < argc)
+      model_cache_dir = argv[++i];
     else
       return usage();
   }
@@ -328,10 +355,22 @@ int main(int argc, char** argv) {
     if (command != "analyze") return usage();
 
     const auto& repo = sd::FrameworkRepository::standard();
-    sd::SaintDroid tool =
-        db_path.empty()
-            ? sd::SaintDroid{repo}
-            : sd::SaintDroid{repo, sd::ApiDatabase::parse(read_file(db_path))};
+    // Same precedence as batch: --db wins, then the model cache, then a
+    // fresh mining pass. The cache also serves the substrate tables.
+    std::optional<sd::ModelCache> cache;
+    if (!model_cache_dir.empty()) {
+      cache.emplace(model_cache_dir);
+      cache->attach_substrate_cache(repo);
+    }
+    std::shared_ptr<const sd::ApiDatabase> db;
+    if (!db_path.empty())
+      db = std::make_shared<const sd::ApiDatabase>(
+          sd::ApiDatabase::parse(read_file(db_path)));
+    else if (cache)
+      db = cache->api_database(repo);
+    else
+      db = std::make_shared<const sd::ApiDatabase>(sd::ApiDatabase::mine(repo));
+    sd::SaintDroid tool{repo, std::move(db)};
     const sd::AnalysisResult result =
         levels.empty() ? tool.analyze(apk)
                        : tool.analyze_versions(apk, levels);
