@@ -132,11 +132,13 @@ int main() {
                  "{\n"
                  "  \"bench\": \"model_cache_coldstart\",\n"
                  "  \"jobs\": %d,\n"
+                 "  \"effective_jobs\": %d,\n"
+                 "  \"hardware_concurrency\": %d,\n"
                  "  \"levels\": %d,\n"
                  "  \"warm_skipped_mining\": %s,\n"
                  "  \"warm_strictly_faster\": %s,\n"
                  "  \"speedup\": %.2f,\n",
-                 jobs, levels, skipped_mining ? "true" : "false",
+                 jobs, jobs, jobs, levels, skipped_mining ? "true" : "false",
                  faster ? "true" : "false",
                  warm.total_seconds > 0
                      ? cold.total_seconds / warm.total_seconds

@@ -106,9 +106,11 @@ int main(int argc, char** argv) {
                  "  \"bench\": \"fault_injected_batch\",\n"
                  "  \"apps\": %d,\n"
                  "  \"jobs\": %d,\n"
+                 "  \"effective_jobs\": %d,\n"
+                 "  \"hardware_concurrency\": %d,\n"
                  "  \"retry_blowup\": %s,\n"
                  "  \"rates\": [\n",
-                 count, hw, blowup ? "true" : "false");
+                 count, hw, hw, hw, blowup ? "true" : "false");
     for (std::size_t i = 0; i < results.size(); ++i) {
       const auto& r = results[i];
       std::fprintf(out,

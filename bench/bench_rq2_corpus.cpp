@@ -247,11 +247,12 @@ int main(int argc, char** argv) {
                  "  \"bench\": \"rq2_corpus_throughput\",\n"
                  "  \"apps\": %d,\n"
                  "  \"hardware_concurrency\": %d,\n"
+                 "  \"effective_jobs\": %d,\n"
                  "  \"serial_apps_per_sec\": %.2f,\n"
                  "  \"parallel_apps_per_sec\": %.2f,\n"
                  "  \"speedup\": %.3f\n"
                  "}\n",
-                 suite_count, hw, serial_aps, parallel_aps,
+                 suite_count, hw, hw, serial_aps, parallel_aps,
                  serial_aps > 0 ? parallel_aps / serial_aps : 0.0);
     std::fclose(out);
     std::printf("  -> BENCH_parallel.json\n");
@@ -326,6 +327,7 @@ int main(int argc, char** argv) {
                  "  \"slice\": \"library_heavy\",\n"
                  "  \"apps\": %d,\n"
                  "  \"jobs\": 8,\n"
+                 "  \"effective_jobs\": 8,\n"
                  "  \"unshared_wall_seconds\": %.4f,\n"
                  "  \"shared_wall_seconds\": %.4f,\n"
                  "  \"shared_over_unshared\": %.4f,\n"
@@ -373,6 +375,8 @@ int main(int argc, char** argv) {
 
   const int shard_count = 3;
   std::vector<std::string> shard_files;
+  std::vector<double> shard_walls;        // per-shard makespans: the static
+  std::vector<std::size_t> shard_apps;    // partition's straggler profile
   double shard_wall_max = 0.0;  // a multi-host run costs its slowest shard
   for (int s = 0; s < shard_count; ++s) {
     const std::string file = "rq2_shard" + std::to_string(s) + ".jsonl";
@@ -386,7 +390,9 @@ int main(int argc, char** argv) {
     options.shard_count = shard_count;
     const sd::Stopwatch watch;
     (void)sd::run_suite_parallel(factory, slice, options);
-    shard_wall_max = std::max(shard_wall_max, watch.seconds());
+    shard_walls.push_back(watch.seconds());
+    shard_apps.push_back(slice.size());
+    shard_wall_max = std::max(shard_wall_max, shard_walls.back());
     shard_files.push_back(file);
   }
   const sd::JournalMerge merged = sd::merge_journals(shard_files);
@@ -449,6 +455,7 @@ int main(int argc, char** argv) {
                  "  \"bench\": \"rq2_shard_resume\",\n"
                  "  \"apps\": %d,\n"
                  "  \"jobs\": %d,\n"
+                 "  \"effective_jobs\": %d,\n"
                  "  \"shards\": %d,\n"
                  "  \"single_process_wall_seconds\": %.4f,\n"
                  "  \"slowest_shard_wall_seconds\": %.4f,\n"
@@ -458,14 +465,22 @@ int main(int argc, char** argv) {
                  "  \"resume_resumed_rows\": %zu,\n"
                  "  \"resume_reanalyzed_rows\": %zu,\n"
                  "  \"resume_wall_seconds\": %.4f,\n"
-                 "  \"resume_identical\": %s\n"
-                 "}\n",
-                 suite_count, hw, shard_count, reference_wall, shard_wall_max,
-                 merged.duplicates, merged.conflicts.size(),
+                 "  \"resume_identical\": %s,\n"
+                 "  \"shard_makespans\": [\n",
+                 suite_count, hw, hw, shard_count, reference_wall,
+                 shard_wall_max, merged.duplicates, merged.conflicts.size(),
                  shard_identical ? "true" : "false", resumed.resumed_rows,
                  resumed.rows.size() - resumed.resumed_rows, resume_wall,
                  resume_identical && resume_skipped_completed ? "true"
                                                               : "false");
+    for (int s = 0; s < shard_count; ++s)
+      std::fprintf(out,
+                   "    {\"shard\": %d, \"apps\": %zu, "
+                   "\"wall_seconds\": %.4f}%s\n",
+                   s, shard_apps[static_cast<std::size_t>(s)],
+                   shard_walls[static_cast<std::size_t>(s)],
+                   s + 1 < shard_count ? "," : "");
+    std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
     std::printf("  -> BENCH_shard.json\n");
   }

@@ -16,15 +16,18 @@ leg="${1:-all}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 run_tsan() {
-  echo "=== ThreadSanitizer: test_parallel + test_faults + test_shard + test_substrate + test_model_cache ==="
+  echo "=== ThreadSanitizer: test_parallel + test_faults + test_shard + test_workstealing + test_substrate + test_model_cache ==="
   cmake -B build-tsan -S . -DSD_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build build-tsan -j "$jobs" \
-        --target test_parallel test_faults test_shard test_substrate \
-        test_model_cache
+        --target test_parallel test_faults test_shard test_workstealing \
+        test_substrate test_model_cache
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_faults
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_shard
+  # Concurrent agents racing one work directory: rename-atomic claiming,
+  # the heartbeat thread, and the shared journal writer under one roof.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_workstealing
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_substrate
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_model_cache
 }

@@ -1,0 +1,180 @@
+#include "dist/lease.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/bytes.hpp"
+#include "support/errors.hpp"
+#include "support/sdmc.hpp"
+
+namespace saintdroid {
+
+namespace {
+
+/// Shared container framing: magic + version + checksummed payload, the
+/// same defect surface the .sdmc container exposes (and the same fuzz
+/// contract: every truncation, flip or splice throws).
+std::vector<std::uint8_t> seal_container(std::uint32_t magic,
+                                         const ByteWriter& payload) {
+  ByteWriter w;
+  w.u32(magic);
+  w.u32(kDistFormatVersion);
+  w.u64(sdmc_checksum(payload.data()));
+  w.uleb(payload.size());
+  w.bytes(payload.data());
+  return w.take();
+}
+
+std::vector<std::uint8_t> open_container(std::uint32_t magic,
+                                         const char* what,
+                                         std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  if (r.u32() != magic) throw ParseError(std::string{what} + ": bad magic");
+  if (r.u32() != kDistFormatVersion)
+    throw ParseError(std::string{what} + ": unsupported format version");
+  const std::uint64_t checksum = r.u64();
+  const std::uint64_t size = r.uleb();
+  if (size > r.remaining())
+    throw ParseError(std::string{what} + ": truncated payload");
+  std::vector<std::uint8_t> payload(
+      bytes.begin() + static_cast<std::ptrdiff_t>(r.offset()),
+      bytes.begin() + static_cast<std::ptrdiff_t>(r.offset() + size));
+  if (r.remaining() != size)
+    throw ParseError(std::string{what} + ": trailing bytes");
+  if (sdmc_checksum(payload) != checksum)
+    throw ParseError(std::string{what} + ": payload checksum mismatch");
+  return payload;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> WorkQueue::serialize() const {
+  ByteWriter p;
+  p.str(corpus);
+  p.str(tool);
+  p.uleb(items.size());
+  for (const auto& item : items) {
+    p.str(item.name);
+    p.str(item.path);
+    p.uleb(item.cost);
+  }
+  p.uleb(leases.size());
+  for (const auto& lease : leases) {
+    p.uleb(static_cast<std::uint64_t>(lease.id));
+    p.uleb(lease.items.size());
+    for (const int index : lease.items)
+      p.uleb(static_cast<std::uint64_t>(index));
+  }
+  return seal_container(kWorkQueueMagic, p);
+}
+
+WorkQueue WorkQueue::parse(std::span<const std::uint8_t> bytes) {
+  const auto payload = open_container(kWorkQueueMagic, "work queue", bytes);
+  ByteReader r{payload};
+  WorkQueue queue;
+  queue.corpus = r.str();
+  queue.tool = r.str();
+  const std::uint64_t item_count = r.uleb();
+  if (item_count > r.remaining())
+    throw ParseError("work queue: item count exceeds payload");
+  queue.items.reserve(item_count);
+  for (std::uint64_t i = 0; i < item_count; ++i) {
+    WorkItem item;
+    item.name = r.str();
+    item.path = r.str();
+    item.cost = r.uleb();
+    queue.items.push_back(std::move(item));
+  }
+  const std::uint64_t lease_count = r.uleb();
+  if (lease_count > r.remaining())
+    throw ParseError("work queue: lease count exceeds payload");
+  queue.leases.reserve(lease_count);
+  std::vector<char> seen(queue.items.size(), 0);
+  for (std::uint64_t l = 0; l < lease_count; ++l) {
+    Lease lease;
+    lease.id = static_cast<int>(r.uleb());
+    const std::uint64_t member_count = r.uleb();
+    if (member_count > r.remaining())
+      throw ParseError("work queue: lease member count exceeds payload");
+    lease.items.reserve(member_count);
+    for (std::uint64_t m = 0; m < member_count; ++m) {
+      const std::uint64_t index = r.uleb();
+      if (index >= queue.items.size())
+        throw ParseError("work queue: lease item index out of range");
+      if (seen[index])
+        throw ParseError("work queue: item leased twice");
+      seen[index] = 1;
+      lease.items.push_back(static_cast<int>(index));
+    }
+    queue.leases.push_back(std::move(lease));
+  }
+  if (r.remaining() != 0)
+    throw ParseError("work queue: trailing payload bytes");
+  // Every item must be covered by exactly one lease — a queue that leaks
+  // apps would silently drop rows from the merged result.
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    if (!seen[i]) throw ParseError("work queue: item not covered by a lease");
+  return queue;
+}
+
+std::vector<std::uint8_t> LeaseState::serialize() const {
+  ByteWriter p;
+  p.uleb(static_cast<std::uint64_t>(lease_id));
+  p.uleb(static_cast<std::uint64_t>(generation));
+  p.str(worker);
+  p.u64(heartbeat);
+  return seal_container(kLeaseStateMagic, p);
+}
+
+LeaseState LeaseState::parse(std::span<const std::uint8_t> bytes) {
+  const auto payload = open_container(kLeaseStateMagic, "lease", bytes);
+  ByteReader r{payload};
+  LeaseState state;
+  state.lease_id = static_cast<int>(r.uleb());
+  state.generation = static_cast<int>(r.uleb());
+  state.worker = r.str();
+  state.heartbeat = r.u64();
+  if (r.remaining() != 0) throw ParseError("lease: trailing payload bytes");
+  return state;
+}
+
+std::uint64_t estimate_app_cost(const Apk& apk) {
+  std::uint64_t classes = 0;
+  for (const auto& dex : apk.dexes) classes += dex.classes().size();
+  return classes == 0 ? 1 : classes;
+}
+
+std::vector<Lease> plan_leases(std::span<const WorkItem> items,
+                               int lease_size) {
+  if (lease_size < 1)
+    throw ConfigError("plan_leases: lease size must be >= 1, got " +
+                      std::to_string(lease_size));
+  std::vector<int> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&items](int a, int b) {
+    const auto ca = items[static_cast<std::size_t>(a)].cost;
+    const auto cb = items[static_cast<std::size_t>(b)].cost;
+    return ca != cb ? ca > cb : a < b;
+  });
+  std::vector<Lease> leases;
+  for (std::size_t begin = 0; begin < order.size();
+       begin += static_cast<std::size_t>(lease_size)) {
+    Lease lease;
+    lease.id = static_cast<int>(leases.size());
+    const std::size_t end =
+        std::min(order.size(), begin + static_cast<std::size_t>(lease_size));
+    lease.items.assign(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                       order.begin() + static_cast<std::ptrdiff_t>(end));
+    leases.push_back(std::move(lease));
+  }
+  return leases;
+}
+
+int default_lease_size(std::size_t count) {
+  // ~32 leases across the corpus keeps the steal granularity fine (the
+  // last lease is at most ~3% of the work) without claim-per-app churn.
+  const std::size_t size = (count + 31) / 32;
+  return static_cast<int>(std::clamp<std::size_t>(size, 1, 64));
+}
+
+}  // namespace saintdroid

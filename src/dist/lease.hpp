@@ -1,0 +1,127 @@
+// Lease and work-queue formats for the dynamic work-stealing scheduler.
+//
+// Static `--shard i/N` pins corpus wall-clock to the slowest shard: the
+// partition is fixed before anyone knows how long each slice takes, so a
+// few library-heavy apps (the Fig. 3 outliers) turn one shard into the
+// critical path while the others idle. The dist/ subsystem replaces the
+// static partition with *leases*: a coordinator publishes a work queue —
+// the full app list plus a largest-cost-first chunking into app-range
+// leases — into a shared work directory, and worker agents repeatedly
+// claim one lease, analyze its slice, stream the rows into their journal,
+// and come back for more. A fast worker simply claims more leases; the
+// tail is bounded by one lease, not one shard.
+//
+// This header defines the two on-disk artifacts (see docs/FORMAT.md):
+//
+//   * the work queue (`queue.sdwq`) — written once by the coordinator,
+//     read by every agent: corpus fingerprint, tool, the per-app work
+//     items (name, path, cost estimate) and the lease plan;
+//   * the lease state file (`lease-NNNNNN.{open,claim,done}`) — the unit
+//     of mutual exclusion. The *name* carries the lease's lifecycle state
+//     (claiming is one atomic std::rename), the *bytes* carry telemetry:
+//     owning worker, reclaim generation, last heartbeat.
+//
+// Both are checksummed containers in the sdmc mold: the parse functions
+// throw ParseError on every defect — bad magic, version skew, truncation,
+// checksum mismatch, trailing bytes — and never load a damaged file
+// silently. A corrupt lease file is *reclaimed* (the queue, not the lease
+// file, is the source of truth for which apps a lease covers); a corrupt
+// queue is fatal for the whole work directory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "workload/benchmarks.hpp"
+
+namespace saintdroid {
+
+inline constexpr std::uint32_t kWorkQueueMagic = 0x51574453;   // "SDWQ"
+inline constexpr std::uint32_t kLeaseStateMagic = 0x534C4453;  // "SDLS"
+
+/// Format version shared by both containers. Bumped on any incompatible
+/// change; a mismatched file fails to parse and the run fails loudly
+/// (agents and coordinators of different builds must not share a workdir).
+inline constexpr std::uint32_t kDistFormatVersion = 1;
+
+/// One app of the work queue, in full-list input order.
+struct WorkItem {
+  /// Unique app name — the journal row / merge key.
+  std::string name;
+  /// Where an out-of-process agent finds the package (as given to the
+  /// coordinator; empty for in-process runs that resolve by name).
+  std::string path;
+  /// Scheduling cost estimate (estimate_app_cost). Never affects results,
+  /// only lease sizing and issue order.
+  std::uint64_t cost = 1;
+};
+
+/// One lease: a set of work-item indices analyzed as a unit.
+struct Lease {
+  int id = 0;
+  std::vector<int> items;  ///< indices into WorkQueue::items
+};
+
+/// The published work queue: everything an agent needs to turn a claimed
+/// lease id into analyzable apps and mergeable journal rows.
+struct WorkQueue {
+  /// corpus_fingerprint over the *full* app list, in items order — every
+  /// journal written against this queue carries it, so merge-journals
+  /// refuses rows from a different corpus exactly as it does for shards.
+  std::string corpus;
+  std::string tool;
+  std::vector<WorkItem> items;
+  /// Largest-cost-first: leases[0] holds the most expensive apps, the last
+  /// lease the cheapest — so the final lease to finish is never a monster.
+  std::vector<Lease> leases;
+
+  std::vector<std::uint8_t> serialize() const;
+  /// Throws ParseError on any defect; never partially loads.
+  static WorkQueue parse(std::span<const std::uint8_t> bytes);
+};
+
+/// Contents of one lease state file. The lifecycle state (open / claimed /
+/// done) lives in the file *name*; these bytes identify the lease and
+/// carry ownership telemetry.
+struct LeaseState {
+  int lease_id = 0;
+  /// How many times this lease has been reclaimed from an expired or
+  /// crashed claimant and reissued. Summed into
+  /// SuiteResult::leases_reclaimed by the coordinator's collect().
+  int generation = 0;
+  /// Claiming worker; empty while open.
+  std::string worker;
+  /// Unix seconds of the last heartbeat (issue time while open). An agent
+  /// refreshes it while analyzing; reclaim fires when now exceeds it by
+  /// the lease TTL.
+  std::uint64_t heartbeat = 0;
+
+  std::vector<std::uint8_t> serialize() const;
+  /// Throws ParseError on any defect (reclaim treats that as "expired").
+  static LeaseState parse(std::span<const std::uint8_t> bytes);
+};
+
+/// Scheduling cost estimate for one app: its class count (the quantity
+/// analysis work scales with — every analyzed class is materialized,
+/// hierarchy-linked and walked), floored at 1 so empty apps still
+/// schedule. Deliberately cheap and deterministic; it orders leases, it
+/// never changes any analysis result.
+std::uint64_t estimate_app_cost(const Apk& apk);
+
+/// Chunks item indices {0..items.size()-1} into leases of at most
+/// `lease_size` apps, ordered largest-cost-first: indices are sorted by
+/// descending cost (ties by ascending index, so the plan is deterministic)
+/// and cut into consecutive chunks. Claiming in lease-id order therefore
+/// issues the most expensive work first — the classic LPT heuristic that
+/// keeps the makespan tail short. Throws ConfigError when lease_size < 1.
+std::vector<Lease> plan_leases(std::span<const WorkItem> items,
+                               int lease_size);
+
+/// Default lease size for `count` apps: small enough that the last lease
+/// cannot dominate the makespan (many steal opportunities), large enough
+/// to amortize per-lease claim/journal overhead.
+int default_lease_size(std::size_t count);
+
+}  // namespace saintdroid

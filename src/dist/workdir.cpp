@@ -1,0 +1,256 @@
+#include "dist/workdir.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+
+#include "support/errors.hpp"
+#include "support/sdmc.hpp"
+
+namespace saintdroid {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kQueueFile = "queue.sdwq";
+constexpr const char* kLeaseDir = "leases";
+
+/// lease-NNNNNN — zero-padded so directory iteration order is id order.
+std::string lease_stem(int lease_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "lease-%06d", lease_id);
+  return buf;
+}
+
+/// Parses "lease-NNNNNN.<state>" back to an id; nullopt for foreign files.
+std::optional<int> lease_id_of(const fs::path& path, const char* state) {
+  if (path.extension() != state) return std::nullopt;
+  const std::string stem = path.stem().string();
+  if (stem.rfind("lease-", 0) != 0) return std::nullopt;
+  const std::string digits = stem.substr(6);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos)
+    return std::nullopt;
+  return std::stoi(digits);
+}
+
+/// Sorted ids of every lease file currently in `state` (".open", ...).
+std::vector<int> ids_in_state(const std::string& lease_dir,
+                              const char* state) {
+  std::vector<int> ids;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator{lease_dir, ec}) {
+    if (const auto id = lease_id_of(entry.path(), state)) ids.push_back(*id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+WorkDir::WorkDir(std::string root) : root_(std::move(root)) {}
+
+std::string WorkDir::queue_path() const { return root_ + "/" + kQueueFile; }
+
+std::string WorkDir::merged_journal_path() const {
+  return root_ + "/merged.jsonl";
+}
+
+std::string WorkDir::worker_journal_path(const std::string& worker) const {
+  return root_ + "/journal-" + worker + ".jsonl";
+}
+
+std::string WorkDir::lease_path(int lease_id, const char* state) const {
+  return root_ + "/" + kLeaseDir + "/" + lease_stem(lease_id) + state;
+}
+
+void WorkDir::publish(const WorkQueue& queue, std::uint64_t now) const {
+  ensure_directory(root_);
+  ensure_directory(root_ + "/" + kLeaseDir);
+  if (const auto existing = load_queue()) {
+    if (existing->corpus != queue.corpus)
+      throw ConfigError("workdir " + root_ + " already holds corpus \"" +
+                        existing->corpus + "\", refusing to publish corpus \"" +
+                        queue.corpus + "\" into it");
+    // Same corpus: a coordinator re-run. Keep the existing queue (lease
+    // ids must stay stable against claim/done files already on disk) and
+    // only fill in lease files that are missing in every state.
+  } else {
+    write_file_atomic(queue_path(), queue.serialize());
+  }
+  for (const auto& lease : queue.leases) {
+    std::error_code ec;
+    if (fs::exists(lease_path(lease.id, ".open"), ec) ||
+        fs::exists(lease_path(lease.id, ".claim"), ec) ||
+        fs::exists(lease_path(lease.id, ".done"), ec))
+      continue;
+    LeaseState state;
+    state.lease_id = lease.id;
+    state.heartbeat = now;
+    write_file_atomic(lease_path(lease.id, ".open"), state.serialize());
+  }
+}
+
+std::optional<WorkQueue> WorkDir::load_queue() const {
+  const auto bytes = read_file_bytes(queue_path());
+  if (!bytes.has_value()) return std::nullopt;
+  return WorkQueue::parse(*bytes);
+}
+
+std::optional<ClaimedLease> WorkDir::claim_next(const std::string& worker,
+                                                std::uint64_t now) const {
+  for (const int id : ids_in_state(root_ + "/" + kLeaseDir, ".open")) {
+    const std::string open = lease_path(id, ".open");
+    const std::string claim = lease_path(id, ".claim");
+    // One atomic rename decides ownership: the loser's rename fails (the
+    // source is gone) and it simply tries the next open lease.
+    if (std::rename(open.c_str(), claim.c_str()) != 0) continue;
+    // Stamp the claim with the owner and claim time. The rename already
+    // made us the sole owner, so the window where the file still carries
+    // the issue-time bytes only matters to an aggressive reclaimer with a
+    // TTL shorter than this write — which re-issues, never corrupts.
+    LeaseState state;
+    state.lease_id = id;
+    state.worker = worker;
+    state.heartbeat = now;
+    if (const auto bytes = read_file_bytes(claim)) {
+      try {
+        const LeaseState previous = LeaseState::parse(*bytes);
+        // A freshly published lease carries an empty worker; a non-empty
+        // one means reclaim_expired renamed a stale claim back to open,
+        // and this claim is its reissue — count the generation here, where
+        // the bump is raced by nobody (we own the file).
+        state.generation = previous.generation +
+                           (previous.worker.empty() ? 0 : 1);
+      } catch (const ParseError&) {
+        // Corrupt lease bytes are claimable anyway — the queue, not the
+        // lease file, defines which apps the lease covers. It was on disk
+        // before us, so conservatively count one reclaim.
+        state.generation = 1;
+      }
+    }
+    write_file_atomic(claim, state.serialize());
+    return ClaimedLease{id, state.generation, worker};
+  }
+  return std::nullopt;
+}
+
+bool WorkDir::heartbeat(const ClaimedLease& claim, std::uint64_t now) const {
+  const std::string path = lease_path(claim.lease_id, ".claim");
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return false;
+  LeaseState state;
+  state.lease_id = claim.lease_id;
+  state.generation = claim.generation;
+  state.worker = claim.worker;
+  state.heartbeat = now;
+  write_file_atomic(path, state.serialize());
+  return true;
+}
+
+bool WorkDir::complete(const ClaimedLease& claim) const {
+  const std::string from = lease_path(claim.lease_id, ".claim");
+  const std::string to = lease_path(claim.lease_id, ".done");
+  return std::rename(from.c_str(), to.c_str()) == 0;
+}
+
+int WorkDir::reclaim_expired(std::uint64_t ttl_seconds,
+                             std::uint64_t now) const {
+  int reclaimed = 0;
+  for (const int id : ids_in_state(root_ + "/" + kLeaseDir, ".claim")) {
+    const std::string claim = lease_path(id, ".claim");
+    std::error_code ec;
+    if (fs::exists(lease_path(id, ".done"), ec)) {
+      // A duplicate execution already finished this lease; the stale
+      // claim is garbage, not work.
+      std::remove(claim.c_str());
+      continue;
+    }
+    bool expired = false;
+    if (const auto bytes = read_file_bytes(claim)) {
+      try {
+        const LeaseState state = LeaseState::parse(*bytes);
+        expired = now >= state.heartbeat &&
+                  now - state.heartbeat >= ttl_seconds;
+      } catch (const ParseError&) {
+        // Corrupt claim: its owner and heartbeat are unknowable, so it is
+        // reclaimed immediately — never trusted, never crashed on.
+        expired = true;
+      }
+    } else {
+      continue;  // vanished under us (completed or already reclaimed)
+    }
+    if (!expired) continue;
+    // One atomic rename both retires the stale claim and reissues the
+    // lease — there is no window where a fresh claimant's file can be
+    // deleted by this reclaim. The stale bytes ride along; the next
+    // claimant reads the non-empty worker field as "this was reclaimed"
+    // and bumps the generation. If the original owner raced us to
+    // complete(), our rename finds no source and reclaims nothing.
+    if (std::rename(claim.c_str(), lease_path(id, ".open").c_str()) == 0)
+      ++reclaimed;
+  }
+  return reclaimed;
+}
+
+WorkDirStatus WorkDir::status() const {
+  const std::string dir = root_ + "/" + kLeaseDir;
+  WorkDirStatus status;
+  std::vector<char> seen_done;
+  for (const int id : ids_in_state(dir, ".done")) {
+    if (static_cast<std::size_t>(id) >= seen_done.size())
+      seen_done.resize(static_cast<std::size_t>(id) + 1, 0);
+    seen_done[static_cast<std::size_t>(id)] = 1;
+    ++status.done;
+  }
+  const auto undone = [&seen_done](int id) {
+    return static_cast<std::size_t>(id) >= seen_done.size() ||
+           !seen_done[static_cast<std::size_t>(id)];
+  };
+  // A lease with a done marker is done, whatever stale open/claim files a
+  // crashed reclaimer or zombie heartbeat left behind.
+  for (const int id : ids_in_state(dir, ".open"))
+    if (undone(id)) ++status.open;
+  for (const int id : ids_in_state(dir, ".claim"))
+    if (undone(id)) ++status.claimed;
+  return status;
+}
+
+std::vector<LeaseState> WorkDir::done_states() const {
+  std::vector<LeaseState> states;
+  for (const int id : ids_in_state(root_ + "/" + kLeaseDir, ".done")) {
+    const auto bytes = read_file_bytes(lease_path(id, ".done"));
+    if (!bytes.has_value()) continue;
+    try {
+      states.push_back(LeaseState::parse(*bytes));
+    } catch (const ParseError&) {
+      // Telemetry only — the rows live in the journals; a corrupt done
+      // marker costs per-worker accounting for this lease, nothing more.
+      LeaseState unknown;
+      unknown.lease_id = id;
+      states.push_back(unknown);
+    }
+  }
+  return states;
+}
+
+std::vector<std::string> WorkDir::worker_journals() const {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator{root_, ec}) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("journal-", 0) == 0 &&
+        entry.path().extension() == ".jsonl")
+      paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::uint64_t WorkDir::now_seconds() {
+  return static_cast<std::uint64_t>(std::time(nullptr));
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,130 @@
+// The shared work directory: the wire protocol of the work-stealing
+// scheduler, with the filesystem as the only transport.
+//
+// Layout under one root (local disk, NFS, a container volume — anything
+// whose rename is atomic):
+//
+//   queue.sdwq                   the published WorkQueue (write-once)
+//   leases/lease-NNNNNN.open     unclaimed lease NNNNNN
+//   leases/lease-NNNNNN.claim    claimed, owner + heartbeat inside
+//   leases/lease-NNNNNN.done     completed (every row journaled first)
+//   journal-<worker>.jsonl       one schema-2 suite journal per worker
+//   merged.jsonl                 the coordinator's collected output
+//
+// The protocol rides entirely on rename atomicity (the same primitive the
+// .sdmc cache uses for concurrent shard writers):
+//
+//   claim     rename(open -> claim): exactly one claimant wins; the loser's
+//             rename fails and it moves on to the next lease.
+//   complete  rename(claim -> done), only *after* the worker's journal has
+//             flushed every row of the lease — so a done marker always has
+//             its rows on disk.
+//   reclaim   a claim whose heartbeat is older than the TTL (or whose
+//             bytes no longer parse) is reissued by rename(claim -> open):
+//             one atomic op retires the stale claim and republishes the
+//             lease. The stale bytes ride along; the next claimant sees
+//             the non-empty worker field and bumps the generation.
+//
+// Reclaim is deliberately at-least-once: a stalled-but-alive worker whose
+// lease was reclaimed keeps analyzing and journaling. That is safe because
+// analysis is deterministic — both executions journal byte-identical
+// canonical rows, which merge-journals deduplicates silently; any
+// divergence would surface as a loud MergeConflict. What can never happen
+// is two workers *claiming* one lease file (rename picks one winner) or a
+// corrupt lease silently assigning work (parse failures throw, and the
+// reclaim path treats them as expired).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/lease.hpp"
+
+namespace saintdroid {
+
+/// A successfully claimed lease, held by an agent while it analyzes.
+struct ClaimedLease {
+  int lease_id = 0;
+  int generation = 0;
+  std::string worker;
+};
+
+/// Lease lifecycle census across the directory.
+struct WorkDirStatus {
+  int open = 0;
+  int claimed = 0;
+  int done = 0;
+
+  int total() const { return open + claimed + done; }
+  bool finished() const { return open == 0 && claimed == 0 && done > 0; }
+};
+
+class WorkDir {
+ public:
+  explicit WorkDir(std::string root);
+
+  const std::string& root() const { return root_; }
+  std::string queue_path() const;
+  std::string merged_journal_path() const;
+  std::string worker_journal_path(const std::string& worker) const;
+
+  /// Publishes `queue` and one .open file per lease. Idempotent and
+  /// crash-safe: an existing queue with the same corpus fingerprint is
+  /// kept as-is (a re-run coordinator resumes supervision; claim/done
+  /// state survives), a different corpus throws ConfigError — two corpora
+  /// must never share a work directory. Lease files that already exist in
+  /// any state are left untouched.
+  void publish(const WorkQueue& queue, std::uint64_t now) const;
+
+  /// Loads the published queue; nullopt while the coordinator has not
+  /// published yet. A corrupt queue throws ParseError — the queue is the
+  /// source of truth and cannot be reclaimed, only republished.
+  std::optional<WorkQueue> load_queue() const;
+
+  /// Claims the lowest-id open lease (largest remaining cost, since the
+  /// plan is largest-cost-first) via one atomic rename, stamps it with
+  /// `worker` and `now`, and returns it. nullopt when nothing is open.
+  /// Racing claimants are safe: rename picks exactly one winner per file.
+  std::optional<ClaimedLease> claim_next(const std::string& worker,
+                                         std::uint64_t now) const;
+
+  /// Refreshes the claim's heartbeat. Returns false when the claim file is
+  /// gone (completed by a racing duplicate, or reclaimed and reissued) —
+  /// the caller keeps analyzing regardless; its rows dedup at merge.
+  bool heartbeat(const ClaimedLease& claim, std::uint64_t now) const;
+
+  /// Marks the lease done (rename claim -> done). Returns false when the
+  /// claim file vanished — the lease was reclaimed; the caller's journal
+  /// rows still count, they just dedup against the reissued run's.
+  bool complete(const ClaimedLease& claim) const;
+
+  /// Reissues every claimed lease whose heartbeat is older than
+  /// `ttl_seconds` (or whose claim bytes are corrupt) via one atomic
+  /// rename(claim -> open); the next claimant bumps the generation.
+  /// Returns the number of leases reclaimed. Any process may call this —
+  /// agents do, when they find nothing open, which is what makes the
+  /// scheduler coordinator-optional after publish.
+  int reclaim_expired(std::uint64_t ttl_seconds, std::uint64_t now) const;
+
+  WorkDirStatus status() const;
+
+  /// Final per-lease states, read from the .done files (id-ordered):
+  /// which worker completed each lease and how many reclaims it survived.
+  std::vector<LeaseState> done_states() const;
+
+  /// Every journal-<worker>.jsonl in the directory, sorted by path.
+  std::vector<std::string> worker_journals() const;
+
+  /// Unix-epoch seconds — the shared clock of the heartbeat/TTL protocol
+  /// (workers may live on different hosts, so steady_clock cannot serve).
+  static std::uint64_t now_seconds();
+
+ private:
+  std::string lease_path(int lease_id, const char* state) const;
+
+  std::string root_;
+};
+
+}  // namespace saintdroid

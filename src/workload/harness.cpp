@@ -70,6 +70,14 @@ void aggregate_rows(SuiteResult& suite) {
 
 }  // namespace
 
+SuiteResult suite_from_rows(std::string tool, std::vector<SuiteAppRow> rows) {
+  SuiteResult suite;
+  suite.tool = std::move(tool);
+  suite.rows = std::move(rows);
+  aggregate_rows(suite);
+  return suite;
+}
+
 std::vector<BenchApp> shard_slice(std::span<const BenchApp> apps,
                                   int shard_index, int shard_count) {
   if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count)

@@ -48,6 +48,14 @@ struct SuiteAppRow {
   ResourceUsage usage;
 };
 
+/// How many leases one worker completed in a work-stealing run — the
+/// skew-visibility datum: a fast worker shows more leases, a straggler
+/// fewer, and a dead worker's leases show up under whoever reclaimed them.
+struct WorkerLeaseCount {
+  std::string worker;
+  int leases = 0;
+};
+
 /// One tool's outcome over a whole suite.
 struct SuiteResult {
   std::string tool;
@@ -65,6 +73,15 @@ struct SuiteResult {
   /// resumed run has any). Operational telemetry — the rows themselves are
   /// identical either way, this just records how much work resume saved.
   std::size_t resumed_rows = 0;
+  /// Lease accounting of a distributed work-stealing run (src/dist) —
+  /// filled by the coordinator's collect(), zero/empty everywhere else.
+  /// Operational telemetry, never part of the deterministic row contract.
+  std::size_t leases_issued = 0;
+  /// Reclaim generations summed over all leases: how many times an expired
+  /// or crashed claim was reissued. Zero on a healthy run.
+  std::size_t leases_reclaimed = 0;
+  /// Per-worker completed-lease counts, sorted by worker name.
+  std::vector<WorkerLeaseCount> worker_lease_counts;
 };
 
 /// Deterministic interleaved shard slice for multi-process corpus runs:
@@ -82,6 +99,13 @@ std::vector<BenchApp> shard_slice(std::span<const BenchApp> apps,
 /// cut from app lists with the same fingerprint — always fingerprint the
 /// *full* list, before shard_slice.
 std::string corpus_fingerprint(std::span<const BenchApp> apps);
+
+/// Rebuilds a SuiteResult from already-scored rows — e.g. merged journal
+/// rows reordered to corpus order by the work-stealing coordinator. Folds
+/// the aggregate and failure count with exactly the semantics of run_suite
+/// so a rebuilt result compares equal to a live run's (wall-clock usage
+/// fields aside).
+SuiteResult suite_from_rows(std::string tool, std::vector<SuiteAppRow> rows);
 
 /// Runs `tool` over `apps`, scoring each result against its ledger. Every
 /// per-app analysis runs inside the analyze_outcome isolation boundary: an

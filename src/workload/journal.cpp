@@ -211,14 +211,23 @@ JournalMerge merge_journals(const std::vector<std::string>& inputs) {
   std::optional<JournalHeader> reference;
   std::string reference_path;
   std::unordered_map<std::string, std::size_t> by_app;
+  // Which input currently owns each merged row (parallel to merge.rows),
+  // so per-input canonical counts survive last-writer-wins overwrites.
+  std::vector<std::size_t> owner;
 
-  for (const auto& path : inputs) {
+  for (std::size_t input_index = 0; input_index < inputs.size();
+       ++input_index) {
+    const auto& path = inputs[input_index];
     {
       const std::ifstream probe{path, std::ios::binary};
       if (!probe.is_open())
         throw ConfigError("merge-journals: cannot open " + path);
     }
     JournalFile file = load_journal_file(path);
+    JournalInputStats stats;
+    stats.path = path;
+    stats.header = file.header;
+    stats.rows = file.rows.size();
     if (file.header.has_value()) {
       if (!reference.has_value()) {
         reference = *file.header;
@@ -238,17 +247,28 @@ JournalMerge merge_journals(const std::vector<std::string>& inputs) {
       if (it == by_app.end()) {
         by_app.emplace(row.app, merge.rows.size());
         merge.rows.push_back(std::move(row));
+        owner.push_back(input_index);
         continue;
       }
       SuiteAppRow& kept = merge.rows[it->second];
+      const bool same_file = owner[it->second] == input_index;
       if (canonical_row_bytes(kept) == canonical_row_bytes(row)) {
         ++merge.duplicates;  // same result twice: silently keep the later
+        if (same_file)
+          ++stats.resumed;
+        else
+          ++stats.duplicates;
       } else {
         merge.conflicts.push_back({row.app, row, kept});
+        ++stats.conflicts;
       }
       kept = std::move(row);  // last writer wins either way
+      owner[it->second] = input_index;
     }
+    merge.inputs.push_back(std::move(stats));
   }
+  for (const std::size_t input_index : owner)
+    ++merge.inputs[input_index].canonical;
 
   merge.header.schema = kJournalSchemaVersion;
   merge.header.shard_index = -1;  // "merged"

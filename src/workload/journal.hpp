@@ -104,6 +104,28 @@ struct MergeConflict {
   SuiteAppRow discarded; ///< the earlier divergent row
 };
 
+/// Per-input accounting of one merge — the data behind
+/// `merge-journals --stats`. `canonical` is the per-shard spread: how many
+/// merged rows each input ended up contributing (last writer wins), which
+/// makes straggler skew visible from journals alone.
+struct JournalInputStats {
+  std::string path;
+  /// The input's header, when it had one (shard index, corpus, tool).
+  std::optional<JournalHeader> header;
+  /// Parseable rows in the file.
+  std::size_t rows = 0;
+  /// Rows identical (canonical bytes) to a row already merged from an
+  /// *earlier input* — re-executions, e.g. a reclaimed lease analyzed twice.
+  std::size_t duplicates = 0;
+  /// Rows repeating an app seen earlier in the *same file* — the signature
+  /// of a resumed/appended run writing into one journal.
+  std::size_t resumed = 0;
+  /// Rows that diverged from an already-merged row (see MergeConflict).
+  std::size_t conflicts = 0;
+  /// Rows of the merged output attributed to this input.
+  std::size_t canonical = 0;
+};
+
 /// Result of merging shard journals.
 struct JournalMerge {
   /// Synthesized header: current schema, the inputs' corpus fingerprint,
@@ -118,6 +140,8 @@ struct JournalMerge {
   /// Duplicate rows whose canonical bytes matched and were deduplicated
   /// silently (last writer wins, so its wall-clock fields are kept).
   std::size_t duplicates = 0;
+  /// Per-input accounting, in input order.
+  std::vector<JournalInputStats> inputs;
 
   bool clean() const { return conflicts.empty(); }
 };

@@ -12,6 +12,9 @@
 #include <span>
 #include <string>
 
+#include <filesystem>
+#include <fstream>
+
 #include "adf/image.hpp"
 #include "adf/repository.hpp"
 #include "core/arm.hpp"
@@ -20,6 +23,8 @@
 #include "dex/builder.hpp"
 #include "dex/disasm.hpp"
 #include "core/outcome.hpp"
+#include "dist/lease.hpp"
+#include "dist/workdir.hpp"
 #include "support/rng.hpp"
 #include "support/sdmc.hpp"
 #include "workload/app_builder.hpp"
@@ -588,6 +593,189 @@ TEST(JournalFuzz, RandomizedRowsRoundTripThroughTheirLine) {
     // reproduce the exact line (this is what merge dedup relies on).
     EXPECT_EQ(journal_line(*parsed), line);
   }
+}
+
+// --- work-stealing lease poisoning ---------------------------------------------
+//
+// The lease containers cross process (and host) boundaries like the .sdmc
+// cache does, so they get the same sweeps: every truncation, flip and
+// splice must throw ParseError. The workdir protocol then turns those
+// throws into *reclaims* — a corrupt lease file on disk is reissued, never
+// crashed on, and never silently assigns work (the queue, not the lease
+// file, says which apps a lease covers).
+
+/// A small but fully-populated work queue for the sweeps.
+WorkQueue lease_fuzz_queue() {
+  WorkQueue queue;
+  queue.corpus = "feedfacefeedface";
+  queue.tool = "saintdroid";
+  for (int i = 0; i < 5; ++i) {
+    WorkItem item;
+    item.name = "app-" + std::to_string(i);
+    item.path = "/corpus/app-" + std::to_string(i) + ".apk";
+    item.cost = static_cast<std::uint64_t>(1 + i * 17);
+    queue.items.push_back(std::move(item));
+  }
+  queue.leases = plan_leases(queue.items, 2);
+  return queue;
+}
+
+LeaseState lease_fuzz_state() {
+  LeaseState state;
+  state.lease_id = 3;
+  state.generation = 2;
+  state.worker = "host-1/w0";
+  state.heartbeat = 1'700'000'000ULL;
+  return state;
+}
+
+TEST(LeaseFuzz, EveryWorkQueueTruncationThrows) {
+  const auto blob = lease_fuzz_queue().serialize();
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    std::span<const std::uint8_t> window(blob.data(), cut);
+    EXPECT_THROW((void)WorkQueue::parse(window), ParseError) << "cut=" << cut;
+  }
+}
+
+TEST(LeaseFuzz, EveryLeaseStateTruncationThrows) {
+  const auto blob = lease_fuzz_state().serialize();
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    std::span<const std::uint8_t> window(blob.data(), cut);
+    EXPECT_THROW((void)LeaseState::parse(window), ParseError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(LeaseFuzz, EveryBitFlipThrows) {
+  // One random flip per byte position, both containers. Wherever the
+  // damage lands — magic, version, checksum, size, payload — the parse
+  // must throw; a flip the header checks miss is what the payload
+  // checksum exists to catch.
+  const auto queue_base = lease_fuzz_queue().serialize();
+  Rng rng{0x1EA5EULL};
+  for (std::size_t pos = 0; pos < queue_base.size(); ++pos) {
+    auto blob = queue_base;
+    blob[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    EXPECT_THROW((void)WorkQueue::parse(blob), ParseError) << "pos=" << pos;
+  }
+  const auto state_base = lease_fuzz_state().serialize();
+  for (std::size_t pos = 0; pos < state_base.size(); ++pos) {
+    auto blob = state_base;
+    blob[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    EXPECT_THROW((void)LeaseState::parse(blob), ParseError) << "pos=" << pos;
+  }
+}
+
+TEST(LeaseFuzz, MagicVersionAndSpliceDefectsThrow) {
+  const auto queue_blob = lease_fuzz_queue().serialize();
+  const auto state_blob = lease_fuzz_state().serialize();
+  // Cross-container splice: each container refuses the other's magic.
+  EXPECT_THROW((void)WorkQueue::parse(state_blob), ParseError);
+  EXPECT_THROW((void)LeaseState::parse(queue_blob), ParseError);
+  {
+    // Version skew (the version field is bytes 4..7).
+    auto blob = queue_blob;
+    blob[4] = static_cast<std::uint8_t>(kDistFormatVersion + 1);
+    EXPECT_THROW((void)WorkQueue::parse(blob), ParseError);
+  }
+  {
+    // Trailing garbage after a well-formed container.
+    auto blob = state_blob;
+    blob.push_back(0);
+    EXPECT_THROW((void)LeaseState::parse(blob), ParseError);
+  }
+  {
+    // Payload transplant: this queue's header and checksum over that
+    // queue's payload bytes.
+    WorkQueue other = lease_fuzz_queue();
+    other.items[0].name = "app-evil";
+    const auto donor = other.serialize();
+    auto blob = queue_blob;
+    std::copy(donor.begin() + 16, donor.end() - 8, blob.begin() + 16);
+    EXPECT_THROW((void)WorkQueue::parse(blob), ParseError);
+  }
+}
+
+TEST(LeaseFuzz, CorruptLeaseFilesAreReclaimedNeverCrashOrDoubleAssign) {
+  // On-disk sweep of the reclaim contract: scribble over claim files in
+  // every style and verify the protocol's response is always "reissue",
+  // never a crash and never a silent double assignment.
+  const std::string root = ::testing::TempDir() + "lease_fuzz_wd";
+  std::filesystem::remove_all(root);
+  const WorkDir dir{root};
+  WorkQueue queue = lease_fuzz_queue();
+  queue.leases = plan_leases(queue.items, 5);  // one lease, five apps
+  queue.leases[0].id = 0;
+  dir.publish(queue, 100);
+
+  const std::vector<std::string> corruptions{
+      "",                                   // truncated to nothing
+      "short",                              // truncated container
+      std::string(64, '\xFF'),              // bit noise
+      std::string("SDLS then garbage"),     // magic prefix, torn payload
+  };
+  const std::string claim_path = root + "/leases/lease-000000.claim";
+  for (std::size_t c = 0; c < corruptions.size(); ++c) {
+    SCOPED_TRACE("corruption=" + std::to_string(c));
+    const auto claim = dir.claim_next("w0", 100);
+    ASSERT_TRUE(claim.has_value());
+    EXPECT_EQ(claim->lease_id, 0);
+    // No double assignment while the (soon to be corrupt) claim stands.
+    EXPECT_FALSE(dir.claim_next("w1", 100).has_value());
+    {
+      std::ofstream out{claim_path, std::ios::binary | std::ios::trunc};
+      out << corruptions[c];
+    }
+    // A corrupt claim is expired by definition, whatever the TTL.
+    EXPECT_EQ(dir.reclaim_expired(1'000'000, 100), 1);
+    EXPECT_EQ(dir.status().open, 1);
+  }
+
+  // After the gauntlet the lease still completes exactly once.
+  const auto final_claim = dir.claim_next("w2", 200);
+  ASSERT_TRUE(final_claim.has_value());
+  EXPECT_TRUE(dir.complete(*final_claim));
+  EXPECT_TRUE(dir.status().finished());
+  EXPECT_EQ(dir.done_states().size(), 1u);
+  std::filesystem::remove_all(root);
+}
+
+TEST(LeaseFuzz, ForgedDuplicateOpenConvergesToOneDoneLease) {
+  // A crashed reclaimer (or an attacker replaying files) can leave a lease
+  // with BOTH an open and a claim file. The protocol must converge: the
+  // ghost is claimable, execution may be repeated, but the census ends at
+  // exactly one done lease and claimants never crash.
+  const std::string root = ::testing::TempDir() + "lease_forge_wd";
+  std::filesystem::remove_all(root);
+  const WorkDir dir{root};
+  WorkQueue queue = lease_fuzz_queue();
+  queue.leases = plan_leases(queue.items, 5);
+  dir.publish(queue, 100);
+
+  const auto claim = dir.claim_next("w0", 100);
+  ASSERT_TRUE(claim.has_value());
+  {
+    // Forge a ghost .open for the already-claimed lease.
+    LeaseState ghost;
+    ghost.lease_id = 0;
+    ghost.heartbeat = 100;
+    const auto bytes = ghost.serialize();
+    std::ofstream out{root + "/leases/lease-000000.open",
+                      std::ios::binary | std::ios::trunc};
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  // The ghost is claimed (atomically replacing the live claim file — the
+  // loser's complete() then fails, which is the documented lost-lease
+  // path), the winner completes, and the census converges to one done.
+  const auto dup = dir.claim_next("w1", 101);
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_EQ(dup->lease_id, 0);
+  EXPECT_TRUE(dir.complete(*dup));
+  EXPECT_FALSE(dir.complete(*claim));
+  EXPECT_TRUE(dir.status().finished());
+  EXPECT_EQ(dir.done_states().size(), 1u);
+  std::filesystem::remove_all(root);
 }
 
 }  // namespace

@@ -7,7 +7,13 @@
 //                                    [--shard i/N]
 //                                    [--journal <file> [--resume]]
 //                                    [--model-cache <dir>]
-//   saintdroid merge-journals <out-journal> <in-journal>...
+//   saintdroid merge-journals [--stats] <out-journal> <in-journal>...
+//   saintdroid coordinate <workdir> <apk-file>... [--lease-size N]
+//                                    [--ttl S] [--timeout S] [--init-only]
+//   saintdroid work    <workdir> [--jobs N] [--worker NAME]
+//                                [--db <database-file>]
+//                                [--model-cache <dir>] [--ttl S]
+//                                [--max-leases K] [--wait S]
 //   saintdroid disasm  <apk-file>
 //   saintdroid mine    <output-database-file>
 //
@@ -32,18 +38,32 @@
 // directory mines and stores, every later process — including concurrent
 // shards sharing the directory — starts warm, skipping the mining pass
 // entirely with byte-identical results (see docs/FORMAT.md, `.sdmc`).
+//
+// `coordinate`/`work` replace the static `--shard` partition with dynamic
+// work-stealing (see docs/parallelism.md): `coordinate` publishes a
+// largest-cost-first lease plan into a shared work directory, supervises
+// the lease lifecycle (reclaiming leases whose workers crashed), and
+// merges every worker journal into <workdir>/merged.jsonl; each `work`
+// process claims leases until the directory is finished. `--jobs 0`
+// resolves to the host's hardware concurrency in both `batch` and `work`.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <future>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "adf/repository.hpp"
 #include "core/advisor.hpp"
+#include "dist/agent.hpp"
+#include "dist/coordinator.hpp"
 #include "core/json.hpp"
 #include "core/model_cache.hpp"
 #include "core/saintdroid.hpp"
@@ -88,8 +108,15 @@ int usage() {
                "[--shard i/N]\n"
                "                        [--journal <file> [--resume]]\n"
                "                        [--model-cache <dir>]\n"
-               "       saintdroid merge-journals <out-journal> "
+               "       saintdroid merge-journals [--stats] <out-journal> "
                "<in-journal>...\n"
+               "       saintdroid coordinate <workdir> <apk>... "
+               "[--lease-size N] [--ttl S]\n"
+               "                             [--timeout S] [--init-only]\n"
+               "       saintdroid work <workdir> [--jobs N] "
+               "[--worker NAME] [--db <file>]\n"
+               "                       [--model-cache <dir>] [--ttl S] "
+               "[--max-leases K] [--wait S]\n"
                "       saintdroid disasm <apk>\n"
                "       saintdroid mine <output-db-file>\n");
   return 2;
@@ -107,6 +134,28 @@ bool parse_shard_spec(const char* arg, int& index, int& count) {
   index = static_cast<int>(i);
   count = static_cast<int>(n);
   return true;
+}
+
+/// Prints the per-app rows of a suite exactly like `batch` does, and
+/// returns the total mismatch count. Shared by `batch` and `coordinate` so
+/// their per-app report lines cannot drift apart.
+std::uint64_t print_suite_rows(const sd::SuiteResult& suite) {
+  std::uint64_t total = 0;
+  for (const auto& row : suite.rows) {
+    total += row.mismatch_count;
+    if (row.failure.has_value()) {
+      std::printf("%-24s FAILED  %s in %s: %s\n", row.app.c_str(),
+                  sd::failure_kind_name(row.failure->kind),
+                  row.failure->phase.c_str(), row.failure->message.c_str());
+    } else {
+      std::printf("%-24s %s  %zu mismatch%s (%.1f ms)\n", row.app.c_str(),
+                  row.completed ? (row.incomplete ? "part  " : "ok    ")
+                                : "FAILED",
+                  row.mismatch_count, row.mismatch_count == 1 ? "" : "es",
+                  row.usage.seconds * 1000.0);
+    }
+  }
+  return total;
 }
 
 /// `saintdroid batch`: parses every package up front, analyzes them through
@@ -185,21 +234,7 @@ int run_batch(const std::vector<std::string>& paths, int jobs,
       options);
   const double elapsed = watch.seconds();
 
-  std::uint64_t total = 0;
-  for (const auto& row : suite.rows) {
-    total += row.mismatch_count;
-    if (row.failure.has_value()) {
-      std::printf("%-24s FAILED  %s in %s: %s\n", row.app.c_str(),
-                  sd::failure_kind_name(row.failure->kind),
-                  row.failure->phase.c_str(), row.failure->message.c_str());
-    } else {
-      std::printf("%-24s %s  %zu mismatch%s (%.1f ms)\n", row.app.c_str(),
-                  row.completed ? (row.incomplete ? "part  " : "ok    ")
-                                : "FAILED",
-                  row.mismatch_count, row.mismatch_count == 1 ? "" : "es",
-                  row.usage.seconds * 1000.0);
-    }
-  }
+  const std::uint64_t total = print_suite_rows(suite);
   if (shard_count > 1)
     std::printf("shard %d/%d (corpus %s): ", shard_index, shard_count,
                 corpus_id.c_str());
@@ -213,15 +248,179 @@ int run_batch(const std::vector<std::string>& paths, int jobs,
   return total == 0 && suite.failures == 0 ? 0 : 1;
 }
 
+/// `saintdroid coordinate`: publishes the work queue for the given
+/// packages into <workdir>, supervises the lease lifecycle until every
+/// lease is done (reclaiming expired claims), then merges the worker
+/// journals and prints the collected result. `--init-only` stops after
+/// publish — the mode for driving supervision from elsewhere. Returns 1 on
+/// mismatches/failures/conflicts, 2 on configuration errors, 3 on timeout.
+int run_coordinate(const std::string& workdir,
+                   const std::vector<std::string>& paths, int lease_size,
+                   std::uint64_t ttl_seconds, double timeout_seconds,
+                   bool init_only) {
+  std::vector<sd::BenchApp> apps;
+  apps.reserve(paths.size());
+  for (const auto& p : paths) {
+    sd::BenchApp app;
+    app.apk = sd::Apk::parse(read_file(p));
+    apps.push_back(std::move(app));
+  }
+
+  sd::CoordinatorOptions plan_options;
+  plan_options.lease_size = lease_size;
+  const sd::WorkQueue queue = sd::plan_work_queue(apps, paths, plan_options);
+  const sd::WorkDir dir{workdir};
+  dir.publish(queue, sd::WorkDir::now_seconds());
+  std::printf("coordinate: published %zu apps in %zu leases (corpus %s) "
+              "-> %s\n",
+              queue.items.size(), queue.leases.size(), queue.corpus.c_str(),
+              dir.queue_path().c_str());
+  if (init_only) return 0;
+
+  sd::SuperviseOptions supervise_options;
+  supervise_options.ttl_seconds = ttl_seconds;
+  supervise_options.timeout_seconds = timeout_seconds;
+  const sd::SuperviseOutcome outcome = sd::supervise(dir, supervise_options);
+  if (!outcome.finished) {
+    const sd::WorkDirStatus status = dir.status();
+    std::fprintf(stderr,
+                 "coordinate: timed out after %.1fs (%d open, %d claimed, "
+                 "%d done)\n",
+                 timeout_seconds, status.open, status.claimed, status.done);
+    return 3;
+  }
+
+  const sd::CollectResult collected = sd::collect(dir);
+  const std::uint64_t total = print_suite_rows(collected.suite);
+  for (const auto& conflict : collected.merge.conflicts)
+    std::fprintf(stderr, "coordinate: divergent rows for app %s\n",
+                 conflict.app.c_str());
+  std::string workers;
+  for (const auto& count : collected.suite.worker_lease_counts) {
+    if (!workers.empty()) workers += ", ";
+    workers += count.worker + "=" + std::to_string(count.leases);
+  }
+  std::printf("coordinate: %zu apps, %llu mismatches, %d failures, %zu "
+              "leases (%zu reclaimed, %d by supervisor), %zu duplicate "
+              "row%s, workers [%s] -> %s\n",
+              collected.suite.rows.size(),
+              static_cast<unsigned long long>(total),
+              collected.suite.failures, collected.suite.leases_issued,
+              collected.suite.leases_reclaimed, outcome.reclaimed,
+              collected.merge.duplicates,
+              collected.merge.duplicates == 1 ? "" : "s", workers.c_str(),
+              dir.merged_journal_path().c_str());
+  return total == 0 && collected.suite.failures == 0 &&
+                 collected.merge.clean()
+             ? 0
+             : 1;
+}
+
+/// `saintdroid work`: one worker agent. Claims leases from <workdir> until
+/// the queue is drained, analyzing each lease through the same journaled
+/// suite path as `batch` (shared mined database, per-app fault isolation)
+/// and appending rows to journal-<worker>.jsonl. Safe to run many of these
+/// concurrently against one workdir — on one host or many.
+int run_work(const std::string& workdir, int jobs, std::string worker,
+             const std::string& db_path, const std::string& model_cache_dir,
+             std::uint64_t ttl_seconds, int max_leases,
+             double queue_wait_seconds) {
+  const auto& repo = sd::FrameworkRepository::standard();
+  if (jobs <= 0) jobs = static_cast<int>(sd::ThreadPool::default_workers());
+  if (worker.empty()) worker = "w" + std::to_string(getpid());
+
+  std::optional<sd::ModelCache> cache;
+  if (!model_cache_dir.empty()) cache.emplace(model_cache_dir);
+  std::shared_ptr<const sd::ApiDatabase> db;
+  if (!db_path.empty())
+    db = std::make_shared<const sd::ApiDatabase>(
+        sd::ApiDatabase::parse(read_file(db_path)));
+  else if (cache)
+    db = cache->api_database(repo, jobs);
+  else
+    db = std::make_shared<const sd::ApiDatabase>(sd::ApiDatabase::mine(repo));
+
+  sd::AgentOptions options;
+  options.worker = std::move(worker);
+  options.jobs = jobs;
+  options.ttl_seconds = ttl_seconds;
+  options.queue_wait_seconds = queue_wait_seconds;
+  options.max_leases = max_leases;
+  options.resolve = [](const sd::WorkItem& item) {
+    if (item.path.empty())
+      throw sd::Error("work: queue item " + item.name +
+                      " carries no package path");
+    sd::BenchApp app;
+    app.apk = sd::Apk::parse(read_file(item.path));
+    return app;
+  };
+  options.factory = [&repo, &db] {
+    return std::make_unique<sd::SaintDroid>(repo, db);
+  };
+  options.model_cache_dir = model_cache_dir;
+  options.repository = &repo;
+  options.warmup = [&repo](std::span<const sd::BenchApp> slice) {
+    std::vector<char> warmed(sd::kMaxApiLevel + 1, 0);
+    for (const auto& app : slice) {
+      const int level =
+          sd::FrameworkRepository::clamp_level(app.apk.manifest.target_sdk);
+      if (warmed[static_cast<std::size_t>(level)]) continue;
+      warmed[static_cast<std::size_t>(level)] = 1;
+      try {
+        (void)repo.substrate(level);
+      } catch (const std::exception&) {
+      }
+    }
+  };
+
+  const sd::WorkDir dir{workdir};
+  const sd::AgentResult result = run_agent(dir, options);
+  std::printf("work %s: %d lease%s completed (%d lost, %d reclaimed for "
+              "others), %zu apps analyzed, %zu resumed, %d jobs\n",
+              options.worker.c_str(), result.leases_completed,
+              result.leases_completed == 1 ? "" : "s", result.leases_lost,
+              result.leases_reclaimed, result.apps_analyzed,
+              result.rows_resumed, result.jobs);
+  return 0;
+}
+
 /// `saintdroid merge-journals`: merges per-shard journals into one
 /// canonical journal — one row per app, sorted by app name, behind a
 /// "merged" header. Identical duplicate rows dedup silently; divergent
 /// duplicates are printed (both rows) and make the exit code 1; journals
 /// from different corpora/schemas/shard layouts are refused (exit 2).
+/// `--stats` additionally prints per-input row/duplicate/resumed counts
+/// and the per-shard canonical-row spread.
 int run_merge_journals(const std::string& out_path,
-                       const std::vector<std::string>& inputs) {
+                       const std::vector<std::string>& inputs, bool stats) {
   const sd::JournalMerge merge = sd::merge_journals(inputs);
   sd::write_journal(out_path, merge.header, merge.rows);
+  if (stats) {
+    std::printf("%-40s %-6s %6s %6s %8s %9s %9s\n", "input", "shard",
+                "rows", "dups", "resumed", "conflicts", "canonical");
+    std::size_t min_canonical = merge.rows.size();
+    std::size_t max_canonical = 0;
+    for (const auto& input : merge.inputs) {
+      std::string shard = "-";
+      if (input.header.has_value())
+        shard = input.header->merged()
+                    ? "merged"
+                    : std::to_string(input.header->shard_index) + "/" +
+                          std::to_string(input.header->shard_count);
+      std::printf("%-40s %-6s %6zu %6zu %8zu %9zu %9zu\n",
+                  input.path.c_str(), shard.c_str(), input.rows,
+                  input.duplicates, input.resumed, input.conflicts,
+                  input.canonical);
+      min_canonical = std::min(min_canonical, input.canonical);
+      max_canonical = std::max(max_canonical, input.canonical);
+    }
+    std::printf("canonical-row spread: min %zu, max %zu per input "
+                "(skew %.2fx)\n",
+                min_canonical, max_canonical,
+                min_canonical > 0 ? static_cast<double>(max_canonical) /
+                                        static_cast<double>(min_canonical)
+                                  : 0.0);
+  }
   for (const auto& conflict : merge.conflicts) {
     std::fprintf(stderr,
                  "merge-journals: divergent rows for app %s\n"
@@ -286,15 +485,98 @@ int main(int argc, char** argv) {
   }
 
   if (command == "merge-journals") {
-    // argv[2] is the output journal; every further argument is an input.
+    // The first non-flag argument is the output journal; every further
+    // one is an input.
+    bool stats = false;
+    std::string out_path;
     std::vector<std::string> inputs;
-    for (int i = 3; i < argc; ++i) {
-      if (argv[i][0] == '-') return usage();
-      inputs.emplace_back(argv[i]);
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--stats") == 0)
+        stats = true;
+      else if (argv[i][0] == '-')
+        return usage();
+      else if (out_path.empty())
+        out_path = argv[i];
+      else
+        inputs.emplace_back(argv[i]);
     }
-    if (inputs.empty()) return usage();
+    if (out_path.empty() || inputs.empty()) return usage();
     try {
-      return run_merge_journals(path, inputs);
+      return run_merge_journals(out_path, inputs, stats);
+    } catch (const sd::Error& e) {
+      std::fprintf(stderr, "saintdroid: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (command == "coordinate") {
+    std::string workdir;
+    std::vector<std::string> paths;
+    int lease_size = 0;
+    std::uint64_t ttl = 60;
+    double timeout = 0;
+    bool init_only = false;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--lease-size") == 0 && i + 1 < argc)
+        lease_size = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--ttl") == 0 && i + 1 < argc)
+        ttl = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc)
+        timeout = std::atof(argv[++i]);
+      else if (std::strcmp(argv[i], "--init-only") == 0)
+        init_only = true;
+      else if (argv[i][0] == '-')
+        return usage();
+      else if (workdir.empty())
+        workdir = argv[i];
+      else
+        paths.emplace_back(argv[i]);
+    }
+    if (workdir.empty() || paths.empty()) return usage();
+    try {
+      return run_coordinate(workdir, paths, lease_size, ttl, timeout,
+                            init_only);
+    } catch (const sd::Error& e) {
+      std::fprintf(stderr, "saintdroid: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (command == "work") {
+    std::string workdir;
+    std::string worker;
+    std::string db_path;
+    std::string model_cache_dir;
+    int jobs = 0;  // 0 -> hardware concurrency
+    std::uint64_t ttl = 60;
+    int max_leases = 0;
+    double wait = 10.0;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+        jobs = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--worker") == 0 && i + 1 < argc)
+        worker = argv[++i];
+      else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc)
+        db_path = argv[++i];
+      else if (std::strcmp(argv[i], "--model-cache") == 0 && i + 1 < argc)
+        model_cache_dir = argv[++i];
+      else if (std::strcmp(argv[i], "--ttl") == 0 && i + 1 < argc)
+        ttl = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      else if (std::strcmp(argv[i], "--max-leases") == 0 && i + 1 < argc)
+        max_leases = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--wait") == 0 && i + 1 < argc)
+        wait = std::atof(argv[++i]);
+      else if (argv[i][0] == '-')
+        return usage();
+      else if (workdir.empty())
+        workdir = argv[i];
+      else
+        return usage();
+    }
+    if (workdir.empty()) return usage();
+    try {
+      return run_work(workdir, jobs, worker, db_path, model_cache_dir, ttl,
+                      max_leases, wait);
     } catch (const sd::Error& e) {
       std::fprintf(stderr, "saintdroid: %s\n", e.what());
       return 2;
