@@ -1,0 +1,423 @@
+// Online vetting service benchmark: startup, latency under load, shedding
+// and crash-replay — the numbers behind docs/robustness.md.
+//
+// Four phases over one synthetic corpus:
+//   1. cold vs warm start: two consecutive VetService constructions sharing
+//      one state directory; the warm one must serve its ApiDatabase from
+//      the on-disk model cache and be strictly faster.
+//   2. offered-load sweep at 0.5x / 1x / 2x of service capacity
+//      (jobs + queue depth, closed-loop clients): per-request latency
+//      p50/p99 and the shed-rate curve.
+//   3. the 2x point doubles as the overload gate: every request gets
+//      exactly one response, the daemon sheds rather than deadlocks, and
+//      every accepted row is byte-identical (canonical journal bytes) to
+//      what a batch run produces for the same package.
+//   4. kill -9 simulation: truncate results.jsonl behind a finished
+//      service's back (results that were computed but "lost in the crash"),
+//      restart on the same state directory, and require replay to recover
+//      every accepted request byte-identically — zero lost.
+//
+// Writes BENCH_serve.json; exits 1 if any gate fails.
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "adf/repository.hpp"
+#include "core/saintdroid.hpp"
+#include "serve/codec.hpp"
+#include "serve/service.hpp"
+#include "serve/state.hpp"
+#include "support/meter.hpp"
+#include "support/sdmc.hpp"
+#include "workload/corpus.hpp"
+#include "workload/harness.hpp"
+#include "workload/journal.hpp"
+
+namespace sd = saintdroid;
+
+namespace {
+
+constexpr int kJobs = 2;
+constexpr std::size_t kQueue = 4;
+constexpr int kCorpusSize = 96;
+
+struct Corpus {
+  std::vector<std::string> paths;           // on-disk packages, serve input
+  std::unordered_map<std::string, std::string> reference;  // app -> bytes
+  std::shared_ptr<const sd::ApiDatabase> db;
+};
+
+/// Generates the corpus on disk and computes the batch reference rows —
+/// the canonical bytes a `saintdroid batch` run journals for the same
+/// packages (empty ground truth, exactly serve's scoring input).
+Corpus build_corpus(const std::string& dir) {
+  const auto& repo = sd::FrameworkRepository::standard();
+  sd::CorpusConfig config;
+  config.app_count = kCorpusSize;
+  config.size_base = 80.0;  // small apps: this measures the service,
+  config.size_spread = 1.3;  // not analysis depth
+  std::filesystem::remove_all(dir);
+  sd::ensure_directory(dir);
+
+  Corpus corpus;
+  std::vector<sd::BenchApp> apps;
+  sd::RealWorldCorpus generator{repo, config};
+  for (const sd::BenchApp& generated :
+       generator.generate_range(0, kCorpusSize, kJobs)) {
+    sd::BenchApp app;
+    app.apk = generated.apk;
+    const std::string path = dir + "/" + app.apk.name + ".apk";
+    sd::write_file_atomic(path, app.apk.serialize());
+    corpus.paths.push_back(path);
+    apps.push_back(std::move(app));
+  }
+  sd::SaintDroid miner{repo};
+  corpus.db = miner.shared_database();
+  const sd::SuiteResult suite = sd::run_suite_parallel(
+      [&corpus] {
+        return std::make_unique<sd::SaintDroid>(
+            sd::FrameworkRepository::standard(), corpus.db);
+      },
+      std::span<const sd::BenchApp>{apps.data(), apps.size()}, kJobs);
+  for (const auto& row : suite.rows)
+    corpus.reference.emplace(row.app, sd::canonical_row_bytes(row));
+  return corpus;
+}
+
+sd::ServeOptions service_options(const Corpus& corpus) {
+  sd::ServeOptions options;
+  options.jobs = kJobs;
+  options.queue_capacity = kQueue;
+  options.database = corpus.db;
+  options.repository = &sd::FrameworkRepository::standard();
+  return options;
+}
+
+struct LoadPoint {
+  double multiplier = 0.0;
+  int clients = 0;
+  std::size_t requests = 0;
+  std::size_t attempts = 0;  // submissions incl. retries of shed requests
+  std::size_t done = 0;
+  std::size_t mismatched = 0;  // done rows that differ from batch bytes
+  std::size_t shed = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double seconds = 0.0;
+};
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(rank, sorted_ms.size() - 1)];
+}
+
+/// One request through the service, synchronously: submit, wait for the
+/// one response. Every attempt gets exactly one response by contract.
+sd::ServeResponse submit_and_wait(sd::VetService& service,
+                                  const sd::ServeRequest& request) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool got = false;
+  sd::ServeResponse response;
+  service.submit(request, [&](const sd::ServeResponse& answer) {
+    const std::lock_guard lock{mutex};
+    response = answer;
+    got = true;
+    cv.notify_one();
+  });
+  std::unique_lock lock{mutex};
+  cv.wait(lock, [&] { return got; });
+  return response;
+}
+
+/// Closed-loop offered load: `clients` threads round-robin the corpus;
+/// each retries a request the daemon shed (after yielding) until it is
+/// analyzed, so per-request latency covers the retries a real client pays
+/// under overload and the shed counter draws the admission-control curve.
+LoadPoint run_load_point(const Corpus& corpus, const std::string& statedir,
+                         double multiplier) {
+  LoadPoint point;
+  point.multiplier = multiplier;
+  point.clients = std::max(
+      1, static_cast<int>(multiplier *
+                          static_cast<double>(kJobs + static_cast<int>(kQueue))));
+  point.requests = corpus.paths.size();
+
+  std::filesystem::remove_all(statedir);
+  sd::VetService service{statedir, service_options(corpus)};
+
+  std::mutex mutex;
+  std::vector<double> latencies_ms;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> attempts{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> mismatched{0};
+
+  const sd::Stopwatch watch;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < point.clients; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= corpus.paths.size()) return;
+        sd::ServeRequest request;
+        request.id = "r";
+        request.id += std::to_string(i);
+        request.apk_path = corpus.paths[i];
+        const sd::Stopwatch latency;
+        for (;;) {
+          attempts.fetch_add(1);
+          const sd::ServeResponse response =
+              submit_and_wait(service, request);
+          if (response.status == sd::ServeStatus::kRejected &&
+              response.reason == "overloaded") {
+            std::this_thread::yield();
+            continue;
+          }
+          if (response.row.has_value()) {
+            done.fetch_add(1);
+            const auto want = corpus.reference.find(response.row->app);
+            if (want == corpus.reference.end() ||
+                want->second != sd::canonical_row_bytes(*response.row))
+              mismatched.fetch_add(1);
+          }
+          break;
+        }
+        const double ms = 1000.0 * latency.seconds();
+        const std::lock_guard lock{mutex};
+        latencies_ms.push_back(ms);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  service.drain();
+  point.seconds = watch.seconds();
+
+  point.attempts = attempts.load();
+  point.done = done.load();
+  point.mismatched = mismatched.load();
+  point.shed = service.stats().shed;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  point.p50_ms = percentile(latencies_ms, 0.50);
+  point.p99_ms = percentile(latencies_ms, 0.99);
+  return point;
+}
+
+struct ReplayResult {
+  std::size_t accepted = 0;
+  std::size_t dropped = 0;
+  std::uint64_t replayed = 0;
+  std::size_t lost = 0;
+  std::size_t mismatched = 0;
+};
+
+/// Simulated kill -9: after a service answered everything and shut down,
+/// truncate results.jsonl so the tail results are "lost in the crash"
+/// while their acceptances stand, then restart and audit the ledger.
+ReplayResult run_replay_gate(const Corpus& corpus,
+                             const std::string& statedir) {
+  ReplayResult result;
+  std::filesystem::remove_all(statedir);
+  const std::size_t kRequests = 12;
+  {
+    sd::VetService service{statedir, service_options(corpus)};
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      sd::ServeRequest request;
+      request.id = "k";
+      request.id += std::to_string(i);
+      request.apk_path = corpus.paths[i];
+      // Sequential, so nothing is shed: 12 acceptances, 12 results.
+      (void)submit_and_wait(service, request);
+    }
+    service.drain();
+  }
+  const sd::StatePaths paths{statedir};
+  const auto accepted = sd::RequestJournal::load(paths.requests_path());
+  result.accepted = accepted.size();
+
+  // The "crash": drop the last third of the journaled results.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in{paths.results_path(), std::ios::binary};
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  result.dropped = lines.size() / 3;
+  {
+    std::ofstream out{paths.results_path(),
+                      std::ios::binary | std::ios::trunc};
+    for (std::size_t i = 0; i + result.dropped < lines.size(); ++i)
+      out << lines[i] << '\n';
+  }
+
+  // Restart: replay must recompute exactly the dropped fingerprints.
+  {
+    sd::VetService service{statedir, service_options(corpus)};
+    service.drain();
+    result.replayed = service.stats().replayed;
+  }
+  sd::ResultCache after{paths.results_path()};
+  for (const auto& acceptance : accepted) {
+    const auto row = after.find(acceptance.fingerprint);
+    if (!row.has_value()) {
+      ++result.lost;
+      continue;
+    }
+    const auto want = corpus.reference.find(row->app);
+    if (want == corpus.reference.end() ||
+        want->second != sd::canonical_row_bytes(*row))
+      ++result.mismatched;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::string corpus_dir = "BENCH_serve.corpus";
+  const std::string statedir = "BENCH_serve.state";
+  std::printf("generating %d-app corpus + batch reference...\n", kCorpusSize);
+  const Corpus corpus = build_corpus(corpus_dir);
+
+  // Phase 1: cold vs warm start. No pre-mined database here — the point is
+  // the state directory's model cache, so both constructions pay (or skip)
+  // the real model phase.
+  std::filesystem::remove_all(statedir);
+  sd::ServeOptions startup_options;
+  startup_options.jobs = kJobs;
+  startup_options.queue_capacity = kQueue;
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  bool warm_from_cache = false;
+  {
+    const sd::Stopwatch watch;
+    const sd::VetService service{statedir, startup_options};
+    cold_seconds = watch.seconds();
+  }
+  {
+    const sd::Stopwatch watch;
+    const sd::VetService service{statedir, startup_options};
+    warm_seconds = watch.seconds();
+    warm_from_cache = service.stats().database_from_cache;
+  }
+  std::printf("start: cold %.2fs, warm %.2fs (%s)\n", cold_seconds,
+              warm_seconds,
+              warm_from_cache ? "db from cache" : "DB RE-MINED");
+
+  // Phases 2+3: the load sweep; the 2x point carries the overload gates.
+  std::vector<LoadPoint> sweep;
+  for (const double multiplier : {0.5, 1.0, 2.0}) {
+    std::printf("offered load %.1fx capacity...\n", multiplier);
+    sweep.push_back(run_load_point(corpus, statedir, multiplier));
+  }
+  std::printf("\n%-6s %8s %9s %9s %9s %9s %7s %9s\n", "load", "clients",
+              "done", "attempts", "p50 ms", "p99 ms", "shed", "rps");
+  for (const LoadPoint& p : sweep)
+    std::printf("%-6.1f %8d %9zu %9zu %9.2f %9.2f %7zu %9.1f\n",
+                p.multiplier, p.clients, p.done, p.attempts, p.p50_ms,
+                p.p99_ms, p.shed,
+                p.seconds > 0 ? static_cast<double>(p.done) / p.seconds
+                              : 0.0);
+
+  // Phase 4: crash replay.
+  std::printf("kill-replay gate...\n");
+  const ReplayResult replay = run_replay_gate(corpus, statedir);
+  std::printf("replay: %zu accepted, %zu results dropped, %llu replayed, "
+              "%zu lost, %zu mismatched\n",
+              replay.accepted, replay.dropped,
+              static_cast<unsigned long long>(replay.replayed), replay.lost,
+              replay.mismatched);
+
+  const LoadPoint& twox = sweep.back();
+  const bool warm_faster = warm_from_cache && warm_seconds < cold_seconds;
+  // Every request eventually analyzed (the daemon kept accepting — no
+  // deadlock, no lost client), and it shed along the way.
+  const bool twox_all_answered = twox.done == twox.requests;
+  const bool twox_sheds = twox.shed > 0;
+  const bool twox_identical = twox.done > 0 && twox.mismatched == 0;
+  const bool replay_lossless = replay.dropped > 0 && replay.lost == 0 &&
+                               replay.mismatched == 0 &&
+                               replay.replayed >=
+                                   static_cast<std::uint64_t>(replay.dropped);
+
+  if (std::FILE* out = std::fopen("BENCH_serve.json", "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"serve\",\n"
+                 "  \"jobs\": %d,\n"
+                 "  \"queue_capacity\": %zu,\n"
+                 "  \"corpus_apps\": %d,\n"
+                 "  \"cold_start_seconds\": %.4f,\n"
+                 "  \"warm_start_seconds\": %.4f,\n"
+                 "  \"warm_db_from_cache\": %s,\n"
+                 "  \"warm_strictly_faster\": %s,\n"
+                 "  \"load_points\": [\n",
+                 kJobs, kQueue, kCorpusSize, cold_seconds, warm_seconds,
+                 warm_from_cache ? "true" : "false",
+                 warm_faster ? "true" : "false");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const LoadPoint& p = sweep[i];
+      std::fprintf(out,
+                   "    {\"multiplier\": %.1f, \"clients\": %d, "
+                   "\"requests\": %zu, \"attempts\": %zu, \"done\": %zu, "
+                   "\"p50_ms\": %.2f, \"p99_ms\": %.2f, \"shed\": %zu, "
+                   "\"shed_rate\": %.4f, \"throughput_rps\": %.1f}%s\n",
+                   p.multiplier, p.clients, p.requests, p.attempts, p.done,
+                   p.p50_ms, p.p99_ms, p.shed,
+                   p.attempts > 0 ? static_cast<double>(p.shed) /
+                                        static_cast<double>(p.attempts)
+                                  : 0.0,
+                   p.seconds > 0 ? static_cast<double>(p.done) / p.seconds
+                                 : 0.0,
+                   i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"two_x_all_answered\": %s,\n"
+                 "  \"two_x_sheds\": %s,\n"
+                 "  \"two_x_byte_identical\": %s,\n"
+                 "  \"replay_accepted\": %zu,\n"
+                 "  \"replay_dropped\": %zu,\n"
+                 "  \"replay_recomputed\": %llu,\n"
+                 "  \"replay_lost\": %zu,\n"
+                 "  \"replay_byte_identical\": %s\n"
+                 "}\n",
+                 twox_all_answered ? "true" : "false",
+                 twox_sheds ? "true" : "false",
+                 twox_identical ? "true" : "false", replay.accepted,
+                 replay.dropped,
+                 static_cast<unsigned long long>(replay.replayed),
+                 replay.lost,
+                 replay.mismatched == 0 ? "true" : "false");
+    std::fclose(out);
+    std::printf("-> BENCH_serve.json\n");
+  }
+
+  std::filesystem::remove_all(corpus_dir);
+  std::filesystem::remove_all(statedir);
+
+  int failures = 0;
+  const auto gate = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "GATE FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+  gate(warm_faster, "warm start not strictly faster than cold");
+  gate(twox_all_answered, "2x load: not every request answered");
+  gate(twox_sheds, "2x load: no shedding observed");
+  gate(twox_identical, "2x load: accepted rows differ from batch");
+  gate(replay_lossless, "replay: accepted requests lost or mismatched");
+  return failures == 0 ? 0 : 1;
+}

@@ -17,6 +17,28 @@ cmake -B build -S . > /dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+echo "=== serve smoke: daemon up, one vetted request, clean SIGTERM ==="
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+./build/tools/apkgen demo "$smoke/app.apk" > /dev/null
+./build/tools/saintdroid serve "$smoke/state" --jobs 2 \
+  2> "$smoke/serve.log" &
+serve_pid=$!
+response="$(./build/tools/saintdroid submit "$smoke/state" "$smoke/app.apk" \
+  --wait 30)"
+echo "$response"
+case "$response" in
+  *'"status":"done"'*) ;;
+  *) echo "serve smoke: expected a done response" >&2; exit 1 ;;
+esac
+kill -TERM "$serve_pid"
+rc=0; wait "$serve_pid" || rc=$?
+if [[ "$rc" != 4 ]]; then
+  echo "serve smoke: expected graceful-shutdown exit 4, got $rc" >&2
+  cat "$smoke/serve.log" >&2
+  exit 1
+fi
+
 if [[ "$tsan" == 1 ]]; then
   ci/sanitize.sh tsan
 fi

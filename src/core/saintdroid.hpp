@@ -79,6 +79,14 @@ class SaintDroid final : public Analyzer {
 
   bool detects(MismatchKind kind) const override;
 
+  /// Replaces the per-app resource limits for subsequent analyze() calls —
+  /// the cancellable-analysis entry point the serve layer uses to apply a
+  /// per-request budget (deadline + cancel flag) to a reused facade. Not
+  /// thread-safe against a concurrent analyze(); callers own the facade
+  /// exclusively (one per worker, as in the parallel harness).
+  void set_budget(const AnalysisBudget& budget) { options_.budget = budget; }
+  const AnalysisBudget& budget() const { return options_.budget; }
+
   const ApiDatabase& database() const { return *db_; }
 
   /// The shared handle, for spawning sibling analyzers against the same

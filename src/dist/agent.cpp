@@ -22,9 +22,12 @@ std::chrono::milliseconds to_ms(double seconds) {
 
 /// Background heartbeat for one held claim: refreshes the claim file every
 /// ttl/3 seconds (floored at 1s) so a healthy-but-slow lease — one monster
-/// app — is not reclaimed out from under its owner. RAII: the destructor
-/// stops the thread even when the analysis throws, so a dying agent stops
-/// heartbeating and its claim expires on schedule.
+/// app — is not reclaimed out from under its owner. Stamps come from the
+/// writer's *steady* clock: observers judge liveness by the bytes changing
+/// (LeaseMonitor), not by comparing the stamp against their own clock, so
+/// an NTP step on either host can neither expire nor immortalize a claim.
+/// RAII: the destructor stops the thread even when the analysis throws, so
+/// a dying agent stops heartbeating and its claim expires on schedule.
 class HeartbeatLoop {
  public:
   HeartbeatLoop(const WorkDir& dir, const ClaimedLease& claim,
@@ -35,7 +38,7 @@ class HeartbeatLoop {
                   1, ttl_seconds / 3));
           std::unique_lock lock{mutex_};
           while (!cv_.wait_for(lock, interval, [this] { return stop_; }))
-            dir.heartbeat(claim, WorkDir::now_seconds());
+            dir.heartbeat(claim, WorkDir::steady_seconds());
         }) {}
 
   ~HeartbeatLoop() { stop(); }
@@ -86,19 +89,27 @@ AgentResult run_agent(const WorkDir& dir, const AgentOptions& options) {
                     ? static_cast<int>(ThreadPool::default_workers())
                     : options.jobs;
 
+  // One staleness observer for the whole agent loop: ttl windows are
+  // measured on this agent's steady clock across its idle passes.
+  LeaseMonitor monitor{dir};
+
   for (;;) {
     if (options.max_leases > 0 &&
         result.leases_completed + result.leases_lost >= options.max_leases)
       break;
+    if (options.interrupted && options.interrupted()) {
+      result.interrupted = true;
+      break;
+    }
 
     const std::optional<ClaimedLease> claim =
-        dir.claim_next(options.worker, WorkDir::now_seconds());
+        dir.claim_next(options.worker, WorkDir::steady_seconds());
     if (!claim.has_value()) {
-      // Nothing open. Reclaim what expired (this is what makes the
+      // Nothing open. Reclaim what went stale (this is what makes the
       // scheduler survive the coordinator itself dying after publish),
       // then either finish or wait for the agents holding claims.
       result.leases_reclaimed +=
-          dir.reclaim_expired(options.ttl_seconds, WorkDir::now_seconds());
+          monitor.reclaim_stale(options.ttl_seconds);
       const WorkDirStatus status = dir.status();
       if (status.finished() || status.total() == 0) break;
       if (status.open == 0) std::this_thread::sleep_for(poll);
@@ -134,6 +145,7 @@ AgentResult run_agent(const WorkDir& dir, const AgentOptions& options) {
     run.corpus_id = queue->corpus;
     run.model_cache_dir = options.model_cache_dir;
     run.repository = options.repository;
+    run.stop = options.interrupted;
     if (options.warmup) {
       const auto& warmup = options.warmup;
       run.warmup = [&warmup, &slice] {
@@ -149,6 +161,13 @@ AgentResult run_agent(const WorkDir& dir, const AgentOptions& options) {
     result.apps_analyzed += suite.rows.size() - suite.resumed_rows;
     result.rows_resumed += suite.resumed_rows;
     result.framework_retries += suite.framework_retries;
+    if (suite.skipped_rows > 0) {
+      // Interrupted mid-lease: everything analyzed is journaled and the
+      // journal is sealed, but the lease is not done. Leave the claim for
+      // the TTL reclaim (or our own restart) and stop cleanly.
+      result.interrupted = true;
+      break;
+    }
     // complete() only after run_suite_parallel returned — every row of the
     // lease is journaled (flushed per row) before the done marker exists.
     if (dir.complete(*claim))

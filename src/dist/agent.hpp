@@ -61,6 +61,13 @@ struct AgentOptions {
   const FrameworkRepository* repository = nullptr;
   /// Per-lease warmup, called with the lease's slice before its fan-out.
   std::function<void(std::span<const BenchApp>)> warmup;
+  /// Graceful-shutdown probe (e.g. shutdown_requested), polled before each
+  /// claim and between the apps of the running lease. Once true, the agent
+  /// finishes its in-flight app, seals its journal, leaves the current
+  /// claim unmarked (the heartbeat stops, so survivors reclaim it after
+  /// the TTL — or a restarted agent of the same name resumes it), and
+  /// returns with AgentResult::interrupted set. Must be thread-safe.
+  std::function<bool()> interrupted;
 };
 
 struct AgentResult {
@@ -77,6 +84,9 @@ struct AgentResult {
   /// (only re-executions of a reclaimed lease have any).
   std::size_t rows_resumed = 0;
   std::uint64_t framework_retries = 0;
+  /// The loop stopped because AgentOptions::interrupted fired. The journal
+  /// is sealed; rows already analyzed are on disk.
+  bool interrupted = false;
 };
 
 /// Runs the agent loop until the work directory is finished (every lease

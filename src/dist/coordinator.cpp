@@ -42,9 +42,13 @@ SuperviseOutcome supervise(const WorkDir& dir,
   const Stopwatch watch;
   const auto poll = std::chrono::milliseconds(std::max<long long>(
       1, static_cast<long long>(options.poll_seconds * 1000.0)));
+  // Staleness is observed, not computed from stamps: the monitor reclaims
+  // a claim only after its bytes sat unchanged for the TTL on *this*
+  // process's steady clock, so wall-clock skew between the coordinator and
+  // its workers cannot spuriously reclaim a live lease.
+  LeaseMonitor monitor{dir};
   for (;;) {
-    outcome.reclaimed +=
-        dir.reclaim_expired(options.ttl_seconds, WorkDir::now_seconds());
+    outcome.reclaimed += monitor.reclaim_stale(options.ttl_seconds);
     const WorkDirStatus status = dir.status();
     if (status.finished()) {
       outcome.finished = true;

@@ -1,6 +1,7 @@
 #include "dist/workdir.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <ctime>
 #include <filesystem>
@@ -251,6 +252,62 @@ std::vector<std::string> WorkDir::worker_journals() const {
 
 std::uint64_t WorkDir::now_seconds() {
   return static_cast<std::uint64_t>(std::time(nullptr));
+}
+
+std::uint64_t WorkDir::steady_seconds() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int LeaseMonitor::reclaim_stale(std::uint64_t ttl_seconds) {
+  int reclaimed = 0;
+  const std::uint64_t now = WorkDir::steady_seconds();
+  for (const int id :
+       ids_in_state(dir_->root_ + "/" + kLeaseDir, ".claim")) {
+    const std::string claim = dir_->lease_path(id, ".claim");
+    std::error_code ec;
+    if (fs::exists(dir_->lease_path(id, ".done"), ec)) {
+      // A duplicate execution already finished this lease; the stale claim
+      // is garbage, not work.
+      std::remove(claim.c_str());
+      seen_.erase(id);
+      continue;
+    }
+    const auto bytes = read_file_bytes(claim);
+    if (!bytes.has_value()) {
+      // Vanished under us (completed or reclaimed by another observer).
+      seen_.erase(id);
+      continue;
+    }
+    bool expired = false;
+    try {
+      (void)LeaseState::parse(*bytes);
+      std::string current(bytes->begin(), bytes->end());
+      Observation& obs = seen_[id];
+      if (obs.bytes != current) {
+        // New or changed bytes: the owner is (or was recently) alive.
+        // Restart this claim's ttl window on *our* clock.
+        obs.bytes = std::move(current);
+        obs.first_seen = now;
+      }
+      expired = now - obs.first_seen >= ttl_seconds;
+    } catch (const ParseError&) {
+      // Corrupt claim: its owner and heartbeat are unknowable, so it is
+      // reclaimed immediately — never trusted, never crashed on.
+      expired = true;
+    }
+    if (!expired) continue;
+    // Same atomic retire-and-reissue as reclaim_expired: one rename, no
+    // window where a fresh claimant's file can be deleted by this reclaim.
+    if (std::rename(claim.c_str(),
+                    dir_->lease_path(id, ".open").c_str()) == 0) {
+      ++reclaimed;
+      seen_.erase(id);
+    }
+  }
+  return reclaimed;
 }
 
 }  // namespace saintdroid

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -100,12 +101,14 @@ class WorkDir {
   /// rows still count, they just dedup against the reissued run's.
   bool complete(const ClaimedLease& claim) const;
 
-  /// Reissues every claimed lease whose heartbeat is older than
-  /// `ttl_seconds` (or whose claim bytes are corrupt) via one atomic
-  /// rename(claim -> open); the next claimant bumps the generation.
-  /// Returns the number of leases reclaimed. Any process may call this —
-  /// agents do, when they find nothing open, which is what makes the
-  /// scheduler coordinator-optional after publish.
+  /// Reissues every claimed lease whose heartbeat stamp is older than
+  /// `ttl_seconds` relative to `now` (or whose claim bytes are corrupt)
+  /// via one atomic rename(claim -> open); the next claimant bumps the
+  /// generation. Returns the number of leases reclaimed. Stamp-based: only
+  /// valid when `now` and the stamps come from one clock domain (a single
+  /// process, or a test passing simulated values). The live agent and
+  /// supervisor loops use LeaseMonitor instead, which never compares
+  /// stamps across processes.
   int reclaim_expired(std::uint64_t ttl_seconds, std::uint64_t now) const;
 
   WorkDirStatus status() const;
@@ -117,14 +120,58 @@ class WorkDir {
   /// Every journal-<worker>.jsonl in the directory, sorted by path.
   std::vector<std::string> worker_journals() const;
 
-  /// Unix-epoch seconds — the shared clock of the heartbeat/TTL protocol
-  /// (workers may live on different hosts, so steady_clock cannot serve).
+  /// Unix-epoch seconds (wall clock). Human-facing stamps only — never
+  /// liveness decisions, since an NTP step would spuriously expire (or
+  /// immortalize) live claims. See steady_seconds / LeaseMonitor.
   static std::uint64_t now_seconds();
 
+  /// Monotone seconds from std::chrono::steady_clock (arbitrary epoch,
+  /// process-local). Heartbeat stamps in claim files are written from this
+  /// clock: their absolute value means nothing across hosts, but every
+  /// refresh *changes the bytes*, and liveness is judged by observing that
+  /// change on the observer's own steady clock (LeaseMonitor) — immune to
+  /// wall-clock skew and NTP steps on either side.
+  static std::uint64_t steady_seconds();
+
  private:
+  friend class LeaseMonitor;
   std::string lease_path(int lease_id, const char* state) const;
 
   std::string root_;
+};
+
+/// Stateful staleness observer — the steady-clock replacement for the
+/// stamp-comparison reclaim. A monitor watches the directory's claim files
+/// across repeated reclaim_stale() calls and reclaims a claim only after
+/// its bytes (owner, generation, heartbeat stamp) have been observed
+/// *unchanged* for `ttl_seconds` on the monitor's own steady clock. A live
+/// worker's heartbeat rewrites the stamp every ttl/3 seconds, so its bytes
+/// always change inside the window; a dead worker's file never changes
+/// again. No cross-host clock agreement is required — each side only ever
+/// reads its own monotonic clock. Corrupt claim bytes are reclaimed
+/// immediately, exactly as in WorkDir::reclaim_expired.
+///
+/// One monitor per observing loop (an agent's idle path, the coordinator's
+/// supervise loop). Not thread-safe; state is observation history only, so
+/// losing it (a restarted observer) merely restarts the ttl window.
+class LeaseMonitor {
+ public:
+  explicit LeaseMonitor(const WorkDir& dir) : dir_(&dir) {}
+
+  /// One observation pass over every .claim file: records first-seen times
+  /// for new or changed bytes, reclaims (rename claim -> open) claims
+  /// unchanged for >= ttl_seconds, and drops stale-claim garbage next to
+  /// .done markers. Returns the number of leases reclaimed.
+  int reclaim_stale(std::uint64_t ttl_seconds);
+
+ private:
+  struct Observation {
+    std::string bytes;
+    std::uint64_t first_seen = 0;
+  };
+
+  const WorkDir* dir_;
+  std::map<int, Observation> seen_;
 };
 
 }  // namespace saintdroid

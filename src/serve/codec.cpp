@@ -1,0 +1,185 @@
+#include "serve/codec.hpp"
+
+#include <sstream>
+
+#include "core/json.hpp"
+#include "support/errors.hpp"
+#include "workload/journal.hpp"
+
+namespace saintdroid {
+
+namespace {
+
+std::string quoted(std::string_view s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+std::string read_string(const JsonValue& object, std::string_view key) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr || value->type() != JsonValue::Type::kString) return {};
+  return value->as_string();
+}
+
+}  // namespace
+
+std::string serve_request_line(const ServeRequest& request) {
+  std::ostringstream out;
+  out << "{\"id\":" << quoted(request.id)
+      << ",\"apk\":" << quoted(request.apk_path);
+  if (request.deadline_seconds > 0.0)
+    out << ",\"deadline\":" << request.deadline_seconds;
+  out << "}";
+  return out.str();
+}
+
+ServeRequest parse_serve_request(std::string_view line) {
+  const JsonValue doc = JsonValue::parse(line);  // ParseError on bad JSON
+  if (doc.type() != JsonValue::Type::kObject)
+    throw ParseError("serve request is not a JSON object");
+  ServeRequest request;
+  request.id = read_string(doc, "id");
+  request.apk_path = read_string(doc, "apk");
+  if (request.id.empty())
+    throw ParseError("serve request has no \"id\"");
+  if (request.apk_path.empty())
+    throw ParseError("serve request has no \"apk\"");
+  if (const JsonValue* deadline = doc.find("deadline")) {
+    if (deadline->type() != JsonValue::Type::kNumber)
+      throw ParseError("serve request \"deadline\" is not a number");
+    request.deadline_seconds = deadline->as_number();
+    if (request.deadline_seconds < 0.0)
+      throw ParseError("serve request \"deadline\" is negative");
+  }
+  return request;
+}
+
+const char* serve_status_name(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kDone: return "done";
+    case ServeStatus::kFailed: return "failed";
+    case ServeStatus::kRejected: return "rejected";
+  }
+  return "rejected";
+}
+
+std::string serve_response_line(const ServeResponse& response) {
+  std::ostringstream out;
+  out << "{\"id\":" << quoted(response.id) << ",\"status\":\""
+      << serve_status_name(response.status) << "\"";
+  if (response.status == ServeStatus::kRejected) {
+    out << ",\"reason\":" << quoted(response.reason) << "}";
+    return out.str();
+  }
+  out << ",\"fingerprint\":" << quoted(response.fingerprint)
+      << ",\"cached\":" << (response.cached ? "true" : "false");
+  // Merge the journal row's fields into the same flat object: strip the
+  // row line's opening brace and splice the rest. parse_journal_line
+  // ignores the envelope keys, so the row round-trips from this line.
+  const std::string row =
+      journal_line(response.row.value_or(SuiteAppRow{}));
+  out << "," << std::string_view{row}.substr(1);
+  return out.str();
+}
+
+std::optional<ServeResponse> parse_serve_response(std::string_view line) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(line);
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+  if (doc.type() != JsonValue::Type::kObject) return std::nullopt;
+  ServeResponse response;
+  response.id = read_string(doc, "id");
+  const std::string status = read_string(doc, "status");
+  if (response.id.empty() || status.empty()) return std::nullopt;
+  if (status == "done")
+    response.status = ServeStatus::kDone;
+  else if (status == "failed")
+    response.status = ServeStatus::kFailed;
+  else if (status == "rejected")
+    response.status = ServeStatus::kRejected;
+  else
+    return std::nullopt;
+  if (response.status == ServeStatus::kRejected) {
+    response.reason = read_string(doc, "reason");
+    return response;
+  }
+  response.fingerprint = read_string(doc, "fingerprint");
+  if (const JsonValue* cached = doc.find("cached");
+      cached != nullptr && cached->type() == JsonValue::Type::kBool)
+    response.cached = cached->as_bool();
+  auto row = parse_journal_line(line);
+  if (!row.has_value()) return std::nullopt;
+  response.row = std::move(*row);
+  return response;
+}
+
+std::string accepted_request_line(const AcceptedRequest& accepted) {
+  std::ostringstream out;
+  out << "{\"request\":" << quoted(accepted.id)
+      << ",\"fingerprint\":" << quoted(accepted.fingerprint)
+      << ",\"app\":" << quoted(accepted.app)
+      << ",\"apk\":" << quoted(accepted.apk_path) << "}";
+  return out.str();
+}
+
+std::optional<AcceptedRequest> parse_accepted_request(std::string_view line) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(line);
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+  if (doc.type() != JsonValue::Type::kObject) return std::nullopt;
+  AcceptedRequest accepted;
+  accepted.id = read_string(doc, "request");
+  accepted.fingerprint = read_string(doc, "fingerprint");
+  accepted.app = read_string(doc, "app");
+  accepted.apk_path = read_string(doc, "apk");
+  if (accepted.id.empty() || accepted.fingerprint.empty() ||
+      accepted.apk_path.empty())
+    return std::nullopt;
+  return accepted;
+}
+
+std::string apk_fingerprint(std::span<const std::uint8_t> bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  static const char* digits = "0123456789abcdef";
+  std::string hex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = digits[hash & 0xF];
+    hash >>= 4;
+  }
+  return hex;
+}
+
+std::string result_line(const std::string& fingerprint,
+                        const SuiteAppRow& row) {
+  const std::string line = journal_line(row);
+  return "{\"fingerprint\":" + quoted(fingerprint) + "," +
+         std::string{std::string_view{line}.substr(1)};
+}
+
+std::optional<ResultRecord> parse_result_line(std::string_view line) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(line);
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+  if (doc.type() != JsonValue::Type::kObject) return std::nullopt;
+  ResultRecord record;
+  record.fingerprint = read_string(doc, "fingerprint");
+  if (record.fingerprint.empty()) return std::nullopt;
+  auto row = parse_journal_line(line);
+  if (!row.has_value()) return std::nullopt;
+  record.row = std::move(*row);
+  return record;
+}
+
+}  // namespace saintdroid

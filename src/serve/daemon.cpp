@@ -1,0 +1,291 @@
+#include "serve/daemon.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/errors.hpp"
+#include "support/shutdown.hpp"
+
+namespace saintdroid {
+
+namespace {
+
+// Writes all of `data` to `fd`, retrying short writes and EINTR. Returns
+// false on any other error (a vanished client — the response is dropped,
+// the analysis already landed in the result cache).
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+#ifdef MSG_NOSIGNAL
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK)
+      n = ::write(fd, data.data(), data.size());
+#else
+    ssize_t n = ::write(fd, data.data(), data.size());
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+// One transport endpoint whose responses arrive from worker threads. The
+// mutex serializes out-of-order responders; `fd` going to -1 (endpoint
+// closed by the loop) turns writes into drops.
+struct Connection {
+  std::mutex mutex;
+  int fd = -1;
+  bool read_done = false;  ///< peer half-closed; no more requests
+  int pending = 0;         ///< submitted lines not yet responded to
+
+  void respond_line(const std::string& line) {
+    const std::lock_guard lock{mutex};
+    if (fd >= 0) write_all(fd, line + "\n");
+    --pending;
+  }
+
+  bool closable() {
+    const std::lock_guard lock{mutex};
+    return read_done && pending == 0;
+  }
+};
+
+using ConnectionPtr = std::shared_ptr<Connection>;
+
+// Splits complete lines off `buffer`, submitting each to the service with
+// a responder bound to `conn` (or to stdout when conn->fd is 1).
+void submit_buffered_lines(VetService& service, const ConnectionPtr& conn,
+                           std::string& buffer) {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t newline = buffer.find('\n', start);
+    if (newline == std::string::npos) break;
+    const std::string_view line{buffer.data() + start, newline - start};
+    if (!line.empty()) {
+      {
+        const std::lock_guard lock{conn->mutex};
+        ++conn->pending;
+      }
+      service.submit_line(line, [conn](const ServeResponse& response) {
+        conn->respond_line(serve_response_line(response));
+      });
+    }
+    start = newline + 1;
+  }
+  buffer.erase(0, start);
+}
+
+int make_listen_socket(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path))
+    throw ConfigError("socket path too long: " + path);
+  ::unlink(path.c_str());  // a stale socket from a dead daemon
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw ConfigError("cannot create socket: " + path);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    ::close(fd);
+    throw ConfigError("cannot listen on socket: " + path);
+  }
+  return fd;
+}
+
+}  // namespace
+
+int run_serve_daemon(VetService& service, const DaemonOptions& options) {
+  ::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the daemon
+
+  const std::string socket_path = service.paths().socket_path();
+  int listen_fd = -1;
+  if (options.socket) listen_fd = make_listen_socket(socket_path);
+
+  ConnectionPtr stdio_conn;
+  std::string stdin_buffer;
+  bool stdin_open = options.stdio;
+  if (options.stdio) {
+    stdio_conn = std::make_shared<Connection>();
+    stdio_conn->fd = STDOUT_FILENO;
+  }
+
+  struct Client {
+    ConnectionPtr conn;
+    std::string buffer;
+  };
+  std::vector<Client> clients;
+
+  int exit_code = 0;
+  for (;;) {
+    if (options.interrupted && options.interrupted()) {
+      exit_code = kShutdownExitCode;
+      break;
+    }
+    // One-shot piping mode: stdin EOF (and no connected client left with
+    // data in flight) means the request stream is over — drain and exit.
+    if (options.stdio && !stdin_open && clients.empty()) {
+      service.drain();
+      exit_code = 0;
+      break;
+    }
+
+    std::vector<pollfd> fds;
+    if (stdin_open) fds.push_back({STDIN_FILENO, POLLIN, 0});
+    const std::size_t listen_slot = fds.size();
+    if (listen_fd >= 0) fds.push_back({listen_fd, POLLIN, 0});
+    const std::size_t client_base = fds.size();
+    for (const Client& client : clients)
+      fds.push_back({client.conn->fd, POLLIN, 0});
+
+    const int ready = ::poll(fds.data(), fds.size(), 200);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+
+    std::size_t slot = 0;
+    if (stdin_open) {
+      if (fds[slot].revents & (POLLIN | POLLHUP | POLLERR)) {
+        char chunk[4096];
+        const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof(chunk));
+        if (n > 0) {
+          stdin_buffer.append(chunk, static_cast<std::size_t>(n));
+          submit_buffered_lines(service, stdio_conn, stdin_buffer);
+        } else if (n == 0 || (n < 0 && errno != EINTR)) {
+          stdin_open = false;
+        }
+      }
+      ++slot;
+    }
+    if (listen_fd >= 0) {
+      if (fds[listen_slot].revents & POLLIN) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0) {
+          auto conn = std::make_shared<Connection>();
+          conn->fd = fd;
+          clients.push_back({std::move(conn), {}});
+        }
+      }
+    }
+    for (std::size_t i = 0; i < clients.size() && client_base + i < fds.size();
+         ++i) {
+      Client& client = clients[i];
+      if (!(fds[client_base + i].revents & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      char chunk[4096];
+      const ssize_t n = ::read(client.conn->fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        client.buffer.append(chunk, static_cast<std::size_t>(n));
+        submit_buffered_lines(service, client.conn, client.buffer);
+      } else if (n == 0 || (n < 0 && errno != EINTR)) {
+        const std::lock_guard lock{client.conn->mutex};
+        client.conn->read_done = true;
+      }
+    }
+    // Retire connections whose peer half-closed and whose last response
+    // has been written (the loop owns all closes — responders only write).
+    for (std::size_t i = 0; i < clients.size();) {
+      if (clients[i].conn->closable()) {
+        {
+          const std::lock_guard lock{clients[i].conn->mutex};
+          ::close(clients[i].conn->fd);
+          clients[i].conn->fd = -1;
+        }
+        clients.erase(clients.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Graceful exit either way: stop accepting, answer everything admitted,
+  // join the workers — then retire the transports.
+  service.shutdown();
+  for (Client& client : clients) {
+    const std::lock_guard lock{client.conn->mutex};
+    if (client.conn->fd >= 0) ::close(client.conn->fd);
+    client.conn->fd = -1;
+  }
+  if (listen_fd >= 0) {
+    ::close(listen_fd);
+    ::unlink(socket_path.c_str());
+  }
+  return exit_code;
+}
+
+std::vector<std::string> submit_over_socket(
+    const std::string& socket_path,
+    const std::vector<std::string>& request_lines,
+    double connect_timeout_seconds) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path))
+    throw ConfigError("socket path too long: " + socket_path);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  // The daemon may still be warming up (mining on a cold cache) — retry
+  // the connect until the deadline instead of failing on the first try.
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::duration<double>(connect_timeout_seconds);
+  int fd = -1;
+  for (;;) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw ConfigError("cannot create client socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      break;
+    ::close(fd);
+    fd = -1;
+    if (std::chrono::steady_clock::now() >= give_up)
+      throw ConfigError("cannot connect to serve socket: " + socket_path);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::string out;
+  for (const std::string& line : request_lines) out += line + "\n";
+  const bool wrote = write_all(fd, out);
+  ::shutdown(fd, SHUT_WR);
+  std::string in;
+  if (wrote) {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        in.append(chunk, static_cast<std::size_t>(n));
+      } else if (n < 0 && errno == EINTR) {
+        continue;
+      } else {
+        break;
+      }
+    }
+  }
+  ::close(fd);
+
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < in.size()) {
+    std::size_t newline = in.find('\n', start);
+    if (newline == std::string::npos) newline = in.size();
+    if (newline > start) lines.emplace_back(in.substr(start, newline - start));
+    start = newline + 1;
+  }
+  if (lines.size() < request_lines.size())
+    throw ParseError("serve daemon answered " + std::to_string(lines.size()) +
+                     " of " + std::to_string(request_lines.size()) +
+                     " requests");
+  return lines;
+}
+
+}  // namespace saintdroid

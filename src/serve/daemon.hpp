@@ -1,0 +1,46 @@
+// The serve daemon's transports: line-delimited JSON over stdin/stdout and
+// over the state directory's Unix-domain socket, multiplexed in one poll
+// loop. The daemon owns no vetting logic — every line goes through
+// VetService::submit_line, and every responder writes one line back to the
+// transport the request arrived on (under a per-connection lock, since
+// workers answer out of order). A client that disconnects early merely
+// loses its response; the analysis still completes and lands in the result
+// cache.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace saintdroid {
+
+struct DaemonOptions {
+  /// Serve requests from stdin, responses to stdout; EOF on stdin (with no
+  /// socket clients left) drains and exits 0. The one-shot piping mode.
+  bool stdio = true;
+  /// Listen on <statedir>/serve.sock for concurrent clients.
+  bool socket = true;
+  /// Graceful-shutdown probe (typically shutdown_requested): when it turns
+  /// true the daemon stops accepting, drains in-flight work, and returns
+  /// kShutdownExitCode.
+  std::function<bool()> interrupted;
+};
+
+/// Runs the transport loop over `service` until stdin EOF (0) or the
+/// interrupt probe fires (kShutdownExitCode). The socket file is unlinked
+/// on the way out. Returns the process exit code.
+int run_serve_daemon(VetService& service, const DaemonOptions& options);
+
+/// Client half: connects to `socket_path` (retrying until
+/// `connect_timeout_seconds` — the daemon may still be warming up), writes
+/// every request line, half-closes, and returns one raw response line per
+/// request. Throws ConfigError when the daemon cannot be reached and
+/// ParseError when it answers with fewer lines than requests.
+std::vector<std::string> submit_over_socket(
+    const std::string& socket_path,
+    const std::vector<std::string>& request_lines,
+    double connect_timeout_seconds = 10.0);
+
+}  // namespace saintdroid

@@ -1,0 +1,62 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace saintdroid {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+bool AdmissionQueue::try_push(ServeJob job) {
+  {
+    const std::lock_guard lock{mutex_};
+    if (closed_) return false;
+    if (jobs_.size() >= capacity_) {
+      ++shed_;
+      return false;
+    }
+    jobs_.push_back(std::move(job));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+bool AdmissionQueue::force_push(ServeJob job) {
+  {
+    const std::lock_guard lock{mutex_};
+    if (closed_) return false;
+    jobs_.push_back(std::move(job));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::optional<ServeJob> AdmissionQueue::pop() {
+  std::unique_lock lock{mutex_};
+  ready_.wait(lock, [this] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return std::nullopt;  // closed and drained
+  ServeJob job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return job;
+}
+
+void AdmissionQueue::close() {
+  {
+    const std::lock_guard lock{mutex_};
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  const std::lock_guard lock{mutex_};
+  return jobs_.size();
+}
+
+std::uint64_t AdmissionQueue::shed_count() const {
+  const std::lock_guard lock{mutex_};
+  return shed_;
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,76 @@
+// The bounded admission queue between the serve transports and the worker
+// pool — where overload becomes an explicit, structured decision instead of
+// an unbounded backlog.
+//
+// Admission control is a hard high-water mark: try_push refuses (and
+// counts) a job once `capacity` jobs are already waiting, and the caller
+// answers `rejected: overloaded` immediately. The daemon therefore keeps
+// *accepting connections and answering* at any offered load — what it
+// sheds is analysis work, never responsiveness, and it can never deadlock
+// on its own backlog. Replayed requests bypass the mark (force_push): they
+// were accepted by a previous process and the acceptance journal is a
+// promise.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "dex/apk.hpp"
+#include "serve/codec.hpp"
+#include "support/budget.hpp"
+
+namespace saintdroid {
+
+/// One admitted vetting job, ready for a worker.
+struct ServeJob {
+  AcceptedRequest accepted;
+  /// Parsed at admission time — a malformed package is rejected before it
+  /// can occupy a worker.
+  Apk apk;
+  /// Per-request budget resolved at admission (server default + request
+  /// deadline). The service adds its cancel flag before analysis.
+  AnalysisBudget budget;
+  /// Delivers the response; empty for replayed jobs whose client is gone
+  /// (the result still lands in the cache for their resubmission).
+  std::function<void(const ServeResponse&)> respond;
+};
+
+class AdmissionQueue {
+ public:
+  /// `capacity` is the high-water mark (>= 1).
+  explicit AdmissionQueue(std::size_t capacity);
+
+  /// Admits `job` unless the queue is at capacity or closed; a refused
+  /// job is counted in shed_count(). Never blocks.
+  bool try_push(ServeJob job);
+
+  /// Admits `job` regardless of the high-water mark (replay path). Still
+  /// refuses after close().
+  bool force_push(ServeJob job);
+
+  /// Blocks until a job is available or the queue is closed *and* empty
+  /// (nullopt — the worker's exit signal). Closing never discards jobs:
+  /// workers drain the backlog first.
+  std::optional<ServeJob> pop();
+
+  /// Stops all future pushes and wakes blocked poppers once the backlog
+  /// drains. Idempotent.
+  void close();
+
+  std::size_t depth() const;
+  std::uint64_t shed_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<ServeJob> jobs_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace saintdroid

@@ -1,0 +1,98 @@
+#include "serve/state.hpp"
+
+#include <utility>
+
+#include "support/errors.hpp"
+#include "support/sdmc.hpp"
+
+namespace saintdroid {
+
+namespace {
+
+// Seals a partial trailing line (the write in flight when a previous
+// process died) with a newline, so the next append starts a fresh line —
+// the same robustness rule as JournalWriter.
+void seal_torn_tail(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return;  // nothing to seal
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size <= 0) return;
+  in.seekg(-1, std::ios::end);
+  char last = '\n';
+  in.get(last);
+  if (last == '\n') return;
+  std::ofstream out{path, std::ios::app | std::ios::binary};
+  out << '\n';
+}
+
+std::ofstream open_for_append(const std::string& path) {
+  seal_torn_tail(path);
+  std::ofstream out{path, std::ios::app | std::ios::binary};
+  if (!out) throw ConfigError("cannot open journal for append: " + path);
+  return out;
+}
+
+}  // namespace
+
+StatePaths::StatePaths(std::string root) : root_(std::move(root)) {
+  ensure_directory(root_);
+}
+
+RequestJournal::RequestJournal(const std::string& path)
+    : out_(open_for_append(path)) {}
+
+void RequestJournal::append(const AcceptedRequest& accepted) {
+  const std::string line = accepted_request_line(accepted);
+  const std::lock_guard lock{mutex_};
+  out_ << line << '\n';
+  out_.flush();
+}
+
+std::vector<AcceptedRequest> RequestJournal::load(const std::string& path) {
+  std::vector<AcceptedRequest> accepted;
+  std::ifstream in{path};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (auto parsed = parse_accepted_request(line))
+      accepted.push_back(std::move(*parsed));
+  }
+  return accepted;
+}
+
+ResultCache::ResultCache(const std::string& path) {
+  {
+    std::ifstream in{path};
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (auto parsed = parse_result_line(line))
+        rows_[parsed->fingerprint] = std::move(parsed->row);
+    }
+  }
+  out_ = open_for_append(path);
+}
+
+std::optional<SuiteAppRow> ResultCache::find(
+    const std::string& fingerprint) const {
+  const std::lock_guard lock{mutex_};
+  const auto it = rows_.find(fingerprint);
+  if (it == rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResultCache::put(const std::string& fingerprint, const SuiteAppRow& row) {
+  const std::string line = result_line(fingerprint, row);
+  const std::lock_guard lock{mutex_};
+  out_ << line << '\n';
+  out_.flush();
+  rows_[fingerprint] = row;
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard lock{mutex_};
+  return rows_.size();
+}
+
+}  // namespace saintdroid

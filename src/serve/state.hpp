@@ -1,0 +1,87 @@
+// The serve state directory — everything the daemon must not forget across
+// a kill -9.
+//
+//   <statedir>/requests.jsonl   accepted-request journal (crash anchor)
+//   <statedir>/results.jsonl    fingerprint-keyed result journal (cache)
+//   <statedir>/serve.sock       Unix-domain socket while a daemon is live
+//   <statedir>/model-cache/     .sdmc entries (shared ModelCache layout)
+//
+// The crash-safety contract is the suite journal's, applied to requests:
+// an acceptance line is flushed *before* the job is enqueued, a result
+// line is flushed *before* the response is written, and both journals seal
+// a torn trailing line on open and skip corrupt lines on load. On restart,
+// every journaled acceptance without a journaled result (by fingerprint)
+// is replayed — so an accepted request is answered-or-replayed, never
+// silently lost, and a corrupt line costs one request's replay, nothing
+// more.
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/codec.hpp"
+
+namespace saintdroid {
+
+/// Path layout of one state directory.
+struct StatePaths {
+  explicit StatePaths(std::string root);
+
+  const std::string& root() const { return root_; }
+  std::string requests_path() const { return root_ + "/requests.jsonl"; }
+  std::string results_path() const { return root_ + "/results.jsonl"; }
+  std::string socket_path() const { return root_ + "/serve.sock"; }
+  std::string model_cache_dir() const { return root_ + "/model-cache"; }
+
+ private:
+  std::string root_;
+};
+
+/// Append-only journal of accepted requests. Thread-safe; flushes per line.
+class RequestJournal {
+ public:
+  /// Opens `path` for appending, sealing a torn trailing line first.
+  /// Throws ConfigError if the file cannot be opened.
+  explicit RequestJournal(const std::string& path);
+
+  void append(const AcceptedRequest& accepted);
+
+  /// Every parseable acceptance in `path`, file order. Missing file: empty.
+  /// Corrupt lines are skipped — journal semantics.
+  static std::vector<AcceptedRequest> load(const std::string& path);
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+/// The fingerprint-keyed result cache, persisted as results.jsonl. A hit
+/// makes a byte-identical resubmission free (no analysis, no queue slot);
+/// the journal doubles as the replay ledger: an acceptance whose
+/// fingerprint is present here was already answered-or-computed.
+class ResultCache {
+ public:
+  /// Loads every parseable result from `path` (last writer wins per
+  /// fingerprint), seals a torn tail, and opens the file for appending.
+  explicit ResultCache(const std::string& path);
+
+  /// The cached row for `fingerprint`, if any. Thread-safe.
+  std::optional<SuiteAppRow> find(const std::string& fingerprint) const;
+
+  /// Journals (flushing) then caches `row` under `fingerprint`.
+  /// Thread-safe; the flush-before-respond ordering is the caller's.
+  void put(const std::string& fingerprint, const SuiteAppRow& row);
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, SuiteAppRow> rows_;
+  std::ofstream out_;
+};
+
+}  // namespace saintdroid

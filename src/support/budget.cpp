@@ -9,6 +9,11 @@ bool BudgetTracker::allow_step() {
     reason_ = "steps";
     return false;
   }
+  if (budget_.cancel != nullptr &&
+      budget_.cancel->load(std::memory_order_relaxed)) {
+    reason_ = "cancelled";
+    return false;
+  }
   if (budget_.deadline_seconds > 0.0 &&
       watch_.seconds() > budget_.deadline_seconds) {
     reason_ = "deadline";
@@ -19,6 +24,11 @@ bool BudgetTracker::allow_step() {
 
 bool BudgetTracker::allow_class(std::uint64_t loaded_so_far) {
   if (reason_) return false;
+  if (budget_.cancel != nullptr &&
+      budget_.cancel->load(std::memory_order_relaxed)) {
+    reason_ = "cancelled";
+    return false;
+  }
   if (budget_.max_loaded_classes != 0 &&
       loaded_so_far >= budget_.max_loaded_classes) {
     reason_ = "classes";

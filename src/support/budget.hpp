@@ -15,6 +15,7 @@
 // meant for operational hard caps rather than reproducible experiments.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "support/meter.hpp"
@@ -30,10 +31,17 @@ struct AnalysisBudget {
   std::uint64_t max_worklist_steps = 0;
   /// Wall-clock deadline for one app's analysis, in seconds.
   double deadline_seconds = 0.0;
+  /// External cancellation, for a server revoking an in-flight analysis:
+  /// when non-null and set, the next budget check trips with reason
+  /// "cancelled" and the analysis degrades exactly like any other
+  /// exhaustion — partial report flagged incomplete plus the flat-scan
+  /// fallback, never a wedged worker. The pointee must outlive the
+  /// analysis; nullptr (the default) means not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
 
   bool unlimited() const {
     return max_loaded_classes == 0 && max_worklist_steps == 0 &&
-           deadline_seconds <= 0.0;
+           deadline_seconds <= 0.0 && cancel == nullptr;
   }
 };
 
@@ -55,7 +63,8 @@ class BudgetTracker {
   bool allow_class(std::uint64_t loaded_so_far);
 
   bool exhausted() const { return reason_ != nullptr; }
-  /// "classes", "steps" or "deadline"; nullptr while within budget.
+  /// "classes", "steps", "deadline" or "cancelled"; nullptr while within
+  /// budget.
   const char* reason() const { return reason_; }
 
  private:

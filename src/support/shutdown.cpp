@@ -1,0 +1,44 @@
+#include "support/shutdown.hpp"
+
+#include <csignal>
+
+namespace saintdroid {
+
+namespace {
+
+std::atomic<bool> g_requested{false};
+std::atomic<int> g_signal{0};
+
+extern "C" void shutdown_handler(int sig) {
+  // Async-signal-safe: lock-free atomic stores only.
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  struct sigaction action {};
+  action.sa_handler = shutdown_handler;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: blocking accept/read loops must wake up to notice the
+  // flag instead of sleeping through the shutdown request.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool shutdown_requested() {
+  return g_requested.load(std::memory_order_relaxed);
+}
+
+int shutdown_signal() { return g_signal.load(std::memory_order_relaxed); }
+
+const std::atomic<bool>& shutdown_flag() { return g_requested; }
+
+void reset_shutdown_for_tests() {
+  g_requested.store(false, std::memory_order_relaxed);
+  g_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace saintdroid

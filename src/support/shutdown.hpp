@@ -1,0 +1,45 @@
+// Cooperative process shutdown on SIGINT/SIGTERM.
+//
+// Long-running commands (`batch`, `work`, `serve`) must not die mid-row: a
+// kill that lands between two journal appends is recoverable, but dying
+// *inside* an append leaves a torn line, and dying inside an analysis
+// wastes the in-flight app. The handler installed here only sets a flag;
+// the run loops poll it at row/lease/request boundaries, finish the work
+// in flight, seal their journals, and exit with kShutdownExitCode so
+// callers can tell "interrupted cleanly" from "failed".
+//
+// The flag is process-global on purpose — a signal is process-global — and
+// monotonic: once requested, shutdown stays requested (a second signal
+// while draining changes nothing; the default disposition was replaced, so
+// repeated signals never kill the process mid-seal).
+#pragma once
+
+#include <atomic>
+
+namespace saintdroid {
+
+/// Exit code of a run that was interrupted by SIGINT/SIGTERM and shut down
+/// cleanly (journal sealed, in-flight work finished). Distinct from the
+/// commands' 0/1/2/3 codes.
+inline constexpr int kShutdownExitCode = 4;
+
+/// Installs SIGINT/SIGTERM handlers that set the shutdown flag. Idempotent;
+/// async-signal-safe handler (a lock-free atomic store, nothing else).
+void install_shutdown_handlers();
+
+/// True once any shutdown signal arrived.
+bool shutdown_requested();
+
+/// The signal that triggered shutdown (SIGINT/SIGTERM), 0 while none has.
+int shutdown_signal();
+
+/// The flag itself, for wiring into cooperative-cancellation points
+/// (AnalysisBudget::cancel, SuiteRunOptions::stop). Stable address for the
+/// process lifetime.
+const std::atomic<bool>& shutdown_flag();
+
+/// Clears the flag — tests only (signals are process-global, tests reuse
+/// the process).
+void reset_shutdown_for_tests();
+
+}  // namespace saintdroid

@@ -26,13 +26,7 @@ FamilyScores& FamilyScores::operator+=(const FamilyScores& other) {
   return *this;
 }
 
-namespace {
-
-/// Analyzes and scores one app — the single definition of row semantics
-/// shared by the serial and parallel paths, so they cannot drift apart.
-/// Runs inside the analyze_outcome isolation boundary: a throwing analysis
-/// becomes a structured failure row, never an escaping exception.
-SuiteAppRow score_app(Analyzer& tool, const BenchApp& app) {
+SuiteAppRow analyze_app_row(Analyzer& tool, const BenchApp& app) {
   SuiteAppRow row;
   row.app = app.apk.name;
   const AppOutcome outcome = analyze_outcome(tool, app.apk);
@@ -59,11 +53,14 @@ SuiteAppRow score_app(Analyzer& tool, const BenchApp& app) {
   return row;
 }
 
+namespace {
+
 /// Folds rows (already in input order) into the suite aggregate — shared
 /// by both paths so merge semantics are defined exactly once.
 void aggregate_rows(SuiteResult& suite) {
   for (const auto& row : suite.rows) {
     if (!row.completed) ++suite.failures;
+    if (row.completed && row.incomplete) ++suite.incomplete;
     suite.aggregate += row.scores;
   }
 }
@@ -116,7 +113,7 @@ SuiteResult run_suite(Analyzer& tool, std::span<const BenchApp> apps) {
   SuiteResult suite;
   suite.tool = std::string{tool.name()};
   suite.rows.reserve(apps.size());
-  for (const auto& app : apps) suite.rows.push_back(score_app(tool, app));
+  for (const auto& app : apps) suite.rows.push_back(analyze_app_row(tool, app));
   aggregate_rows(suite);
   suite.framework_retries = framework_build_retries() - retries_before;
   return suite;
@@ -178,16 +175,43 @@ SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
   // before any analyzer exists — the fan-out then reads hot caches.
   if (options.warmup) options.warmup();
 
+  // Graceful shutdown: `stop` is polled between apps, never mid-analysis,
+  // so a stopping run finishes (and journals) every app it started and
+  // skips the rest. Skipped slots are dropped from the result afterwards —
+  // the journal holds exactly the analyzed rows, sealed, and a --resume
+  // run picks up the remainder.
+  std::vector<char> analyzed(n, 0);
+  const auto stopping = [&options] {
+    return options.stop && options.stop();
+  };
+  const auto drop_skipped = [&] {
+    if (!options.stop) return;
+    std::vector<SuiteAppRow> kept;
+    kept.reserve(suite.rows.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (resumed[i] || analyzed[i])
+        kept.push_back(std::move(suite.rows[i]));
+      else
+        ++suite.skipped_rows;
+    }
+    suite.rows = std::move(kept);
+  };
+
   const auto process = [&](Analyzer& tool, std::size_t i) {
-    suite.rows[i] = score_app(tool, apps[i]);
+    suite.rows[i] = analyze_app_row(tool, apps[i]);
     if (journal) journal->append(suite.rows[i]);
+    analyzed[i] = 1;
   };
 
   if (jobs <= 1) {
     const std::unique_ptr<Analyzer> tool = factory();
     suite.tool = std::string{tool->name()};
-    for (std::size_t i = 0; i < n; ++i)
-      if (!resumed[i]) process(*tool, i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (resumed[i]) continue;
+      if (stopping()) break;
+      process(*tool, i);
+    }
+    drop_skipped();
     aggregate_rows(suite);
     suite.framework_retries = framework_build_retries() - retries_before;
     return suite;
@@ -212,8 +236,11 @@ SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
       done.push_back(pool.submit([&, w] {
         Analyzer& tool = *tools[static_cast<std::size_t>(w)];
         for (std::size_t i = static_cast<std::size_t>(w); i < n;
-             i += static_cast<std::size_t>(jobs))
-          if (!resumed[i]) process(tool, i);
+             i += static_cast<std::size_t>(jobs)) {
+          if (resumed[i]) continue;
+          if (stopping()) break;
+          process(tool, i);
+        }
       }));
     }
     // get() (not just wait) so a worker's exception propagates to the
@@ -222,6 +249,7 @@ SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
     for (auto& f : done) f.get();
   }
 
+  drop_skipped();
   aggregate_rows(suite);
   suite.framework_retries = framework_build_retries() - retries_before;
   return suite;

@@ -62,6 +62,14 @@ struct SuiteResult {
   std::vector<SuiteAppRow> rows;
   FamilyScores aggregate;
   int failures = 0;
+  /// Rows whose analysis completed but was budget-degraded (partial
+  /// coverage, SuiteAppRow::incomplete) — surfaced separately in batch
+  /// summaries so overload shedding is visible in offline runs too.
+  int incomplete = 0;
+  /// Apps skipped because a graceful-shutdown stop was requested mid-run
+  /// (SuiteRunOptions::stop). Their slots are dropped from `rows`; a
+  /// resumed run analyzes exactly these apps.
+  std::size_t skipped_rows = 0;
   /// Framework build retries (see framework_build_retries() in
   /// adf/repository.hpp) observed process-wide during this run: image or
   /// substrate once-guard re-entries after a failed attempt. Zero on a
@@ -106,6 +114,14 @@ std::string corpus_fingerprint(std::span<const BenchApp> apps);
 /// so a rebuilt result compares equal to a live run's (wall-clock usage
 /// fields aside).
 SuiteResult suite_from_rows(std::string tool, std::vector<SuiteAppRow> rows);
+
+/// Analyzes and scores one app — the single definition of row semantics
+/// shared by the serial and parallel suite paths and by the online serve
+/// layer, so a served response row is byte-identical to the row a batch
+/// run would journal for the same app. Runs inside the analyze_outcome
+/// isolation boundary: a throwing analysis becomes a structured failure
+/// row, never an escaping exception.
+SuiteAppRow analyze_app_row(Analyzer& tool, const BenchApp& app);
 
 /// Runs `tool` over `apps`, scoring each result against its ledger. Every
 /// per-app analysis runs inside the analyze_outcome isolation boundary: an
@@ -165,6 +181,12 @@ struct SuiteRunOptions {
   /// Rows are byte-identical either way; only startup cost changes.
   std::string model_cache_dir;
   const FrameworkRepository* repository = nullptr;
+  /// Graceful-shutdown probe, polled between apps (never mid-analysis).
+  /// Once it returns true, no further app is started: the in-flight apps
+  /// finish and journal normally, the not-yet-started ones are skipped and
+  /// counted in SuiteResult::skipped_rows. Must be thread-safe (workers of
+  /// a parallel run poll it concurrently); an empty function never stops.
+  std::function<bool()> stop;
 };
 
 /// run_suite_parallel with a crash-safe journal. Rows land at their input

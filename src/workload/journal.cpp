@@ -243,6 +243,7 @@ JournalMerge merge_journals(const std::vector<std::string>& inputs) {
       }
     }
     for (auto& row : file.rows) {
+      if (row.completed && row.incomplete) ++stats.incomplete;
       const auto it = by_app.find(row.app);
       if (it == by_app.end()) {
         by_app.emplace(row.app, merge.rows.size());

@@ -122,6 +122,11 @@ struct JournalInputStats {
   std::size_t resumed = 0;
   /// Rows that diverged from an already-merged row (see MergeConflict).
   std::size_t conflicts = 0;
+  /// Budget-degraded rows in this input (SuiteAppRow::incomplete): the
+  /// analysis ran to completion but coverage was cut short by a
+  /// class/step/deadline budget or a cancellation. Their own counter so
+  /// overload degradation is visible from journals alone.
+  std::size_t incomplete = 0;
   /// Rows of the merged output attributed to this input.
   std::size_t canonical = 0;
 };

@@ -25,6 +25,9 @@
 #include "core/outcome.hpp"
 #include "dist/lease.hpp"
 #include "dist/workdir.hpp"
+#include "serve/codec.hpp"
+#include "serve/state.hpp"
+#include "support/errors.hpp"
 #include "support/rng.hpp"
 #include "support/sdmc.hpp"
 #include "workload/app_builder.hpp"
@@ -503,6 +506,163 @@ TEST(JournalFuzz, InterleavedLineSplicesNeverCrash) {
     const auto parsed = parse_journal_line(spliced);
     if (parsed.has_value()) exercise_row(*parsed);
   }
+}
+
+// --- Serve wire protocol and state-dir robustness -------------------------
+//
+// The daemon reads request lines from untrusted clients and re-reads its
+// own state directory after a crash; both surfaces get the journal
+// treatment: every truncation and bit-flip is a structured error
+// (ParseError or nullopt), never a crash, and corrupt state-dir lines are
+// skipped without poisoning the parseable ones around them.
+
+std::string rich_serve_response_line() {
+  ServeResponse response;
+  response.id = "r-fuzz";
+  response.status = ServeStatus::kDone;
+  response.fingerprint = "00f1ce00deadbeef";
+  response.cached = true;
+  response.row = rich_row();
+  return serve_response_line(response);
+}
+
+TEST(ServeFuzz, RequestTruncationSweepThrowsStructuredErrors) {
+  ServeRequest request;
+  request.id = "r\"1\\x";  // JSON-hostile id must round-trip
+  request.apk_path = "/tmp/weird \"path\"/app.apk";
+  request.deadline_seconds = 2.5;
+  const std::string line = serve_request_line(request);
+  const ServeRequest full = parse_serve_request(line);
+  EXPECT_EQ(full.id, request.id);
+  EXPECT_EQ(full.apk_path, request.apk_path);
+  for (std::size_t cut = 0; cut < line.size(); ++cut)
+    EXPECT_THROW((void)parse_serve_request(line.substr(0, cut)), ParseError);
+}
+
+TEST(ServeFuzz, RequestBitFlipsNeverCrash) {
+  const std::string base =
+      serve_request_line({"r1", "/corpus/app-0001.apk", 1.0});
+  Rng rng{0x5EF1AULL};
+  for (int trial = 0; trial < 600; ++trial) {
+    std::string line = base;
+    const int mutations = static_cast<int>(rng.uniform(1, 3));
+    for (int m = 0; m < mutations; ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(line.size()) - 1));
+      line[pos] = static_cast<char>(
+          static_cast<unsigned char>(line[pos]) ^
+          static_cast<unsigned char>(rng.uniform(1, 255)));
+    }
+    try {
+      const ServeRequest parsed = parse_serve_request(line);
+      (void)parsed.id.size();  // survivors must be usable
+      (void)parsed.apk_path.size();
+    } catch (const ParseError&) {
+      // Structured rejection — the daemon answers "bad-request".
+    }
+  }
+}
+
+TEST(ServeFuzz, ResponseAndStateLineSweepsRejectOrParse) {
+  const std::string response = rich_serve_response_line();
+  const std::string accepted = accepted_request_line(
+      {"r1", "00f1ce00deadbeef", "app-0001", "/corpus/app-0001.apk"});
+  const std::string result = result_line("00f1ce00deadbeef", rich_row());
+  for (const std::string& line : {response, accepted, result}) {
+    for (std::size_t cut = 0; cut < line.size(); ++cut) {
+      const auto prefix = line.substr(0, cut);
+      EXPECT_FALSE(parse_serve_response(prefix).has_value());
+      EXPECT_FALSE(parse_accepted_request(prefix).has_value());
+      EXPECT_FALSE(parse_result_line(prefix).has_value());
+    }
+  }
+  // The full lines parse through their own parser, and the merged-key rows
+  // survive the exercise_row treatment.
+  const auto parsed_response = parse_serve_response(response);
+  ASSERT_TRUE(parsed_response.has_value());
+  ASSERT_TRUE(parsed_response->row.has_value());
+  exercise_row(*parsed_response->row);
+  ASSERT_TRUE(parse_accepted_request(accepted).has_value());
+  const auto parsed_result = parse_result_line(result);
+  ASSERT_TRUE(parsed_result.has_value());
+  exercise_row(parsed_result->row);
+}
+
+TEST(ServeFuzz, ResponseBitFlipsNeverCrash) {
+  const std::string base = rich_serve_response_line();
+  Rng rng{0x5EF2BULL};
+  for (int trial = 0; trial < 600; ++trial) {
+    std::string line = base;
+    const int mutations = static_cast<int>(rng.uniform(1, 3));
+    for (int m = 0; m < mutations; ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(line.size()) - 1));
+      line[pos] = static_cast<char>(
+          static_cast<unsigned char>(line[pos]) ^
+          static_cast<unsigned char>(rng.uniform(1, 255)));
+    }
+    if (const auto parsed = parse_serve_response(line);
+        parsed.has_value() && parsed->row.has_value())
+      exercise_row(*parsed->row);
+    if (const auto parsed = parse_accepted_request(line)) {
+      (void)parsed->fingerprint.size();
+    }
+    if (const auto parsed = parse_result_line(line)) exercise_row(parsed->row);
+  }
+}
+
+TEST(ServeFuzz, CorruptStateDirFilesLoadWithoutCrashing) {
+  // A state directory mauled by a crash: torn tails, bit-flipped lines,
+  // binary garbage spliced between valid records. RequestJournal::load and
+  // the ResultCache constructor must skip the damage and keep the rest.
+  const std::string root = ::testing::TempDir() + "serve_fuzz_state";
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  const AcceptedRequest keep{"r-keep", "1111222233334444", "app-keep",
+                             "/corpus/app-keep.apk"};
+  const std::string good_result = result_line("1111222233334444", rich_row());
+  Rng rng{0x57A7EULL};
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string requests = accepted_request_line(keep) + "\n";
+    std::string results = good_result + "\n";
+    // Damage: a bit-flipped copy, raw garbage, and a torn tail.
+    std::string mangled = accepted_request_line(
+        {"r-bad", "5555666677778888", "app-bad", "/corpus/app-bad.apk"});
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(mangled.size()) - 1));
+    mangled[pos] = static_cast<char>(
+        static_cast<unsigned char>(mangled[pos]) ^
+        static_cast<unsigned char>(rng.uniform(1, 255)));
+    requests += mangled + "\n";
+    for (int g = 0; g < 8; ++g)
+      requests += static_cast<char>(rng.uniform(1, 255));
+    requests += "\n";
+    requests += accepted_request_line(keep).substr(
+        0, static_cast<std::size_t>(
+               rng.uniform(0, static_cast<std::int64_t>(
+                                  accepted_request_line(keep).size()))));
+    results += good_result.substr(
+        0, static_cast<std::size_t>(rng.uniform(
+               0, static_cast<std::int64_t>(good_result.size()))));
+    {
+      std::ofstream out{root + "/requests.jsonl",
+                        std::ios::binary | std::ios::trunc};
+      out << requests;
+      std::ofstream res{root + "/results.jsonl",
+                        std::ios::binary | std::ios::trunc};
+      res << results;
+    }
+    const auto loaded = RequestJournal::load(root + "/requests.jsonl");
+    ASSERT_GE(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].id, keep.id);
+    // The cache ctor seals the torn tail and keeps appending afterwards.
+    ResultCache cache{root + "/results.jsonl"};
+    ASSERT_TRUE(cache.find("1111222233334444").has_value());
+    cache.put("9999aaaabbbbcccc", rich_row());
+    ResultCache reloaded{root + "/results.jsonl"};
+    EXPECT_TRUE(reloaded.find("9999aaaabbbbcccc").has_value());
+  }
+  std::filesystem::remove_all(root);
 }
 
 TEST(JournalFuzz, RandomizedRowsRoundTripThroughTheirLine) {

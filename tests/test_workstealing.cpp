@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -290,6 +291,64 @@ TEST(WorkDirProtocol, CorruptClaimIsReclaimedNeverTrusted) {
   ASSERT_TRUE(retry.has_value());
   EXPECT_EQ(retry->lease_id, 0);
   EXPECT_EQ(retry->generation, 1);  // corrupt history counts one reclaim
+  std::filesystem::remove_all(dir.root());
+}
+
+TEST(LeaseMonitorProtocol, TtlZeroReclaimsOnFirstObservation) {
+  const WorkDir dir{temp_dir("wd_mon_zero")};
+  dir.publish(trivial_queue(1), WorkDir::steady_seconds());
+  const auto claim = dir.claim_next("w0", WorkDir::steady_seconds());
+  ASSERT_TRUE(claim.has_value());
+  LeaseMonitor monitor{dir};
+  // ttl=0: "unchanged for >= 0 seconds" holds at the very first sighting.
+  EXPECT_EQ(monitor.reclaim_stale(0), 1);
+  EXPECT_EQ(dir.status().open, 1);
+  const auto retry = dir.claim_next("w1", WorkDir::steady_seconds());
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->generation, 1);
+  std::filesystem::remove_all(dir.root());
+}
+
+TEST(LeaseMonitorProtocol, HeartbeatDefeatsReclaimDeadClaimExpires) {
+  const WorkDir dir{temp_dir("wd_mon_beat")};
+  dir.publish(trivial_queue(2), WorkDir::steady_seconds());
+  const auto live = dir.claim_next("live", WorkDir::steady_seconds());
+  const auto dead = dir.claim_next("dead", WorkDir::steady_seconds());
+  ASSERT_TRUE(live.has_value());
+  ASSERT_TRUE(dead.has_value());
+
+  LeaseMonitor monitor{dir};
+  EXPECT_EQ(monitor.reclaim_stale(1), 0);  // first sighting opens windows
+  // The live worker's heartbeat rewrites its claim bytes inside the ttl
+  // window; the dead worker's file never changes again. Stamps only need
+  // to differ, so march a fake clock — no cross-host agreement involved.
+  std::uint64_t stamp = WorkDir::steady_seconds();
+  for (int tick = 0; tick < 3; ++tick) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    ASSERT_TRUE(dir.heartbeat(*live, ++stamp));
+    monitor.reclaim_stale(1);
+  }
+  // >= 1.8s elapsed on the monitor's steady clock: only "dead" expired.
+  EXPECT_EQ(dir.status().open, 1);
+  EXPECT_EQ(dir.status().claimed, 1);
+  EXPECT_FALSE(dir.complete(*dead));
+  EXPECT_TRUE(dir.complete(*live));
+  std::filesystem::remove_all(dir.root());
+}
+
+TEST(LeaseMonitorProtocol, CorruptClaimReclaimsImmediately) {
+  const WorkDir dir{temp_dir("wd_mon_corrupt")};
+  dir.publish(trivial_queue(1), WorkDir::steady_seconds());
+  ASSERT_TRUE(dir.claim_next("w0", WorkDir::steady_seconds()).has_value());
+  {
+    std::ofstream out{dir.root() + "/leases/lease-000000.claim",
+                      std::ios::binary | std::ios::trunc};
+    out << "not a lease state container";
+  }
+  LeaseMonitor monitor{dir};
+  // No ttl window for garbage: unparseable bytes are reclaimed on sight.
+  EXPECT_EQ(monitor.reclaim_stale(1'000'000), 1);
+  EXPECT_EQ(dir.status().open, 1);
   std::filesystem::remove_all(dir.root());
 }
 

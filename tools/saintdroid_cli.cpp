@@ -14,6 +14,9 @@
 //                                [--db <database-file>]
 //                                [--model-cache <dir>] [--ttl S]
 //                                [--max-leases K] [--wait S]
+//   saintdroid serve   <statedir> [--jobs N] [--queue N] [--deadline S]
+//                                 [--stdio] [--no-socket]
+//   saintdroid submit  <statedir> <apk-file>... [--deadline S] [--wait S]
 //   saintdroid disasm  <apk-file>
 //   saintdroid mine    <output-database-file>
 //
@@ -46,6 +49,15 @@
 // merges every worker journal into <workdir>/merged.jsonl; each `work`
 // process claims leases until the directory is finished. `--jobs 0`
 // resolves to the host's hardware concurrency in both `batch` and `work`.
+//
+// `serve` runs the long-lived vetting daemon (docs/robustness.md): warm
+// framework + mined models held across requests, bounded admission queue,
+// explicit overload shedding, per-request deadlines, and a crash-safe
+// request journal in <statedir> that replays accepted-but-unanswered
+// requests after a kill -9. `submit` is the matching client: it sends one
+// request per package over <statedir>/serve.sock and prints the response
+// lines. `batch`, `work` and `serve` all exit with code 4 after a graceful
+// SIGINT/SIGTERM shutdown (journals sealed, in-flight apps finished).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -68,7 +80,11 @@
 #include "core/model_cache.hpp"
 #include "core/saintdroid.hpp"
 #include "dex/disasm.hpp"
+#include "serve/codec.hpp"
+#include "serve/daemon.hpp"
+#include "serve/service.hpp"
 #include "support/errors.hpp"
+#include "support/shutdown.hpp"
 #include "support/meter.hpp"
 #include "support/thread_pool.hpp"
 #include "workload/harness.hpp"
@@ -117,6 +133,11 @@ int usage() {
                "[--worker NAME] [--db <file>]\n"
                "                       [--model-cache <dir>] [--ttl S] "
                "[--max-leases K] [--wait S]\n"
+               "       saintdroid serve <statedir> [--jobs N] [--queue N] "
+               "[--deadline S]\n"
+               "                        [--stdio] [--no-socket]\n"
+               "       saintdroid submit <statedir> <apk>... [--deadline S] "
+               "[--wait S]\n"
                "       saintdroid disasm <apk>\n"
                "       saintdroid mine <output-db-file>\n");
   return 2;
@@ -228,6 +249,12 @@ int run_batch(const std::vector<std::string>& paths, int jobs,
     }
   };
 
+  // Graceful shutdown: SIGINT/SIGTERM stops starting new apps; in-flight
+  // apps finish and journal (the journal stays sealed and resumable), the
+  // skipped remainder is reported, and the exit code is distinct.
+  sd::install_shutdown_handlers();
+  options.stop = [] { return sd::shutdown_requested(); };
+
   const sd::Stopwatch watch;
   const sd::SuiteResult suite = sd::run_suite_parallel(
       [&] { return std::make_unique<sd::SaintDroid>(repo, db); }, apps,
@@ -238,13 +265,22 @@ int run_batch(const std::vector<std::string>& paths, int jobs,
   if (shard_count > 1)
     std::printf("shard %d/%d (corpus %s): ", shard_index, shard_count,
                 corpus_id.c_str());
-  std::printf("%zu apps, %llu mismatches, %d failures, %d jobs, %.2fs "
-              "(%.1f apps/sec, %llu framework retr%s)\n",
+  std::printf("%zu apps, %llu mismatches, %d failures, %d incomplete, "
+              "%d jobs, %.2fs (%.1f apps/sec, %llu framework retr%s)\n",
               apps.size(), static_cast<unsigned long long>(total),
-              suite.failures, jobs, elapsed,
+              suite.failures, suite.incomplete, jobs, elapsed,
               elapsed > 0 ? apps.size() / elapsed : 0.0,
               static_cast<unsigned long long>(suite.framework_retries),
               suite.framework_retries == 1 ? "y" : "ies");
+  if (sd::shutdown_requested()) {
+    std::fprintf(stderr,
+                 "batch: interrupted by signal %d — %zu app%s skipped, "
+                 "journal sealed%s\n",
+                 sd::shutdown_signal(), suite.skipped_rows,
+                 suite.skipped_rows == 1 ? "" : "s",
+                 journal_path.empty() ? "" : " (rerun with --resume)");
+    return sd::kShutdownExitCode;
+  }
   return total == 0 && suite.failures == 0 ? 0 : 1;
 }
 
@@ -270,7 +306,7 @@ int run_coordinate(const std::string& workdir,
   plan_options.lease_size = lease_size;
   const sd::WorkQueue queue = sd::plan_work_queue(apps, paths, plan_options);
   const sd::WorkDir dir{workdir};
-  dir.publish(queue, sd::WorkDir::now_seconds());
+  dir.publish(queue, sd::WorkDir::steady_seconds());
   std::printf("coordinate: published %zu apps in %zu leases (corpus %s) "
               "-> %s\n",
               queue.items.size(), queue.leases.size(), queue.corpus.c_str(),
@@ -373,6 +409,12 @@ int run_work(const std::string& workdir, int jobs, std::string worker,
     }
   };
 
+  // Graceful shutdown: stop claiming, finish (or journal-and-abandon) the
+  // current lease, and exit distinctly; the unmarked claim is reclaimed by
+  // TTL or resumed by a restarted worker against the sealed journal.
+  sd::install_shutdown_handlers();
+  options.interrupted = [] { return sd::shutdown_requested(); };
+
   const sd::WorkDir dir{workdir};
   const sd::AgentResult result = run_agent(dir, options);
   std::printf("work %s: %d lease%s completed (%d lost, %d reclaimed for "
@@ -381,7 +423,90 @@ int run_work(const std::string& workdir, int jobs, std::string worker,
               result.leases_completed == 1 ? "" : "s", result.leases_lost,
               result.leases_reclaimed, result.apps_analyzed,
               result.rows_resumed, result.jobs);
+  if (result.interrupted) {
+    std::fprintf(stderr, "work %s: interrupted by signal %d — journal "
+                 "sealed, claim left for TTL reclaim\n",
+                 options.worker.c_str(), sd::shutdown_signal());
+    return sd::kShutdownExitCode;
+  }
   return 0;
+}
+
+/// `saintdroid serve`: the long-lived vetting daemon. Pays every startup
+/// cost once (framework, substrate, mined database via the state
+/// directory's model cache) and then vets packages on demand over
+/// line-delimited JSON — on <statedir>/serve.sock and, with `--stdio`,
+/// stdin/stdout (EOF drains and exits 0, the one-shot piping mode).
+/// Returns kShutdownExitCode after a graceful SIGINT/SIGTERM. All
+/// human-facing chatter goes to stderr; stdout is a response channel.
+int run_serve(const std::string& statedir, int jobs, std::size_t queue,
+              double deadline, bool stdio, bool no_socket) {
+  sd::install_shutdown_handlers();
+  sd::ServeOptions options;
+  options.jobs = jobs;
+  options.queue_capacity = queue;
+  options.budget.deadline_seconds = deadline;
+  const sd::Stopwatch watch;
+  sd::VetService service{statedir, options};
+  const sd::ServeStats warm = service.stats();
+  std::fprintf(stderr,
+               "serve: ready in %.2fs (%d jobs, queue %zu, model %s, "
+               "%llu replayed) on %s%s\n",
+               watch.seconds(), service.jobs(), service.queue_capacity(),
+               warm.database_from_cache ? "cached" : "mined",
+               static_cast<unsigned long long>(warm.replayed),
+               no_socket ? "" : service.paths().socket_path().c_str(),
+               stdio ? (no_socket ? "stdio" : " + stdio") : "");
+
+  sd::DaemonOptions daemon;
+  daemon.stdio = stdio;
+  daemon.socket = !no_socket;
+  daemon.interrupted = [] { return sd::shutdown_requested(); };
+  const int code = sd::run_serve_daemon(service, daemon);
+
+  const sd::ServeStats stats = service.stats();
+  std::fprintf(stderr,
+               "serve: exiting (%s) — %llu received, %llu accepted, "
+               "%llu completed, %llu cache hits, %llu shed, %llu rejected, "
+               "%llu malformed\n",
+               code == sd::kShutdownExitCode ? "signal" : "eof",
+               static_cast<unsigned long long>(stats.received),
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.rejected),
+               static_cast<unsigned long long>(stats.malformed));
+  return code;
+}
+
+/// `saintdroid submit`: client half of `serve`. One request per package
+/// over <statedir>/serve.sock; prints the raw response lines. Returns 0
+/// when every response is `done`, 1 when any is `failed`/`rejected` (or
+/// unparseable), 2 when the daemon cannot be reached.
+int run_submit(const std::string& statedir,
+               const std::vector<std::string>& paths, double deadline,
+               double wait_seconds) {
+  std::vector<std::string> lines;
+  lines.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    sd::ServeRequest request;
+    request.id = "r" + std::to_string(i + 1);
+    request.apk_path = paths[i];
+    request.deadline_seconds = deadline;
+    lines.push_back(sd::serve_request_line(request));
+  }
+  const std::vector<std::string> responses = sd::submit_over_socket(
+      statedir + "/serve.sock", lines, wait_seconds);
+  bool all_done = true;
+  for (const std::string& line : responses) {
+    std::printf("%s\n", line.c_str());
+    const auto response = sd::parse_serve_response(line);
+    if (!response.has_value() ||
+        response->status != sd::ServeStatus::kDone)
+      all_done = false;
+  }
+  return all_done ? 0 : 1;
 }
 
 /// `saintdroid merge-journals`: merges per-shard journals into one
@@ -396,8 +521,9 @@ int run_merge_journals(const std::string& out_path,
   const sd::JournalMerge merge = sd::merge_journals(inputs);
   sd::write_journal(out_path, merge.header, merge.rows);
   if (stats) {
-    std::printf("%-40s %-6s %6s %6s %8s %9s %9s\n", "input", "shard",
-                "rows", "dups", "resumed", "conflicts", "canonical");
+    std::printf("%-40s %-6s %6s %6s %8s %9s %9s %9s\n", "input", "shard",
+                "rows", "dups", "resumed", "conflicts", "incompl",
+                "canonical");
     std::size_t min_canonical = merge.rows.size();
     std::size_t max_canonical = 0;
     for (const auto& input : merge.inputs) {
@@ -407,10 +533,10 @@ int run_merge_journals(const std::string& out_path,
                     ? "merged"
                     : std::to_string(input.header->shard_index) + "/" +
                           std::to_string(input.header->shard_count);
-      std::printf("%-40s %-6s %6zu %6zu %8zu %9zu %9zu\n",
+      std::printf("%-40s %-6s %6zu %6zu %8zu %9zu %9zu %9zu\n",
                   input.path.c_str(), shard.c_str(), input.rows,
                   input.duplicates, input.resumed, input.conflicts,
-                  input.canonical);
+                  input.incomplete, input.canonical);
       min_canonical = std::min(min_canonical, input.canonical);
       max_canonical = std::max(max_canonical, input.canonical);
     }
@@ -536,6 +662,67 @@ int main(int argc, char** argv) {
     try {
       return run_coordinate(workdir, paths, lease_size, ttl, timeout,
                             init_only);
+    } catch (const sd::Error& e) {
+      std::fprintf(stderr, "saintdroid: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (command == "serve") {
+    std::string statedir;
+    int jobs = 0;  // 0 -> hardware concurrency
+    std::size_t queue = 0;  // 0 -> 4 * jobs
+    double deadline = 0.0;
+    bool stdio = false;
+    bool no_socket = false;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+        jobs = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--queue") == 0 && i + 1 < argc)
+        queue = static_cast<std::size_t>(std::atoll(argv[++i]));
+      else if (std::strcmp(argv[i], "--deadline") == 0 && i + 1 < argc)
+        deadline = std::atof(argv[++i]);
+      else if (std::strcmp(argv[i], "--stdio") == 0)
+        stdio = true;
+      else if (std::strcmp(argv[i], "--no-socket") == 0)
+        no_socket = true;
+      else if (argv[i][0] == '-')
+        return usage();
+      else if (statedir.empty())
+        statedir = argv[i];
+      else
+        return usage();
+    }
+    if (statedir.empty()) return usage();
+    if (no_socket && !stdio) return usage();  // need at least one transport
+    try {
+      return run_serve(statedir, jobs, queue, deadline, stdio, no_socket);
+    } catch (const sd::Error& e) {
+      std::fprintf(stderr, "saintdroid: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (command == "submit") {
+    std::string statedir;
+    std::vector<std::string> paths;
+    double deadline = 0.0;
+    double wait = 10.0;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--deadline") == 0 && i + 1 < argc)
+        deadline = std::atof(argv[++i]);
+      else if (std::strcmp(argv[i], "--wait") == 0 && i + 1 < argc)
+        wait = std::atof(argv[++i]);
+      else if (argv[i][0] == '-')
+        return usage();
+      else if (statedir.empty())
+        statedir = argv[i];
+      else
+        paths.emplace_back(argv[i]);
+    }
+    if (statedir.empty() || paths.empty()) return usage();
+    try {
+      return run_submit(statedir, paths, deadline, wait);
     } catch (const sd::Error& e) {
       std::fprintf(stderr, "saintdroid: %s\n", e.what());
       return 2;
