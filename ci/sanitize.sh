@@ -16,12 +16,12 @@ leg="${1:-all}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 run_tsan() {
-  echo "=== ThreadSanitizer: test_parallel + test_faults + test_shard + test_workstealing + test_substrate + test_model_cache + test_serve ==="
+  echo "=== ThreadSanitizer: test_parallel + test_faults + test_shard + test_workstealing + test_substrate + test_model_cache + test_detectors + test_serve ==="
   cmake -B build-tsan -S . -DSD_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build build-tsan -j "$jobs" \
         --target test_parallel test_faults test_shard test_workstealing \
-        test_substrate test_model_cache test_serve
+        test_substrate test_model_cache test_detectors test_serve
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_faults
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_shard
@@ -30,6 +30,9 @@ run_tsan() {
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_workstealing
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_substrate
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_model_cache
+  # SEM/SDC detectors' parallel differential: detectors-on vs detectors-off
+  # suites at jobs {1,2,8} share analyzers across the worker fan-out.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_detectors
   # The vetting daemon: admission queue, worker pool, result cache and the
   # response fan-out racing client threads — plus the soak at 2x capacity.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_serve

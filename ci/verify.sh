@@ -17,6 +17,9 @@ cmake -B build -S . > /dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+echo "=== doc-drift lint: docs/*.md flags vs saintdroid --help ==="
+tools/check_doc_drift.sh ./build/tools/saintdroid docs
+
 echo "=== serve smoke: daemon up, one vetted request, clean SIGTERM ==="
 smoke="$(mktemp -d)"
 trap 'rm -rf "$smoke"' EXIT

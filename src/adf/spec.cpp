@@ -63,6 +63,17 @@ std::string framework_fingerprint(const FrameworkSpec& spec) {
       }
     }
   }
+  mix_int(static_cast<std::int64_t>(spec.semantic_changes.size()));
+  for (const auto& change : spec.semantic_changes) {
+    mix_str(change.cls);
+    mix_str(change.name);
+    mix_str(change.return_type);
+    for (const auto& p : change.params) mix_str(p);
+    mix_int(change.from_level);
+    mix_int(change.to_level);
+    mix_str(change.kind);
+    mix_str(change.note);
+  }
   static const char* digits = "0123456789abcdef";
   std::string hex(16, '0');
   for (int i = 15; i >= 0; --i) {
@@ -916,6 +927,68 @@ FrameworkSpec curated_framework_spec() {
       activity->methods.push_back(
           callback("onConfigurationChanged", {"java/lang/Object"}, 2));
     }
+  }
+
+  // --- semantic-change surface ---------------------------------------------
+  // Methods whose *behavior* (not signature) changed across levels; they
+  // exist at every modelled level, so the signature detectors stay silent
+  // and only the SEM detector (docs/DETECTORS.md) speaks. The rows below
+  // mirror real Android facts from the semantic-incompatibility studies in
+  // PAPERS.md. These classes carry ONLY semantic-changed methods so the
+  // workload catalogs can exclude them wholesale and keep the safe/breadth
+  // API pools identical to what they were before the table existed.
+  {
+    ClassSpec async_task = cls("android/os/AsyncTask", "java/lang/Object", 2);
+    async_task.methods = {
+        method("<init>", "V", {}, 2),
+        method("execute", "android/os/AsyncTask", {"java/lang/Object"}, 2),
+    };
+    fw.classes.push_back(std::move(async_task));
+
+    ClassSpec wallpaper =
+        cls("android/app/WallpaperManager", "java/lang/Object", 2);
+    wallpaper.methods = {
+        method("getDrawable", "android/graphics/drawable/Drawable", {}, 2),
+    };
+    fw.classes.push_back(std::move(wallpaper));
+
+    ClassSpec sqlite =
+        cls("android/database/sqlite/SQLiteDatabase", "java/lang/Object", 2);
+    sqlite.methods = {
+        method("query", "android/database/Cursor", {"java/lang/String"}, 2),
+    };
+    fw.classes.push_back(std::move(sqlite));
+
+    ClassSpec environment =
+        cls("android/os/Environment", "java/lang/Object", 2);
+    environment.methods = {
+        static_method(
+            method("getExternalStorageDirectory", "java/io/File", {}, 2)),
+    };
+    fw.classes.push_back(std::move(environment));
+
+    fw.semantic_changes.push_back(
+        {"android/os/AsyncTask", "execute", "android/os/AsyncTask",
+         {"java/lang/Object"}, 13, kMaxApiLevel, "threading-change",
+         "execute() runs tasks serially on a single background thread since "
+         "API 13; parallel-execution assumptions deadlock"});
+    fw.semantic_changes.push_back(
+        {"android/app/WallpaperManager", "getDrawable",
+         "android/graphics/drawable/Drawable", {}, 27, kMaxApiLevel,
+         "exception-change",
+         "getDrawable() throws SecurityException without "
+         "READ_EXTERNAL_STORAGE since API 27"});
+    fw.semantic_changes.push_back(
+        {"android/database/sqlite/SQLiteDatabase", "query",
+         "android/database/Cursor", {"java/lang/String"}, 28, kMaxApiLevel,
+         "default-change",
+         "write-ahead logging becomes the default journal mode at API 28; "
+         "cross-connection read-your-writes assumptions break"});
+    fw.semantic_changes.push_back(
+        {"android/os/Environment", "getExternalStorageDirectory",
+         "java/io/File", {}, 29, 29, "default-change",
+         "scoped storage at API 29 makes the returned path unreadable "
+         "without legacy-storage opt-out"});
   }
 
   return fw;

@@ -74,9 +74,36 @@ struct ClassSpec {
   std::vector<MethodSpec> methods;
 };
 
+/// One curated semantic-change row: a method whose *behavior* (not
+/// signature) differs across the level range, per the AndroidCompass-style
+/// semantic-change studies (PAPERS.md). The method itself exists at every
+/// modelled level — signature detectors stay silent — but calling it
+/// while the device level is inside `levels` without a guard is a SEM
+/// mismatch.
+struct SemanticChangeSpec {
+  std::string cls;   ///< slashed internal name of the declaring class
+  std::string name;
+  std::string return_type = "V";
+  std::vector<std::string> params;
+  /// Closed level range over which the changed behavior is in effect.
+  int from_level = kMinApiLevel;
+  int to_level = kMaxApiLevel;
+  /// Change taxonomy slug, e.g. "default-change", "exception-change",
+  /// "precision-change", "threading-change".
+  std::string kind;
+  /// One-line description of what changed (report text).
+  std::string note;
+
+  ApiInterval levels() const { return ApiInterval{from_level, to_level}; }
+};
+
 /// The whole framework.
 struct FrameworkSpec {
   std::vector<ClassSpec> classes;
+  /// Curated semantic-change table (see SemanticChangeSpec). Mined into a
+  /// SemanticTable alongside the ARM data and fingerprinted with the rest
+  /// of the spec.
+  std::vector<SemanticChangeSpec> semantic_changes;
 
   const ClassSpec* find_class(const std::string& name) const;
   const MethodSpec* find_method(const std::string& cls,

@@ -78,7 +78,8 @@ void join_fields(std::unordered_map<std::uint32_t, RegFact>& into,
 GuardResult analyze_guards(const DexFile& dex, const MethodCode& code,
                            const Cfg& cfg, ApiInterval entry,
                            const GuardOptions& options,
-                           BudgetTracker* budget) {
+                           BudgetTracker* budget,
+                           const SdkPredicateLookup* predicates) {
   const auto block_count = cfg.block_count();
   std::vector<BlockState> in_states(block_count);
   const std::size_t reg_count = code.register_count;
@@ -127,25 +128,14 @@ GuardResult analyze_guards(const DexFile& dex, const MethodCode& code,
         }
       };
 
-  while (!worklist.empty() && iterations++ < iteration_cap) {
-    if (budget && !budget->allow_step()) {
-      // Budget exhausted mid-fixpoint: degrade soundly by widening every
-      // block to the entry context — guards stop refining, call sites
-      // stay visible, and the caller flags the report incomplete.
-      GuardResult widened;
-      widened.block_intervals.assign(block_count, entry);
-      return widened;
-    }
-    const auto b = worklist.front();
-    worklist.pop_front();
-    queued[b] = false;
-
-    const BasicBlock& block = cfg.block(b);
-    ApiInterval interval = in_states[b].interval;
-    std::vector<RegFact> regs = in_states[b].regs;
-    std::unordered_map<std::uint32_t, RegFact> fields = in_states[b].fields;
-
-    // Transfer through the block body.
+  // Transfer through one block body, mutating regs/fields in place. A
+  // pending helper-predicate fact set at kInvoke is consumed by the
+  // immediately following kMoveResult (Dalvik's move-result adjacency).
+  const auto transfer_body = [&](const BasicBlock& block,
+                                 std::vector<RegFact>& regs,
+                                 std::unordered_map<std::uint32_t, RegFact>&
+                                     fields) {
+    std::optional<ApiInterval> pending_predicate;
     for (std::uint32_t i = block.first; i <= block.last; ++i) {
       const Instruction& insn = code.insns[i];
       switch (insn.op) {
@@ -182,8 +172,18 @@ GuardResult analyze_guards(const DexFile& dex, const MethodCode& code,
                                    : RegFact::unknown();
           }
           break;
-        case Opcode::kConstString:
+        case Opcode::kInvoke:
+          if (options.enabled && options.track_registers &&
+              predicates != nullptr)
+            pending_predicate = (*predicates)(insn.index);
+          break;
         case Opcode::kMoveResult:
+          if (insn.reg_a < regs.size())
+            regs[insn.reg_a] = pending_predicate
+                                   ? RegFact::predicate(*pending_predicate)
+                                   : RegFact::unknown();
+          break;
+        case Opcode::kConstString:
         case Opcode::kNewInstance:
         case Opcode::kLoadClass:
           if (insn.reg_a < regs.size())
@@ -192,58 +192,125 @@ GuardResult analyze_guards(const DexFile& dex, const MethodCode& code,
         default:
           break;
       }
+      if (insn.op != Opcode::kInvoke) pending_predicate.reset();
     }
+  };
 
-    // Edge refinement at a conditional on SDK_INT.
+  // What a block's terminal branch tells us about the level axis.
+  struct EdgeSplit {
+    ApiInterval taken;
+    ApiInterval fall;
+    bool direct = false;  // recognized "SDK_INT <cmp> literal"
+    CmpOp cmp = CmpOp::kEq;
+    std::int32_t literal = 0;
+  };
+  // The contiguous complement of a predicate's true-range, when it has one
+  // (the range touches an end of the modelled axis); nullopt otherwise.
+  const auto complement = [](ApiInterval p) -> std::optional<ApiInterval> {
+    if (p.empty()) return ApiInterval::full();
+    const bool at_lo = p.lo() <= kMinApiLevel;
+    const bool at_hi = p.hi() >= kMaxApiLevel;
+    if (at_lo && at_hi) return ApiInterval::empty_interval();
+    if (at_lo) return ApiInterval{p.hi() + 1, kMaxApiLevel};
+    if (at_hi) return ApiInterval{kMinApiLevel, p.lo() - 1};
+    return std::nullopt;
+  };
+  const auto split_edges = [&](const BasicBlock& block, ApiInterval interval,
+                               const std::vector<RegFact>& regs) {
+    EdgeSplit split{interval, interval};
     const Instruction& last = code.insns[block.last];
-    ApiInterval taken_interval = interval;
-    ApiInterval fall_interval = interval;
-    if (options.enabled && last.op == Opcode::kIfCmp) {
-      const auto fact_of = [&](std::uint16_t reg) {
-        return reg < regs.size() ? regs[reg] : RegFact::unknown();
-      };
-      const RegFact lhs = fact_of(last.reg_a);
-      // Normalize to the form "SDK_INT <cmp> literal".
-      bool recognized = false;
-      CmpOp cmp = last.cmp;
-      std::int32_t literal = 0;
-      if (lhs.kind == RegFact::Kind::kSdkInt) {
-        if (last.cmp_with_literal) {
-          literal = last.literal;
-          recognized = true;
-        } else if (options.track_registers) {
-          const RegFact rhs = fact_of(last.reg_b);
-          if (rhs.kind == RegFact::Kind::kConst) {
-            literal = rhs.value;
-            recognized = true;
-          }
-        }
-      } else if (!last.cmp_with_literal && options.track_registers &&
-                 lhs.kind == RegFact::Kind::kConst) {
+    if (!options.enabled || last.op != Opcode::kIfCmp) return split;
+    const auto fact_of = [&](std::uint16_t reg) {
+      return reg < regs.size() ? regs[reg] : RegFact::unknown();
+    };
+    const RegFact lhs = fact_of(last.reg_a);
+    // Normalize to the form "SDK_INT <cmp> literal".
+    CmpOp cmp = last.cmp;
+    std::int32_t literal = 0;
+    bool recognized = false;
+    if (lhs.kind == RegFact::Kind::kSdkInt) {
+      if (last.cmp_with_literal) {
+        literal = last.literal;
+        recognized = true;
+      } else if (options.track_registers) {
         const RegFact rhs = fact_of(last.reg_b);
-        if (rhs.kind == RegFact::Kind::kSdkInt) {
-          // k <cmp> SDK_INT  ==  SDK_INT <mirrored cmp> k
-          literal = lhs.value;
-          switch (last.cmp) {
-            case CmpOp::kLt: cmp = CmpOp::kGt; break;
-            case CmpOp::kLe: cmp = CmpOp::kGe; break;
-            case CmpOp::kGt: cmp = CmpOp::kLt; break;
-            case CmpOp::kGe: cmp = CmpOp::kLe; break;
-            default: break;  // eq/ne are symmetric
-          }
+        if (rhs.kind == RegFact::Kind::kConst) {
+          literal = rhs.value;
           recognized = true;
         }
       }
-      if (recognized) {
-        taken_interval = refine_interval(interval, cmp, literal);
-        fall_interval = refine_interval(interval, negate_cmp(cmp), literal);
+    } else if (!last.cmp_with_literal && options.track_registers &&
+               lhs.kind == RegFact::Kind::kConst) {
+      const RegFact rhs = fact_of(last.reg_b);
+      if (rhs.kind == RegFact::Kind::kSdkInt) {
+        // k <cmp> SDK_INT  ==  SDK_INT <mirrored cmp> k
+        literal = lhs.value;
+        switch (last.cmp) {
+          case CmpOp::kLt: cmp = CmpOp::kGt; break;
+          case CmpOp::kLe: cmp = CmpOp::kGe; break;
+          case CmpOp::kGt: cmp = CmpOp::kLt; break;
+          case CmpOp::kGe: cmp = CmpOp::kLe; break;
+          default: break;  // eq/ne are symmetric
+        }
+        recognized = true;
       }
     }
+    if (recognized) {
+      split.taken = refine_interval(interval, cmp, literal);
+      split.fall = refine_interval(interval, negate_cmp(cmp), literal);
+      split.direct = true;
+      split.cmp = cmp;
+      split.literal = literal;
+      return split;
+    }
+    // Helper-predicate branch: the boolean result of an SDK-check helper
+    // compared against zero ("if (isAtLeastN()) ..." compiles to a
+    // zero-test of the returned flag).
+    if (lhs.kind == RegFact::Kind::kPredicate &&
+        (last.cmp == CmpOp::kEq || last.cmp == CmpOp::kNe)) {
+      const bool vs_zero =
+          last.cmp_with_literal
+              ? last.literal == 0
+              : fact_of(last.reg_b) == RegFact::constant(0);
+      if (vs_zero) {
+        const ApiInterval true_levels = lhs.predicate_levels();
+        const auto false_levels = complement(true_levels);
+        // kNe takes the branch when the helper returned true.
+        const bool taken_is_true = last.cmp == CmpOp::kNe;
+        ApiInterval& true_edge = taken_is_true ? split.taken : split.fall;
+        ApiInterval& false_edge = taken_is_true ? split.fall : split.taken;
+        true_edge = interval.intersect(true_levels);
+        if (false_levels) false_edge = interval.intersect(*false_levels);
+      }
+    }
+    return split;
+  };
+
+  while (!worklist.empty() && iterations++ < iteration_cap) {
+    if (budget && !budget->allow_step()) {
+      // Budget exhausted mid-fixpoint: degrade soundly by widening every
+      // block to the entry context — guards stop refining, call sites
+      // stay visible, and the caller flags the report incomplete.
+      GuardResult widened;
+      widened.block_intervals.assign(block_count, entry);
+      return widened;
+    }
+    const auto b = worklist.front();
+    worklist.pop_front();
+    queued[b] = false;
+
+    const BasicBlock& block = cfg.block(b);
+    ApiInterval interval = in_states[b].interval;
+    std::vector<RegFact> regs = in_states[b].regs;
+    std::unordered_map<std::uint32_t, RegFact> fields = in_states[b].fields;
+
+    transfer_body(block, regs, fields);
+    const EdgeSplit split = split_edges(block, interval, regs);
 
     if (block.taken != kNoBlock)
-      propagate(block.taken, taken_interval, regs, fields);
+      propagate(block.taken, split.taken, regs, fields);
     if (block.fallthrough != kNoBlock)
-      propagate(block.fallthrough, fall_interval, regs, fields);
+      propagate(block.fallthrough, split.fall, regs, fields);
   }
 
   GuardResult result;
@@ -251,6 +318,25 @@ GuardResult analyze_guards(const DexFile& dex, const MethodCode& code,
   for (const auto& state : in_states)
     result.block_intervals.push_back(
         state.reached ? state.interval : ApiInterval::empty_interval());
+
+  // Post-fixpoint replay over reached blocks: re-run each body transfer on
+  // the final in-state and record every recognized direct SDK_INT
+  // comparison, in block (= instruction) order. Replaying after the
+  // fixpoint — rather than collecting during it — sees each branch exactly
+  // once, with its final register facts.
+  if (options.enabled) {
+    for (std::uint32_t b = 0; b < block_count; ++b) {
+      if (!in_states[b].reached) continue;
+      const BasicBlock& block = cfg.block(b);
+      if (code.insns[block.last].op != Opcode::kIfCmp) continue;
+      std::vector<RegFact> regs = in_states[b].regs;
+      std::unordered_map<std::uint32_t, RegFact> fields = in_states[b].fields;
+      transfer_body(block, regs, fields);
+      const EdgeSplit split = split_edges(block, in_states[b].interval, regs);
+      if (split.direct)
+        result.checks.push_back({block.last, split.cmp, split.literal});
+    }
+  }
   return result;
 }
 

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "analysis/cfg.hpp"
@@ -21,16 +23,37 @@ namespace saintdroid {
 
 /// What the analysis knows about one register's value.
 struct RegFact {
-  enum class Kind : std::uint8_t { kUnknown = 0, kSdkInt, kConst };
+  enum class Kind : std::uint8_t { kUnknown = 0, kSdkInt, kConst, kPredicate };
   Kind kind = Kind::kUnknown;
   std::int32_t value = 0;  // kConst only
+  // kPredicate: the register holds the boolean result of a helper-method
+  // SDK check ("isAtLeastLollipop()"); [pred_lo, pred_hi] is the closed
+  // level range over which that helper returns true.
+  std::int32_t pred_lo = 0;
+  std::int32_t pred_hi = 0;
 
   friend bool operator==(const RegFact&, const RegFact&) = default;
 
   static RegFact unknown() { return {}; }
   static RegFact sdk_int() { return {Kind::kSdkInt, 0}; }
   static RegFact constant(std::int32_t v) { return {Kind::kConst, v}; }
+  static RegFact predicate(ApiInterval true_levels) {
+    RegFact f;
+    f.kind = Kind::kPredicate;
+    f.pred_lo = true_levels.lo();
+    f.pred_hi = true_levels.hi();
+    return f;
+  }
+  ApiInterval predicate_levels() const { return {pred_lo, pred_hi}; }
 };
+
+/// Resolves an invoked method (by its method-ref pool index) to the level
+/// interval over which it returns true, when the callee is a recognizable
+/// SDK-check helper — the AndroidCompass helper-method guard idiom. Return
+/// nullopt for anything else. Provided by the caller (AUM summarizes app
+/// helper bodies); the dataflow itself stays intraprocedural.
+using SdkPredicateLookup =
+    std::function<std::optional<ApiInterval>(std::uint32_t method_ref_idx)>;
 
 /// Options controlling guard recognition; the baselines dial features off
 /// to reproduce their documented blind spots.
@@ -47,10 +70,26 @@ struct GuardOptions {
   bool enabled = true;
 };
 
+/// One recognized direct `SDK_INT <cmp> literal` comparison, normalized so
+/// SDK_INT is the left operand. Raw material for the vacuous-guard SDC
+/// lint (docs/DETECTORS.md §SDC).
+struct SdkGuardCheck {
+  std::uint32_t insn_index = 0;  ///< the kIfCmp instruction
+  CmpOp cmp = CmpOp::kEq;
+  std::int32_t literal = 0;
+};
+
 /// Result of analyzing one method body.
 struct GuardResult {
   /// Per-block interval of levels under which the block may execute.
   std::vector<ApiInterval> block_intervals;
+
+  /// Every recognized direct SDK_INT comparison in the body, in
+  /// instruction order (one entry per reached kIfCmp; empty when guard
+  /// recognition is disabled or the analysis widened on budget
+  /// exhaustion). Helper-predicate branches are not listed: the check
+  /// lives in the helper, not at its call sites.
+  std::vector<SdkGuardCheck> checks;
 
   /// Convenience: the interval for the block containing `insn_index`.
   ApiInterval at(const Cfg& cfg, std::uint32_t insn_index) const {
@@ -62,10 +101,13 @@ struct GuardResult {
 /// `budget`, when provided, is charged one step per fixpoint iteration;
 /// on exhaustion the analysis degrades soundly — every block's interval
 /// widens to `entry`, i.e. guards stop refining but nothing is hidden.
+/// `predicates`, when provided, lets branches on helper-method SDK checks
+/// refine the interval (see SdkPredicateLookup).
 GuardResult analyze_guards(const DexFile& dex, const MethodCode& code,
                            const Cfg& cfg, ApiInterval entry,
                            const GuardOptions& options = {},
-                           BudgetTracker* budget = nullptr);
+                           BudgetTracker* budget = nullptr,
+                           const SdkPredicateLookup* predicates = nullptr);
 
 /// Refines `in` with the constraint `SDK_INT <cmp> literal` (taken branch).
 ApiInterval refine_interval(ApiInterval in, CmpOp cmp, std::int32_t literal);

@@ -111,6 +111,8 @@ AnalysisResult CidAnalyzer::analyze(const Apk& apk) {
   amd_options.detect_callbacks = false;
   amd_options.detect_permissions = false;
   amd_options.detect_forward = false;  // backward incompatibility only
+  amd_options.detect_semantics = false;    // taxonomy predates SEM/SDC
+  amd_options.detect_declarations = false;
   const Amd amd{*db_, amd_options};
   result.mismatches = amd.detect(apk.manifest, model);
 

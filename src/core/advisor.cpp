@@ -98,6 +98,16 @@ void suggest_for_permission(const Manifest& manifest, const Mismatch& m,
           " with checkSelfPermission and a runtime request"));
 }
 
+void suggest_for_semantic(const Mismatch& m,
+                          std::vector<RepairSuggestion>& out) {
+  out.push_back(make(
+      RepairKind::kAddSdkGuard, m,
+      m.subject.to_string() + " behaves differently on API levels " +
+          m.problem_levels.to_string() + " (" + m.note +
+          "); branch on Build.VERSION.SDK_INT and handle both behaviors",
+      m.problem_levels.lo()));
+}
+
 }  // namespace
 
 std::vector<RepairSuggestion> suggest_repairs(
@@ -114,6 +124,12 @@ std::vector<RepairSuggestion> suggest_repairs(
       case MismatchKind::kPermissionRequest:
       case MismatchKind::kPermissionRevocation:
         suggest_for_permission(manifest, m, out);
+        break;
+      case MismatchKind::kSemanticChange:
+        suggest_for_semantic(m, out);
+        break;
+      case MismatchKind::kSdkDeclaration:
+        // The lint row is its own advice: fix the declaration it names.
         break;
     }
   }

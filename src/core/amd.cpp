@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "adf/permissions.hpp"
+#include "core/semantics.hpp"
 
 namespace saintdroid {
 
@@ -24,6 +25,14 @@ std::vector<Mismatch> Amd::detect(const Manifest& manifest,
   if (options_.detect_permissions) {
     auto prm = detect_permissions(manifest, model);
     out.insert(out.end(), prm.begin(), prm.end());
+  }
+  if (options_.detect_semantics) {
+    auto sem = detect_semantics(manifest, model);
+    out.insert(out.end(), sem.begin(), sem.end());
+  }
+  if (options_.detect_declarations) {
+    auto sdc = detect_declarations(manifest, model);
+    out.insert(out.end(), sdc.begin(), sdc.end());
   }
   return out;
 }
@@ -153,6 +162,114 @@ std::vector<Mismatch> Amd::detect_permissions(const Manifest& manifest,
       m.note = "targets API " + std::to_string(manifest.target_sdk) +
                "; the user can revoke the permission on >=23 devices";
     }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<Mismatch> Amd::detect_semantics(const Manifest& manifest,
+                                            const UsageModel& model) const {
+  std::vector<Mismatch> out;
+  const SemanticTable* table = db_->semantics();
+  if (table == nullptr || table->size() == 0) return out;
+  const ApiInterval app_range =
+      manifest.supported_range().intersect(ApiInterval::full());
+
+  // Same exposure logic as Algorithm 2, with the semantic-change window in
+  // place of the lifecycle: a site is a SEM mismatch when, on some level it
+  // may execute under, the called API behaves differently than the app's
+  // baseline expectation.
+  for (const auto& site : model.api_calls) {
+    const auto rows = table->changes_for(site.resolved_target);
+    if (rows.empty()) continue;
+    const ApiInterval exposed = app_range.intersect(site.guard);
+    if (exposed.empty()) continue;  // guard fully protects the site
+    for (const auto& row : rows) {
+      const ApiInterval overlap = exposed.intersect(row.levels);
+      if (overlap.empty()) continue;
+      Mismatch m;
+      m.kind = MismatchKind::kSemanticChange;
+      m.location = site.caller;
+      m.insn_index = site.insn_index;
+      m.subject = site.resolved_target;
+      m.problem_levels = overlap;
+      m.note = row.kind + ": " + row.note;
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+std::vector<Mismatch> Amd::detect_declarations(const Manifest& manifest,
+                                               const UsageModel& model) const {
+  std::vector<Mismatch> out;
+  const ApiInterval app_range =
+      manifest.supported_range().intersect(ApiInterval::full());
+
+  // Lint 1: a declared range that contradicts itself. Manifest-only, so it
+  // holds even for an incomplete usage model.
+  {
+    std::string reason;
+    if (manifest.target_sdk < manifest.min_sdk)
+      reason = "targetSdk " + std::to_string(manifest.target_sdk) +
+               " below minSdk " + std::to_string(manifest.min_sdk);
+    else if (manifest.max_sdk != 0 && manifest.max_sdk < manifest.min_sdk)
+      reason = "maxSdk " + std::to_string(manifest.max_sdk) +
+               " below minSdk " + std::to_string(manifest.min_sdk);
+    else if (manifest.max_sdk != 0 && manifest.max_sdk < manifest.target_sdk)
+      reason = "maxSdk " + std::to_string(manifest.max_sdk) +
+               " below targetSdk " + std::to_string(manifest.target_sdk);
+    if (!reason.empty()) {
+      Mismatch m;
+      m.kind = MismatchKind::kSdkDeclaration;
+      m.subject = MethodId{"", "declared-range", ""};
+      m.note = "inconsistent declared SDK range: " + reason;
+      out.push_back(std::move(m));
+    }
+  }
+
+  // The remaining lints assert the *absence* of usage facts, so a model
+  // truncated by a budget or degraded to the flat fallback (which gathers
+  // no permission uses and no guard checks) must not raise them.
+  if (model.incomplete) return out;
+
+  // Lint 2: over-declared dangerous permissions — requested in the
+  // manifest, demanded by no reachable API call. Manifest order.
+  {
+    std::unordered_set<std::string> used;
+    for (const auto& use : model.permission_uses) used.insert(use.permission);
+    for (const auto& p : manifest.permissions) {
+      if (!is_dangerous_permission(p) || used.contains(p)) continue;
+      Mismatch m;
+      m.kind = MismatchKind::kSdkDeclaration;
+      m.subject = MethodId{"", "unused-permission", ""};
+      m.permission = p;
+      m.note = "dangerous permission declared but demanded by no reachable "
+               "API call";
+      out.push_back(std::move(m));
+    }
+  }
+
+  // Lint 3: vacuous SDK_INT guards — comparisons that decide the same way
+  // on every level the declared range admits. Exact per-level evaluation
+  // (refine_interval over-approximates kNe mid-range). An empty declared
+  // range makes vacuity meaningless, so it is skipped.
+  if (app_range.empty()) return out;
+  for (const auto& check : model.guard_checks) {
+    int satisfied = 0;
+    for (int level = app_range.lo(); level <= app_range.hi(); ++level)
+      if (eval_cmp(check.cmp, level, check.literal)) ++satisfied;
+    if (satisfied != 0 && satisfied != app_range.size()) continue;
+    Mismatch m;
+    m.kind = MismatchKind::kSdkDeclaration;
+    m.location = check.method;
+    m.insn_index = check.insn_index;
+    m.subject = MethodId{"android/os/Build$VERSION", "SDK_INT",
+                         sdk_guard_descriptor(check.cmp, check.literal)};
+    m.problem_levels = app_range;
+    m.note = std::string{"SDK_INT check is always "} +
+             (satisfied == 0 ? "false" : "true") + " on the declared range " +
+             app_range.to_string();
     out.push_back(std::move(m));
   }
   return out;

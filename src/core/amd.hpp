@@ -30,6 +30,12 @@ struct AmdOptions {
   /// Also detect forward (removed-API) mismatches. CID and Lint only model
   /// backward incompatibility (paper §VII), so the baselines turn this off.
   bool detect_forward = true;
+  /// Semantic-incompatibility findings (SEM, docs/DETECTORS.md): call
+  /// sites exposed to a level range where the API's behavior changed.
+  bool detect_semantics = true;
+  /// Declared-SDK consistency lint (SDC): malformed declared ranges,
+  /// over-declared dangerous permissions, vacuous SDK_INT guards.
+  bool detect_declarations = true;
 };
 
 class Amd {
@@ -46,6 +52,10 @@ class Amd {
                                          const UsageModel& model) const;
   std::vector<Mismatch> detect_permissions(const Manifest& manifest,
                                            const UsageModel& model) const;
+  std::vector<Mismatch> detect_semantics(const Manifest& manifest,
+                                         const UsageModel& model) const;
+  std::vector<Mismatch> detect_declarations(const Manifest& manifest,
+                                            const UsageModel& model) const;
 
  private:
   const ApiDatabase* db_;

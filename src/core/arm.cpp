@@ -11,6 +11,7 @@
 #include "support/thread_pool.hpp"
 
 #include "adf/spec.hpp"
+#include "core/semantics.hpp"
 
 namespace saintdroid {
 
@@ -172,6 +173,10 @@ ApiDatabase ApiDatabase::mine(const FrameworkRepository& repo, int jobs) {
     }
   }
   db.permissions_ = std::move(required);
+
+  // The curated semantic-change table rides alongside the signature data.
+  db.semantics_ = std::make_shared<const SemanticTable>(
+      mine_semantic_table(repo.spec()));
 
   return db;
 }

@@ -25,6 +25,8 @@
 
 namespace saintdroid {
 
+class SemanticTable;
+
 class ApiDatabase {
  public:
   /// Mines every level image of `repo`. `repo` must outlive the database.
@@ -56,6 +58,20 @@ class ApiDatabase {
   /// framework-internal calls; empty when none.
   const std::vector<std::string>& permissions_for(const MethodId& method) const;
 
+  /// The semantic-change table riding alongside the signature data
+  /// (docs/DETECTORS.md §SEM). mine() attaches the table mined from the
+  /// repository's spec; parse() leaves it unattached (the table travels as
+  /// its own .sdmc kind — see core/model_cache — and the cache re-attaches
+  /// it after both loads), so serialize() stays a pure function of the
+  /// signature data and warm/cold database bytes compare equal.
+  void attach_semantics(std::shared_ptr<const SemanticTable> table) {
+    semantics_ = std::move(table);
+  }
+  const SemanticTable* semantics() const { return semantics_.get(); }
+  std::shared_ptr<const SemanticTable> shared_semantics() const {
+    return semantics_;
+  }
+
   /// True when `name` is a class defined at any mined level.
   bool is_known_class(const std::string& name) const;
 
@@ -77,6 +93,7 @@ class ApiDatabase {
   std::unordered_map<MethodId, std::vector<std::string>> permissions_;
   std::unordered_set<std::string> classes_;
   std::unordered_set<std::string> method_names_;  // "cls|name"
+  std::shared_ptr<const SemanticTable> semantics_;
 };
 
 /// Process-wide database mined from FrameworkRepository::standard(); built

@@ -23,6 +23,87 @@ std::uint64_t site_key(const MethodDef* def, std::uint32_t insn_index) {
   return reinterpret_cast<std::uintptr_t>(def) * 1000003ULL + insn_index;
 }
 
+/// Concretely evaluates a candidate SDK-check helper body at one device
+/// level; nullopt when the body is not a trivial straight-line/branching
+/// computation over constants and SDK_INT (the only shape we summarize).
+std::optional<bool> run_predicate_at(const DexFile& dex,
+                                     const MethodCode& code, int level) {
+  const auto& insns = code.insns;
+  std::vector<std::optional<std::int32_t>> regs(code.register_count);
+  std::uint32_t pc = 0;
+  for (int steps = 0; steps < 64; ++steps) {
+    if (pc >= insns.size()) return std::nullopt;
+    const Instruction& insn = insns[pc];
+    switch (insn.op) {
+      case Opcode::kNop:
+        ++pc;
+        break;
+      case Opcode::kConst:
+        if (insn.reg_a >= regs.size()) return std::nullopt;
+        regs[insn.reg_a] = insn.literal;
+        ++pc;
+        break;
+      case Opcode::kMove:
+        if (insn.reg_a >= regs.size() || insn.reg_b >= regs.size())
+          return std::nullopt;
+        regs[insn.reg_a] = regs[insn.reg_b];
+        ++pc;
+        break;
+      case Opcode::kSget:
+        if (insn.reg_a >= regs.size()) return std::nullopt;
+        if (!(dex.field_id_at(insn.index) == kSdkIntField))
+          return std::nullopt;
+        regs[insn.reg_a] = level;
+        ++pc;
+        break;
+      case Opcode::kIfCmp: {
+        if (insn.reg_a >= regs.size() || !regs[insn.reg_a])
+          return std::nullopt;
+        std::int32_t rhs;
+        if (insn.cmp_with_literal) {
+          rhs = insn.literal;
+        } else {
+          if (insn.reg_b >= regs.size() || !regs[insn.reg_b])
+            return std::nullopt;
+          rhs = *regs[insn.reg_b];
+        }
+        pc = eval_cmp(insn.cmp, *regs[insn.reg_a], rhs) ? insn.target : pc + 1;
+        break;
+      }
+      case Opcode::kGoto:
+        pc = insn.target;
+        break;
+      case Opcode::kReturn:
+        if (insn.reg_a >= regs.size() || !regs[insn.reg_a])
+          return std::nullopt;
+        return *regs[insn.reg_a] != 0;
+      default:
+        return std::nullopt;  // anything else disqualifies the helper
+    }
+  }
+  return std::nullopt;  // step cap: not a trivial helper
+}
+
+/// Summarizes a helper body as the contiguous interval of levels at which
+/// it returns true; nullopt when any level fails to evaluate or the true
+/// set is empty or non-contiguous.
+std::optional<ApiInterval> evaluate_sdk_predicate(const DexFile& dex,
+                                                  const MethodCode& code) {
+  int lo = -1;
+  int hi = -1;
+  for (int level = kMinApiLevel; level <= kMaxApiLevel; ++level) {
+    const auto outcome = run_predicate_at(dex, code, level);
+    if (!outcome) return std::nullopt;
+    if (*outcome) {
+      if (lo < 0) lo = level;
+      else if (hi != level - 1) return std::nullopt;  // non-contiguous
+      hi = level;
+    }
+  }
+  if (lo < 0) return std::nullopt;
+  return ApiInterval{lo, hi};
+}
+
 }  // namespace
 
 Aum::Aum(ClassHierarchy& hierarchy, const ApiDatabase& db, AumOptions options,
@@ -48,6 +129,25 @@ const Aum::RefResolution& Aum::resolve_ref(const DexFile& dex,
         slot->declared.descriptor);
   }
   return *slot;
+}
+
+std::optional<ApiInterval> Aum::predicate_for(const DexFile& dex,
+                                              std::uint32_t ref_idx) {
+  resolve_ref(dex, ref_idx);  // populate the slot
+  RefResolution& slot = *ref_cache_[&dex][ref_idx];
+  if (slot.predicate_computed) return slot.predicate;
+  slot.predicate_computed = true;
+  const auto& res = slot.resolution;
+  if (!res || res->declaring_class->from_framework) return std::nullopt;
+  const MethodDef* method = res->method;
+  if (method == nullptr || !method->code) return std::nullopt;
+  // Only no-argument static boolean helpers have a context-free summary.
+  if ((method->access_flags & kAccStatic) == 0) return std::nullopt;
+  if (slot.declared.descriptor != "()Z" && slot.declared.descriptor != "()I")
+    return std::nullopt;
+  slot.predicate =
+      evaluate_sdk_predicate(*res->declaring_class->dex, *method->code);
+  return slot.predicate;
 }
 
 void Aum::walk_framework(const MethodId& api, int depth) {
@@ -136,9 +236,36 @@ void Aum::explore_method(const MethodWork& work, UsageModel& model) {
   const DexFile& dex = *work.cls->dex;
   const MethodId caller = dex.method_id(*work.cls->def, def);
   const Cfg& cfg = cfg_for(def);
+  SdkPredicateLookup predicate_lookup;
+  const SdkPredicateLookup* predicates = nullptr;
+  if (options_.helper_predicates && options_.guards.enabled &&
+      options_.guards.track_registers) {
+    predicate_lookup = [this, &dex](std::uint32_t ref_idx) {
+      return predicate_for(dex, ref_idx);
+    };
+    predicates = &predicate_lookup;
+  }
   const GuardResult guards = analyze_guards(dex, *def.code, cfg,
                                             work.context, options_.guards,
-                                            budget_);
+                                            budget_, predicates);
+
+  // Record recognized direct SDK_INT comparisons for the SDC lint,
+  // deduplicated per site (context re-analysis replays the same branches).
+  // A helper predicate's comparison is its *return value*, not a guard
+  // over any action — `return SDK_INT >= N` is definitionally one-sided
+  // over narrow app ranges, so collecting it would trip the vacuous-guard
+  // lint on every helper-guarded app. Same shape test as predicate_for.
+  const bool predicate_body =
+      !guards.checks.empty() && (def.access_flags & kAccStatic) != 0 &&
+      (caller.descriptor == "()Z" || caller.descriptor == "()I") &&
+      evaluate_sdk_predicate(dex, *def.code).has_value();
+  if (!predicate_body) {
+    for (const auto& check : guards.checks) {
+      if (guard_check_sites_.insert(site_key(&def, check.insn_index)).second)
+        model.guard_checks.push_back(
+            GuardCheck{caller, check.insn_index, check.cmp, check.literal});
+    }
+  }
 
   // Linear pre-pass tracking string constants per register, for
   // reflection-based late binding (Class.forName with a statically-known
@@ -290,6 +417,7 @@ UsageModel Aum::model(const Apk& apk) {
   analyzed_.clear();
   api_site_index_.clear();
   perm_site_index_.clear();
+  guard_check_sites_.clear();
   framework_walked_.clear();
   ref_cache_.clear();
   worklist_.clear();

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "analysis/cfg.hpp"
@@ -50,11 +51,24 @@ struct PermissionUse {
   ApiInterval guard;
 };
 
+/// One recognized direct SDK_INT comparison in a reachable app method —
+/// raw material for the vacuous-guard SDC lint (docs/DETECTORS.md §SDC).
+struct GuardCheck {
+  MethodId method;  ///< app method containing the comparison
+  std::uint32_t insn_index = 0;
+  CmpOp cmp = CmpOp::kEq;  ///< normalized: SDK_INT is the left operand
+  std::int32_t literal = 0;
+};
+
 /// Everything the detectors need about one app.
 struct UsageModel {
   std::vector<ApiCallSite> api_calls;
   std::vector<CallbackOverride> overrides;
   std::vector<PermissionUse> permission_uses;
+  /// Every direct SDK_INT comparison the guard analysis recognized in a
+  /// reachable method (deduplicated per site; empty when guard recognition
+  /// is off).
+  std::vector<GuardCheck> guard_checks;
   /// App methods the exploration visited (the call-graph node set of
   /// Algorithm 4 line 11).
   std::vector<MethodId> reachable_methods;
@@ -77,6 +91,11 @@ struct AumOptions {
   bool interprocedural_guards = true;
   /// Explore classes discovered through load-class (late binding).
   bool follow_late_binding = true;
+  /// Summarize trivial app helper methods that test SDK_INT and return a
+  /// boolean ("isAtLeastN()"), so branches on their result refine the
+  /// interval like an inline comparison — the AndroidCompass helper-method
+  /// guard idiom.
+  bool helper_predicates = true;
   /// Walk into resolved framework methods' bodies, loading the classes
   /// they touch (bounded); models the paper's "beyond the first level"
   /// framework analysis and gives the lazy loader its realistic footprint.
@@ -121,8 +140,19 @@ class Aum {
   struct RefResolution {
     MethodId declared;
     std::optional<MethodResolution> resolution;
+    /// Helper-predicate summary: the levels over which the callee returns
+    /// true, when it is a recognizable SDK-check helper (lazily computed —
+    /// see predicate_for).
+    bool predicate_computed = false;
+    std::optional<ApiInterval> predicate;
   };
   const RefResolution& resolve_ref(const DexFile& dex, std::uint32_t ref_idx);
+
+  /// Memoized helper-predicate summary for a method-ref pool entry:
+  /// evaluates trivial SDK-test helper bodies concretely at every modelled
+  /// level. nullopt when the callee is not such a helper.
+  std::optional<ApiInterval> predicate_for(const DexFile& dex,
+                                           std::uint32_t ref_idx);
 
   ClassHierarchy* hierarchy_;
   const ApiDatabase* db_;
@@ -140,6 +170,9 @@ class Aum {
   std::unordered_map<std::uint64_t,
                      std::vector<std::pair<std::string, std::size_t>>>
       perm_site_index_;
+  /// Sites already recorded in UsageModel::guard_checks (re-analysis under
+  /// a widened context replays the same branches).
+  std::unordered_set<std::uint64_t> guard_check_sites_;
   std::unordered_map<MethodId, bool> framework_walked_;
   /// True when the hierarchy runs over an indexed substrate: walks take
   /// the pointer path, with framework_walked_ kept only for callees whose

@@ -8,6 +8,7 @@
 // (container version, framework fingerprint, level, option bits):
 //
 //   apidb-<fingerprint>.sdmc              ApiDatabase::serialize payload
+//   semtab-<fingerprint>.sdmc             SemanticTable::serialize payload
 //   substrate-<fingerprint>-L<l>-m<o>.sdmc  substrate structural tables
 //
 // Loads are validate-then-bulk-read; any mismatch or corruption falls
@@ -39,6 +40,9 @@ class ModelCache {
   /// Path of the ApiDatabase entry for `repo`'s framework.
   std::string api_database_path(const FrameworkRepository& repo) const;
 
+  /// Path of the SemanticTable entry for `repo`'s framework.
+  std::string semantic_table_path(const FrameworkRepository& repo) const;
+
   /// Loads the cached ApiDatabase for `repo`, or nullopt when the entry
   /// is missing, keyed to a different framework or format version, or
   /// corrupt — the caller re-mines. (Parse-level defects throw inside and
@@ -53,8 +57,11 @@ class ModelCache {
 
   /// The warm-start entry point: loads the cached database, or mines it
   /// (fanning out over `jobs` workers, see ApiDatabase::mine) and stores
-  /// the result for the next process. `served_from_cache`, when non-null,
-  /// reports whether the mining pass was skipped.
+  /// the result for the next process. Either way the returned database
+  /// carries the semantic-change table for `repo`'s framework: loaded from
+  /// its own semtab-<fp>.sdmc entry when valid, else re-derived from the
+  /// spec (cheap — no mining pass) and re-stored. `served_from_cache`,
+  /// when non-null, reports whether the mining pass was skipped.
   std::shared_ptr<const ApiDatabase> api_database(
       const FrameworkRepository& repo, int jobs = 0,
       bool* served_from_cache = nullptr) const;

@@ -11,6 +11,8 @@ const char* mismatch_kind_name(MismatchKind kind) {
     case MismatchKind::kApiCallback: return "api-callback";
     case MismatchKind::kPermissionRequest: return "permission-request";
     case MismatchKind::kPermissionRevocation: return "permission-revocation";
+    case MismatchKind::kSemanticChange: return "semantic-change";
+    case MismatchKind::kSdkDeclaration: return "sdk-declaration";
   }
   return "?";
 }
@@ -22,8 +24,24 @@ const char* mismatch_kind_abbr(MismatchKind kind) {
     case MismatchKind::kPermissionRequest:
     case MismatchKind::kPermissionRevocation:
       return "PRM";
+    case MismatchKind::kSemanticChange: return "SEM";
+    case MismatchKind::kSdkDeclaration: return "SDC";
   }
   return "?";
+}
+
+std::string sdk_guard_descriptor(CmpOp cmp, std::int32_t literal) {
+  std::string out;
+  switch (cmp) {
+    case CmpOp::kEq: out = "=="; break;
+    case CmpOp::kNe: out = "!="; break;
+    case CmpOp::kLt: out = "<"; break;
+    case CmpOp::kLe: out = "<="; break;
+    case CmpOp::kGt: out = ">"; break;
+    case CmpOp::kGe: out = ">="; break;
+  }
+  out += std::to_string(literal);
+  return out;
 }
 
 std::string Mismatch::key() const {
@@ -32,10 +50,17 @@ std::string Mismatch::key() const {
   k += location.to_string();
   k += "|";
   if (kind == MismatchKind::kPermissionRequest ||
-      kind == MismatchKind::kPermissionRevocation)
+      kind == MismatchKind::kPermissionRevocation) {
     k += permission;
-  else
+  } else if (kind == MismatchKind::kSdkDeclaration) {
+    // SDC findings are manifest-scoped: several distinct lints share an
+    // empty location, so the subject AND the permission both join the key.
     k += subject.to_string();
+    k += "|";
+    k += permission;
+  } else {
+    k += subject.to_string();
+  }
   return k;
 }
 
@@ -59,6 +84,17 @@ std::string Mismatch::to_string() const {
     case MismatchKind::kPermissionRevocation:
       out << " uses revocable " << permission << " on levels "
           << problem_levels.to_string();
+      break;
+    case MismatchKind::kSemanticChange:
+      out << " invokes " << subject.to_string()
+          << " whose behavior differs on levels "
+          << problem_levels.to_string();
+      break;
+    case MismatchKind::kSdkDeclaration:
+      out << " declaration " << subject.to_string();
+      if (!permission.empty()) out << " " << permission;
+      if (!problem_levels.empty())
+        out << " (levels " << problem_levels.to_string() << ")";
       break;
   }
   if (!note.empty()) out << " — " << note;
@@ -88,8 +124,13 @@ std::string AnalysisResult::to_text(const std::string& app_name) const {
         << "); partial report with flat-scan fallback\n";
   out << "mismatches: " << mismatches.size() << " (API "
       << count(MismatchKind::kApiInvocation) << ", APC "
-      << count(MismatchKind::kApiCallback) << ", PRM " << permission_count()
-      << ")\n";
+      << count(MismatchKind::kApiCallback) << ", PRM " << permission_count();
+  // The two lint families print only when present, so reports from apps
+  // with none of them render exactly as they did before the families
+  // existed.
+  if (const auto sem = count(MismatchKind::kSemanticChange)) out << ", SEM " << sem;
+  if (const auto sdc = count(MismatchKind::kSdkDeclaration)) out << ", SDC " << sdc;
+  out << ")\n";
   for (const auto& m : mismatches) out << "  " << m.to_string() << "\n";
   out << "time: " << usage.seconds << "s, peak "
       << usage.peak_bytes / 1024 << " KiB, " << usage.loaded_classes

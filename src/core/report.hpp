@@ -6,22 +6,33 @@
 #include <vector>
 
 #include "dex/ids.hpp"
+#include "dex/instruction.hpp"
 #include "support/interval.hpp"
 #include "support/meter.hpp"
 
 namespace saintdroid {
 
-/// The mismatch taxonomy of paper Table I (PRM split into its two forms).
+/// The mismatch taxonomy of paper Table I (PRM split into its two forms),
+/// extended with the semantic-incompatibility and declared-SDK lint classes
+/// (docs/DETECTORS.md).
 enum class MismatchKind : std::uint8_t {
   kApiInvocation = 0,    ///< API: app invokes a method absent at some level
   kApiCallback,          ///< APC: app overrides a callback absent at some level
   kPermissionRequest,    ///< PRM: target >= 23 without runtime request protocol
   kPermissionRevocation, ///< PRM: target <= 22, revocable dangerous permission
+  kSemanticChange,       ///< SEM: API behavior (not signature) changed in range
+  kSdkDeclaration,       ///< SDC: declared SDK/permission facts inconsistent
 };
 
 const char* mismatch_kind_name(MismatchKind kind);
-/// Paper abbreviation: API / APC / PRM (both permission forms map to PRM).
+/// Abbreviation: API / APC / PRM (both permission forms map to PRM) /
+/// SEM / SDC.
 const char* mismatch_kind_abbr(MismatchKind kind);
+
+/// Canonical rendering of an SDK_INT comparison, used as the subject
+/// descriptor of vacuous-guard SDC findings ("<23", ">=29", ...). Shared
+/// by the detector and the ground-truth ledger so their keys agree.
+std::string sdk_guard_descriptor(CmpOp cmp, std::int32_t literal);
 
 /// One detected incompatibility.
 struct Mismatch {

@@ -80,6 +80,9 @@ std::vector<Mismatch> flat_fallback(const Apk& apk, const ApiDatabase& db,
                                     const Amd& amd, ApiInterval app_range,
                                     const GuardOptions& guard_options) {
   UsageModel flat;
+  // The flat model gathers no permission uses and no guard checks, so the
+  // absence-based SDC lints must stay quiet on it.
+  flat.incomplete = true;
   const DexFile& dex = apk.dexes.front();
   for (const auto& cls : dex.classes()) {
     for (const auto& m : cls.methods) {
@@ -190,6 +193,10 @@ bool SaintDroid::detects(MismatchKind kind) const {
     case MismatchKind::kPermissionRequest:
     case MismatchKind::kPermissionRevocation:
       return options_.amd.detect_permissions;
+    case MismatchKind::kSemanticChange:
+      return options_.amd.detect_semantics;
+    case MismatchKind::kSdkDeclaration:
+      return options_.amd.detect_declarations;
   }
   return false;
 }

@@ -1,0 +1,124 @@
+#include "core/semantics.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "support/bytes.hpp"
+#include "support/errors.hpp"
+
+namespace saintdroid {
+
+namespace {
+
+constexpr std::uint32_t kSemanticMagic = 0x42544D53;  // "SMTB"
+constexpr std::uint32_t kSemanticVersion = 1;
+
+// Same rule as DexFile::descriptor_of: primitives are single letters,
+// arrays arrive in descriptor form, reference types get L...;
+void append_type(std::string& out, const std::string& name) {
+  if (name.size() == 1 || name.front() == '[')
+    out += name;
+  else
+    out += "L" + name + ";";
+}
+
+auto row_order(const SemanticChange& c) {
+  return std::tie(c.method.class_name, c.method.name, c.method.descriptor);
+}
+
+}  // namespace
+
+SemanticTable::SemanticTable(std::vector<SemanticChange> rows)
+    : rows_(std::move(rows)) {
+  std::sort(rows_.begin(), rows_.end(),
+            [](const SemanticChange& a, const SemanticChange& b) {
+              if (row_order(a) != row_order(b))
+                return row_order(a) < row_order(b);
+              return std::make_pair(a.levels.lo(), a.levels.hi()) <
+                     std::make_pair(b.levels.lo(), b.levels.hi());
+            });
+}
+
+std::span<const SemanticChange> SemanticTable::changes_for(
+    const MethodId& method) const {
+  // Rows are sorted by method identity; the per-method run is contiguous.
+  const auto begin = std::find_if(
+      rows_.begin(), rows_.end(),
+      [&method](const SemanticChange& c) { return c.method == method; });
+  auto end = begin;
+  while (end != rows_.end() && end->method == method) ++end;
+  return {begin, end};
+}
+
+std::vector<std::uint8_t> SemanticTable::serialize() const {
+  ByteWriter w;
+  w.u32(kSemanticMagic);
+  w.u32(kSemanticVersion);
+  w.uleb(rows_.size());
+  for (const auto& row : rows_) {
+    w.str(row.method.class_name);
+    w.str(row.method.name);
+    w.str(row.method.descriptor);
+    w.sleb(row.levels.lo());
+    w.sleb(row.levels.hi());
+    w.str(row.kind);
+    w.str(row.note);
+  }
+  return w.take();
+}
+
+SemanticTable SemanticTable::parse(std::span<const std::uint8_t> bytes) {
+  ByteReader r{bytes};
+  if (r.u32() != kSemanticMagic)
+    throw ParseError("bad semantic table magic");
+  if (r.u32() != kSemanticVersion)
+    throw ParseError("unsupported semantic table version");
+  const auto count = r.count();
+  std::vector<SemanticChange> rows;
+  rows.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SemanticChange row;
+    row.method.class_name = r.str();
+    row.method.name = r.str();
+    row.method.descriptor = r.str();
+    const auto lo = r.sleb();
+    const auto hi = r.sleb();
+    if (lo < kMinApiLevel || hi > kMaxApiLevel || lo > hi)
+      throw ParseError("semantic table row has an invalid level range");
+    row.levels = ApiInterval{static_cast<int>(lo), static_cast<int>(hi)};
+    row.kind = r.str();
+    row.note = r.str();
+    rows.push_back(std::move(row));
+  }
+  if (!r.at_end()) throw ParseError("trailing bytes after semantic table");
+  SemanticTable table{std::move(rows)};
+  // Canonical-order enforcement: a spliced container whose rows are out of
+  // order would otherwise violate serialize(parse(b)) == b.
+  const auto canonical = table.serialize();
+  if (!std::equal(canonical.begin(), canonical.end(), bytes.begin(),
+                  bytes.end()))
+    throw ParseError("semantic table rows not in canonical order");
+  return table;
+}
+
+SemanticTable mine_semantic_table(const FrameworkSpec& spec) {
+  std::vector<SemanticChange> rows;
+  rows.reserve(spec.semantic_changes.size());
+  for (const auto& change : spec.semantic_changes) {
+    SemanticChange row;
+    row.method.class_name = change.cls;
+    row.method.name = change.name;
+    std::string descriptor = "(";
+    for (const auto& p : change.params) append_type(descriptor, p);
+    descriptor += ")";
+    append_type(descriptor, change.return_type);
+    row.method.descriptor = std::move(descriptor);
+    row.levels = change.levels().intersect(ApiInterval::full());
+    row.kind = change.kind;
+    row.note = change.note;
+    if (!row.levels.empty()) rows.push_back(std::move(row));
+  }
+  return SemanticTable{std::move(rows)};
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,71 @@
+// SemanticTable — the curated semantic-change table (docs/DETECTORS.md §SEM).
+//
+// Signature mining (ARM) can only see methods appearing and disappearing;
+// APIs whose *behavior* changed while the signature stayed put are invisible
+// to it. Field studies (*A Large-scale Investigation of Semantically
+// Incompatible APIs*, PAPERS.md) show these cause a large share of real
+// compatibility crashes, so the framework spec carries a curated table of
+// such changes (SemanticChangeSpec rows) and this module mines it into the
+// versioned, serializable form the SEM detector queries: one row per method
+// descriptor with the closed level range over which the changed behavior is
+// in effect, a change-kind slug, and a one-line note for reports.
+//
+// The table rides alongside the mined ApiDatabase: attached to it in memory
+// (ApiDatabase::attach_semantics), persisted in the .sdmc model cache as its
+// own table kind (docs/FORMAT.md), and covered by the same framework
+// fingerprint — any spec edit strands stale cached tables.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "adf/spec.hpp"
+#include "dex/ids.hpp"
+#include "support/interval.hpp"
+
+namespace saintdroid {
+
+/// One mined semantic-change row.
+struct SemanticChange {
+  MethodId method;
+  /// Closed level range over which the changed behavior is in effect.
+  ApiInterval levels;
+  /// Change taxonomy slug ("default-change", "exception-change", ...).
+  std::string kind;
+  /// One-line description, rendered in report rows.
+  std::string note;
+};
+
+/// The queryable table. Rows are held in canonical order (by class, name,
+/// descriptor, then range) so serialize() is deterministic regardless of
+/// spec ordering.
+class SemanticTable {
+ public:
+  SemanticTable() = default;
+  explicit SemanticTable(std::vector<SemanticChange> rows);
+
+  /// All rows for `method` (a method may change behavior more than once
+  /// across the level axis). Empty span when the method has no entry.
+  std::span<const SemanticChange> changes_for(const MethodId& method) const;
+
+  std::size_t size() const { return rows_.size(); }
+  const std::vector<SemanticChange>& rows() const { return rows_; }
+
+  /// Versioned binary form for the .sdmc model cache; parse() validates and
+  /// throws ParseError on any defect, and serialize(parse(b)) == b.
+  std::vector<std::uint8_t> serialize() const;
+  static SemanticTable parse(std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<SemanticChange> rows_;
+};
+
+/// Mines the curated semantic-change rows of `spec` into a table, building
+/// JVM descriptors with the same rules the framework image emitter uses so
+/// table keys match the MethodIds the analysis resolves.
+SemanticTable mine_semantic_table(const FrameworkSpec& spec);
+
+}  // namespace saintdroid

@@ -35,13 +35,15 @@ inline constexpr std::uint32_t kSdmcMagic = 0x434D4453;  // "SDMC"
 
 /// Container format version. Bumped on any incompatible change to the
 /// header or to a payload encoding; an old entry then fails to open and is
-/// simply re-mined and overwritten (stale-version eviction).
-inline constexpr std::uint32_t kSdmcFormatVersion = 1;
+/// simply re-mined and overwritten (stale-version eviction). Version 2
+/// added the semantic-table kind (docs/FORMAT.md).
+inline constexpr std::uint32_t kSdmcFormatVersion = 2;
 
 /// What a cache entry holds.
 enum class SdmcKind : std::uint8_t {
   kApiDatabase = 1,      ///< ApiDatabase::serialize payload
   kSubstrateTables = 2,  ///< FrameworkSubstrate::serialize_tables payload
+  kSemanticTable = 3,    ///< SemanticTable::serialize payload
 };
 
 /// Full cache key of one entry. Payloads are pure functions of their key:

@@ -59,6 +59,15 @@ const MethodSpec* AppBuilder::find_spec_method(const ApiUse& api) const {
   return nullptr;
 }
 
+const SemanticChangeSpec* AppBuilder::find_semantic_row(
+    const ApiUse& api) const {
+  for (const auto& row : spec_->semantic_changes)
+    if (row.cls == api.declaring && row.name == api.name &&
+        params_match(row.params, api.params))
+      return &row;
+  return nullptr;
+}
+
 const MethodSpec* AppBuilder::find_spec_callback(const CallbackUse& cb) const {
   const ClassSpec* cls = spec_->find_class(cb.framework_class);
   if (!cls) return nullptr;
@@ -69,23 +78,25 @@ const MethodSpec* AppBuilder::find_spec_callback(const CallbackUse& cb) const {
 }
 
 std::vector<std::string> AppBuilder::spec_permissions(const ApiUse& api) const {
-  // Direct requirement plus a bounded walk through spec-internal calls
-  // (mirrors the ARM's transitive permission mining).
+  // Direct requirement plus the transitive walk through spec-internal
+  // calls. This must mirror the ARM's permission mining *closure* — the
+  // ARM propagates with no depth bound, so a truncated walk here would
+  // ledger fewer permissions than the analysis detects (and let
+  // demands_permission() miss a demand buried deep in the synthetic call
+  // graph). The visited set is the real bound; the step cap is a safety
+  // valve far above any spec's method count.
   std::vector<std::string> out;
   struct Frame {
     std::string cls, name;
     std::vector<std::string> params;
   };
   std::vector<Frame> stack{{api.declaring, api.name, api.params}};
-  std::vector<std::string> visited;
+  std::unordered_set<std::string> visited;
   int steps = 0;
-  while (!stack.empty() && steps++ < 64) {
+  while (!stack.empty() && steps++ < (1 << 16)) {
     const Frame frame = std::move(stack.back());
     stack.pop_back();
-    const std::string key = frame.cls + "." + frame.name;
-    if (std::find(visited.begin(), visited.end(), key) != visited.end())
-      continue;
-    visited.push_back(key);
+    if (!visited.insert(frame.cls + "." + frame.name).second) continue;
     const ClassSpec* cls = spec_->find_class(frame.cls);
     if (!cls) continue;
     for (const auto& m : cls->methods) {
@@ -150,6 +161,15 @@ MethodBuilder& AppBuilder::new_seed_method(Placement placement,
 }
 
 void AppBuilder::emit_call(MethodBuilder& mb, const ApiUse& api) {
+  // Every framework invocation funnels through here, so this is the one
+  // place to learn which permissions the app's calls demand (the set
+  // demands_permission() reports). Mined once per distinct API.
+  std::string key = api.declaring + "." + api.name + "(";
+  for (const auto& p : api.params) key += p;
+  key += ")";
+  if (mined_call_keys_.insert(std::move(key)).second)
+    for (const auto& permission : spec_permissions(api))
+      demanded_permissions_.insert(permission);
   if (api.name == "<init>") {
     mb.new_instance(3, api.receiver);
     mb.invoke(InvokeKind::kDirect, api.receiver, api.name, api.return_type,
@@ -158,6 +178,25 @@ void AppBuilder::emit_call(MethodBuilder& mb, const ApiUse& api) {
   }
   mb.invoke(api.is_static ? InvokeKind::kStatic : InvokeKind::kVirtual,
             api.receiver, api.name, api.return_type, api.params);
+}
+
+std::pair<std::string, std::string> AppBuilder::emit_helper_predicate(
+    CmpOp cmp, int literal) {
+  const int n = seed_counter_++;
+  const std::string cls_name = package_path_ + "/guard/Ver" + std::to_string(n);
+  auto& cls = main_dex_.add_class(cls_name);
+  // Static, no parameters, boolean return — the exact shape the AUM's
+  // helper-predicate evaluator accepts (see Aum::predicate_for).
+  auto& mb = cls.add_method("mayCall", "Z", {}, kAccPublic | kAccStatic);
+  mb.sget_sdk_int(0);
+  Label yes = mb.new_label();
+  mb.if_lit(cmp, 0, literal, yes);
+  mb.const_int(1, 0);
+  mb.return_reg(1);
+  mb.bind(yes);
+  mb.const_int(1, 1);
+  mb.return_reg(1);
+  return {cls_name, "mayCall"};
 }
 
 MethodId AppBuilder::emit_guarded_call(const ApiUse& api, GuardMode guard,
@@ -183,6 +222,8 @@ MethodId AppBuilder::emit_guarded_call(const ApiUse& api, GuardMode guard,
     guard_mb.invoke_virtual(cls_name, impl_name);
     guard_mb.bind(skip);
     guard_mb.return_void();
+    guard_sites_.push_back(GuardSite{MethodId{cls_name, guard_name, "()V"},
+                                     CmpOp::kLt, protect_level});
 
     auto& impl_mb = cls.add_method(impl_name);
     emit_call(impl_mb, api);
@@ -193,6 +234,15 @@ MethodId AppBuilder::emit_guarded_call(const ApiUse& api, GuardMode guard,
   }
 
   MethodBuilder& mb = new_seed_method(placement, &host_class, &host_method);
+  // Direct comparisons in the three local-guard shapes all reach the
+  // analysis's check collection (dead code is never explored, so those
+  // sites go unseen and stay out of the ledger too).
+  const bool direct_comparison = guard == GuardMode::kLocal ||
+                                 guard == GuardMode::kLocalViaField ||
+                                 guard == GuardMode::kLocalViaRegister;
+  if (direct_comparison && placement != Placement::kDeadCode)
+    guard_sites_.push_back(GuardSite{MethodId{host_class, host_method, "()V"},
+                                     CmpOp::kLt, protect_level});
   switch (guard) {
     case GuardMode::kNone:
       emit_call(mb, api);
@@ -242,6 +292,19 @@ MethodId AppBuilder::emit_guarded_call(const ApiUse& api, GuardMode guard,
       mb.bind(skip);
       break;
     }
+    case GuardMode::kHelperMethod: {
+      // Same shape as kHidden, but the helper is ordinary app code whose
+      // body a helper-predicate-aware analysis can evaluate.
+      const auto [guard_cls, guard_name] =
+          emit_helper_predicate(CmpOp::kGe, protect_level);
+      mb.invoke_static(guard_cls, guard_name, "Z");
+      mb.move_result(0);
+      Label skip = mb.new_label();
+      mb.if_lit(CmpOp::kEq, 0, 0, skip);
+      emit_call(mb, api);
+      mb.bind(skip);
+      break;
+    }
     case GuardMode::kCrossMethod:
       SD_EXPECTS(false);  // handled above
       break;
@@ -264,7 +327,8 @@ AppBuilder& AppBuilder::api_call(const ApiUse& api, GuardMode guard,
   const bool statically_guarded = guard == GuardMode::kLocal ||
                                   guard == GuardMode::kLocalViaRegister ||
                                   guard == GuardMode::kLocalViaField ||
-                                  guard == GuardMode::kCrossMethod;
+                                  guard == GuardMode::kCrossMethod ||
+                                  guard == GuardMode::kHelperMethod;
   const bool runtime_guarded = guard == GuardMode::kHidden;
   const bool backward_issue =
       !statically_guarded && !runtime_guarded && range.lo() < life.introduced;
@@ -287,6 +351,7 @@ AppBuilder& AppBuilder::api_call(const ApiUse& api, GuardMode guard,
     issue.tag = forward_issue          ? "forward"
                 : guard == GuardMode::kLocal ? "guarded_local"
                 : guard == GuardMode::kLocalViaField ? "guarded_field"
+                : guard == GuardMode::kHelperMethod ? "guarded_helper"
                                              : "guarded_register";
   else if (placement == Placement::kSecondaryDex)
     issue.tag = "secondary_dex";
@@ -410,6 +475,8 @@ AppBuilder& AppBuilder::permission_use(const ApiUse& api, GuardMode guard) {
     mb.bind(skip);
     mb.return_void();
     location = MethodId{host_class, host_method, "()V"};
+    guard_sites_.push_back(
+        GuardSite{location, CmpOp::kGe, kRuntimePermissionLevel});
   } else {
     location = emit_guarded_call(api, guard, Placement::kReachable,
                                  kRuntimePermissionLevel);
@@ -442,6 +509,9 @@ AppBuilder& AppBuilder::implement_runtime_permission_protocol() {
   mb.bind(skip);
   mb.return_void();
   reachable_roots_.push_back("initPermissions");
+  guard_sites_.push_back(GuardSite{
+      MethodId{package_path_ + "/MainActivity", "initPermissions", "()V"},
+      CmpOp::kLt, kRuntimePermissionLevel});
 
   // With minSdk < 23 the override itself is a real APC mismatch — the
   // callback does not exist on older devices.
@@ -458,6 +528,114 @@ AppBuilder& AppBuilder::implement_runtime_permission_protocol() {
   issue.real = range.lo() < kRuntimePermissionLevel;
   issue.tag = "protocol_override";
   truth_.issues.push_back(std::move(issue));
+  return *this;
+}
+
+AppBuilder& AppBuilder::semantic_call(const ApiUse& api, GuardMode guard) {
+  const SemanticChangeSpec* row = find_semantic_row(api);
+  SD_EXPECTS(row != nullptr);
+  SD_EXPECTS(guard == GuardMode::kNone || guard == GuardMode::kLocal ||
+             guard == GuardMode::kHelperMethod);
+  const ApiInterval range =
+      manifest_.supported_range().intersect(ApiInterval::full());
+  const ApiInterval window = row->levels().intersect(ApiInterval::full());
+
+  // A direct inverse guard whose threshold the declared range never
+  // crosses would itself be a vacuous-guard lint; the helper idiom's check
+  // is not a direct SDK_INT comparison, so it stays out of the lint's view.
+  if (guard == GuardMode::kLocal && range.lo() >= row->from_level)
+    guard = GuardMode::kHelperMethod;
+
+  std::string host_class;
+  std::string host_method;
+  MethodBuilder& mb =
+      new_seed_method(Placement::kReachable, &host_class, &host_method);
+  switch (guard) {
+    case GuardMode::kNone:
+      emit_call(mb, api);
+      break;
+    case GuardMode::kLocal: {
+      // Inverse guard: only call while the behavior is still the old one.
+      mb.sget_sdk_int(0);
+      Label skip = mb.new_label();
+      mb.if_lit(CmpOp::kGe, 0, row->from_level, skip);
+      emit_call(mb, api);
+      mb.bind(skip);
+      guard_sites_.push_back(
+          GuardSite{MethodId{host_class, host_method, "()V"}, CmpOp::kGe,
+                    row->from_level});
+      break;
+    }
+    case GuardMode::kHelperMethod: {
+      const auto [guard_cls, guard_name] =
+          emit_helper_predicate(CmpOp::kLt, row->from_level);
+      mb.invoke_static(guard_cls, guard_name, "Z");
+      mb.move_result(0);
+      Label skip = mb.new_label();
+      mb.if_lit(CmpOp::kEq, 0, 0, skip);
+      emit_call(mb, api);
+      mb.bind(skip);
+      break;
+    }
+    default:
+      SD_EXPECTS(false);
+      break;
+  }
+  mb.return_void();
+
+  const bool guarded = guard != GuardMode::kNone;
+  SeededIssue issue;
+  issue.kind = MismatchKind::kSemanticChange;
+  issue.location = MethodId{host_class, host_method, "()V"};
+  issue.subject = api.declared_id();
+  issue.real = !guarded && !range.intersect(window).empty();
+  issue.tag = !guarded ? (issue.real ? "sem_unguarded" : "sem_outside_range")
+              : guard == GuardMode::kLocal ? "sem_guarded_local"
+                                           : "sem_guarded_helper";
+  truth_.issues.push_back(std::move(issue));
+  return *this;
+}
+
+AppBuilder& AppBuilder::declare_unused_permission(
+    const std::string& permission) {
+  SD_EXPECTS(is_dangerous_permission(permission));
+  SD_EXPECTS(!manifest_.requests_permission(permission));
+  request_permission(permission);
+  SeededIssue issue;
+  issue.kind = MismatchKind::kSdkDeclaration;
+  issue.subject = MethodId{"", "unused-permission", ""};
+  issue.permission = permission;
+  issue.real = true;
+  issue.tag = "unused_permission";
+  truth_.issues.push_back(std::move(issue));
+  return *this;
+}
+
+AppBuilder& AppBuilder::vacuous_sdk_guard(bool always_true) {
+  const ApiInterval range =
+      manifest_.supported_range().intersect(ApiInterval::full());
+  SD_EXPECTS(!range.empty());
+  // `SDK_INT >= minSdk` holds on every supported level; `SDK_INT < minSdk`
+  // on none. Either way the branch decides nothing.
+  const CmpOp cmp = always_true ? CmpOp::kGe : CmpOp::kLt;
+  const int literal = range.lo();
+
+  std::string host_class;
+  std::string host_method;
+  MethodBuilder& mb =
+      new_seed_method(Placement::kReachable, &host_class, &host_method);
+  mb.sget_sdk_int(0);
+  Label skip = mb.new_label();
+  mb.if_lit(cmp, 0, literal, skip);
+  mb.const_int(1, 1);
+  mb.bind(skip);
+  mb.return_void();
+
+  // Ledgered by build()'s vacuous-guard derivation like every other
+  // recorded comparison site — one-sided by construction, so the derived
+  // row is guaranteed.
+  guard_sites_.push_back(
+      GuardSite{MethodId{host_class, host_method, "()V"}, cmp, literal});
   return *this;
 }
 
@@ -567,6 +745,20 @@ AppBuilder::Built AppBuilder::build() {
   manifest_.components.push_back(
       Component{ComponentKind::kActivity, package_path_ + "/MainActivity"});
 
+  // A self-contradictory declared range (the SDC range lint's subject) is
+  // ledgered automatically — mirrors Amd::detect_declarations lint 1, so
+  // corpus strata only need to declare the bad range. sdk() rejects
+  // maxSdk < minSdk up front, leaving the two target-relative forms.
+  if (manifest_.target_sdk < manifest_.min_sdk ||
+      (manifest_.max_sdk != 0 && manifest_.max_sdk < manifest_.target_sdk)) {
+    SeededIssue issue;
+    issue.kind = MismatchKind::kSdkDeclaration;
+    issue.subject = MethodId{"", "declared-range", ""};
+    issue.real = true;
+    issue.tag = "bad_range";
+    truth_.issues.push_back(std::move(issue));
+  }
+
   // Finalize permission seeds now that target SDK and protocol state are
   // known.
   const ApiInterval range =
@@ -600,6 +792,29 @@ AppBuilder::Built AppBuilder::build() {
     else
       issue.tag = "unguarded";
     truth_.issues.push_back(std::move(issue));
+  }
+
+  // Vacuous-guard derivation: re-evaluate every recorded direct SDK_INT
+  // comparison against the final declared range, exactly as lint 3 does.
+  // A guard seeded as protection can still end up one-sided — a malformed
+  // maxSdk narrows the range below its threshold — and the ledger must
+  // agree with the lint that the comparison decides nothing. Skipped for
+  // an empty declared range, mirroring the lint.
+  if (!range.empty()) {
+    for (const auto& site : guard_sites_) {
+      int satisfied = 0;
+      for (int level = range.lo(); level <= range.hi(); ++level)
+        if (eval_cmp(site.cmp, level, site.literal)) ++satisfied;
+      if (satisfied != 0 && satisfied != range.size()) continue;
+      SeededIssue issue;
+      issue.kind = MismatchKind::kSdkDeclaration;
+      issue.location = site.method;
+      issue.subject = MethodId{"android/os/Build$VERSION", "SDK_INT",
+                               sdk_guard_descriptor(site.cmp, site.literal)};
+      issue.real = true;
+      issue.tag = "vacuous_guard";
+      truth_.issues.push_back(std::move(issue));
+    }
   }
 
   Built built;

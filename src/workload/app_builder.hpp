@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "adf/spec.hpp"
@@ -45,6 +47,12 @@ enum class GuardMode : std::uint8_t {
   kLocalViaField,
   kCrossMethod,
   kHidden,
+  /// The check lives in an app-internal `static boolean` helper method
+  /// (`if (VersionUtil.isAtLeastN()) ...`) — the helper-method guard idiom
+  /// AndroidCompass catalogues as the second most common protection after
+  /// direct SDK_INT checks. Requires helper-predicate evaluation
+  /// (AumOptions::helper_predicates); CID and Lint both miss it.
+  kHelperMethod,
 };
 
 enum class Placement : std::uint8_t {
@@ -106,6 +114,45 @@ class AppBuilder {
   /// recorded automatically.)
   AppBuilder& implement_runtime_permission_protocol();
 
+  /// Seeds one invocation of a semantic-change API (an entry of
+  /// FrameworkSpec::semantic_changes; `api` must name one). Guards:
+  /// kNone — a real SEM mismatch whenever the declared range overlaps the
+  /// change window; kLocal — the *inverse* guard `if (SDK_INT < from)
+  /// call()`, confining the call to the old behavior (benign);
+  /// kHelperMethod — the same inverse check behind an app-internal static
+  /// helper (benign, but only helper-predicate-aware analysis proves it).
+  /// A kLocal request whose threshold the declared range never crosses
+  /// (minSdk >= from) is emitted as kHelperMethod instead: the direct
+  /// comparison would be vacuously true and trip the SDC guard lint.
+  AppBuilder& semantic_call(const ApiUse& api,
+                            GuardMode guard = GuardMode::kNone);
+
+  /// Declares a dangerous permission that no seeded code exercises — SDC
+  /// "unused-permission" lint material, ledgered real. The caller must
+  /// pick a permission no permission_use seed requests.
+  AppBuilder& declare_unused_permission(const std::string& permission);
+
+  /// Seeds an SDK_INT comparison that decides the same way on every level
+  /// of the declared range (`SDK_INT >= minSdk` when `always_true`, else
+  /// `SDK_INT < minSdk`) — SDC "vacuous guard" lint material.
+  AppBuilder& vacuous_sdk_guard(bool always_true);
+
+  /// True when a previous seed already put `permission` in the manifest
+  /// (so corpus strata can pick a genuinely unused one to over-declare).
+  bool requests_permission(const std::string& permission) const {
+    return manifest_.requests_permission(permission);
+  }
+
+  /// True when some emitted call's spec target demands `permission`,
+  /// directly or transitively — including mismatch-API seeds and bulk
+  /// filler whose synthetic targets happen to enforce one. An
+  /// over-declared permission must dodge these too, or the analysis
+  /// rightly counts it as used (and, once the manifest requests it, may
+  /// surface a real PRM finding the ledger never seeded).
+  bool demands_permission(const std::string& permission) const {
+    return demanded_permissions_.count(permission) != 0;
+  }
+
   // -- bulk material ------------------------------------------------------------
   /// Adds one method invoking `count` distinct always-safe framework APIs
   /// (drives the number of classes an analysis must load — the
@@ -133,6 +180,17 @@ class AppBuilder {
     GuardMode guard;
   };
 
+  /// One emitted direct SDK_INT comparison the analysis will collect for
+  /// the vacuous-guard lint. build() re-evaluates every site against the
+  /// *final* declared range and ledgers the one-sided ones: a perfectly
+  /// sensible guard becomes dead weight when a malformed maxSdk narrows
+  /// the range below its threshold, and the lint is right to say so.
+  struct GuardSite {
+    MethodId method;
+    CmpOp cmp;
+    int literal;
+  };
+
   MethodBuilder& new_seed_method(Placement placement, std::string* out_class,
                                  std::string* out_method);
   void emit_call(MethodBuilder& mb, const ApiUse& api);
@@ -141,7 +199,12 @@ class AppBuilder {
   /// the method that physically contains the call.
   MethodId emit_guarded_call(const ApiUse& api, GuardMode guard,
                              Placement placement, int protect_level);
+  /// Emits a fresh app-internal `static boolean` SDK_INT predicate
+  /// (`return SDK_INT <cmp> literal`) and returns its (class, method).
+  std::pair<std::string, std::string> emit_helper_predicate(CmpOp cmp,
+                                                            int literal);
   const MethodSpec* find_spec_method(const ApiUse& api) const;
+  const SemanticChangeSpec* find_semantic_row(const ApiUse& api) const;
   const MethodSpec* find_spec_callback(const CallbackUse& cb) const;
   /// Permissions required by `api` per the spec (direct + transitive).
   std::vector<std::string> spec_permissions(const ApiUse& api) const;
@@ -161,6 +224,11 @@ class AppBuilder {
   std::vector<std::string> reflected_classes_; // Class.forName targets
 
   GroundTruth truth_;
+  /// Union of spec_permissions() over every distinct API emit_call has
+  /// emitted (memoized via mined_call_keys_ — filler cycles a small list).
+  std::unordered_set<std::string> demanded_permissions_;
+  std::unordered_set<std::string> mined_call_keys_;
+  std::vector<GuardSite> guard_sites_;
   std::vector<PermissionSeed> permission_seeds_;
   bool protocol_implemented_ = false;
   int seed_counter_ = 0;

@@ -1,5 +1,8 @@
 #include "workload/catalog.hpp"
 
+#include <unordered_map>
+#include <unordered_set>
+
 namespace saintdroid {
 
 std::string make_descriptor(const std::string& return_type,
@@ -233,10 +236,28 @@ bool covers(ApiInterval outer, ApiInterval inner) {
          inner.hi() <= outer.hi();
 }
 
+/// "cls|name|descriptor" keys of every semantic-change row — the methods
+/// every legacy collector must skip (see collect_semantic_apis's doc).
+std::unordered_set<std::string> semantic_keys(const FrameworkSpec& spec) {
+  std::unordered_set<std::string> keys;
+  for (const auto& row : spec.semantic_changes)
+    keys.insert(row.cls + "|" + row.name + "|" +
+                make_descriptor(row.return_type, row.params));
+  return keys;
+}
+
+bool is_semantic_method(const std::unordered_set<std::string>& keys,
+                        const ClassSpec& cls, const MethodSpec& m) {
+  if (keys.empty()) return false;
+  return keys.contains(cls.name + "|" + m.name + "|" +
+                       make_descriptor(m.return_type, m.params));
+}
+
 }  // namespace
 
 std::vector<ApiUse> collect_safe_apis(const FrameworkSpec& spec,
                                       ApiInterval range, std::size_t limit) {
+  const auto semantic = semantic_keys(spec);
   std::vector<ApiUse> out;
   for (const auto& cls : spec.classes) {
     if (cls.is_interface) continue;
@@ -249,6 +270,7 @@ std::vector<ApiUse> collect_safe_apis(const FrameworkSpec& spec,
       // permission-relevant.
       if (!m.calls.empty()) continue;
       if (m.name == "<init>") continue;
+      if (is_semantic_method(semantic, cls, m)) continue;
       if (!covers(spec_existence(m.life), range)) continue;
       out.push_back(ApiUse{cls.name, cls.name, m.name, m.return_type,
                            m.params, m.is_static});
@@ -290,6 +312,7 @@ std::vector<ApiUse> collect_breadth_apis(const FrameworkSpec& spec,
     return slot = true;
   };
 
+  const auto semantic = semantic_keys(spec);
   std::vector<ApiUse> out;
   for (const auto& cls : spec.classes) {
     if (out.size() >= limit) break;
@@ -297,6 +320,7 @@ std::vector<ApiUse> collect_breadth_apis(const FrameworkSpec& spec,
     if (!covers(spec_existence(cls.life), range)) continue;
     for (const auto& m : cls.methods) {
       if (m.callback || m.name == "<init>") continue;
+      if (is_semantic_method(semantic, cls, m)) continue;
       if (!covers(spec_existence(m.life), range)) continue;
       if (!permission_free(m, permission_free)) continue;
       out.push_back(ApiUse{cls.name, cls.name, m.name, m.return_type,
@@ -310,6 +334,7 @@ std::vector<ApiUse> collect_breadth_apis(const FrameworkSpec& spec,
 std::vector<ApiUse> collect_mismatch_apis(const FrameworkSpec& spec,
                                           ApiInterval range,
                                           std::size_t limit) {
+  const auto semantic = semantic_keys(spec);
   std::vector<ApiUse> out;
   for (const auto& cls : spec.classes) {
     if (cls.is_interface) continue;
@@ -318,6 +343,7 @@ std::vector<ApiUse> collect_mismatch_apis(const FrameworkSpec& spec,
       if (out.size() >= limit) return out;
       if (m.callback || !m.permission.empty()) continue;
       if (m.name == "<init>") continue;
+      if (is_semantic_method(semantic, cls, m)) continue;
       if (!m.life.exists_at(range.hi())) continue;
       // Introduced strictly inside the range: missing at the low end.
       if (m.life.introduced <= range.lo() ||
@@ -333,6 +359,7 @@ std::vector<ApiUse> collect_mismatch_apis(const FrameworkSpec& spec,
 std::vector<CallbackUse> collect_mismatch_callbacks(const FrameworkSpec& spec,
                                                     ApiInterval range,
                                                     std::size_t limit) {
+  const auto semantic = semantic_keys(spec);
   std::vector<CallbackUse> out;
   for (const auto& cls : spec.classes) {
     if (cls.is_interface) continue;
@@ -340,6 +367,7 @@ std::vector<CallbackUse> collect_mismatch_callbacks(const FrameworkSpec& spec,
     for (const auto& m : cls.methods) {
       if (out.size() >= limit) return out;
       if (!m.callback) continue;
+      if (is_semantic_method(semantic, cls, m)) continue;
       if (!m.life.exists_at(range.hi())) continue;
       if (m.life.introduced <= range.lo() ||
           m.life.introduced > range.hi())
@@ -353,6 +381,7 @@ std::vector<CallbackUse> collect_mismatch_callbacks(const FrameworkSpec& spec,
 std::vector<CallbackUse> collect_safe_callbacks(const FrameworkSpec& spec,
                                                 ApiInterval range,
                                                 std::size_t limit) {
+  const auto semantic = semantic_keys(spec);
   std::vector<CallbackUse> out;
   for (const auto& cls : spec.classes) {
     if (cls.is_interface) continue;
@@ -360,9 +389,32 @@ std::vector<CallbackUse> collect_safe_callbacks(const FrameworkSpec& spec,
     for (const auto& m : cls.methods) {
       if (out.size() >= limit) return out;
       if (!m.callback) continue;
+      if (is_semantic_method(semantic, cls, m)) continue;
       if (!covers(spec_existence(m.life), range)) continue;
       out.push_back(CallbackUse{cls.name, m.name, m.params});
     }
+  }
+  return out;
+}
+
+std::vector<ApiUse> collect_semantic_apis(const FrameworkSpec& spec) {
+  std::vector<ApiUse> out;
+  std::unordered_set<std::string> seen;  // one entry per method, not per row
+  for (const auto& row : spec.semantic_changes) {
+    const ClassSpec* cls = spec.find_class(row.cls);
+    if (cls == nullptr) continue;
+    const MethodSpec* method = nullptr;
+    for (const auto& m : cls->methods)
+      if (m.name == row.name && m.params == row.params) {
+        method = &m;
+        break;
+      }
+    if (method == nullptr || method->callback) continue;
+    const std::string key = row.cls + "|" + row.name + "|" +
+                            make_descriptor(row.return_type, row.params);
+    if (!seen.insert(key).second) continue;
+    out.push_back(ApiUse{row.cls, row.cls, row.name, row.return_type,
+                         row.params, method->is_static});
   }
   return out;
 }

@@ -159,4 +159,12 @@ std::vector<CallbackUse> collect_safe_callbacks(const FrameworkSpec& spec,
                                                 ApiInterval range,
                                                 std::size_t limit = 2000);
 
+/// The methods carrying curated semantic-change rows
+/// (FrameworkSpec::semantic_changes), as callable ApiUse entries — the SEM
+/// corpus stratum's material. Every collector above *excludes* these
+/// methods: a semantic-changed API handed out as filler or mismatch
+/// material would seed SEM findings into strata whose ledgers know
+/// nothing about them.
+std::vector<ApiUse> collect_semantic_apis(const FrameworkSpec& spec);
+
 }  // namespace saintdroid

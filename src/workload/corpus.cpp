@@ -4,6 +4,7 @@
 #include <cmath>
 #include <future>
 
+#include "adf/permissions.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "workload/app_builder.hpp"
@@ -66,6 +67,26 @@ BenchApp RealWorldCorpus::generate(int index) const {
   AppBuilder b{name, "app.generated.a" + std::to_string(index), spec};
   b.sdk(min_sdk, target_sdk);
 
+  // Declared-SDK lint stratum, part 1: the malformed-range variant must
+  // land before any seed, because every ledger derivation below reads the
+  // final declared range. The other two variants apply after every
+  // call-emitting stratum (the over-declared permission has to dodge all
+  // the permissions the app's calls request or demand). Gated on the
+  // fraction so a disabled stratum draws nothing from the stream.
+  bool declaration_stratum =
+      config_.declaration_issue_fraction > 0.0 &&
+      rng.uniform01() < config_.declaration_issue_fraction;
+  int declaration_variant = 0;
+  if (declaration_stratum) {
+    declaration_variant = static_cast<int>(rng.uniform(0, 2));
+    if (declaration_variant == 0) {
+      if (target_sdk > min_sdk)
+        b.sdk(min_sdk, target_sdk, target_sdk - 1);  // maxSdk < targetSdk
+      else
+        declaration_variant = 2;  // no room below target: vacuous guard
+    }
+  }
+
   const auto mismatch_apis = collect_mismatch_apis(spec, range);
   const auto mismatch_callbacks = collect_mismatch_callbacks(spec, range);
   const auto safe_callbacks = collect_safe_callbacks(spec, range);
@@ -89,6 +110,13 @@ BenchApp RealWorldCorpus::generate(int index) const {
     const int guarded = static_cast<int>(std::ceil(real * 0.3));
     for (int i = 0; i < guarded; ++i) {
       const ApiUse& api = rng.pick(mismatch_apis);
+      // Helper-method-idiom slice (extra gated draw: a zero fraction —
+      // the legacy config — leaves the stream untouched).
+      if (config_.helper_guard_fraction > 0.0 &&
+          rng.uniform01() < config_.helper_guard_fraction) {
+        b.api_call(api, GuardMode::kHelperMethod);
+        continue;
+      }
       const double shape = rng.uniform01();
       if (shape < 0.5)
         b.api_call(api, GuardMode::kLocal);
@@ -134,6 +162,27 @@ BenchApp RealWorldCorpus::generate(int index) const {
     b.permission_use(rng.pick(permission_apis()));
   }
 
+  // Semantic-change (SEM) stratum: unguarded call sites of curated
+  // semantic-change APIs, plus benign look-alikes behind the inverse
+  // guard — a slice of them via the helper-method idiom.
+  if (config_.semantic_app_fraction > 0.0 &&
+      rng.uniform01() < config_.semantic_app_fraction) {
+    const auto semantic_apis = collect_semantic_apis(spec);
+    if (!semantic_apis.empty()) {
+      const int real =
+          std::min(12, draw_count(rng, config_.semantic_issue_mean));
+      for (int i = 0; i < real; ++i)
+        b.semantic_call(rng.pick(semantic_apis));
+      const int guarded = static_cast<int>(std::ceil(real * 0.4));
+      for (int i = 0; i < guarded; ++i) {
+        const bool helper = config_.helper_guard_fraction > 0.0 &&
+                            rng.uniform01() < config_.helper_guard_fraction;
+        b.semantic_call(rng.pick(semantic_apis),
+                        helper ? GuardMode::kHelperMethod : GuardMode::kLocal);
+      }
+    }
+  }
+
   // Size and framework breadth.
   const std::uint64_t loc = std::min<std::uint64_t>(
       config_.size_cap,
@@ -145,6 +194,35 @@ BenchApp RealWorldCorpus::generate(int index) const {
                           ? static_cast<int>(rng.uniform(150, 400))
                           : static_cast<int>(rng.uniform(5, 40)));
   b.pad_to(loc);
+
+  // Declared-SDK lint stratum, part 2 (see part 1 above). This runs after
+  // every call-emitting stratum — including breadth and filler — so the
+  // over-declared permission can dodge everything the app's calls demand:
+  // a synthetic bulk method behind any earlier seed may enforce a random
+  // dangerous permission, and declaring *that* one would make the lint's
+  // usage check (correctly) stay silent while the manifest request turns
+  // the latent demand into an unseeded PRM finding.
+  if (declaration_stratum && declaration_variant == 1) {
+    const auto pool = dangerous_permissions();
+    const std::size_t start = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1));
+    bool declared = false;
+    for (std::size_t k = 0; k < pool.size(); ++k) {
+      const std::string permission{pool[(start + k) % pool.size()]};
+      if (b.requests_permission(permission) ||
+          b.demands_permission(permission))
+        continue;
+      b.declare_unused_permission(permission);
+      declared = true;
+      break;
+    }
+    // Every dangerous permission is spoken for (possible only under tiny
+    // specs): fall back to the vacuous-guard variant so the stratum still
+    // yields an SDC row.
+    if (!declared) b.vacuous_sdk_guard(rng.chance(0.5));
+  } else if (declaration_stratum && declaration_variant == 2) {
+    b.vacuous_sdk_guard(rng.chance(0.5));
+  }
 
   auto built = b.build();
   return BenchApp{std::move(built.apk), std::move(built.truth)};

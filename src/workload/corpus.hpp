@@ -44,6 +44,24 @@ struct CorpusConfig {
   /// Fraction of apps that are "library-heavy" (high framework breadth at
   /// modest size — the Fig. 3 outliers).
   double library_heavy_fraction = 0.04;
+
+  // --- SEM / SDC strata (all default-off) ------------------------------------
+  // Every knob below defaults to 0 and its stratum draws nothing from the
+  // app's random stream while disabled, so a default-config corpus is
+  // byte-identical to one generated before these strata existed.
+
+  /// Fraction of apps seeding semantic-change (SEM) call sites, and the
+  /// mean count of real sites for such apps.
+  double semantic_app_fraction = 0.0;
+  double semantic_issue_mean = 3.0;
+  /// Fraction of apps carrying one declared-SDK (SDC) lint issue: a
+  /// self-contradictory range, an over-declared dangerous permission, or a
+  /// vacuous SDK_INT guard.
+  double declaration_issue_fraction = 0.0;
+  /// Probability that a guarded benign look-alike (API or SEM) uses the
+  /// helper-method idiom (GuardMode::kHelperMethod) instead of a direct
+  /// SDK_INT check.
+  double helper_guard_fraction = 0.0;
 };
 
 class RealWorldCorpus {

@@ -22,6 +22,13 @@ std::string key_of(MismatchKind kind, const MethodId& location,
   k += location.to_string();
   k += "|";
   k += subject.to_string();
+  // SDC lint rows carry identity in the permission field too (the
+  // over-declared-permission lint has one row per permission, all with the
+  // same synthetic subject) — mirror of Mismatch::key().
+  if (kind == MismatchKind::kSdkDeclaration) {
+    k += "|";
+    k += permission;
+  }
   return k;
 }
 

@@ -16,6 +16,8 @@ Score FamilyScores::total() const {
   t += api;
   t += apc;
   t += prm;
+  t += sem;
+  t += sdc;
   return t;
 }
 
@@ -23,6 +25,8 @@ FamilyScores& FamilyScores::operator+=(const FamilyScores& other) {
   api += other.api;
   apc += other.apc;
   prm += other.prm;
+  sem += other.sem;
+  sdc += other.sdc;
   return *this;
 }
 
@@ -42,6 +46,8 @@ SuiteAppRow analyze_app_row(Analyzer& tool, const BenchApp& app) {
     row.scores.apc.fn = app.truth.real_count(MismatchKind::kApiCallback);
     row.scores.prm.fn =
         app.truth.real_count(MismatchKind::kPermissionRequest);
+    row.scores.sem.fn = app.truth.real_count(MismatchKind::kSemanticChange);
+    row.scores.sdc.fn = app.truth.real_count(MismatchKind::kSdkDeclaration);
   } else {
     row.scores.api = score_detections(app.truth, result.mismatches,
                                       MismatchKind::kApiInvocation);
@@ -49,6 +55,10 @@ SuiteAppRow analyze_app_row(Analyzer& tool, const BenchApp& app) {
                                       MismatchKind::kApiCallback);
     row.scores.prm = score_detections(app.truth, result.mismatches,
                                       MismatchKind::kPermissionRequest);
+    row.scores.sem = score_detections(app.truth, result.mismatches,
+                                      MismatchKind::kSemanticChange);
+    row.scores.sdc = score_detections(app.truth, result.mismatches,
+                                      MismatchKind::kSdkDeclaration);
   }
   return row;
 }

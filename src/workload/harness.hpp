@@ -27,6 +27,8 @@ struct FamilyScores {
   Score api;
   Score apc;
   Score prm;
+  Score sem;  ///< semantic-change findings (MismatchKind::kSemanticChange)
+  Score sdc;  ///< declared-SDK lint findings (MismatchKind::kSdkDeclaration)
 
   Score total() const;
   FamilyScores& operator+=(const FamilyScores& other);

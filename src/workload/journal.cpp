@@ -118,6 +118,19 @@ std::string journal_line(const SuiteAppRow& row) {
   emit_score(out, "apc", row.scores.apc);
   out << ",";
   emit_score(out, "prm", row.scores.prm);
+  // The SEM/SDC families are emitted sparsely — only when any count is
+  // nonzero — so rows of apps without semantic/declaration material are
+  // byte-identical to rows written before these families existed, and
+  // pre-SEM/SDC journals parse as all-zero scores (read_score's default).
+  const auto nonzero = [](const Score& s) { return (s.tp | s.fp | s.fn) != 0; };
+  if (nonzero(row.scores.sem)) {
+    out << ",";
+    emit_score(out, "sem", row.scores.sem);
+  }
+  if (nonzero(row.scores.sdc)) {
+    out << ",";
+    emit_score(out, "sdc", row.scores.sdc);
+  }
   out << "},\"usage\":{\"seconds\":" << row.usage.seconds
       << ",\"peak_bytes\":" << row.usage.peak_bytes
       << ",\"loaded_classes\":" << row.usage.loaded_classes << "}}";
@@ -158,6 +171,8 @@ std::optional<SuiteAppRow> parse_journal_line(std::string_view line) {
     row.scores.api = read_score(*scores, "api");
     row.scores.apc = read_score(*scores, "apc");
     row.scores.prm = read_score(*scores, "prm");
+    row.scores.sem = read_score(*scores, "sem");
+    row.scores.sdc = read_score(*scores, "sdc");
   }
   if (const JsonValue* usage = doc.find("usage");
       usage != nullptr && usage->type() == JsonValue::Type::kObject) {

@@ -1,0 +1,340 @@
+// The SEM / SDC detector extension (docs/DETECTORS.md):
+//
+//   * SEM — semantic-incompatibility findings from the curated
+//     semantic-change table: unguarded call sites overlapping a change
+//     window are real; inverse-guarded look-alikes (direct or via the
+//     helper-method idiom) are benign and must stay silent.
+//   * SDC — declared-SDK consistency lint: malformed declared ranges,
+//     over-declared dangerous permissions, vacuous SDK_INT guards.
+//   * Helper-predicate guards (AndroidCompass's second most common idiom)
+//     are honored by the interval analysis for the classic API family too.
+//
+// The compatibility keystone sits at the bottom: on a legacy-config corpus
+// (no SEM/SDC strata), enabling the new detectors changes *nothing* — every
+// canonical journal row is byte-identical to a detectors-off run, at
+// jobs ∈ {1, 2, 8}.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adf/repository.hpp"
+#include "baselines/cid.hpp"
+#include "baselines/cider.hpp"
+#include "baselines/lint.hpp"
+#include "core/report.hpp"
+#include "core/saintdroid.hpp"
+#include "workload/app_builder.hpp"
+#include "workload/catalog.hpp"
+#include "workload/corpus.hpp"
+#include "workload/harness.hpp"
+#include "workload/journal.hpp"
+
+namespace saintdroid {
+namespace {
+
+/// Small framework config shared by every repository in this file (the
+/// curated surface — semantic-change classes included — is present at any
+/// bulk size; bulk filler only adds mining cost).
+FrameworkConfig small_config() {
+  FrameworkConfig cfg;
+  cfg.bulk_classes = 400;
+  cfg.bulk_packages = 12;
+  return cfg;
+}
+
+const FrameworkRepository& test_repo() {
+  static const FrameworkRepository repo{small_config()};
+  return repo;
+}
+
+SaintDroid& test_tool() {
+  static SaintDroid tool{test_repo()};
+  return tool;
+}
+
+/// The curated semantic-change API with the widest change window
+/// (AsyncTask.execute, serial-executor change, [13, 29]).
+ApiUse async_task_execute() {
+  const auto apis = collect_semantic_apis(test_repo().spec());
+  for (const auto& api : apis)
+    if (api.declaring == "android/os/AsyncTask") return api;
+  ADD_FAILURE() << "AsyncTask.execute missing from semantic catalog";
+  return apis.at(0);
+}
+
+std::size_t count_of(const AnalysisResult& result, MismatchKind kind) {
+  return result.count(kind);
+}
+
+// --- SEM -----------------------------------------------------------------------
+
+TEST(SemanticDetector, UnguardedCallSiteInChangeWindowIsReported) {
+  AppBuilder b{"sem-unguarded", "com.test.sem1", test_repo().spec()};
+  b.sdk(16, 26);
+  b.semantic_call(async_task_execute());
+  const auto built = b.build();
+  ASSERT_EQ(built.truth.real_count(MismatchKind::kSemanticChange), 1u);
+
+  const AnalysisResult result = test_tool().analyze(built.apk);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(count_of(result, MismatchKind::kSemanticChange), 1u);
+  const auto it = std::find_if(
+      result.mismatches.begin(), result.mismatches.end(),
+      [](const Mismatch& m) { return m.kind == MismatchKind::kSemanticChange; });
+  ASSERT_NE(it, result.mismatches.end());
+  EXPECT_EQ(it->subject.class_name, "android/os/AsyncTask");
+  // The note carries the change taxonomy slug from the mined table.
+  EXPECT_NE(it->note.find("threading-change"), std::string::npos) << it->note;
+  // Exposure is the declared range clipped to the change window.
+  EXPECT_FALSE(it->problem_levels.empty());
+  EXPECT_GE(it->problem_levels.lo(), 16);
+
+  const Score score = score_detections(built.truth, result.mismatches,
+                                       MismatchKind::kSemanticChange);
+  EXPECT_EQ(score.tp, 1u);
+  EXPECT_EQ(score.fp, 0u);
+  EXPECT_EQ(score.fn, 0u);
+}
+
+TEST(SemanticDetector, InverseGuardedCallSitesStaySilent) {
+  // minSdk below the change window so the direct inverse guard
+  // (`if (SDK_INT < from) call()`) is non-vacuous; the helper-method form
+  // gets the same treatment via predicate evaluation.
+  AppBuilder b{"sem-guarded", "com.test.sem2", test_repo().spec()};
+  b.sdk(8, 26);
+  b.semantic_call(async_task_execute(), GuardMode::kLocal);
+  b.semantic_call(async_task_execute(), GuardMode::kHelperMethod);
+  const auto built = b.build();
+  EXPECT_EQ(built.truth.real_count(MismatchKind::kSemanticChange), 0u);
+  EXPECT_EQ(built.truth.benign_count(), 2u);
+
+  const AnalysisResult result = test_tool().analyze(built.apk);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(count_of(result, MismatchKind::kSemanticChange), 0u);
+  // The helper predicate must not surface as a vacuous-guard lint either:
+  // only direct SDK_INT comparisons feed that lint.
+  EXPECT_EQ(count_of(result, MismatchKind::kSdkDeclaration), 0u);
+}
+
+TEST(SemanticDetector, DeclaredRangeOutsideChangeWindowIsBenign) {
+  // An app capped below the window never executes the changed behavior.
+  AppBuilder b{"sem-outside", "com.test.sem3", test_repo().spec()};
+  b.sdk(8, 12, 12);  // [8, 12], AsyncTask window starts at 13
+  b.semantic_call(async_task_execute());
+  const auto built = b.build();
+  EXPECT_EQ(built.truth.real_count(MismatchKind::kSemanticChange), 0u);
+
+  const AnalysisResult result = test_tool().analyze(built.apk);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(count_of(result, MismatchKind::kSemanticChange), 0u);
+}
+
+// --- helper-method guards on the classic API family ----------------------------
+
+TEST(HelperPredicateGuard, RecognizedForApiInvocations) {
+  const ApiUse api = catalog::get_color_state_list();  // introduced at 23
+  AppBuilder b{"helper-api", "com.test.helper", test_repo().spec()};
+  b.sdk(16, 26);
+  b.api_call(api, GuardMode::kNone);          // real: exposed on [16, 22]
+  b.api_call(api, GuardMode::kHelperMethod);  // benign: predicate-guarded
+  const auto built = b.build();
+  ASSERT_EQ(built.truth.real_count(MismatchKind::kApiInvocation), 1u);
+
+  const AnalysisResult result = test_tool().analyze(built.apk);
+  ASSERT_TRUE(result.completed);
+  const Score score = score_detections(built.truth, result.mismatches,
+                                       MismatchKind::kApiInvocation);
+  EXPECT_EQ(score.tp, 1u);
+  EXPECT_EQ(score.fp, 0u) << "helper-guarded call was not recognized";
+  EXPECT_EQ(score.fn, 0u);
+  EXPECT_EQ(count_of(result, MismatchKind::kSdkDeclaration), 0u);
+}
+
+// --- SDC -----------------------------------------------------------------------
+
+TEST(DeclarationLint, MalformedDeclaredRangeIsReported) {
+  AppBuilder b{"sdc-range", "com.test.sdc1", test_repo().spec()};
+  b.sdk(16, 26, 20);  // maxSdk < targetSdk: self-contradictory
+  const auto built = b.build();
+  ASSERT_EQ(built.truth.real_count(MismatchKind::kSdkDeclaration), 1u);
+
+  const AnalysisResult result = test_tool().analyze(built.apk);
+  ASSERT_TRUE(result.completed);
+  const Score score = score_detections(built.truth, result.mismatches,
+                                       MismatchKind::kSdkDeclaration);
+  EXPECT_EQ(score.tp, 1u);
+  EXPECT_EQ(score.fp, 0u);
+  EXPECT_EQ(score.fn, 0u);
+  const auto it = std::find_if(
+      result.mismatches.begin(), result.mismatches.end(),
+      [](const Mismatch& m) { return m.kind == MismatchKind::kSdkDeclaration; });
+  ASSERT_NE(it, result.mismatches.end());
+  EXPECT_EQ(it->subject.name, "declared-range");
+}
+
+TEST(DeclarationLint, UnusedDangerousPermissionIsReported) {
+  AppBuilder b{"sdc-perm", "com.test.sdc2", test_repo().spec()};
+  b.sdk(16, 26);
+  b.declare_unused_permission("android.permission.CAMERA");
+  const auto built = b.build();
+  ASSERT_EQ(built.truth.real_count(MismatchKind::kSdkDeclaration), 1u);
+
+  const AnalysisResult result = test_tool().analyze(built.apk);
+  ASSERT_TRUE(result.completed);
+  const Score score = score_detections(built.truth, result.mismatches,
+                                       MismatchKind::kSdkDeclaration);
+  EXPECT_EQ(score.tp, 1u);
+  EXPECT_EQ(score.fp, 0u);
+  EXPECT_EQ(score.fn, 0u);
+  const auto it = std::find_if(
+      result.mismatches.begin(), result.mismatches.end(),
+      [](const Mismatch& m) { return m.kind == MismatchKind::kSdkDeclaration; });
+  ASSERT_NE(it, result.mismatches.end());
+  EXPECT_EQ(it->permission, "android.permission.CAMERA");
+}
+
+TEST(DeclarationLint, UsedDangerousPermissionIsNotFlagged) {
+  // The permission stratum's own requests must never trip the lint: a
+  // permission with a reaching use is not over-declared.
+  AppBuilder b{"sdc-used", "com.test.sdc3", test_repo().spec()};
+  b.sdk(16, 26);
+  b.permission_use(catalog::camera_open());
+  const auto built = b.build();
+
+  const AnalysisResult result = test_tool().analyze(built.apk);
+  ASSERT_TRUE(result.completed);
+  for (const auto& m : result.mismatches)
+    if (m.kind == MismatchKind::kSdkDeclaration)
+      FAIL() << "spurious SDC on a used permission: " << m.to_string();
+}
+
+TEST(DeclarationLint, VacuousGuardsAreReportedBothWays) {
+  for (const bool always_true : {true, false}) {
+    SCOPED_TRACE(always_true ? "always-true" : "always-false");
+    AppBuilder b{"sdc-guard", "com.test.sdc4", test_repo().spec()};
+    b.sdk(16, 26);
+    b.vacuous_sdk_guard(always_true);
+    const auto built = b.build();
+    ASSERT_EQ(built.truth.real_count(MismatchKind::kSdkDeclaration), 1u);
+
+    const AnalysisResult result = test_tool().analyze(built.apk);
+    ASSERT_TRUE(result.completed);
+    const Score score = score_detections(built.truth, result.mismatches,
+                                         MismatchKind::kSdkDeclaration);
+    EXPECT_EQ(score.tp, 1u);
+    EXPECT_EQ(score.fp, 0u);
+    EXPECT_EQ(score.fn, 0u);
+  }
+}
+
+TEST(DeclarationLint, MeaningfulGuardIsNotVacuous) {
+  // A live SDK_INT check that splits the declared range must stay silent.
+  const ApiUse api = catalog::get_color_state_list();  // introduced at 23
+  AppBuilder b{"sdc-live", "com.test.sdc5", test_repo().spec()};
+  b.sdk(16, 26);
+  b.api_call(api, GuardMode::kLocal);
+  const auto built = b.build();
+
+  const AnalysisResult result = test_tool().analyze(built.apk);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(count_of(result, MismatchKind::kSdkDeclaration), 0u);
+}
+
+// --- taxonomy wiring -----------------------------------------------------------
+
+TEST(DetectorTaxonomy, OnlySaintDroidClaimsTheNewFamilies) {
+  SaintDroid& saint = test_tool();
+  EXPECT_TRUE(saint.detects(MismatchKind::kSemanticChange));
+  EXPECT_TRUE(saint.detects(MismatchKind::kSdkDeclaration));
+
+  CidAnalyzer cid{test_repo()};
+  CiderAnalyzer cider;
+  LintAnalyzer lint{test_repo()};
+  for (const Analyzer* tool :
+       {static_cast<const Analyzer*>(&cid),
+        static_cast<const Analyzer*>(&cider),
+        static_cast<const Analyzer*>(&lint)}) {
+    EXPECT_FALSE(tool->detects(MismatchKind::kSemanticChange))
+        << tool->name();
+    EXPECT_FALSE(tool->detects(MismatchKind::kSdkDeclaration))
+        << tool->name();
+  }
+}
+
+TEST(DetectorTaxonomy, StrataCorpusScoresPerfectlyOnItsLedger) {
+  // A small strata-enabled corpus end-to-end: every seeded SEM/SDC issue
+  // found, nothing invented (the full-size version of this gate runs in
+  // bench_table2_accuracy).
+  CorpusConfig config;
+  config.app_count = 12;
+  config.size_base = 120.0;
+  config.size_spread = 1.5;
+  config.semantic_app_fraction = 0.7;
+  config.declaration_issue_fraction = 0.6;
+  config.helper_guard_fraction = 0.5;
+  const RealWorldCorpus corpus{test_repo(), config};
+  const auto apps = corpus.generate_range(0, config.app_count);
+
+  std::size_t real_sem = 0;
+  std::size_t real_sdc = 0;
+  for (const auto& app : apps) {
+    real_sem += app.truth.real_count(MismatchKind::kSemanticChange);
+    real_sdc += app.truth.real_count(MismatchKind::kSdkDeclaration);
+  }
+  ASSERT_GT(real_sem, 0u);
+  ASSERT_GT(real_sdc, 0u);
+
+  const SuiteResult suite = run_suite(test_tool(), apps);
+  EXPECT_EQ(suite.failures, 0);
+  EXPECT_EQ(suite.aggregate.sem.tp, real_sem);
+  EXPECT_EQ(suite.aggregate.sem.fp, 0u);
+  EXPECT_EQ(suite.aggregate.sem.fn, 0u);
+  EXPECT_EQ(suite.aggregate.sdc.tp, real_sdc);
+  EXPECT_EQ(suite.aggregate.sdc.fp, 0u);
+  EXPECT_EQ(suite.aggregate.sdc.fn, 0u);
+}
+
+// --- the compatibility keystone -------------------------------------------------
+
+TEST(DetectorCompat, LegacyCorpusRowsByteIdenticalWithDetectorsEnabled) {
+  // Legacy-config corpus (no SEM/SDC strata): the new detectors must be
+  // invisible — per-row canonical journal bytes equal between a
+  // detectors-on and a detectors-off run, for every jobs value. This is
+  // the "existing three classes byte-identical" acceptance criterion.
+  const FrameworkRepository& repo = test_repo();
+  CorpusConfig config;
+  config.app_count = 40;
+  config.size_base = 120.0;
+  config.size_spread = 1.5;
+  config.api_issue_mean = 6.0;
+  const RealWorldCorpus corpus{repo, config};
+  const auto apps = corpus.generate_range(0, config.app_count, 4);
+
+  const auto db = std::make_shared<const ApiDatabase>(
+      ApiDatabase::mine(repo, 4));
+  SaintDroidOptions legacy_options;
+  legacy_options.amd.detect_semantics = false;
+  legacy_options.amd.detect_declarations = false;
+
+  for (const int jobs : {1, 2, 8}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    const SuiteResult with = run_suite_parallel(
+        [&] { return std::make_unique<SaintDroid>(repo, db); }, apps, jobs);
+    const SuiteResult without = run_suite_parallel(
+        [&] {
+          return std::make_unique<SaintDroid>(repo, db, legacy_options);
+        },
+        apps, jobs);
+    ASSERT_EQ(with.rows.size(), without.rows.size());
+    for (std::size_t i = 0; i < with.rows.size(); ++i)
+      EXPECT_EQ(canonical_row_bytes(with.rows[i]),
+                canonical_row_bytes(without.rows[i]))
+          << "app=" << apps[i].apk.name;
+  }
+}
+
+}  // namespace
+}  // namespace saintdroid

@@ -19,6 +19,7 @@
 #include "adf/repository.hpp"
 #include "core/arm.hpp"
 #include "core/saintdroid.hpp"
+#include "core/semantics.hpp"
 #include "dex/apk.hpp"
 #include "dex/builder.hpp"
 #include "dex/disasm.hpp"
@@ -361,6 +362,94 @@ TEST(SdmcFuzz, VersionAndKeySplicesThrow) {
   }
 }
 
+TEST(SdmcFuzz, SemanticTableEveryTruncationThrows) {
+  // The new kSemanticTable kind (container format v2) gets the full
+  // treatment: a damaged semtab entry must throw at open — the cache then
+  // re-derives — never load silently into a wrong change table.
+  const auto& repo = sdmc_fuzz_repo();
+  const SdmcKey key = sdmc_fuzz_key(SdmcKind::kSemanticTable);
+  const auto payload = mine_semantic_table(repo.spec()).serialize();
+  const auto blob = sdmc_seal(key, payload);
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    std::span<const std::uint8_t> window(blob.data(), cut);
+    EXPECT_THROW((void)sdmc_open(window, key), ParseError) << "cut=" << cut;
+  }
+  // Past the container, the inner SMTB decoder rejects every truncation
+  // from its own bounds checks.
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    std::span<const std::uint8_t> window(payload.data(), cut);
+    EXPECT_THROW((void)SemanticTable::parse(window), ParseError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(SdmcFuzz, SemanticTableEveryBitFlipThrowsOrParsesCanonically) {
+  const auto& repo = sdmc_fuzz_repo();
+  const SdmcKey key = sdmc_fuzz_key(SdmcKind::kSemanticTable);
+  const auto payload = mine_semantic_table(repo.spec()).serialize();
+  // Sealed container: any flip anywhere must throw (payload checksum).
+  const auto base = sdmc_seal(key, payload);
+  Rng rng{0x5E317ABULL};
+  for (std::size_t pos = 0; pos < base.size(); ++pos) {
+    auto blob = base;
+    blob[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    EXPECT_THROW((void)sdmc_open(blob, key), ParseError) << "pos=" << pos;
+  }
+  // Bare SMTB payload: a flip either throws or yields a table whose
+  // re-serialization is a fixed point of the flipped input (the
+  // canonical-order byte-compare inside parse guarantees exactly this),
+  // with every accessor safe to call.
+  for (std::size_t pos = 0; pos < payload.size(); ++pos) {
+    auto bytes = payload;
+    bytes[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    try {
+      const SemanticTable table = SemanticTable::parse(bytes);
+      EXPECT_EQ(table.serialize(), bytes);
+      for (const auto& row : table.rows())
+        (void)table.changes_for(row.method);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST(SdmcFuzz, SemanticTableVersionAndKindSplicesThrow) {
+  // Staleness splices for the new kind: a semtab written by a pre-v2
+  // container, an apidb entry renamed into the semtab slot (and the dual),
+  // and a foreign-framework seal must all be refused at open.
+  const auto& repo = sdmc_fuzz_repo();
+  const auto payload = mine_semantic_table(repo.spec()).serialize();
+  const SdmcKey key = sdmc_fuzz_key(SdmcKind::kSemanticTable);
+
+  {
+    auto blob = sdmc_seal(key, payload);
+    blob[4] = static_cast<std::uint8_t>(kSdmcFormatVersion - 1);
+    EXPECT_THROW((void)sdmc_open(blob, key), ParseError);
+    blob[4] = static_cast<std::uint8_t>(kSdmcFormatVersion + 1);
+    EXPECT_THROW((void)sdmc_open(blob, key), ParseError);
+  }
+  {
+    // Kind splice both ways: the container's kind field, not the file
+    // name, is authoritative.
+    SdmcKey apidb = sdmc_fuzz_key(SdmcKind::kApiDatabase);
+    EXPECT_THROW((void)sdmc_open(sdmc_seal(apidb, payload), key), ParseError);
+    EXPECT_THROW((void)sdmc_open(sdmc_seal(key, payload), apidb), ParseError);
+  }
+  {
+    SdmcKey foreign = key;
+    foreign.fingerprint = "fedcba9876543210";
+    EXPECT_THROW((void)sdmc_open(sdmc_seal(foreign, payload), key),
+                 ParseError);
+  }
+  {
+    // Trailing garbage after a well-formed SMTB payload must be refused —
+    // the canonical byte-compare inside parse requires serialize(parse(b))
+    // to reproduce b exactly, extra bytes included.
+    auto bytes = payload;
+    bytes.push_back(0);
+    EXPECT_THROW((void)SemanticTable::parse(bytes), ParseError);
+  }
+}
+
 TEST(SdmcFuzz, SubstrateTableTruncationRejectsInRebind) {
   // Past the container, the inner substrate-tables decoder gets the same
   // sweep: a truncated payload handed straight to the rebind constructor
@@ -429,6 +518,8 @@ SuiteAppRow rich_row() {
   row.scores.api = {3, 1, 2};
   row.scores.apc = {0, 0, 5};
   row.scores.prm = {1, 0, 0};
+  row.scores.sem = {2, 0, 1};  // nonzero: the sparse sem/sdc fields emit
+  row.scores.sdc = {1, 1, 0};
   row.usage.seconds = 0.25;
   row.usage.peak_bytes = 123456;
   row.usage.loaded_classes = 42;
@@ -709,6 +800,10 @@ TEST(JournalFuzz, RandomizedRowsRoundTripThroughTheirLine) {
     row.scores.api = score();
     row.scores.apc = score();
     row.scores.prm = score();
+    // Half the trials leave sem/sdc all-zero to exercise the sparse-emit
+    // path (absent fields must read back as zeros and re-emit absent).
+    row.scores.sem = rng.chance(0.5) ? score() : Score{};
+    row.scores.sdc = rng.chance(0.5) ? score() : Score{};
     row.usage.seconds = rng.uniform01() * 1000.0;
     // JSON numbers ride through a double: integers round-trip exactly up
     // to 2^53, which is the journal's stated integer range (a peak_bytes
@@ -742,6 +837,12 @@ TEST(JournalFuzz, RandomizedRowsRoundTripThroughTheirLine) {
     EXPECT_EQ(parsed->scores.prm.tp, row.scores.prm.tp);
     EXPECT_EQ(parsed->scores.prm.fp, row.scores.prm.fp);
     EXPECT_EQ(parsed->scores.prm.fn, row.scores.prm.fn);
+    EXPECT_EQ(parsed->scores.sem.tp, row.scores.sem.tp);
+    EXPECT_EQ(parsed->scores.sem.fp, row.scores.sem.fp);
+    EXPECT_EQ(parsed->scores.sem.fn, row.scores.sem.fn);
+    EXPECT_EQ(parsed->scores.sdc.tp, row.scores.sdc.tp);
+    EXPECT_EQ(parsed->scores.sdc.fp, row.scores.sdc.fp);
+    EXPECT_EQ(parsed->scores.sdc.fn, row.scores.sdc.fn);
     EXPECT_EQ(parsed->usage.peak_bytes, row.usage.peak_bytes);
     EXPECT_EQ(parsed->usage.loaded_classes, row.usage.loaded_classes);
     // seconds crosses a 6-significant-digit text representation; it is the

@@ -23,6 +23,7 @@
 #include "adf/repository.hpp"
 #include "core/model_cache.hpp"
 #include "core/saintdroid.hpp"
+#include "core/semantics.hpp"
 #include "support/errors.hpp"
 #include "support/sdmc.hpp"
 #include "workload/corpus.hpp"
@@ -105,6 +106,46 @@ TEST(ModelCacheDb, ForeignFingerprintMissesAndRemines) {
   // Both entries now coexist (distinct file names).
   EXPECT_TRUE(cache.try_load_api_database(repo).has_value());
   EXPECT_TRUE(cache.try_load_api_database(other).has_value());
+}
+
+TEST(ModelCacheDb, PrePrVersionEntriesRefusedThenReminedAndRestored) {
+  // The shape an upgrade leaves behind: apidb and semtab entries written
+  // by a build with a different container version. Both must be refused
+  // cleanly — miss, re-mine/re-derive, overwrite — never loaded.
+  const std::string dir = fresh_cache_dir("version_bump");
+  const ModelCache cache{dir};
+  const FrameworkRepository repo{small_config()};
+  const auto fresh = cache.api_database(repo, 2);
+  const auto db_reference = fresh->serialize();
+  ASSERT_NE(fresh->semantics(), nullptr);
+  const auto sem_reference = fresh->semantics()->serialize();
+
+  const auto corrupt_version = [](const std::string& path) {
+    auto blob = read_file_bytes(path);
+    ASSERT_TRUE(blob.has_value()) << path;
+    (*blob)[4] ^= 0x20;  // version is the u32 at bytes 4..7
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    out.write(reinterpret_cast<const char*>(blob->data()),
+              static_cast<std::streamsize>(blob->size()));
+  };
+  corrupt_version(cache.api_database_path(repo));
+  corrupt_version(cache.semantic_table_path(repo));
+
+  EXPECT_FALSE(cache.try_load_api_database(repo).has_value());
+  bool served = true;
+  const auto remined = cache.api_database(repo, 2, &served);
+  EXPECT_FALSE(served);  // the stale entry cost this run the mining pass
+  EXPECT_EQ(remined->serialize(), db_reference);
+  ASSERT_NE(remined->semantics(), nullptr);
+  EXPECT_EQ(remined->semantics()->serialize(), sem_reference);
+
+  // Both entries were overwritten in place: the next process is warm
+  // again, semantic table included.
+  const auto healthy = cache.api_database(repo, 2, &served);
+  EXPECT_TRUE(served);
+  EXPECT_EQ(healthy->serialize(), db_reference);
+  ASSERT_NE(healthy->semantics(), nullptr);
+  EXPECT_EQ(healthy->semantics()->serialize(), sem_reference);
 }
 
 TEST(ModelCacheSubstrate, RebindMatchesFullBuildExactly) {
@@ -246,6 +287,11 @@ class WarmColdSuite : public ::testing::Test {
     config.size_base = 120.0;  // small apps, same generative structure
     config.size_spread = 1.5;
     config.api_issue_mean = 6.0;
+    // SEM/SDC strata on: warm ≡ cold must hold with the semantic table
+    // riding in the cache and the newer detector families firing.
+    config.semantic_app_fraction = 0.4;
+    config.declaration_issue_fraction = 0.3;
+    config.helper_guard_fraction = 0.5;
     const RealWorldCorpus corpus{*repo_, config};
     apps_ = new std::vector<BenchApp>{
         corpus.generate_range(0, kCorpusSize, 8)};

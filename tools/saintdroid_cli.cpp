@@ -115,8 +115,11 @@ std::vector<int> parse_levels(const std::string& arg) {
   return levels;
 }
 
-int usage() {
-  std::fprintf(stderr,
+/// The one usage text, printed to stderr (error path) or stdout
+/// (`--help`). ci/verify.sh lint-checks every `--flag` the docs mention
+/// against this output, so a flag that exists must be listed here.
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: saintdroid analyze <apk> [--json] [--suggest] "
                "[--levels a,b,c] [--db <file>]\n"
                "                          [--model-cache <dir>]\n"
@@ -139,7 +142,12 @@ int usage() {
                "       saintdroid submit <statedir> <apk>... [--deadline S] "
                "[--wait S]\n"
                "       saintdroid disasm <apk>\n"
-               "       saintdroid mine <output-db-file>\n");
+               "       saintdroid mine <output-db-file>\n"
+               "       saintdroid --help\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
 }
 
@@ -567,6 +575,13 @@ int run_merge_journals(const std::string& out_path,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `--help` anywhere wins: print the usage text to stdout and succeed.
+  // The doc-drift lint in ci/verify.sh runs exactly this invocation.
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage(stdout);
+      return 0;
+    }
   if (argc < 3) return usage();
   const std::string command = argv[1];
   const std::string path = argv[2];
