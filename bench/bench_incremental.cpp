@@ -1,0 +1,165 @@
+// Incremental re-vetting benchmark: app-update analysis with a warm
+// per-app fact cache vs. from scratch.
+//
+// Builds version 0 and version 1 of a strip of localized version chains
+// (each bump edits two slot classes plus dead-code churn — the workload
+// the incremental layer exists for), warms the cache on version 0, then
+// times the version-1 re-vetting twice: from scratch and with the warm
+// cache. Timings and counters go to BENCH_incremental.json; the run fails
+// unless the warm pass served every app from the cache (hits == apps,
+// fallbacks == 0), produced byte-identical canonical rows, and was
+// strictly faster than the from-scratch pass.
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adf/repository.hpp"
+#include "core/incr_cache.hpp"
+#include "core/saintdroid.hpp"
+#include "support/meter.hpp"
+#include "support/thread_pool.hpp"
+#include "workload/corpus.hpp"
+#include "workload/harness.hpp"
+#include "workload/journal.hpp"
+
+namespace sd = saintdroid;
+
+namespace {
+
+constexpr int kChains = 16;
+
+sd::VersionChainConfig chain_config() {
+  sd::VersionChainConfig config;
+  config.versions = 2;
+  // Large apps relative to the two-class edit, with all padding reachable
+  // from onCreate: a from-scratch pass explores the whole app while the
+  // incremental pass re-analyzes only the edited classes and replays the
+  // rest from the cached traces.
+  config.target_loc = 20000;
+  config.filler_live_stride = 1;
+  return config;
+}
+
+std::string sorted_canonical(const std::vector<sd::SuiteAppRow>& rows) {
+  std::vector<std::string> lines;
+  lines.reserve(rows.size());
+  for (const auto& row : rows) lines.push_back(sd::canonical_row_bytes(row));
+  std::sort(lines.begin(), lines.end());
+  std::string bytes;
+  for (const auto& line : lines) {
+    bytes += line;
+    bytes += '\n';
+  }
+  return bytes;
+}
+
+}  // namespace
+
+int main() {
+  const int jobs = static_cast<int>(sd::ThreadPool::default_workers());
+  const std::string cache_dir = "BENCH_incremental.cache";
+  std::filesystem::remove_all(cache_dir);
+
+  sd::FrameworkConfig fw;
+  fw.bulk_classes = 400;
+  fw.bulk_packages = 12;
+  const sd::FrameworkRepository repo{fw};
+
+  std::printf("generating %d version chains (2 versions each)...\n", kChains);
+  std::vector<sd::BenchApp> v0, v1;
+  for (int c = 0; c < kChains; ++c) {
+    v0.push_back(sd::generate_chain_version(repo, chain_config(), c, 0));
+    v1.push_back(sd::generate_chain_version(repo, chain_config(), c, 1));
+  }
+
+  const auto db = std::make_shared<const sd::ApiDatabase>(
+      sd::ApiDatabase::mine(repo, jobs));
+  const auto cache = std::make_shared<const sd::IncrCache>(cache_dir);
+  const auto scratch_factory = [&] {
+    return std::make_unique<sd::SaintDroid>(repo, db);
+  };
+  const auto incr_factory = [&] {
+    sd::SaintDroidOptions options;
+    options.incr_cache = cache;
+    // Update traffic keeps dirty fractions tiny; skip the entry rebuild
+    // and write below 20% so the steady-state hit path is read-only.
+    options.refresh_dirty_fraction = 0.2;
+    return std::make_unique<sd::SaintDroid>(repo, db, options);
+  };
+
+  std::printf("warming cache on version 0 (%d jobs)...\n", jobs);
+  const auto warmup = sd::run_suite_parallel(incr_factory, v0, jobs);
+
+  std::printf("re-vetting version 1 from scratch...\n");
+  const sd::Stopwatch scratch_watch;
+  const auto scratch = sd::run_suite_parallel(scratch_factory, v1, jobs);
+  const double scratch_seconds = scratch_watch.seconds();
+
+  std::printf("re-vetting version 1 incrementally...\n");
+  const sd::Stopwatch incr_watch;
+  const auto incr = sd::run_suite_parallel(incr_factory, v1, jobs);
+  const double incr_seconds = incr_watch.seconds();
+  std::filesystem::remove_all(cache_dir);
+
+  const double speedup =
+      incr_seconds > 0 ? scratch_seconds / incr_seconds : 0.0;
+  std::printf("\n%-24s %10.2f ms\n", "scratch", 1000.0 * scratch_seconds);
+  std::printf("%-24s %10.2f ms  (%.2fx)\n", "incremental",
+              1000.0 * incr_seconds, speedup);
+  std::printf("warmup fallbacks %llu; incr hits %llu, fallbacks %llu, "
+              "dirty classes %llu\n",
+              static_cast<unsigned long long>(warmup.incremental.fallbacks),
+              static_cast<unsigned long long>(incr.incremental.hits),
+              static_cast<unsigned long long>(incr.incremental.fallbacks),
+              static_cast<unsigned long long>(incr.incremental.dirty_classes));
+
+  // Acceptance gates: every update served from the cache, byte-identical
+  // findings, strictly faster than from scratch.
+  const bool all_hits =
+      incr.incremental.hits == static_cast<std::uint64_t>(kChains) &&
+      incr.incremental.fallbacks == 0;
+  const bool identical =
+      sorted_canonical(incr.rows) == sorted_canonical(scratch.rows);
+  const bool faster = incr_seconds < scratch_seconds;
+
+  if (std::FILE* out = std::fopen("BENCH_incremental.json", "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"incremental_revet\",\n"
+                 "  \"jobs\": %d,\n"
+                 "  \"chains\": %d,\n"
+                 "  \"scratch_seconds\": %.4f,\n"
+                 "  \"incremental_seconds\": %.4f,\n"
+                 "  \"speedup\": %.2f,\n"
+                 "  \"incremental_hits\": %llu,\n"
+                 "  \"incremental_fallbacks\": %llu,\n"
+                 "  \"dirty_classes\": %llu,\n"
+                 "  \"rows_identical\": %s,\n"
+                 "  \"incremental_strictly_faster\": %s\n"
+                 "}\n",
+                 jobs, kChains, scratch_seconds, incr_seconds, speedup,
+                 static_cast<unsigned long long>(incr.incremental.hits),
+                 static_cast<unsigned long long>(incr.incremental.fallbacks),
+                 static_cast<unsigned long long>(
+                     incr.incremental.dirty_classes),
+                 identical ? "true" : "false", faster ? "true" : "false");
+    std::fclose(out);
+    std::printf("-> BENCH_incremental.json\n");
+  }
+
+  if (!all_hits) {
+    std::fprintf(stderr, "INCREMENTAL PASS DID NOT HIT ON EVERY APP\n");
+    return 1;
+  }
+  if (!identical) {
+    std::fprintf(stderr, "INCREMENTAL ROWS DIFFER FROM SCRATCH ROWS\n");
+    return 1;
+  }
+  if (!faster) {
+    std::fprintf(stderr, "INCREMENTAL PASS NOT FASTER THAN SCRATCH\n");
+    return 1;
+  }
+  return 0;
+}

@@ -16,12 +16,13 @@ leg="${1:-all}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 run_tsan() {
-  echo "=== ThreadSanitizer: test_parallel + test_faults + test_shard + test_workstealing + test_substrate + test_model_cache + test_detectors + test_serve ==="
+  echo "=== ThreadSanitizer: test_parallel + test_faults + test_shard + test_workstealing + test_substrate + test_model_cache + test_detectors + test_serve + test_incremental ==="
   cmake -B build-tsan -S . -DSD_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build build-tsan -j "$jobs" \
         --target test_parallel test_faults test_shard test_workstealing \
-        test_substrate test_model_cache test_detectors test_serve
+        test_substrate test_model_cache test_detectors test_serve \
+        test_incremental
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_faults
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_shard
@@ -36,6 +37,10 @@ run_tsan() {
   # The vetting daemon: admission queue, worker pool, result cache and the
   # response fan-out racing client threads — plus the soak at 2x capacity.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_serve
+  # Parallel suites racing one shared incremental cache directory
+  # (ChainSuite.ConcurrentSuitesShareOneCacheDirectory): rename-atomic
+  # entry stores against concurrent try_loads across worker threads.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_incremental
 }
 
 run_asan() {

@@ -17,6 +17,11 @@ cmake -B build -S . > /dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+echo "=== incremental equivalence gate: test_incremental ==="
+# Also part of the ctest pass above; run standalone so the incremental ≡
+# from-scratch proof fails loudly under its own name.
+./build/tests/test_incremental
+
 echo "=== doc-drift lint: docs/*.md flags vs saintdroid --help ==="
 tools/check_doc_drift.sh ./build/tools/saintdroid docs
 

@@ -106,6 +106,36 @@ std::optional<ApiInterval> evaluate_sdk_predicate(const DexFile& dex,
 
 }  // namespace
 
+void ClassTrace::add_resolve(const MethodId& id) {
+  if (resolve_seen_.insert(id).second) resolves.push_back(id);
+}
+
+void ClassTrace::add_walk_root(const MethodId& id) {
+  if (walk_seen_.insert(id).second) walk_roots.push_back(id);
+}
+
+void ClassTrace::add_latebind(const std::string& type, int depth) {
+  if (const auto [it, inserted] = latebind_index_.emplace(type, latebinds.size());
+      inserted) {
+    latebinds.push_back(TraceLatebind{type, depth});
+  } else {
+    auto& entry = latebinds[it->second];
+    entry.depth = std::min(entry.depth, depth);
+  }
+}
+
+void ClassTrace::add_edge(const MethodId& callee, ApiInterval context,
+                          int depth) {
+  if (const auto [it, inserted] = edge_index_.emplace(callee, edges.size());
+      inserted) {
+    edges.push_back(TraceEdge{callee, context, depth});
+  } else {
+    auto& entry = edges[it->second];
+    entry.context = entry.context.hull(context);
+    entry.depth = std::min(entry.depth, depth);
+  }
+}
+
 Aum::Aum(ClassHierarchy& hierarchy, const ApiDatabase& db, AumOptions options,
          BudgetTracker* budget)
     : hierarchy_(&hierarchy), db_(&db), options_(options), budget_(budget) {}
@@ -128,6 +158,10 @@ const Aum::RefResolution& Aum::resolve_ref(const DexFile& dex,
         slot->declared.class_name, slot->declared.name,
         slot->declared.descriptor);
   }
+  // Recorded on every call, memo hits included: the trace must credit each
+  // *class* with every resolution its methods perform, not only the one
+  // that first populated the shared per-dex slot.
+  if (trace_cls_ != nullptr) trace_cls_->add_resolve(slot->declared);
   return *slot;
 }
 
@@ -220,6 +254,15 @@ void Aum::walk_edges_fast(const FrameworkSubstrate::MethodEntry& me,
 }
 
 void Aum::explore_method(const MethodWork& work, UsageModel& model) {
+  // Incremental scope check: the dirty set is a forward closure over the
+  // reference graph, so a scoped run can never legitimately reach a class
+  // outside it. Arriving here anyway means the closure (or the cached
+  // traces that seeded us) is stale — flag it so the caller discards the
+  // run instead of serving facts computed from a broken premise.
+  if (scope_ != nullptr && scope_->count(work.cls->name) == 0) {
+    scope_violation_ = true;
+    return;
+  }
   const MethodDef& def = *work.def;
   if (!def.code || def.code->insns.empty()) return;
 
@@ -235,6 +278,10 @@ void Aum::explore_method(const MethodWork& work, UsageModel& model) {
 
   const DexFile& dex = *work.cls->dex;
   const MethodId caller = dex.method_id(*work.cls->def, def);
+  // Route every recording below (including resolve_ref calls made from
+  // inside the guard fixpoint's predicate lookups) to this class's trace.
+  trace_cls_ =
+      record_ != nullptr ? &record_->classes[caller.class_name] : nullptr;
   const Cfg& cfg = cfg_for(def);
   SdkPredicateLookup predicate_lookup;
   const SdkPredicateLookup* predicates = nullptr;
@@ -293,6 +340,7 @@ void Aum::explore_method(const MethodWork& work, UsageModel& model) {
       // Late binding: conservatively analyze every method of the
       // statically-named class (paper §III-A).
       const std::string type = dex.type_name(insn.index);
+      if (trace_cls_ != nullptr) trace_cls_->add_latebind(type, work.depth + 1);
       const LoadedClass* loaded = hierarchy_->load(type);
       if (loaded && !loaded->from_framework) {
         for (const auto& m : loaded->def->methods)
@@ -314,6 +362,7 @@ void Aum::explore_method(const MethodWork& work, UsageModel& model) {
         declared.name == "forName" && string_at[i] != kNoIndex) {
       std::string type = dex.string_at(string_at[i]);
       std::replace(type.begin(), type.end(), '.', '/');
+      if (trace_cls_ != nullptr) trace_cls_->add_latebind(type, work.depth + 1);
       const LoadedClass* loaded = hierarchy_->load(type);
       if (loaded && !loaded->from_framework) {
         for (const auto& m : loaded->def->methods)
@@ -326,8 +375,11 @@ void Aum::explore_method(const MethodWork& work, UsageModel& model) {
     if (resolution && resolution->declaring_class->from_framework) {
       // A framework API call (possibly reached via inheritance).
       const MethodId& api = resolution->id;
-      if (api.name == "requestPermissions")
+      if (api.name == "requestPermissions") {
         model.requests_runtime_permissions = true;
+        if (trace_cls_ != nullptr)
+          trace_cls_->requests_runtime_permissions = true;
+      }
 
       const std::uint64_t key = site_key(&def, i);
       if (const auto it = api_site_index_.find(key);
@@ -357,6 +409,7 @@ void Aum::explore_method(const MethodWork& work, UsageModel& model) {
         }
       }
 
+      if (trace_cls_ != nullptr) trace_cls_->add_walk_root(declared);
       if (use_fast_walk_)
         walk_root_fast(*resolution);
       else
@@ -371,6 +424,8 @@ void Aum::explore_method(const MethodWork& work, UsageModel& model) {
       const ApiInterval child_context = options_.interprocedural_guards
                                             ? interval
                                             : work.context;
+      if (trace_cls_ != nullptr)
+        trace_cls_->add_edge(declared, child_context, work.depth + 1);
       worklist_.push_back(MethodWork{resolution->declaring_class,
                                      resolution->method, child_context,
                                      work.depth + 1});
@@ -412,7 +467,8 @@ void Aum::explore_method(const MethodWork& work, UsageModel& model) {
   }
 }
 
-UsageModel Aum::model(const Apk& apk) {
+void Aum::scan_entry_points(const Apk& apk, UsageModel& model,
+                            const std::unordered_set<std::string>* dirty) {
   cfg_cache_.clear();
   analyzed_.clear();
   api_site_index_.clear();
@@ -421,23 +477,27 @@ UsageModel Aum::model(const Apk& apk) {
   framework_walked_.clear();
   ref_cache_.clear();
   worklist_.clear();
+  trace_cls_ = nullptr;
+  scope_violation_ = false;
 
   const FrameworkSubstrate* substrate = hierarchy_->substrate();
   use_fast_walk_ = substrate != nullptr && substrate->options().index_methods;
   walked_fast_.assign(use_fast_walk_ ? substrate->method_count() : 0, 0);
 
-  UsageModel model;
   const ApiInterval app_range =
       apk.manifest.supported_range().intersect(ApiInterval::full());
 
   // Enumerate the installed (main-dex) classes: detect overrides of
   // framework methods and collect the framework-invoked entry points.
+  // An incremental run performs this scan in full — every load, every
+  // override probe — so overrides/handles_permission_results are always
+  // complete and the scan's class-loading footprint matches a full run;
+  // only the *root pushes* are restricted to the dirty set.
   const DexFile& main_dex = apk.dexes.front();
-  std::vector<const LoadedClass*> app_classes;
   for (const auto& cls_def : main_dex.classes()) {
     const LoadedClass* cls = hierarchy_->load(main_dex.type_name(cls_def.type));
     if (!cls || cls->from_framework) continue;
-    app_classes.push_back(cls);
+    const bool in_scope = dirty == nullptr || dirty->count(cls->name) != 0;
     for (const auto& m : cls->def->methods) {
       std::optional<MethodId> overridden_id;
       if (const auto res = hierarchy_->overridden_framework_method(*cls, m)) {
@@ -474,7 +534,7 @@ UsageModel Aum::model(const Apk& apk) {
       if (overridden_id->name == "onRequestPermissionsResult")
         model.handles_permission_results = true;
       // Framework-invoked methods are exploration roots.
-      worklist_.push_back(MethodWork{cls, &m, app_range, 0});
+      if (in_scope) worklist_.push_back(MethodWork{cls, &m, app_range, 0});
     }
   }
 
@@ -483,9 +543,18 @@ UsageModel Aum::model(const Apk& apk) {
   for (const auto& component : apk.manifest.components) {
     const LoadedClass* cls = hierarchy_->load(component.class_name);
     if (!cls || cls->from_framework) continue;
+    if (dirty != nullptr && dirty->count(cls->name) == 0) continue;
     for (const auto& m : cls->def->methods)
       worklist_.push_back(MethodWork{cls, &m, app_range, 0});
   }
+}
+
+UsageModel Aum::model(const Apk& apk, ExplorationTrace* record) {
+  record_ = record;
+  scope_ = nullptr;
+
+  UsageModel model;
+  scan_entry_points(apk, model, nullptr);
 
   while (!worklist_.empty()) {
     if (budget_ && !budget_->allow_step()) break;
@@ -498,6 +567,100 @@ UsageModel Aum::model(const Apk& apk) {
   // class cap — leaves a truncated (still sound per-fact) model.
   if (budget_ && budget_->exhausted()) model.incomplete = true;
 
+  record_ = nullptr;
+  trace_cls_ = nullptr;
+  return model;
+}
+
+UsageModel Aum::model_incremental(const Apk& apk,
+                                  const IncrementalScope& scope,
+                                  ExplorationTrace* record) {
+  record_ = record;
+  scope_ = scope.dirty;
+
+  UsageModel model;
+  scan_entry_points(apk, model, scope.dirty);
+
+  // Re-seed the clean->dirty boundary from the prior run's traces: every
+  // app-internal call edge and late-binding a clean class pushed into a
+  // now-dirty class is pushed again, under the recorded (hulled) guard
+  // context. The dirty set is a forward closure, so dirty classes can only
+  // call dirty classes — these seeds plus the dirty roots reproduce every
+  // worklist entry the full run would create inside the dirty region.
+  for (const CleanClass& cc : scope.clean) {
+    if (!cc.seed_candidate) continue;
+    const ClassTrace& trace = *cc.trace;
+    for (const auto& edge : trace.edges) {
+      // Virtual resolution walks the callee's super/interface chain; when
+      // that whole chain is clean it resolves exactly as the prior run did
+      // (never into the dirty set, never into a new violation), so the
+      // resolve is skipped here and its load side effects are reproduced
+      // by the replay pass below. Removed callees are always dirty (their
+      // referrers' fingerprints changed), so violations are never masked.
+      if (scope.dirty_targets != nullptr &&
+          scope.dirty_targets->count(edge.callee.class_name) == 0)
+        continue;
+      const auto res =
+          hierarchy_->resolve(edge.callee.class_name, edge.callee.name,
+                              edge.callee.descriptor);
+      if (!res || res->declaring_class->from_framework) {
+        // A clean caller's callee vanished without dirtying the caller:
+        // the fingerprint diff missed an interface change. Unusable.
+        scope_violation_ = true;
+        continue;
+      }
+      if (scope.dirty->count(res->declaring_class->name) == 0) continue;
+      worklist_.push_back(MethodWork{res->declaring_class, res->method,
+                                     edge.context, edge.depth});
+    }
+    for (const auto& lb : trace.latebinds) {
+      if (scope.dirty->count(lb.type) == 0) continue;
+      const LoadedClass* loaded = hierarchy_->load(lb.type);
+      if (!loaded || loaded->from_framework) continue;
+      for (const auto& m : loaded->def->methods)
+        worklist_.push_back(
+            MethodWork{loaded, &m, ApiInterval::full(), lb.depth});
+    }
+  }
+
+  while (!worklist_.empty()) {
+    if (budget_ && !budget_->allow_step()) break;
+    const MethodWork work = worklist_.back();
+    worklist_.pop_back();
+    explore_method(work, model);
+  }
+
+  // Replay the clean classes' load side effects. CLVM loads are memoized
+  // and never released, so memory/budget accounting is a function of the
+  // loaded *set*, not the load order: replaying each clean class's
+  // resolutions, framework-walk roots, and late-binding loads after the
+  // dirty fixpoint reproduces the full run's footprint exactly. No facts
+  // are recorded here (the clean facts come from the cache) and no trace
+  // is captured (the clean traces are kept as-is).
+  record_ = nullptr;
+  trace_cls_ = nullptr;
+  for (const CleanClass& cc : scope.clean) {
+    const ClassTrace& trace = *cc.trace;
+    for (const auto& id : trace.resolves)
+      hierarchy_->resolve(id.class_name, id.name, id.descriptor);
+    for (const auto& id : trace.walk_roots) {
+      const auto res = hierarchy_->resolve(id.class_name, id.name,
+                                           id.descriptor);
+      if (!res || !res->declaring_class->from_framework) {
+        scope_violation_ = true;
+        continue;
+      }
+      if (use_fast_walk_)
+        walk_root_fast(*res);
+      else
+        walk_framework(res->id, 0);
+    }
+    for (const auto& lb : trace.latebinds) hierarchy_->load(lb.type);
+  }
+
+  if (budget_ && budget_->exhausted()) model.incomplete = true;
+
+  scope_ = nullptr;
   return model;
 }
 

@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -82,6 +84,62 @@ struct UsageModel {
   bool incomplete = false;
 };
 
+/// One app-internal call edge a class's methods pushed during exploration:
+/// the callee as *declared* at the call site (re-resolved against the
+/// hierarchy at replay time), the hull of every guard context it was pushed
+/// under, and the minimum worklist depth. Enough to re-seed exploration of
+/// the callee without re-analyzing the caller.
+struct TraceEdge {
+  MethodId callee;
+  ApiInterval context;
+  int depth = 0;
+};
+
+/// One late-binding load (kLoadClass / Class.forName) a class's methods
+/// performed, with the minimum depth its target's methods were pushed at.
+struct TraceLatebind {
+  std::string type;  ///< slashed class name
+  int depth = 0;
+};
+
+/// Everything one app class *did* to the rest of the analysis during a full
+/// exploration, beyond the facts recorded in the UsageModel: which method
+/// refs it resolved (resolution walks load classes), which framework walks
+/// it rooted, which classes it late-bound, and which app-internal calls it
+/// pushed. The incremental engine replays this record for classes whose dex
+/// bytes did not change, reproducing the full run's loaded-class set (and
+/// thus its memory/budget accounting — CLVM loads are memoized and never
+/// released, so the accounting is a function of the loaded *set*) without
+/// re-exploring the class.
+struct ClassTrace {
+  std::vector<MethodId> resolves;    ///< every resolve_ref target (deduped)
+  std::vector<MethodId> walk_roots;  ///< declared ids whose resolution
+                                     ///< rooted a framework walk
+  std::vector<TraceLatebind> latebinds;
+  std::vector<TraceEdge> edges;
+  /// Whether this class's methods set requests_runtime_permissions.
+  bool requests_runtime_permissions = false;
+
+  void add_resolve(const MethodId& id);
+  void add_walk_root(const MethodId& id);
+  void add_latebind(const std::string& type, int depth);
+  void add_edge(const MethodId& callee, ApiInterval context, int depth);
+
+ private:
+  // Dedup indexes, transient (rebuilt as a trace records; parsed traces are
+  // replay-only and never record).
+  std::unordered_set<MethodId> resolve_seen_;
+  std::unordered_set<MethodId> walk_seen_;
+  std::unordered_map<std::string, std::size_t> latebind_index_;
+  std::unordered_map<MethodId, std::size_t> edge_index_;
+};
+
+/// Per-class exploration record of one full model() run, keyed by slashed
+/// app class name (ordered for deterministic serialization).
+struct ExplorationTrace {
+  std::map<std::string, ClassTrace> classes;
+};
+
 /// Feature switches; SAINTDroid runs with everything on, the ablation bench
 /// and the baselines turn features off.
 struct AumOptions {
@@ -114,7 +172,60 @@ class Aum {
   Aum(ClassHierarchy& hierarchy, const ApiDatabase& db, AumOptions options,
       BudgetTracker* budget = nullptr);
 
-  UsageModel model(const Apk& apk);
+  /// `record`, when provided, captures a per-class ExplorationTrace of the
+  /// run (zero effect on the model itself).
+  UsageModel model(const Apk& apk, ExplorationTrace* record = nullptr);
+
+  /// One clean class's prior-run trace, by pointer into the caller's
+  /// cached entry — the scope borrows, it never copies.
+  struct CleanClass {
+    const std::string* name = nullptr;
+    const ClassTrace* trace = nullptr;
+    /// False when none of the class's referenced app classes is a dirty
+    /// target: no call edge can resolve into the dirty set and no
+    /// late-binding target is dirty, so the seed pass skips the class
+    /// outright. A clean class's symbolic references are unchanged from
+    /// the cached run and every removed or added referent dirties its
+    /// referrers, so the fresh fingerprint's ref list covers every trace
+    /// callee and late-bound type.
+    bool seed_candidate = true;
+  };
+
+  /// Scope of an incremental re-exploration: the dirty class set (slashed
+  /// names) that must be re-analyzed, and the prior run's traces for the
+  /// clean remainder.
+  struct IncrementalScope {
+    const std::unordered_set<std::string>* dirty = nullptr;
+    /// Traces of every clean class (callers must exclude dirty names).
+    std::span<const CleanClass> clean;
+    /// Classes whose method resolution can land inside a dirty class —
+    /// the class itself or an app-internal ancestor (super/interface
+    /// chain) is dirty. A clean class's edge to any *other* callee
+    /// resolves exactly as the prior run resolved it, so the seed pass
+    /// skips those resolutions outright (the replay pass reproduces their
+    /// load side effects from the recorded traces). When null, every edge
+    /// is resolved.
+    const std::unordered_set<std::string>* dirty_targets = nullptr;
+  };
+
+  /// Explores only the dirty region: the entry-point scan runs in full
+  /// (overrides and the permission-protocol flag are recomputed, and every
+  /// main-dex class is loaded exactly as model() loads it) but exploration
+  /// roots are restricted to dirty classes, clean->dirty edges and
+  /// late-bindings recorded in `scope.clean` are re-seeded, and after the
+  /// fixpoint the clean classes' load side effects are replayed. The
+  /// returned model carries facts for *dirty* classes only — the caller
+  /// splices the cached clean-class facts in. `record` captures traces for
+  /// the dirty classes. Check scope_violation() afterwards: when set, the
+  /// dirty set failed to close over everything exploration reached and the
+  /// result must be discarded in favor of a full run.
+  UsageModel model_incremental(const Apk& apk, const IncrementalScope& scope,
+                               ExplorationTrace* record = nullptr);
+
+  /// True when the last model_incremental() run touched a class outside
+  /// its dirty set (a closure bug or stale cache entry): its result is
+  /// unusable and the caller must fall back to full analysis.
+  bool scope_violation() const { return scope_violation_; }
 
  private:
   struct MethodWork {
@@ -124,6 +235,12 @@ class Aum {
     int depth;
   };
 
+  /// Shared by model()/model_incremental(): resets per-run state, runs the
+  /// eager entry-point scan (loads every main-dex class, records overrides
+  /// and the permission-result flag), and pushes exploration roots — all of
+  /// them, or only those of classes in `dirty` when given.
+  void scan_entry_points(const Apk& apk, UsageModel& model,
+                         const std::unordered_set<std::string>* dirty);
   void explore_method(const MethodWork& work, UsageModel& model);
   void walk_framework(const MethodId& api, int depth);
   /// Substrate fast path for the framework walk: recurses over the
@@ -183,6 +300,15 @@ class Aum {
                      std::vector<std::unique_ptr<RefResolution>>>
       ref_cache_;
   std::vector<MethodWork> worklist_;
+
+  // Incremental-analysis state (reset per run). record_ receives the
+  // per-class traces; trace_cls_ is the entry of the class currently being
+  // explored (nullptr when not recording or during clean-class replay).
+  ExplorationTrace* record_ = nullptr;
+  ClassTrace* trace_cls_ = nullptr;
+  /// Dirty-set restriction for model_incremental(); nullptr in full runs.
+  const std::unordered_set<std::string>* scope_ = nullptr;
+  bool scope_violation_ = false;
 };
 
 }  // namespace saintdroid

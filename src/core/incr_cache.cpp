@@ -1,0 +1,756 @@
+#include "core/incr_cache.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+#include "adf/spec.hpp"
+#include "support/bytes.hpp"
+#include "support/errors.hpp"
+#include "support/sdmc.hpp"
+
+namespace saintdroid {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+// ---------------------------------------------------------------------------
+// Fingerprinting
+//
+// Class hashes are *symbolic* (pool-index-free): re-serializing an
+// unchanged class over a shuffled pool must hash identically, so every
+// operand is resolved through the pools. Resolving per instruction — the
+// obvious encoding — costs more than the analysis the fingerprint guards,
+// so each pool entry's hash is precomputed once per dex and the per-
+// instruction work collapses to a few word mixes. One traversal produces
+// the content hash, the interface hash, and the reference edges together.
+
+std::uint64_t hash_chars(std::string_view s) {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  // Length is folded in so "ab"+"c" and "a"+"bc" cannot collide when the
+  // pieces are concatenated by the caller.
+  h ^= s.size();
+  return h * kFnvPrime;
+}
+
+/// Order-sensitive word mixer (SplitMix64 finalizer per word).
+struct WordMix {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  void word(std::uint64_t v) {
+    std::uint64_t z = h ^ v;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h = (z ^ (z >> 31)) + 0x9e3779b97f4a7c15ULL;
+  }
+};
+
+/// Per-dex pool hashes, shared by every class in the dex.
+struct PoolHashes {
+  std::vector<std::uint64_t> str, type, desc, method, field;
+
+  explicit PoolHashes(const DexFile& dex) {
+    str.reserve(dex.string_count());
+    for (std::uint32_t i = 0; i < dex.string_count(); ++i)
+      str.push_back(hash_chars(dex.string_at(i)));
+    type.reserve(dex.type_count());
+    for (std::uint32_t i = 0; i < dex.type_count(); ++i)
+      type.push_back(hash_chars(dex.type_name(i)));
+    desc.reserve(dex.proto_count());
+    for (std::uint32_t i = 0; i < dex.proto_count(); ++i)
+      desc.push_back(hash_chars(dex.descriptor_of(i)));
+    method.reserve(dex.method_ref_count());
+    for (std::uint32_t i = 0; i < dex.method_ref_count(); ++i) {
+      const MethodRef& ref = dex.method_ref_at(i);
+      WordMix m;
+      m.word(type[ref.class_type]);
+      m.word(str[ref.name]);
+      m.word(desc[ref.proto]);
+      method.push_back(m.h);
+    }
+    field.reserve(dex.field_ref_count());
+    for (std::uint32_t i = 0; i < dex.field_ref_count(); ++i) {
+      const FieldRef& ref = dex.field_ref_at(i);
+      WordMix m;
+      m.word(type[ref.class_type]);
+      m.word(str[ref.name]);
+      m.word(type[ref.type]);
+      field.push_back(m.h);
+    }
+  }
+};
+
+/// Callers' guard analyses summarize the bodies of trivial SDK-check
+/// helpers (static ()Z/()I), so those bodies are part of a class's
+/// observable interface.
+bool predicate_eligible(const DexFile& dex, const MethodDef& m) {
+  if ((m.access_flags & kAccStatic) == 0 || !m.code.has_value()) return false;
+  const Proto& proto = dex.proto_at(m.proto);
+  if (!proto.param_types.empty()) return false;
+  const std::string& ret = dex.type_name(proto.return_type);
+  return ret == "Z" || ret == "I";
+}
+
+/// Hashes one body and collects its outgoing reference operands (type-pool
+/// indices for invoke/field/new/load targets, string-pool indices for
+/// const-string Class.forName candidates).
+std::uint64_t body_hash(const DexFile& dex, const PoolHashes& ph,
+                        const MethodCode& code,
+                        std::vector<std::uint32_t>& type_refs,
+                        std::vector<std::uint32_t>& string_refs) {
+  WordMix m;
+  m.word(code.register_count);
+  m.word(code.insns.size());
+  for (const auto& insn : code.insns) {
+    m.word(static_cast<std::uint64_t>(insn.op) |
+           static_cast<std::uint64_t>(insn.cmp) << 8 |
+           static_cast<std::uint64_t>(insn.invoke_kind) << 16 |
+           static_cast<std::uint64_t>(insn.cmp_with_literal ? 1 : 0) << 24 |
+           static_cast<std::uint64_t>(insn.reg_a) << 32 |
+           static_cast<std::uint64_t>(insn.reg_b) << 48);
+    m.word(static_cast<std::uint64_t>(insn.literal));
+    m.word(static_cast<std::uint64_t>(insn.target) |
+           static_cast<std::uint64_t>(insn.args.size()) << 32);
+    for (const std::uint16_t arg : insn.args) m.word(arg);
+    switch (insn.op) {
+      case Opcode::kConstString:
+        m.word(ph.str[insn.index]);
+        string_refs.push_back(insn.index);
+        break;
+      case Opcode::kSget:
+      case Opcode::kSput:
+      case Opcode::kIget:
+      case Opcode::kIput:
+        m.word(ph.field[insn.index]);
+        type_refs.push_back(dex.field_ref_at(insn.index).class_type);
+        break;
+      case Opcode::kInvoke:
+        m.word(ph.method[insn.index]);
+        type_refs.push_back(dex.method_ref_at(insn.index).class_type);
+        break;
+      case Opcode::kNewInstance:
+      case Opcode::kLoadClass:
+        m.word(ph.type[insn.index]);
+        type_refs.push_back(insn.index);
+        break;
+      default:
+        m.word(insn.index);
+        break;
+    }
+  }
+  return m.h;
+}
+
+void add_ref(std::vector<std::string>& refs, std::string name) {
+  if (name.empty() || is_framework_class_name(name)) return;
+  refs.push_back(std::move(name));
+}
+
+/// Single-pass class fingerprint: content hash (full bodies), interface
+/// hash (shape + predicate-eligible bodies), and reference edges.
+ClassFingerprint fingerprint_class(const DexFile& dex, const PoolHashes& ph,
+                                   const ClassDef& cls) {
+  ClassFingerprint fp;
+  WordMix content, iface;
+  const auto both = [&](std::uint64_t v) {
+    content.word(v);
+    iface.word(v);
+  };
+  both(ph.type[cls.type]);
+  both(cls.super_type == kNoIndex ? 0 : ph.type[cls.super_type]);
+  both(cls.interfaces.size());
+  for (const std::uint32_t idx : cls.interfaces) both(ph.type[idx]);
+  both(cls.access_flags);
+  both(cls.methods.size());
+
+  std::vector<std::uint32_t> type_refs;
+  std::vector<std::uint32_t> string_refs;
+  for (const auto& m : cls.methods) {
+    both(ph.str[m.name]);
+    both(ph.desc[m.proto]);
+    both(m.access_flags);
+    const bool iface_body = predicate_eligible(dex, m);
+    both(static_cast<std::uint64_t>(m.code.has_value() ? 1 : 0) |
+         static_cast<std::uint64_t>(iface_body ? 2 : 0));
+    if (m.code.has_value()) {
+      const std::uint64_t bh =
+          body_hash(dex, ph, *m.code, type_refs, string_refs);
+      content.word(bh);
+      if (iface_body) iface.word(bh);
+    }
+  }
+  fp.content = content.h;
+  fp.iface = iface.h;
+
+  fp.super_name = cls.super_type == kNoIndex ? std::string{}
+                                             : dex.type_name(cls.super_type);
+  for (const std::uint32_t idx : cls.interfaces)
+    fp.interfaces.push_back(dex.type_name(idx));
+
+  // Materialize reference names once per *unique* operand index.
+  std::sort(type_refs.begin(), type_refs.end());
+  type_refs.erase(std::unique(type_refs.begin(), type_refs.end()),
+                  type_refs.end());
+  std::sort(string_refs.begin(), string_refs.end());
+  string_refs.erase(std::unique(string_refs.begin(), string_refs.end()),
+                    string_refs.end());
+  if (cls.super_type != kNoIndex)
+    add_ref(fp.refs, dex.type_name(cls.super_type));
+  for (const std::uint32_t idx : cls.interfaces)
+    add_ref(fp.refs, dex.type_name(idx));
+  for (const std::uint32_t idx : type_refs) add_ref(fp.refs, dex.type_name(idx));
+  for (const std::uint32_t idx : string_refs) {
+    // Any string constant is a potential Class.forName target; edges to
+    // names that denote no app class are pruned by the caller.
+    std::string name = dex.string_at(idx);
+    std::replace(name.begin(), name.end(), '.', '/');
+    add_ref(fp.refs, std::move(name));
+  }
+  std::sort(fp.refs.begin(), fp.refs.end());
+  fp.refs.erase(std::unique(fp.refs.begin(), fp.refs.end()), fp.refs.end());
+  return fp;
+}
+
+// ---------------------------------------------------------------------------
+// Dirty-set computation
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+using FingerprintView =
+    std::unordered_map<std::string, const ClassFingerprint*>;
+
+/// Effective interface fingerprints: the raw interface hash Merkle-mixed
+/// through the app-internal super/interface chain, so a parent's interface
+/// change surfaces in every transitive subtype (resolution walks chains).
+class EffectiveIface {
+ public:
+  explicit EffectiveIface(const FingerprintView& side) : side_(&side) {}
+
+  std::uint64_t of(const std::string& name) {
+    const auto found = side_->find(name);
+    if (found == side_->end()) return 0;  // framework / absent: stable
+    if (const auto memo = memo_.find(name); memo != memo_.end())
+      return memo->second;
+    if (!in_progress_.insert(name).second)
+      return found->second->iface;  // defensive cycle break
+    const ClassFingerprint& fp = *found->second;
+    std::uint64_t h = mix(kFnvOffset, fp.iface);
+    if (!fp.super_name.empty() && side_->count(fp.super_name) != 0)
+      h = mix(h, of(fp.super_name));
+    for (const auto& iface : fp.interfaces)
+      if (side_->count(iface) != 0) h = mix(h, of(iface));
+    in_progress_.erase(name);
+    memo_.emplace(name, h);
+    return h;
+  }
+
+ private:
+  const FingerprintView* side_;
+  std::unordered_map<std::string, std::uint64_t> memo_;
+  std::unordered_set<std::string> in_progress_;
+};
+
+}  // namespace
+
+ApkFingerprints fingerprint_apk(const Apk& apk) {
+  ApkFingerprints out;
+  for (const auto& dex : apk.dexes) {
+    const PoolHashes ph{dex};
+    for (const auto& cls : dex.classes()) {
+      const std::string& name = dex.type_name(cls.type);
+      if (out.count(name) != 0) continue;  // first definition wins
+      out.emplace(name, fingerprint_class(dex, ph, cls));
+    }
+  }
+  // Prune edges to names that denote no class of this apk: the dirty
+  // closure only ever walks names present on one side of the diff, so
+  // spurious const-string edges and dangling targets carry no information
+  // — dropping them shrinks entries and every later pass over the refs.
+  // (Edges into *removed* classes survive on the cached side, whose refs
+  // were pruned against the old class set — exactly the side the union
+  // graph needs them from.)
+  for (auto& [name, fp] : out) {
+    std::erase_if(fp.refs, [&](const std::string& ref) {
+      return out.count(ref) == 0;
+    });
+  }
+  return out;
+}
+
+std::uint64_t manifest_fingerprint(const Manifest& manifest) {
+  ByteWriter w;
+  manifest.serialize(w);
+  return sdmc_checksum(w.data());
+}
+
+std::uint64_t aum_options_fingerprint(const AumOptions& options) {
+  ByteWriter w;
+  w.u8(1);  // fingerprint schema version
+  w.u8(options.guards.enabled ? 1 : 0);
+  w.u8(options.guards.track_registers ? 1 : 0);
+  w.u8(options.guards.track_fields ? 1 : 0);
+  w.u8(options.interprocedural_guards ? 1 : 0);
+  w.u8(options.follow_late_binding ? 1 : 0);
+  w.u8(options.helper_predicates ? 1 : 0);
+  w.sleb(options.framework_walk_depth);
+  w.sleb(options.max_call_depth);
+  return sdmc_checksum(w.data());
+}
+
+DirtyDelta compute_dirty(const IncrEntry& cached,
+                         const ApkFingerprints& fresh) {
+  FingerprintView old_view;
+  for (const auto& [name, cc] : cached.classes)
+    old_view.emplace(name, &cc.fingerprint);
+  FingerprintView new_view;
+  for (const auto& [name, fp] : fresh) new_view.emplace(name, &fp);
+
+  // Every class name on either side, each with its union edge set.
+  std::unordered_map<std::string, std::vector<const std::vector<std::string>*>>
+      edges;
+  for (const auto& [name, fp] : old_view) edges[name].push_back(&fp->refs);
+  for (const auto& [name, fp] : new_view) edges[name].push_back(&fp->refs);
+
+  EffectiveIface old_eff{old_view};
+  EffectiveIface new_eff{new_view};
+
+  std::unordered_set<std::string> changed;
+  std::unordered_set<std::string> iface_changed;
+  for (const auto& [name, unused] : edges) {
+    const auto old_it = old_view.find(name);
+    const auto new_it = new_view.find(name);
+    if (old_it == old_view.end() || new_it == new_view.end()) {
+      changed.insert(name);  // added or removed
+      iface_changed.insert(name);
+      continue;
+    }
+    if (old_it->second->content != new_it->second->content)
+      changed.insert(name);
+    if (old_eff.of(name) != new_eff.of(name)) iface_changed.insert(name);
+  }
+
+  DirtyDelta delta;
+  delta.total_classes = fresh.size();
+
+  // Seed: changed classes, plus the one-level referrers of every
+  // interface-changed class (their resolution outcomes and predicate
+  // summaries may differ). The forward closure below then covers every
+  // class any dirty class can push work into.
+  std::deque<std::string> queue;
+  const auto seed = [&](const std::string& name) {
+    if (delta.dirty.insert(name).second) queue.push_back(name);
+  };
+  for (const auto& name : changed) seed(name);
+  if (!iface_changed.empty()) {
+    for (const auto& [name, ref_sets] : edges) {
+      bool referrer = false;
+      for (const auto* refs : ref_sets) {
+        for (const auto& target : *refs)
+          if (iface_changed.count(target) != 0) {
+            referrer = true;
+            break;
+          }
+        if (referrer) break;
+      }
+      if (referrer) seed(name);
+    }
+  }
+
+  while (!queue.empty()) {
+    const std::string name = std::move(queue.front());
+    queue.pop_front();
+    const auto it = edges.find(name);
+    if (it == edges.end()) continue;
+    for (const auto* refs : it->second)
+      for (const auto& target : *refs)
+        if (edges.count(target) != 0) seed(target);
+  }
+  return delta;
+}
+
+// ---------------------------------------------------------------------------
+// Fact partitioning and splicing
+
+void partition_model_facts(const UsageModel& model,
+                           std::map<std::string, CachedClassFacts>& by_class) {
+  for (const auto& site : model.api_calls)
+    by_class[site.caller.class_name].api_calls.push_back(site);
+  for (const auto& use : model.permission_uses)
+    by_class[use.caller.class_name].permission_uses.push_back(use);
+  for (const auto& check : model.guard_checks)
+    by_class[check.method.class_name].guard_checks.push_back(check);
+  for (const auto& method : model.reachable_methods)
+    by_class[method.class_name].reachable_methods.push_back(method);
+}
+
+void splice_clean_facts(const IncrEntry& cached,
+                        const std::unordered_set<std::string>& dirty,
+                        UsageModel& model) {
+  for (const auto& [name, cc] : cached.classes) {
+    if (dirty.count(name) != 0) continue;
+    const CachedClassFacts& facts = cc.facts;
+    model.api_calls.insert(model.api_calls.end(), facts.api_calls.begin(),
+                           facts.api_calls.end());
+    model.permission_uses.insert(model.permission_uses.end(),
+                                 facts.permission_uses.begin(),
+                                 facts.permission_uses.end());
+    model.guard_checks.insert(model.guard_checks.end(),
+                              facts.guard_checks.begin(),
+                              facts.guard_checks.end());
+    model.reachable_methods.insert(model.reachable_methods.end(),
+                                   facts.reachable_methods.begin(),
+                                   facts.reachable_methods.end());
+    if (cc.trace.requests_runtime_permissions)
+      model.requests_runtime_permissions = true;
+  }
+}
+
+IncrEntry make_incr_entry(std::string app, std::uint64_t manifest_fp,
+                          std::uint64_t options_fp,
+                          const ApkFingerprints& fingerprints,
+                          const ExplorationTrace& trace,
+                          const UsageModel& model) {
+  IncrEntry entry;
+  entry.app = std::move(app);
+  entry.manifest_fp = manifest_fp;
+  entry.options_fp = options_fp;
+  std::map<std::string, CachedClassFacts> facts;
+  partition_model_facts(model, facts);
+  for (const auto& [name, fp] : fingerprints) {
+    CachedClass cc;
+    cc.fingerprint = fp;
+    if (const auto it = trace.classes.find(name); it != trace.classes.end())
+      cc.trace = it->second;
+    if (const auto it = facts.find(name); it != facts.end())
+      cc.facts = std::move(it->second);
+    entry.classes.emplace(name, std::move(cc));
+  }
+  return entry;
+}
+
+IncrEntry update_incr_entry(const IncrEntry& cached,
+                            const std::unordered_set<std::string>& dirty,
+                            const ApkFingerprints& fingerprints,
+                            const ExplorationTrace& dirty_trace,
+                            const UsageModel& scoped_model) {
+  IncrEntry entry;
+  entry.app = cached.app;
+  entry.manifest_fp = cached.manifest_fp;
+  entry.options_fp = cached.options_fp;
+  std::map<std::string, CachedClassFacts> facts;
+  partition_model_facts(scoped_model, facts);
+  for (const auto& [name, fp] : fingerprints) {
+    if (dirty.count(name) == 0) {
+      // Clean: carry the cached record forward (fingerprints are equal by
+      // definition of clean; the cached one is authoritative).
+      const auto it = cached.classes.find(name);
+      if (it != cached.classes.end()) {
+        entry.classes.emplace(name, it->second);
+        continue;
+      }
+      // A clean class absent from the cache would have been classified as
+      // added (hence dirty); reaching here means the diff is inconsistent —
+      // store a bare record so the next run sees it as clean-but-factless
+      // only if it also records nothing, which is safe (empty facts for an
+      // unexplored class are exact).
+    }
+    CachedClass cc;
+    cc.fingerprint = fp;
+    if (const auto it = dirty_trace.classes.find(name);
+        it != dirty_trace.classes.end())
+      cc.trace = it->second;
+    if (const auto it = facts.find(name); it != facts.end())
+      cc.facts = std::move(it->second);
+    entry.classes.emplace(name, std::move(cc));
+  }
+  return entry;
+}
+
+// ---------------------------------------------------------------------------
+// Entry codec
+
+namespace {
+
+void write_method_id(ByteWriter& w, const MethodId& id) {
+  w.str(id.class_name);
+  w.str(id.name);
+  w.str(id.descriptor);
+}
+
+MethodId read_method_id(ByteReader& r) {
+  MethodId id;
+  id.class_name = r.str();
+  id.name = r.str();
+  id.descriptor = r.str();
+  return id;
+}
+
+void write_interval(ByteWriter& w, ApiInterval interval) {
+  w.sleb(interval.lo());
+  w.sleb(interval.hi());
+}
+
+ApiInterval read_interval(ByteReader& r) {
+  const std::int64_t lo = r.sleb();
+  const std::int64_t hi = r.sleb();
+  if (lo < -1000 || lo > 1000 || hi < -1000 || hi > 1000)
+    throw ParseError("incr entry: implausible interval bound");
+  return ApiInterval{static_cast<int>(lo), static_cast<int>(hi)};
+}
+
+int read_depth(ByteReader& r) {
+  const std::uint64_t depth = r.uleb();
+  if (depth > 1u << 20) throw ParseError("incr entry: implausible depth");
+  return static_cast<int>(depth);
+}
+
+void write_facts(ByteWriter& w, const CachedClassFacts& facts) {
+  w.uleb(facts.api_calls.size());
+  for (const auto& site : facts.api_calls) {
+    write_method_id(w, site.caller);
+    w.uleb(site.insn_index);
+    write_method_id(w, site.declared_target);
+    write_method_id(w, site.resolved_target);
+    write_interval(w, site.guard);
+  }
+  w.uleb(facts.permission_uses.size());
+  for (const auto& use : facts.permission_uses) {
+    write_method_id(w, use.caller);
+    w.uleb(use.insn_index);
+    write_method_id(w, use.api);
+    w.str(use.permission);
+    write_interval(w, use.guard);
+  }
+  w.uleb(facts.guard_checks.size());
+  for (const auto& check : facts.guard_checks) {
+    write_method_id(w, check.method);
+    w.uleb(check.insn_index);
+    w.u8(static_cast<std::uint8_t>(check.cmp));
+    w.sleb(check.literal);
+  }
+  w.uleb(facts.reachable_methods.size());
+  for (const auto& method : facts.reachable_methods)
+    write_method_id(w, method);
+}
+
+CachedClassFacts read_facts(ByteReader& r) {
+  CachedClassFacts facts;
+  const std::uint64_t api_count = r.count(4);
+  facts.api_calls.reserve(api_count);
+  for (std::uint64_t i = 0; i < api_count; ++i) {
+    ApiCallSite site;
+    site.caller = read_method_id(r);
+    site.insn_index = static_cast<std::uint32_t>(r.uleb());
+    site.declared_target = read_method_id(r);
+    site.resolved_target = read_method_id(r);
+    site.guard = read_interval(r);
+    facts.api_calls.push_back(std::move(site));
+  }
+  const std::uint64_t perm_count = r.count(4);
+  facts.permission_uses.reserve(perm_count);
+  for (std::uint64_t i = 0; i < perm_count; ++i) {
+    PermissionUse use;
+    use.caller = read_method_id(r);
+    use.insn_index = static_cast<std::uint32_t>(r.uleb());
+    use.api = read_method_id(r);
+    use.permission = r.str();
+    use.guard = read_interval(r);
+    facts.permission_uses.push_back(std::move(use));
+  }
+  const std::uint64_t check_count = r.count(4);
+  facts.guard_checks.reserve(check_count);
+  for (std::uint64_t i = 0; i < check_count; ++i) {
+    GuardCheck check;
+    check.method = read_method_id(r);
+    check.insn_index = static_cast<std::uint32_t>(r.uleb());
+    const std::uint8_t cmp = r.u8();
+    if (cmp > static_cast<std::uint8_t>(CmpOp::kGe))
+      throw ParseError("incr entry: bad comparison op");
+    check.cmp = static_cast<CmpOp>(cmp);
+    check.literal = static_cast<std::int32_t>(r.sleb());
+    facts.guard_checks.push_back(std::move(check));
+  }
+  const std::uint64_t reach_count = r.count(3);
+  facts.reachable_methods.reserve(reach_count);
+  for (std::uint64_t i = 0; i < reach_count; ++i)
+    facts.reachable_methods.push_back(read_method_id(r));
+  return facts;
+}
+
+void write_trace(ByteWriter& w, const ClassTrace& trace) {
+  w.uleb(trace.resolves.size());
+  for (const auto& id : trace.resolves) write_method_id(w, id);
+  w.uleb(trace.walk_roots.size());
+  for (const auto& id : trace.walk_roots) write_method_id(w, id);
+  w.uleb(trace.latebinds.size());
+  for (const auto& lb : trace.latebinds) {
+    w.str(lb.type);
+    w.uleb(static_cast<std::uint64_t>(lb.depth));
+  }
+  w.uleb(trace.edges.size());
+  for (const auto& edge : trace.edges) {
+    write_method_id(w, edge.callee);
+    write_interval(w, edge.context);
+    w.uleb(static_cast<std::uint64_t>(edge.depth));
+  }
+  w.u8(trace.requests_runtime_permissions ? 1 : 0);
+}
+
+ClassTrace read_trace(ByteReader& r) {
+  // Parsed traces are replay-only and never record, so the elements go
+  // straight into the vectors without rebuilding the add_* dedup indexes
+  // (hashing three strings per element). A hand-forged duplicate only
+  // costs redundant replay of idempotent, memoized loads.
+  ClassTrace trace;
+  const std::uint64_t resolve_count = r.count(3);
+  trace.resolves.reserve(resolve_count);
+  for (std::uint64_t i = 0; i < resolve_count; ++i)
+    trace.resolves.push_back(read_method_id(r));
+  const std::uint64_t walk_count = r.count(3);
+  trace.walk_roots.reserve(walk_count);
+  for (std::uint64_t i = 0; i < walk_count; ++i)
+    trace.walk_roots.push_back(read_method_id(r));
+  const std::uint64_t latebind_count = r.count(2);
+  trace.latebinds.reserve(latebind_count);
+  for (std::uint64_t i = 0; i < latebind_count; ++i) {
+    std::string type = r.str();
+    trace.latebinds.push_back(TraceLatebind{std::move(type), read_depth(r)});
+  }
+  const std::uint64_t edge_count = r.count(5);
+  trace.edges.reserve(edge_count);
+  for (std::uint64_t i = 0; i < edge_count; ++i) {
+    TraceEdge edge;
+    edge.callee = read_method_id(r);
+    edge.context = read_interval(r);
+    edge.depth = read_depth(r);
+    trace.edges.push_back(std::move(edge));
+  }
+  const std::uint8_t requests = r.u8();
+  if (requests > 1) throw ParseError("incr entry: bad flag byte");
+  trace.requests_runtime_permissions = requests != 0;
+  return trace;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_incr_entry(const IncrEntry& entry) {
+  ByteWriter w;
+  w.str(entry.app);
+  w.u64(entry.manifest_fp);
+  w.u64(entry.options_fp);
+  w.uleb(entry.classes.size());
+  for (const auto& [name, cc] : entry.classes) {
+    w.str(name);
+    w.u64(cc.fingerprint.content);
+    w.u64(cc.fingerprint.iface);
+    w.str(cc.fingerprint.super_name);
+    w.uleb(cc.fingerprint.interfaces.size());
+    for (const auto& iface : cc.fingerprint.interfaces) w.str(iface);
+    w.uleb(cc.fingerprint.refs.size());
+    for (const auto& ref : cc.fingerprint.refs) w.str(ref);
+    write_trace(w, cc.trace);
+    write_facts(w, cc.facts);
+  }
+  return w.take();
+}
+
+IncrEntry parse_incr_entry(std::span<const std::uint8_t> payload) {
+  ByteReader r{payload};
+  IncrEntry entry;
+  entry.app = r.str();
+  entry.manifest_fp = r.u64();
+  entry.options_fp = r.u64();
+  const std::uint64_t class_count = r.count(24);
+  for (std::uint64_t i = 0; i < class_count; ++i) {
+    std::string name = r.str();
+    CachedClass cc;
+    cc.fingerprint.content = r.u64();
+    cc.fingerprint.iface = r.u64();
+    cc.fingerprint.super_name = r.str();
+    const std::uint64_t iface_count = r.count(1);
+    for (std::uint64_t k = 0; k < iface_count; ++k)
+      cc.fingerprint.interfaces.push_back(r.str());
+    const std::uint64_t ref_count = r.count(1);
+    for (std::uint64_t k = 0; k < ref_count; ++k)
+      cc.fingerprint.refs.push_back(r.str());
+    cc.trace = read_trace(r);
+    cc.facts = read_facts(r);
+    if (!entry.classes.emplace(std::move(name), std::move(cc)).second)
+      throw ParseError("incr entry: duplicate class record");
+  }
+  if (!r.at_end()) throw ParseError("incr entry: trailing bytes");
+  return entry;
+}
+
+// ---------------------------------------------------------------------------
+// Directory engine
+
+namespace {
+
+SdmcKey incr_key(const FrameworkRepository& repo, int level) {
+  SdmcKey key;
+  key.kind = SdmcKind::kIncrementalFacts;
+  key.fingerprint = repo.fingerprint();
+  key.level = level;
+  return key;
+}
+
+std::string hex64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+IncrCache::IncrCache(std::string dir) : dir_(std::move(dir)) {
+  ensure_directory(dir_);
+}
+
+std::string IncrCache::entry_path(const FrameworkRepository& repo,
+                                  const std::string& app, int level) const {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(app.data());
+  const std::uint64_t hash =
+      sdmc_checksum(std::span<const std::uint8_t>{bytes, app.size()});
+  (void)repo;  // the framework binds through the container key, not the name
+  return dir_ + "/incr-" + hex64(hash) + "-L" + std::to_string(level) +
+         ".sdmc";
+}
+
+std::optional<IncrEntry> IncrCache::try_load(const FrameworkRepository& repo,
+                                             const std::string& app,
+                                             int level) const {
+  try {
+    const auto blob = read_file_bytes(entry_path(repo, app, level));
+    if (!blob) return std::nullopt;
+    IncrEntry entry = parse_incr_entry(sdmc_open(*blob, incr_key(repo, level)));
+    if (entry.app != app) return std::nullopt;  // file-name hash collision
+    return entry;
+  } catch (const Error&) {
+    return std::nullopt;  // stale/foreign/corrupt: caller analyzes in full
+  }
+}
+
+void IncrCache::store(const FrameworkRepository& repo, int level,
+                      const IncrEntry& entry) const {
+  write_file_atomic(entry_path(repo, entry.app, level),
+                    sdmc_seal(incr_key(repo, level), serialize_incr_entry(entry)));
+}
+
+}  // namespace saintdroid

@@ -1,0 +1,199 @@
+// IncrCache — the per-app incremental analysis fact cache.
+//
+// App stores re-analyze every app on every version bump, yet most updates
+// touch a handful of classes. This layer makes re-analysis cost scale with
+// the *diff*: after a full analysis, every app class's facts (API call
+// sites, permission uses, guard checks, reachable methods) and exploration
+// side effects (an aum ClassTrace) are persisted in a `.sdmc` entry (kind
+// kIncrementalFacts) keyed by the framework fingerprint and analysis
+// level, alongside per-class *content fingerprints* and the class's
+// app-internal reference edges. On re-analysis of a modified APK the
+// engine diffs fingerprints, computes the dirty set —
+//
+//   dirty = forward-closure( changed ∪ referrers-of(interface-changed) )
+//
+// over the union of the old and new reference graphs — re-runs AUM over
+// the dirty region only (Aum::model_incremental), splices the cached
+// clean-class facts into the model, and re-runs the (cheap) AMD detectors
+// in full. Soundness of the one-level reverse step: a class's *own* facts
+// depend only on its bytecode, the interfaces of what it references
+// (resolution outcomes, helper-predicate summaries — all folded into the
+// interface fingerprint, which is Merkle-hashed through app-internal
+// super/interface chains), and the guard contexts its callers push; the
+// forward closure re-analyzes every class a dirty class can push, so
+// context ripples propagate forward, while clean classes' callers are
+// provably clean. When the dirty frontier exceeds a budgeted fraction of
+// the app — or the cache entry is missing, corrupt, keyed to a different
+// manifest or option set, or a scoped run trips its safety nets — the
+// engine falls back to full analysis, loudly counted in
+// IncrementalStats::fallbacks. The cache can only change analysis *cost*:
+// equivalence with from-scratch analysis is proven byte-identically by
+// tests/test_incremental.cpp over generated version-chains.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "adf/repository.hpp"
+#include "core/aum.hpp"
+#include "dex/apk.hpp"
+
+namespace saintdroid {
+
+/// Structural identity of one app class, derived purely from dex content
+/// (symbolic — pool-index shuffles do not change it).
+struct ClassFingerprint {
+  /// Hash of the full symbolic definition: name, super, interfaces, flags,
+  /// method signatures and bodies. Differing content => the class changed.
+  std::uint64_t content = 0;
+  /// Hash of what *other* classes' analyses can observe: name, super,
+  /// interfaces, flags, method signatures, plus the bodies of
+  /// helper-predicate-eligible methods (static ()Z/()I — callers summarize
+  /// those bodies into guard intervals). Raw, not Merkle: the effective
+  /// (chain-hashed) form is computed at diff time.
+  std::uint64_t iface = 0;
+  std::string super_name;               ///< "" for root classes
+  std::vector<std::string> interfaces;  ///< declared order
+  /// App-internal classes this class references: super, interfaces, invoke
+  /// and field receivers, new-instance / load-class types, and const-string
+  /// values (dots slashed — Class.forName targets). Sorted, deduplicated,
+  /// framework names excluded. These are the dependency edges the dirty-set
+  /// closure walks.
+  std::vector<std::string> refs;
+
+  friend bool operator==(const ClassFingerprint&,
+                         const ClassFingerprint&) = default;
+};
+
+/// Per-class fingerprints of one APK (all dexes; first definition of a
+/// name wins, mirroring class-load resolution order).
+using ApkFingerprints = std::map<std::string, ClassFingerprint>;
+
+ApkFingerprints fingerprint_apk(const Apk& apk);
+
+/// Content hash of a manifest — any manifest edit (SDK range, permissions,
+/// components) invalidates the whole entry: manifest facts feed every
+/// detector and the root set.
+std::uint64_t manifest_fingerprint(const Manifest& manifest);
+
+/// Hash of the exploration-relevant analysis options; cached facts are
+/// only reusable under the exact option set that produced them.
+std::uint64_t aum_options_fingerprint(const AumOptions& options);
+
+/// Usage-model facts attributable to one class (everything in a UsageModel
+/// except overrides / handles_permission_results, which the incremental
+/// scan recomputes in full, and requests_runtime_permissions, carried per
+/// class on the ClassTrace).
+struct CachedClassFacts {
+  std::vector<ApiCallSite> api_calls;
+  std::vector<PermissionUse> permission_uses;
+  std::vector<GuardCheck> guard_checks;
+  std::vector<MethodId> reachable_methods;
+};
+
+/// One class's complete cache record.
+struct CachedClass {
+  ClassFingerprint fingerprint;
+  ClassTrace trace;
+  CachedClassFacts facts;
+};
+
+/// One app's complete cache entry at one analysis level.
+struct IncrEntry {
+  std::string app;
+  std::uint64_t manifest_fp = 0;
+  std::uint64_t options_fp = 0;
+  std::map<std::string, CachedClass> classes;
+};
+
+/// Payload codec for the kIncrementalFacts `.sdmc` kind. parse throws
+/// ParseError on any structural defect (truncation, bad enum value,
+/// trailing bytes); the engine converts that into a counted full-analysis
+/// fallback.
+std::vector<std::uint8_t> serialize_incr_entry(const IncrEntry& entry);
+IncrEntry parse_incr_entry(std::span<const std::uint8_t> payload);
+
+/// The dirty set of a re-analysis: classes whose facts cannot be reused.
+struct DirtyDelta {
+  std::unordered_set<std::string> dirty;
+  std::size_t total_classes = 0;  ///< classes in the *new* APK
+
+  double fraction() const {
+    return total_classes == 0
+               ? 1.0
+               : static_cast<double>(dirty.size()) /
+                     static_cast<double>(total_classes);
+  }
+};
+
+/// Diffs a cache entry against fresh fingerprints: changed = added ∪
+/// removed ∪ content-differs; interface-changed uses effective (Merkle)
+/// interface fingerprints hashed through app-internal super/interface
+/// chains; dirty = forward closure over the union reference graph of
+/// changed ∪ one-level referrers of interface-changed.
+DirtyDelta compute_dirty(const IncrEntry& cached, const ApkFingerprints& fresh);
+
+/// Splits a usage model's facts by owning class (the caller/method class
+/// name), appending into `by_class`.
+void partition_model_facts(const UsageModel& model,
+                           std::map<std::string, CachedClassFacts>& by_class);
+
+/// Appends the cached facts of every clean class into `model` (and ORs in
+/// the per-class requests_runtime_permissions flags) — the splice step
+/// after a scoped re-exploration.
+void splice_clean_facts(const IncrEntry& cached,
+                        const std::unordered_set<std::string>& dirty,
+                        UsageModel& model);
+
+/// Builds a fresh entry from a *full* run: fingerprints + recorded traces
+/// + partitioned model facts.
+IncrEntry make_incr_entry(std::string app, std::uint64_t manifest_fp,
+                          std::uint64_t options_fp,
+                          const ApkFingerprints& fingerprints,
+                          const ExplorationTrace& trace,
+                          const UsageModel& model);
+
+/// Builds the successor entry after an incremental hit: clean classes keep
+/// their cached record, dirty classes are rebuilt from the scoped run's
+/// trace and (pre-splice) model facts.
+IncrEntry update_incr_entry(const IncrEntry& cached,
+                            const std::unordered_set<std::string>& dirty,
+                            const ApkFingerprints& fingerprints,
+                            const ExplorationTrace& dirty_trace,
+                            const UsageModel& scoped_model);
+
+/// A directory of per-(app, level) incremental entries, shareable across
+/// workers and processes: loads swallow every defect into a miss, stores
+/// are rename-atomic.
+class IncrCache {
+ public:
+  /// Opens `dir`, creating it if needed; throws ConfigError on failure.
+  explicit IncrCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// `incr-<hash(app)>-L<level>.sdmc` inside the cache directory.
+  std::string entry_path(const FrameworkRepository& repo,
+                         const std::string& app, int level) const;
+
+  /// Loads the entry for (app, level), or nullopt when it is missing,
+  /// keyed to a different framework or format version, corrupt, or names
+  /// a different app (hash collision) — the caller runs a full analysis.
+  std::optional<IncrEntry> try_load(const FrameworkRepository& repo,
+                                    const std::string& app, int level) const;
+
+  /// Stores `entry` rename-atomically; throws ConfigError on I/O failure
+  /// (callers treat storing as best-effort).
+  void store(const FrameworkRepository& repo, int level,
+             const IncrEntry& entry) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace saintdroid

@@ -61,6 +61,34 @@ struct Mismatch {
   std::string to_string() const;
 };
 
+/// Counters describing how the incremental analysis layer served one app
+/// (all zero when no incremental cache is configured). Aggregated across
+/// the per-level runs of analyze_versions.
+struct IncrementalStats {
+  /// Level runs that consulted an incremental cache at all.
+  std::uint64_t attempted = 0;
+  /// Level runs served by splicing cached clean-class facts.
+  std::uint64_t hits = 0;
+  /// Classes re-analyzed across all incremental hits.
+  std::uint64_t dirty_classes = 0;
+  /// Level runs that fell back to full analysis: no/invalid cache entry,
+  /// manifest or options drift, an over-budget dirty frontier, a scoped
+  /// run that lost its budget, or a scope violation.
+  std::uint64_t fallbacks = 0;
+
+  bool any() const {
+    return (attempted | hits | dirty_classes | fallbacks) != 0;
+  }
+
+  IncrementalStats& operator+=(const IncrementalStats& other) {
+    attempted += other.attempted;
+    hits += other.hits;
+    dirty_classes += other.dirty_classes;
+    fallbacks += other.fallbacks;
+    return *this;
+  }
+};
+
 /// Outcome of one analyzer run on one app.
 struct AnalysisResult {
   /// False when the tool failed on this app (crash, timeout, unbuildable
@@ -76,6 +104,8 @@ struct AnalysisResult {
   std::string incomplete_reason;
   std::vector<Mismatch> mismatches;
   ResourceUsage usage;
+  /// How the incremental layer served this analysis (all-zero without one).
+  IncrementalStats incremental;
 
   std::size_t count(MismatchKind kind) const;
   /// Count of both PRM forms together (the paper's PRM column).

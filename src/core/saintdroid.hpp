@@ -18,6 +18,7 @@
 #include "core/analyzer.hpp"
 #include "core/arm.hpp"
 #include "core/aum.hpp"
+#include "core/incr_cache.hpp"
 #include "support/budget.hpp"
 
 namespace saintdroid {
@@ -43,6 +44,28 @@ struct SaintDroidOptions {
   /// flat-scan-style API checks covering what exploration didn't reach —
   /// it never throws, so a pathological app cannot sink a batch.
   AnalysisBudget budget;
+  /// Optional per-app incremental fact cache (core/incr_cache.hpp). When
+  /// set (and lazy_loading is on), each analyze() consults the cache,
+  /// re-explores only the dirty class set of a modified APK, and splices
+  /// cached facts for the rest; full analyses record entries for next
+  /// time. Results are byte-identical to from-scratch analysis under an
+  /// unlimited budget (a *finite* budget can differ only in where the
+  /// incomplete degradation lands; scoped runs that lose their budget are
+  /// discarded and re-run in full). Shareable across worker facades.
+  std::shared_ptr<const IncrCache> incr_cache;
+  /// Incremental attempts whose dirty set exceeds this fraction of the
+  /// app's classes fall back to full analysis — past that point scoped
+  /// exploration plus splicing costs more than starting over.
+  double max_dirty_fraction = 0.4;
+  /// On a hit, the successor cache entry is rebuilt and stored only when
+  /// the dirty fraction reaches this threshold; below it the cached entry
+  /// is carried forward unchanged. Dirty sets are always computed against
+  /// the stored entry, so a lagging entry can only *grow* later dirty
+  /// sets (never corrupt results), and a drifted entry self-corrects
+  /// through the max_dirty_fraction fallback, which stores fresh. The
+  /// default refreshes on every hit; update-heavy fleets trade a little
+  /// dirty-set growth for skipping most writes.
+  double refresh_dirty_fraction = 0.0;
 };
 
 class SaintDroid final : public Analyzer {

@@ -97,6 +97,7 @@ class DexFile {
 
   std::size_t string_count() const { return strings_.size(); }
   std::size_t type_count() const { return types_.size(); }
+  std::size_t proto_count() const { return protos_.size(); }
   std::size_t method_ref_count() const { return method_refs_.size(); }
   std::size_t field_ref_count() const { return field_refs_.size(); }
 

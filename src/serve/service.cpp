@@ -69,11 +69,16 @@ VetService::VetService(const std::string& statedir, ServeOptions options)
   db_ = options_.database != nullptr
             ? options_.database
             : cache_.api_database(*repo_, jobs_, &db_from_cache_);
-  // One facade per worker, all sharing the immutable database and the
-  // repository's substrate — the warm state the daemon exists to reuse.
+  // One facade per worker, all sharing the immutable database, the
+  // repository's substrate, and (when configured) the incremental fact
+  // cache — the warm state the daemon exists to reuse.
+  SaintDroidOptions tool_options;  // budget is applied per request
+  if (!options_.incr_cache_dir.empty())
+    tool_options.incr_cache =
+        std::make_shared<const IncrCache>(options_.incr_cache_dir);
   analyzers_.reserve(static_cast<std::size_t>(jobs_));
   for (int i = 0; i < jobs_; ++i)
-    analyzers_.push_back(std::make_unique<SaintDroid>(*repo_, db_));
+    analyzers_.push_back(std::make_unique<SaintDroid>(*repo_, db_, tool_options));
   replay_pending();
   pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(jobs_));
   for (int i = 0; i < jobs_; ++i) {

@@ -58,6 +58,11 @@ struct ServeOptions {
   std::shared_ptr<const ApiDatabase> database;
   /// Framework to vet against; null = FrameworkRepository::standard().
   const FrameworkRepository* repository = nullptr;
+  /// Per-app incremental fact cache directory (core/incr_cache.hpp) shared
+  /// by every worker facade: resubmitting an updated package re-analyzes
+  /// only its dirty classes. Empty = no incremental layer. Part of the
+  /// daemon's warm state — it survives across requests and restarts.
+  std::string incr_cache_dir;
 };
 
 /// Monotonic service counters (snapshot; see VetService::stats).

@@ -41,9 +41,11 @@ inline constexpr std::uint32_t kSdmcFormatVersion = 2;
 
 /// What a cache entry holds.
 enum class SdmcKind : std::uint8_t {
-  kApiDatabase = 1,      ///< ApiDatabase::serialize payload
-  kSubstrateTables = 2,  ///< FrameworkSubstrate::serialize_tables payload
-  kSemanticTable = 3,    ///< SemanticTable::serialize payload
+  kApiDatabase = 1,       ///< ApiDatabase::serialize payload
+  kSubstrateTables = 2,   ///< FrameworkSubstrate::serialize_tables payload
+  kSemanticTable = 3,     ///< SemanticTable::serialize payload
+  kIncrementalFacts = 4,  ///< per-app incremental analysis facts
+                          ///< (core/incr_cache.hpp)
 };
 
 /// Full cache key of one entry. Payloads are pure functions of their key:

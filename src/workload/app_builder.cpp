@@ -116,6 +116,21 @@ std::vector<std::string> AppBuilder::spec_permissions(const ApiUse& api) const {
 MethodBuilder& AppBuilder::new_seed_method(Placement placement,
                                            std::string* out_class,
                                            std::string* out_method) {
+  if (chain_slot_ >= 0) {
+    // Chain slots bypass the seed counter entirely: class and method names
+    // are functions of the slot index alone, so re-emitting every other
+    // slot identically in the next version keeps their symbolic
+    // fingerprints byte-stable no matter how this slot changed.
+    SD_EXPECTS(placement == Placement::kReachable);
+    SD_EXPECTS(!chain_slot_emitted_);
+    chain_slot_emitted_ = true;
+    const std::string cls_name = chain_slot_class(chain_slot_);
+    auto& cls = main_dex_.add_class(cls_name);
+    helper_calls_.emplace_back(cls_name, "run");
+    *out_class = cls_name;
+    *out_method = "run";
+    return cls.add_method("run");
+  }
   const int n = seed_counter_++;
   const std::string method_name = "seed" + std::to_string(n);
   switch (placement) {
@@ -639,6 +654,84 @@ AppBuilder& AppBuilder::vacuous_sdk_guard(bool always_true) {
   return *this;
 }
 
+void AppBuilder::claim_chain_slot(int slot) {
+  SD_EXPECTS(slot >= 0);
+  SD_EXPECTS(chain_slots_used_.insert(slot).second);
+}
+
+std::string AppBuilder::chain_slot_class(int slot) const {
+  return package_path_ + "/chain/Slot" + std::to_string(slot);
+}
+
+AppBuilder& AppBuilder::begin_chain_slot(int slot) {
+  SD_EXPECTS(chain_slot_ < 0);
+  claim_chain_slot(slot);
+  chain_slot_ = slot;
+  chain_slot_emitted_ = false;
+  return *this;
+}
+
+AppBuilder& AppBuilder::end_chain_slot() {
+  // Exactly one seed must have landed in the slot — a primitive that never
+  // reached new_seed_method (e.g. a kCrossMethod guard, which mints its
+  // own helper class) would leave the slot class unmaterialized and the
+  // onCreate wiring dangling.
+  SD_EXPECTS(chain_slot_ >= 0 && chain_slot_emitted_);
+  chain_slot_ = -1;
+  return *this;
+}
+
+AppBuilder& AppBuilder::chain_tombstone(int slot) {
+  SD_EXPECTS(chain_slot_ < 0);
+  claim_chain_slot(slot);
+  const std::string cls_name = chain_slot_class(slot);
+  auto& mb = main_dex_.add_class(cls_name).add_method("run");
+  mb.return_void();
+  helper_calls_.emplace_back(cls_name, "run");
+  return *this;
+}
+
+AppBuilder& AppBuilder::chain_callback_slot(int slot, const CallbackUse& cb,
+                                            bool enabled) {
+  SD_EXPECTS(chain_slot_ < 0);
+  claim_chain_slot(slot);
+  const MethodSpec* spec = find_spec_callback(cb);
+  SD_EXPECTS(spec != nullptr);
+  const std::string cls_name = chain_slot_class(slot);
+  auto& cls = main_dex_.add_class(cls_name, cb.framework_class);
+  if (!enabled) return *this;  // the subclass stays, the override goes
+  auto& mb = cls.add_method(cb.name, "V", cb.params);
+  mb.return_void();
+
+  // Same ledger derivation as callback_override, minus the counter-named
+  // host class.
+  const ApiInterval range =
+      manifest_.supported_range().intersect(ApiInterval::full());
+  const Lifecycle life = spec->life;
+  const bool backward_issue = range.lo() < life.introduced;
+  const bool forward_issue = life.removed != 0 && range.hi() >= life.removed;
+
+  SeededIssue issue;
+  issue.kind = MismatchKind::kApiCallback;
+  issue.location = MethodId{cls_name, cb.name, cb.descriptor()};
+  issue.subject = cb.declared_id();
+  issue.real = backward_issue || forward_issue;
+  issue.tag = issue.real ? (backward_issue ? "unguarded" : "forward")
+                         : "safe";
+  truth_.issues.push_back(std::move(issue));
+  return *this;
+}
+
+AppBuilder& AppBuilder::chain_dead_class(int slot, int salt) {
+  const std::string cls_name = package_path_ + "/chain/Dead" +
+                               std::to_string(slot) + "v" +
+                               std::to_string(salt);
+  auto& mb = main_dex_.add_class(cls_name).add_method("run");
+  mb.const_int(0, salt);
+  mb.return_void();
+  return *this;
+}
+
 AppBuilder& AppBuilder::framework_breadth(int count) {
   const ApiInterval range =
       manifest_.supported_range().intersect(ApiInterval::full());
@@ -658,7 +751,8 @@ AppBuilder& AppBuilder::framework_breadth(int count) {
   return *this;
 }
 
-AppBuilder& AppBuilder::pad_to(std::uint64_t target_loc) {
+AppBuilder& AppBuilder::pad_to(std::uint64_t target_loc, int live_stride) {
+  SD_EXPECTS(live_stride >= 1);
   // Rough running size: each filler method contributes exactly its body.
   // Current content is estimated from emitted constructs.
   const std::uint64_t estimated_existing =
@@ -670,9 +764,9 @@ AppBuilder& AppBuilder::pad_to(std::uint64_t target_loc) {
       manifest_.supported_range().intersect(ApiInterval::full());
   const auto safe = collect_safe_apis(*spec_, range);
 
-  // Filler classes of 48 methods. Every fifth class is wired into the
-  // component's onCreate (live application logic); the rest model bundled
-  // library code the app never calls — the dominant case in real APKs
+  // Filler classes of 48 methods. Every live_stride-th class is wired into
+  // the component's onCreate (live application logic); the rest model
+  // bundled library code the app never calls — the dominant case in real APKs
   // (most of a typical APK's bytecode is unused library surface) and the
   // reason reachability-driven analysis beats whole-program scanning on
   // wall-clock (paper RQ3).
@@ -710,7 +804,8 @@ AppBuilder& AppBuilder::pad_to(std::uint64_t target_loc) {
     }
     run.return_void();
     remaining = remaining > kMethodsPerClass ? remaining - kMethodsPerClass : 0;
-    if (class_index % 5 == 0) helper_calls_.emplace_back(cls_name, "run");
+    if (class_index % live_stride == 0)
+      helper_calls_.emplace_back(cls_name, "run");
   }
   return *this;
 }

@@ -137,6 +137,44 @@ class AppBuilder {
   /// `SDK_INT < minSdk`) — SDC "vacuous guard" lint material.
   AppBuilder& vacuous_sdk_guard(bool always_true);
 
+  // -- version-chain slots ----------------------------------------------------
+  // The version-chain corpus re-publishes one logical app as a sequence of
+  // versions that differ in a handful of localized edits. A chain slot
+  // hosts one seed in the stably named class `<pkg>/chain/Slot<k>` with
+  // entry method `run`, wired into onCreate like any helper call. Because
+  // the name is a function of the slot index alone (the global seed
+  // counter is bypassed), re-emitting every *other* slot identically in
+  // the next version leaves those classes' symbolic fingerprints
+  // (core/incr_cache) stable no matter how this slot's material changed —
+  // the localization the incremental layer's dirty-set analysis relies on.
+
+  /// Routes the next single kReachable seed primitive (api_call,
+  /// permission_use, semantic_call, vacuous_sdk_guard) into chain slot
+  /// `slot`; end_chain_slot() must follow the one primitive. Guard modes
+  /// that mint extra counter-named classes (kCrossMethod, kHelperMethod)
+  /// are not chain material — their helper names would drift across
+  /// versions and dirty untouched slots.
+  AppBuilder& begin_chain_slot(int slot);
+  AppBuilder& end_chain_slot();
+
+  /// An edited-out chain slot: the class and its onCreate wiring remain,
+  /// the run body is empty. Removal as an edit, without perturbing any
+  /// other class's bytes.
+  AppBuilder& chain_tombstone(int slot);
+
+  /// A framework-subclass chain slot for APC material: `chain/Slot<k>`
+  /// extends `cb.framework_class` and, when `enabled`, overrides the
+  /// callback (ledgered exactly like callback_override). Deliberately
+  /// referenced by nothing — the eager component scan still finds the
+  /// override, and toggling it dirties exactly one class.
+  AppBuilder& chain_callback_slot(int slot, const CallbackUse& cb,
+                                  bool enabled);
+
+  /// An unreferenced churn class `chain/Dead<slot>v<salt>` — dead-code
+  /// add/remove noise between versions that the dirty set must absorb
+  /// without touching any live fact.
+  AppBuilder& chain_dead_class(int slot, int salt);
+
   /// True when a previous seed already put `permission` in the manifest
   /// (so corpus strata can pick a genuinely unused one to over-declare).
   bool requests_permission(const std::string& permission) const {
@@ -161,7 +199,10 @@ class AppBuilder {
 
   /// Pads the app with benign filler methods until the total instruction
   /// count reaches at least `target_loc`.
-  AppBuilder& pad_to(std::uint64_t target_loc);
+  /// `live_stride` controls how much of the filler is reachable: every
+  /// live_stride-th filler class is wired into onCreate, the rest model
+  /// never-called bundled library code. 1 makes all filler live.
+  AppBuilder& pad_to(std::uint64_t target_loc, int live_stride = 5);
 
   // -- finalization ---------------------------------------------------------
   struct Built {
@@ -193,6 +234,9 @@ class AppBuilder {
 
   MethodBuilder& new_seed_method(Placement placement, std::string* out_class,
                                  std::string* out_method);
+  /// Marks `slot` taken (each chain slot hosts exactly one construct).
+  void claim_chain_slot(int slot);
+  std::string chain_slot_class(int slot) const;
   void emit_call(MethodBuilder& mb, const ApiUse& api);
   /// Emits guard prologue + call + epilogue into a seed method; for
   /// kCrossMethod the call is placed in a second helper method. Returns
@@ -233,6 +277,9 @@ class AppBuilder {
   bool protocol_implemented_ = false;
   int seed_counter_ = 0;
   int filler_counter_ = 0;
+  int chain_slot_ = -1;             ///< open slot; -1 = not in a chain slot
+  bool chain_slot_emitted_ = false;
+  std::unordered_set<int> chain_slots_used_;
   bool built_ = false;
 };
 

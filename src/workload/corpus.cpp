@@ -228,6 +228,196 @@ BenchApp RealWorldCorpus::generate(int index) const {
   return BenchApp{std::move(built.apk), std::move(built.truth)};
 }
 
+namespace {
+
+const MethodSpec* find_method_spec(const FrameworkSpec& spec,
+                                   const ApiUse& api) {
+  const ClassSpec* cls = spec.find_class(api.declaring);
+  if (!cls) return nullptr;
+  for (const auto& m : cls->methods)
+    if (m.name == api.name && m.params == api.params) return &m;
+  return nullptr;
+}
+
+enum class ChainFamily : int { kApi = 0, kApc, kPrm, kSem, kSdc };
+
+/// One chain slot's plan plus its mutable state; version bumps evolve the
+/// state, generate_chain_version re-emits every slot from it.
+struct ChainSlot {
+  ChainFamily family = ChainFamily::kSdc;
+  std::size_t pick = 0;     ///< index into the family's pool
+  bool guarded = false;     ///< kApi/kPrm/kSem: protective guard present
+  bool alive = true;        ///< kApi: false = tombstoned call
+  bool enabled = true;      ///< kApc: override present
+  bool always_true = true;  ///< kSdc: comparison direction
+  int variant = 0;          ///< kApi: substitution offset within the pool
+};
+
+}  // namespace
+
+BenchApp generate_chain_version(const FrameworkRepository& repo,
+                                const VersionChainConfig& config, int chain,
+                                int version) {
+  SD_EXPECTS(version >= 0 && version < config.versions);
+  SD_EXPECTS(config.slots >= 1 && config.edits_per_version >= 0);
+  const FrameworkSpec& spec = repo.spec();
+
+  // Chain-level plan stream: everything the initial publish decides.
+  std::uint64_t stream =
+      config.seed ^
+      (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(chain) + 1));
+  Rng rng{splitmix64(stream)};
+
+  const int min_sdk = static_cast<int>(rng.uniform(8, 21));
+  const int target_sdk =
+      static_cast<int>(rng.uniform(kRuntimePermissionLevel, 29));
+  const ApiInterval range{min_sdk, kMaxApiLevel};
+
+  // Family pools, filtered so every edit action stays meaningful on this
+  // chain's range: API slots use still-alive backward-mismatch APIs (a
+  // guard flip toggles real <-> benign, and the kLocal guard is never
+  // vacuous), SEM slots use changes whose threshold the range crosses (the
+  // inverse guard survives as a direct comparison instead of degrading to
+  // the counter-named helper idiom, which would drift across versions).
+  std::vector<ApiUse> api_pool;
+  for (const auto& api : collect_mismatch_apis(spec, range)) {
+    const MethodSpec* m = find_method_spec(spec, api);
+    if (m != nullptr && m->life.removed == 0 && m->life.introduced > min_sdk)
+      api_pool.push_back(api);
+  }
+  std::vector<ApiUse> sem_pool;
+  for (const auto& api : collect_semantic_apis(spec)) {
+    for (const auto& row : spec.semantic_changes)
+      if (row.cls == api.declaring && row.name == api.name &&
+          row.params == api.params && row.from_level > min_sdk) {
+        sem_pool.push_back(api);
+        break;
+      }
+  }
+  const auto cb_pool = collect_mismatch_callbacks(spec, range);
+  const auto& prm_pool = permission_apis();
+
+  // Round-robin family layout; a slot whose pool is empty (possible only
+  // under tiny test specs) degrades to SDC, which needs nothing.
+  std::vector<ChainSlot> slots(static_cast<std::size_t>(config.slots));
+  for (std::size_t k = 0; k < slots.size(); ++k) {
+    ChainSlot& slot = slots[k];
+    switch (static_cast<int>(k % 5)) {
+      case 0:
+        slot.family =
+            api_pool.empty() ? ChainFamily::kSdc : ChainFamily::kApi;
+        break;
+      case 1:
+        slot.family = cb_pool.empty() ? ChainFamily::kSdc : ChainFamily::kApc;
+        break;
+      case 2:
+        slot.family =
+            prm_pool.empty() ? ChainFamily::kSdc : ChainFamily::kPrm;
+        break;
+      case 3:
+        slot.family =
+            sem_pool.empty() ? ChainFamily::kSdc : ChainFamily::kSem;
+        break;
+      default:
+        slot.family = ChainFamily::kSdc;
+        break;
+    }
+    slot.pick = static_cast<std::size_t>(rng.uniform(0, 1 << 16));
+    slot.guarded = rng.chance(0.5);
+    slot.always_true = rng.chance(0.5);
+  }
+
+  // Version bumps. Bump v's actions come from a per-(chain, v) stream and
+  // are applied cumulatively — version N replays bumps 1..N, keeping the
+  // generator pure per (config, chain, version). Slot selection is
+  // consecutive, not drawn: localization stays provable (bump v touches
+  // exactly its edits_per_version slots) and a default-length chain
+  // walks every family.
+  for (int v = 1; v <= version; ++v) {
+    std::uint64_t estream =
+        stream ^ (0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(v));
+    Rng erng{splitmix64(estream)};
+    for (int e = 0; e < config.edits_per_version; ++e) {
+      const int k = (config.edits_per_version * (v - 1) + e) % config.slots;
+      ChainSlot& slot = slots[static_cast<std::size_t>(k)];
+      switch (slot.family) {
+        case ChainFamily::kApi: {
+          const int action = static_cast<int>(erng.uniform(0, 2));
+          if (!slot.alive)
+            slot.alive = true;             // revive, whatever was drawn
+          else if (action == 0)
+            slot.guarded = !slot.guarded;  // guard flip
+          else if (action == 1)
+            slot.alive = false;            // remove the call
+          else
+            ++slot.variant;                // substitute a different API
+          break;
+        }
+        case ChainFamily::kApc:
+          slot.enabled = !slot.enabled;
+          break;
+        case ChainFamily::kPrm:  // pre-23 guard flip; the manifest request
+        case ChainFamily::kSem:  // stays, so the cache key is undisturbed
+          slot.guarded = !slot.guarded;
+          break;
+        case ChainFamily::kSdc:
+          slot.always_true = !slot.always_true;
+          break;
+      }
+    }
+  }
+
+  AppBuilder b{"chain-app-" + std::to_string(chain),
+               "app.chain.c" + std::to_string(chain), spec};
+  b.sdk(min_sdk, target_sdk);
+  for (std::size_t k = 0; k < slots.size(); ++k) {
+    const ChainSlot& slot = slots[k];
+    const int sk = static_cast<int>(k);
+    const GuardMode guard =
+        slot.guarded ? GuardMode::kLocal : GuardMode::kNone;
+    switch (slot.family) {
+      case ChainFamily::kApi: {
+        if (!slot.alive) {
+          b.chain_tombstone(sk);
+          break;
+        }
+        const ApiUse& api =
+            api_pool[(slot.pick + static_cast<std::size_t>(slot.variant)) %
+                     api_pool.size()];
+        b.begin_chain_slot(sk).api_call(api, guard).end_chain_slot();
+        break;
+      }
+      case ChainFamily::kApc:
+        b.chain_callback_slot(sk, cb_pool[slot.pick % cb_pool.size()],
+                              slot.enabled);
+        break;
+      case ChainFamily::kPrm:
+        b.begin_chain_slot(sk)
+            .permission_use(prm_pool[slot.pick % prm_pool.size()], guard)
+            .end_chain_slot();
+        break;
+      case ChainFamily::kSem:
+        b.begin_chain_slot(sk)
+            .semantic_call(sem_pool[slot.pick % sem_pool.size()], guard)
+            .end_chain_slot();
+        break;
+      case ChainFamily::kSdc:
+        b.begin_chain_slot(sk)
+            .vacuous_sdk_guard(slot.always_true)
+            .end_chain_slot();
+        break;
+    }
+  }
+  for (int d = 0; d < config.dead_churn; ++d) b.chain_dead_class(d, version);
+  const bool explode =
+      config.edit_main_activity && version == config.versions - 1;
+  b.framework_breadth(config.breadth + (explode ? 1 : 0));
+  b.pad_to(config.target_loc, config.filler_live_stride);
+
+  auto built = b.build();
+  return BenchApp{std::move(built.apk), std::move(built.truth)};
+}
+
 std::vector<BenchApp> RealWorldCorpus::generate_range(int begin, int end,
                                                       int jobs) const {
   if (end < begin) end = begin;

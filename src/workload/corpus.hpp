@@ -87,4 +87,49 @@ class RealWorldCorpus {
   CorpusConfig config_;
 };
 
+/// Knobs for the version-chain axis: one logical app re-published as
+/// `versions` successive updates, each differing from its predecessor in a
+/// handful of localized edits — guard flips, API substitutions, call
+/// removal/revival, callback-override toggles, dead-class churn. The
+/// workload the incremental layer (core/incr_cache) exists for.
+struct VersionChainConfig {
+  std::uint64_t seed = 0xC4A17ULL;
+  /// Chain length: versions are numbered 0 (initial publish) .. versions-1.
+  int versions = 4;
+  /// Chain slots per app. Families are assigned round-robin
+  /// (API, APC, PRM, SEM, SDC), so any slots >= 5 spans all five.
+  int slots = 10;
+  /// Localized slot edits per version bump. Bump v edits slots
+  /// (v-1)*edits_per_version onward, consecutively mod `slots`, so a
+  /// default-length chain provably touches every family while each bump
+  /// still changes only a couple of classes.
+  int edits_per_version = 2;
+  /// Unreferenced `chain/Dead*` classes replaced wholesale every version —
+  /// dead-code churn the dirty set must absorb without touching any live
+  /// fact.
+  int dead_churn = 1;
+  /// When set, the final version bump also edits MainActivity (one extra
+  /// framework-breadth call). onCreate references every slot, so the dirty
+  /// frontier covers most of the app and the incremental layer must take
+  /// its loud full-analysis fallback instead of splicing.
+  bool edit_main_activity = false;
+  int breadth = 12;
+  std::uint64_t target_loc = 1200;
+  /// Liveness of the padding: every filler_live_stride-th filler class is
+  /// reachable from onCreate, the rest is dead bundled-library code. The
+  /// update bench drops this to 1 (all filler live) so from-scratch cost
+  /// reflects apps whose code is mostly reachable.
+  int filler_live_stride = 5;
+};
+
+/// Generates version `version` of chain `chain`. Pure per (config, chain,
+/// version): bump edits are replayed cumulatively, with no cross-version
+/// state. All versions of a chain share one app name (the incremental
+/// cache's key), and consecutive versions differ only in the edited slot
+/// classes plus the dead-churn classes — every other class is re-emitted
+/// byte-identically.
+BenchApp generate_chain_version(const FrameworkRepository& repo,
+                                const VersionChainConfig& config, int chain,
+                                int version);
+
 }  // namespace saintdroid

@@ -6,6 +6,7 @@
 
 #include "adf/repository.hpp"
 #include "support/errors.hpp"
+#include "support/sdmc.hpp"
 #include "support/thread_pool.hpp"
 #include "workload/journal.hpp"
 
@@ -41,6 +42,7 @@ SuiteAppRow analyze_app_row(Analyzer& tool, const BenchApp& app) {
   row.failure = outcome.failure;
   row.mismatch_count = result.mismatches.size();
   row.usage = result.usage;
+  row.incr = result.incremental;
   if (!result.completed) {
     row.scores.api.fn = app.truth.real_count(MismatchKind::kApiInvocation);
     row.scores.apc.fn = app.truth.real_count(MismatchKind::kApiCallback);
@@ -72,6 +74,7 @@ void aggregate_rows(SuiteResult& suite) {
     if (!row.completed) ++suite.failures;
     if (row.completed && row.incomplete) ++suite.incomplete;
     suite.aggregate += row.scores;
+    suite.incremental += row.incr;
   }
 }
 
@@ -180,6 +183,11 @@ SuiteResult run_suite_parallel(const AnalyzerFactory& factory,
   // next process) instead of re-deriving everything per run.
   if (options.repository != nullptr && !options.model_cache_dir.empty())
     options.repository->set_model_cache_dir(options.model_cache_dir);
+
+  // Create the incremental fact cache directory up front: a bad path fails
+  // the run here, loudly, instead of as a per-app store failure inside
+  // every worker.
+  if (!options.incr_cache_dir.empty()) ensure_directory(options.incr_cache_dir);
 
   // Warm shared immutable state (images, substrates) once, on this thread,
   // before any analyzer exists — the fan-out then reads hot caches.

@@ -48,6 +48,11 @@ struct SuiteAppRow {
   std::size_t mismatch_count = 0;
   FamilyScores scores;
   ResourceUsage usage;
+  /// How the incremental analysis layer served this app (all-zero when no
+  /// incremental cache was configured). Operational telemetry, journaled
+  /// sparsely and cleared in canonical row bytes: a cache hit and a full
+  /// run are required to produce identical canonical rows.
+  IncrementalStats incr;
 };
 
 /// How many leases one worker completed in a work-stealing run — the
@@ -92,6 +97,10 @@ struct SuiteResult {
   std::size_t leases_reclaimed = 0;
   /// Per-worker completed-lease counts, sorted by worker name.
   std::vector<WorkerLeaseCount> worker_lease_counts;
+  /// Suite-wide incremental-layer counters, summed over rows. Operational
+  /// telemetry — batch summaries surface it; never part of the
+  /// deterministic row contract.
+  IncrementalStats incremental;
 };
 
 /// Deterministic interleaved shard slice for multi-process corpus runs:
@@ -183,6 +192,14 @@ struct SuiteRunOptions {
   /// Rows are byte-identical either way; only startup cost changes.
   std::string model_cache_dir;
   const FrameworkRepository* repository = nullptr;
+  /// Per-app incremental fact cache directory (core/incr_cache.hpp). The
+  /// harness ensures the directory exists before any worker starts (so a
+  /// bad path fails loudly up front, once, instead of per app) — the
+  /// analyzer factory is responsible for pointing its facades'
+  /// SaintDroidOptions::incr_cache at the same directory, as the CLI and
+  /// serve layers do. Rows are byte-identical with or without it; only
+  /// re-analysis cost and the sparse journal "incr" telemetry change.
+  std::string incr_cache_dir;
   /// Graceful-shutdown probe, polled between apps (never mid-analysis).
   /// Once it returns true, no further app is started: the in-flight apps
   /// finish and journal normally, the not-yet-started ones are skipped and

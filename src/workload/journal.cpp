@@ -133,7 +133,17 @@ std::string journal_line(const SuiteAppRow& row) {
   }
   out << "},\"usage\":{\"seconds\":" << row.usage.seconds
       << ",\"peak_bytes\":" << row.usage.peak_bytes
-      << ",\"loaded_classes\":" << row.usage.loaded_classes << "}}";
+      << ",\"loaded_classes\":" << row.usage.loaded_classes << "}";
+  // Incremental-layer telemetry, emitted sparsely like SEM/SDC above: rows
+  // written without an incremental cache stay byte-identical to rows
+  // written before the layer existed.
+  if (row.incr.any()) {
+    out << ",\"incr\":{\"attempted\":" << row.incr.attempted
+        << ",\"hits\":" << row.incr.hits
+        << ",\"dirty_classes\":" << row.incr.dirty_classes
+        << ",\"fallbacks\":" << row.incr.fallbacks << "}";
+  }
+  out << "}";
   return out.str();
 }
 
@@ -182,12 +192,23 @@ std::optional<SuiteAppRow> parse_journal_line(std::string_view line) {
     row.usage.peak_bytes = read_u64(*usage, "peak_bytes");
     row.usage.loaded_classes = read_u64(*usage, "loaded_classes");
   }
+  if (const JsonValue* incr = doc.find("incr");
+      incr != nullptr && incr->type() == JsonValue::Type::kObject) {
+    row.incr.attempted = read_u64(*incr, "attempted");
+    row.incr.hits = read_u64(*incr, "hits");
+    row.incr.dirty_classes = read_u64(*incr, "dirty_classes");
+    row.incr.fallbacks = read_u64(*incr, "fallbacks");
+  }
   return row;
 }
 
 std::string canonical_row_bytes(const SuiteAppRow& row) {
   SuiteAppRow canonical = row;
   canonical.usage.seconds = 0.0;
+  // Incremental counters describe how the row was *served*, not what it
+  // found — a cache hit and a from-scratch run must compare canonical-equal
+  // (that equality is exactly what tests/test_incremental.cpp proves).
+  canonical.incr = IncrementalStats{};
   return journal_line(canonical);
 }
 

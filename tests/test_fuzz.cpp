@@ -31,7 +31,9 @@
 #include "support/errors.hpp"
 #include "support/rng.hpp"
 #include "support/sdmc.hpp"
+#include "core/incr_cache.hpp"
 #include "workload/app_builder.hpp"
+#include "workload/corpus.hpp"
 #include "workload/harness.hpp"
 #include "workload/journal.hpp"
 
@@ -1037,6 +1039,194 @@ TEST(LeaseFuzz, ForgedDuplicateOpenConvergesToOneDoneLease) {
   EXPECT_TRUE(dir.status().finished());
   EXPECT_EQ(dir.done_states().size(), 1u);
   std::filesystem::remove_all(root);
+}
+
+// --- incremental-fact-cache (.sdmc kind 4) poisoning -------------------------
+//
+// The subject is a *real* entry: a facade run over a small version-chain
+// app stores one, and the sweeps damage exactly those production bytes.
+// The contract has two layers — every container/payload defect throws
+// ParseError, and IncrCache::try_load converts every defect into a silent
+// miss so the engine's only failure mode is a counted full-analysis
+// fallback: never a crash, never a stale finding.
+
+VersionChainConfig incr_fuzz_chain() {
+  VersionChainConfig cfg;
+  cfg.slots = 5;
+  cfg.breadth = 3;
+  cfg.target_loc = 120;  // small entry: the truncation sweep is quadratic
+  return cfg;
+}
+
+struct HarvestedEntry {
+  std::string dir;
+  std::string path;
+  SdmcKey key;
+  std::vector<std::uint8_t> blob;     ///< sealed bytes as stored on disk
+  std::vector<std::uint8_t> payload;  ///< unsealed entry payload
+};
+
+/// Analyzes chain version 0 through a fresh cache and returns the single
+/// entry the facade stored.
+HarvestedEntry harvest_incr_entry(const std::string& name) {
+  const auto& repo = sdmc_fuzz_repo();
+  HarvestedEntry out;
+  out.dir = ::testing::TempDir() + "incr_fuzz_" + name;
+  std::filesystem::remove_all(out.dir);
+
+  SaintDroidOptions options;
+  options.incr_cache = std::make_shared<const IncrCache>(out.dir);
+  SaintDroid tool{repo, options};
+  const BenchApp v0 = generate_chain_version(repo, incr_fuzz_chain(), 0, 0);
+  const AnalysisResult result = tool.analyze(v0.apk);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.incremental.attempted, 1u);  // cold miss, then store
+
+  for (const auto& file : std::filesystem::directory_iterator(out.dir))
+    out.path = file.path().string();
+  EXPECT_FALSE(out.path.empty());
+  const auto bytes = read_file_bytes(out.path);
+  EXPECT_TRUE(bytes.has_value());
+  out.blob = *bytes;
+
+  // Reconstruct the key from the filename's "-L<level>" tag.
+  const std::size_t tag = out.path.rfind("-L");
+  const int level = std::stoi(out.path.substr(tag + 2));
+  out.key.kind = SdmcKind::kIncrementalFacts;
+  out.key.fingerprint = repo.fingerprint();
+  out.key.level = level;
+  out.key.options = 0;
+  out.payload = sdmc_open(out.blob, out.key);
+  return out;
+}
+
+TEST(IncrCacheFuzz, EveryTruncationThrows) {
+  const HarvestedEntry entry = harvest_incr_entry("trunc");
+  for (std::size_t cut = 0; cut < entry.blob.size(); ++cut) {
+    std::span<const std::uint8_t> window(entry.blob.data(), cut);
+    EXPECT_THROW((void)sdmc_open(window, entry.key), ParseError)
+        << "cut=" << cut;
+  }
+  // Past the container, the entry codec rejects every truncation from its
+  // own bounds checks (and the full payload still round-trips).
+  for (std::size_t cut = 0; cut < entry.payload.size(); ++cut) {
+    std::span<const std::uint8_t> window(entry.payload.data(), cut);
+    EXPECT_THROW((void)parse_incr_entry(window), ParseError) << "cut=" << cut;
+  }
+  EXPECT_EQ(serialize_incr_entry(parse_incr_entry(entry.payload)),
+            entry.payload);
+  std::filesystem::remove_all(entry.dir);
+}
+
+TEST(IncrCacheFuzz, EveryBitFlipThrows) {
+  // One random flip per byte of the sealed container: wherever the damage
+  // lands, the open must throw (the payload checksum catches whatever the
+  // header fields don't).
+  const HarvestedEntry entry = harvest_incr_entry("flip");
+  Rng rng{0x1C4FACEULL};
+  for (std::size_t pos = 0; pos < entry.blob.size(); ++pos) {
+    auto blob = entry.blob;
+    blob[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    EXPECT_THROW((void)sdmc_open(blob, entry.key), ParseError)
+        << "pos=" << pos;
+  }
+  std::filesystem::remove_all(entry.dir);
+}
+
+TEST(IncrCacheFuzz, VersionKindAndFingerprintSplicesThrow) {
+  // Staleness, not random damage: entries written by an older container
+  // version, sealed under another kind (or another kind's bytes renamed
+  // into this slot), for a foreign framework, or at a different level —
+  // plus a trailing-byte splice past the declared payload end.
+  const HarvestedEntry entry = harvest_incr_entry("splice");
+  {
+    auto blob = sdmc_seal(entry.key, entry.payload);
+    blob[4] = static_cast<std::uint8_t>(kSdmcFormatVersion - 1);
+    EXPECT_THROW((void)sdmc_open(blob, entry.key), ParseError);
+  }
+  {
+    SdmcKey foreign = entry.key;
+    foreign.fingerprint[0] = foreign.fingerprint[0] == 'f' ? '0' : 'f';
+    EXPECT_THROW((void)sdmc_open(sdmc_seal(foreign, entry.payload), entry.key),
+                 ParseError);
+  }
+  {
+    SdmcKey other = entry.key;
+    other.level += 1;
+    EXPECT_THROW((void)sdmc_open(sdmc_seal(other, entry.payload), entry.key),
+                 ParseError);
+  }
+  {
+    // An apidb blob renamed into the incremental slot, and the dual.
+    SdmcKey apidb = entry.key;
+    apidb.kind = SdmcKind::kApiDatabase;
+    EXPECT_THROW((void)sdmc_open(sdmc_seal(apidb, entry.payload), entry.key),
+                 ParseError);
+    EXPECT_THROW((void)sdmc_open(entry.blob, apidb), ParseError);
+  }
+  {
+    auto payload = entry.payload;
+    payload.push_back(0);  // trailing garbage past the declared structure
+    EXPECT_THROW((void)parse_incr_entry(payload), ParseError);
+  }
+  std::filesystem::remove_all(entry.dir);
+}
+
+TEST(IncrCacheFuzz, DamagedEntryFallsBackSilentlyAndNeverStales) {
+  // The engine-level contract: whatever is on disk, try_load yields a
+  // miss (never throws), the next analyze() takes the counted fallback,
+  // and its findings are byte-identical to a cache-less run — a damaged
+  // cache can cost work, never correctness. Each damaged analyze() also
+  // re-stores a fresh entry, so every variant re-damages the file.
+  const auto& repo = sdmc_fuzz_repo();
+  const HarvestedEntry entry = harvest_incr_entry("fallback");
+  const BenchApp v1 = generate_chain_version(repo, incr_fuzz_chain(), 0, 1);
+
+  SaintDroid scratch{repo};
+  const std::string want = canonical_row_bytes(analyze_app_row(scratch, v1));
+
+  SaintDroidOptions options;
+  options.incr_cache = std::make_shared<const IncrCache>(entry.dir);
+  SaintDroid tool{repo, scratch.shared_database(), options};
+
+  const auto damage = [&](int variant) {
+    auto bytes = entry.blob;
+    switch (variant) {
+      case 0:
+        bytes.resize(bytes.size() / 2);  // truncated write
+        break;
+      case 1:
+        bytes[bytes.size() / 3] ^= 0x40;  // media rot
+        break;
+      case 2:
+        bytes.assign(64, 0xAB);  // unrelated garbage
+        break;
+      default:
+        bytes.clear();  // zero-length file
+        break;
+    }
+    write_file_atomic(entry.path, bytes);
+  };
+
+  for (int variant = 0; variant < 4; ++variant) {
+    SCOPED_TRACE("variant " + std::to_string(variant));
+    damage(variant);
+    EXPECT_FALSE(options.incr_cache
+                     ->try_load(repo, v1.apk.name, entry.key.level)
+                     .has_value());
+    const SuiteAppRow row = analyze_app_row(tool, v1);
+    EXPECT_TRUE(row.completed);
+    EXPECT_EQ(row.incr.attempted, 1u);
+    EXPECT_EQ(row.incr.hits, 0u);
+    EXPECT_EQ(row.incr.fallbacks, 1u);
+    EXPECT_EQ(canonical_row_bytes(row), want);
+  }
+
+  // And with the re-stored (healthy) entry: a hit, same bytes.
+  const SuiteAppRow hit = analyze_app_row(tool, v1);
+  EXPECT_EQ(hit.incr.hits, 1u);
+  EXPECT_EQ(canonical_row_bytes(hit), want);
+  std::filesystem::remove_all(entry.dir);
 }
 
 }  // namespace

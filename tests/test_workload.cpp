@@ -2,6 +2,9 @@
 // determinism, benchmark-suite invariants and corpus generation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "adf/repository.hpp"
 #include "baselines/cid.hpp"
 #include "workload/app_builder.hpp"
@@ -306,6 +309,93 @@ TEST(Corpus, PopulationStatistics) {
 TEST(Corpus, SizeReportsConfiguredCount) {
   const RealWorldCorpus corpus{repo()};
   EXPECT_EQ(corpus.size(), 3571);
+}
+
+// --- version chains -------------------------------------------------------------
+
+std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : bytes) h = (h ^ b) * 0x100000001b3ULL;
+  return h;
+}
+
+VersionChainConfig small_chain_config() {
+  VersionChainConfig config;
+  config.slots = 5;
+  config.breadth = 4;
+  config.target_loc = 200;
+  return config;
+}
+
+// One (key, real, tag) row per seeded issue, restricted to constructs whose
+// containing method lives in `cls` (empty = all).
+std::vector<std::string> ledger_rows(const GroundTruth& truth,
+                                     const std::string& cls = {}) {
+  std::vector<std::string> rows;
+  for (const SeededIssue& issue : truth.issues) {
+    if (!cls.empty() && issue.location.class_name != cls) continue;
+    rows.push_back(issue.key() + "|" + (issue.real ? "real" : "benign") + "|" +
+                   issue.tag);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(VersionChain, PureDeterministicAndStableAppName) {
+  const auto config = small_chain_config();
+  const BenchApp a = generate_chain_version(repo(), config, 3, 2);
+  const BenchApp b = generate_chain_version(repo(), config, 3, 2);
+  EXPECT_EQ(a.apk.serialize(), b.apk.serialize());
+  EXPECT_EQ(ledger_rows(a.truth), ledger_rows(b.truth));
+  // Consecutive versions of one chain differ in content but keep the app
+  // name — the identity the incremental cache keys on.
+  const BenchApp next = generate_chain_version(repo(), config, 3, 3);
+  EXPECT_EQ(a.apk.name, next.apk.name);
+  EXPECT_NE(a.apk.serialize(), next.apk.serialize());
+}
+
+TEST(VersionChain, EditedSlotsChangeTruthUntouchedSlotsKeepIt) {
+  const auto config = small_chain_config();
+  // Bump 1 edits slots 0 and 1; slots 2..4 and MainActivity are untouched,
+  // so their ledger rows must survive byte-identically.
+  bool some_edit_changed_truth = false;
+  for (int chain = 0; chain < 8; ++chain) {
+    const BenchApp v0 = generate_chain_version(repo(), config, chain, 0);
+    const BenchApp v1 = generate_chain_version(repo(), config, chain, 1);
+    const std::string pkg = "app/chain/c" + std::to_string(chain);
+    for (int slot = config.edits_per_version; slot < config.slots; ++slot) {
+      const std::string cls = pkg + "/chain/Slot" + std::to_string(slot);
+      EXPECT_EQ(ledger_rows(v0.truth, cls), ledger_rows(v1.truth, cls))
+          << "chain " << chain << " untouched slot " << slot;
+    }
+    for (int slot = 0; slot < config.edits_per_version; ++slot) {
+      const std::string cls = pkg + "/chain/Slot" + std::to_string(slot);
+      some_edit_changed_truth |=
+          ledger_rows(v0.truth, cls) != ledger_rows(v1.truth, cls);
+    }
+  }
+  // Guard flips and tombstones flip `real` bits; across 8 chains at least
+  // one bump must have changed an edited slot's ground truth.
+  EXPECT_TRUE(some_edit_changed_truth);
+}
+
+TEST(VersionChain, GenerationLeavesLegacyCorpusStreamUntouched) {
+  const RealWorldCorpus corpus{repo()};
+  const BenchApp before = corpus.generate(17);
+  // Chain generation shares the builder and catalog machinery; it must not
+  // perturb the single-version corpus stream through any hidden state.
+  (void)generate_chain_version(repo(), small_chain_config(), 0, 3);
+  const BenchApp after = corpus.generate(17);
+  EXPECT_EQ(before.apk.serialize(), after.apk.serialize());
+  EXPECT_EQ(ledger_rows(before.truth), ledger_rows(after.truth));
+}
+
+TEST(VersionChain, LegacyCorpusGoldenHash) {
+  // Locks the default-config corpus byte stream: adding the version-chain
+  // axis (or future axes) must not shift apps that existing studies cite.
+  const RealWorldCorpus corpus{repo()};
+  EXPECT_EQ(fnv1a(corpus.generate(0).apk.serialize()), 0x3596f66a1e3928c4ULL);
+  EXPECT_EQ(fnv1a(corpus.generate(17).apk.serialize()), 0xd8a8668fbe709ca8ULL);
 }
 
 }  // namespace

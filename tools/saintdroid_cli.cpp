@@ -2,11 +2,12 @@
 //
 //   saintdroid analyze <apk-file> [--json] [--suggest] [--levels a,b,c]
 //                                 [--db <database-file>]
-//                                 [--model-cache <dir>]
+//                                 [--model-cache <dir>] [--incr-cache <dir>]
 //   saintdroid batch   <apk-file>... [--jobs N] [--db <database-file>]
 //                                    [--shard i/N]
 //                                    [--journal <file> [--resume]]
 //                                    [--model-cache <dir>]
+//                                    [--incr-cache <dir>]
 //   saintdroid merge-journals [--stats] <out-journal> <in-journal>...
 //   saintdroid coordinate <workdir> <apk-file>... [--lease-size N]
 //                                    [--ttl S] [--timeout S] [--init-only]
@@ -16,6 +17,7 @@
 //                                [--max-leases K] [--wait S]
 //   saintdroid serve   <statedir> [--jobs N] [--queue N] [--deadline S]
 //                                 [--stdio] [--no-socket]
+//                                 [--incr-cache <dir>]
 //   saintdroid submit  <statedir> <apk-file>... [--deadline S] [--wait S]
 //   saintdroid disasm  <apk-file>
 //   saintdroid mine    <output-database-file>
@@ -41,6 +43,12 @@
 // directory mines and stores, every later process — including concurrent
 // shards sharing the directory — starts warm, skipping the mining pass
 // entirely with byte-identical results (see docs/FORMAT.md, `.sdmc`).
+// `--incr-cache <dir>` adds the *per-app* incremental fact cache on top:
+// re-analyzing an updated package re-explores only the classes its diff
+// dirties and splices cached facts for the rest, falling back (counted) to
+// full analysis whenever the cached entry or the diff cannot be trusted.
+// Results are byte-identical either way; the batch summary reports
+// hits/dirty-classes/fallbacks.
 //
 // `coordinate`/`work` replace the static `--shard` partition with dynamic
 // work-stealing (see docs/parallelism.md): `coordinate` publishes a
@@ -122,11 +130,13 @@ void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: saintdroid analyze <apk> [--json] [--suggest] "
                "[--levels a,b,c] [--db <file>]\n"
-               "                          [--model-cache <dir>]\n"
+               "                          [--model-cache <dir>] "
+               "[--incr-cache <dir>]\n"
                "       saintdroid batch <apk>... [--jobs N] [--db <file>] "
                "[--shard i/N]\n"
                "                        [--journal <file> [--resume]]\n"
-               "                        [--model-cache <dir>]\n"
+               "                        [--model-cache <dir>] "
+               "[--incr-cache <dir>]\n"
                "       saintdroid merge-journals [--stats] <out-journal> "
                "<in-journal>...\n"
                "       saintdroid coordinate <workdir> <apk>... "
@@ -138,7 +148,8 @@ void print_usage(std::FILE* out) {
                "[--max-leases K] [--wait S]\n"
                "       saintdroid serve <statedir> [--jobs N] [--queue N] "
                "[--deadline S]\n"
-               "                        [--stdio] [--no-socket]\n"
+               "                        [--stdio] [--no-socket] "
+               "[--incr-cache <dir>]\n"
                "       saintdroid submit <statedir> <apk>... [--deadline S] "
                "[--wait S]\n"
                "       saintdroid disasm <apk>\n"
@@ -197,7 +208,8 @@ std::uint64_t print_suite_rows(const sd::SuiteResult& suite) {
 int run_batch(const std::vector<std::string>& paths, int jobs,
               const std::string& db_path, const std::string& journal_path,
               bool resume, int shard_index, int shard_count,
-              const std::string& model_cache_dir) {
+              const std::string& model_cache_dir,
+              const std::string& incr_cache_dir) {
   const auto& repo = sd::FrameworkRepository::standard();
   // Database precedence: an explicit --db file wins; otherwise the model
   // cache serves (or mines once and stores) it; otherwise mine per run.
@@ -238,6 +250,7 @@ int run_batch(const std::vector<std::string>& paths, int jobs,
   options.shard_index = shard_index;
   options.shard_count = shard_count;
   options.model_cache_dir = model_cache_dir;
+  options.incr_cache_dir = incr_cache_dir;
   options.repository = &repo;
   // Pre-build the shared framework substrate for every level the batch
   // targets, once, before the worker fan-out. A level whose build fails
@@ -263,10 +276,17 @@ int run_batch(const std::vector<std::string>& paths, int jobs,
   sd::install_shutdown_handlers();
   options.stop = [] { return sd::shutdown_requested(); };
 
+  // One incremental fact cache shared by every worker facade (stores are
+  // rename-atomic, so concurrent workers — and concurrent shard processes
+  // pointed at one directory — race benignly).
+  sd::SaintDroidOptions tool_options;
+  if (!incr_cache_dir.empty())
+    tool_options.incr_cache = std::make_shared<const sd::IncrCache>(incr_cache_dir);
+
   const sd::Stopwatch watch;
   const sd::SuiteResult suite = sd::run_suite_parallel(
-      [&] { return std::make_unique<sd::SaintDroid>(repo, db); }, apps,
-      options);
+      [&] { return std::make_unique<sd::SaintDroid>(repo, db, tool_options); },
+      apps, options);
   const double elapsed = watch.seconds();
 
   const std::uint64_t total = print_suite_rows(suite);
@@ -280,6 +300,14 @@ int run_batch(const std::vector<std::string>& paths, int jobs,
               elapsed > 0 ? apps.size() / elapsed : 0.0,
               static_cast<unsigned long long>(suite.framework_retries),
               suite.framework_retries == 1 ? "y" : "ies");
+  if (suite.incremental.any())
+    std::printf("incremental: %llu attempted, %llu hits, %llu dirty classes, "
+                "%llu fallbacks\n",
+                static_cast<unsigned long long>(suite.incremental.attempted),
+                static_cast<unsigned long long>(suite.incremental.hits),
+                static_cast<unsigned long long>(
+                    suite.incremental.dirty_classes),
+                static_cast<unsigned long long>(suite.incremental.fallbacks));
   if (sd::shutdown_requested()) {
     std::fprintf(stderr,
                  "batch: interrupted by signal %d — %zu app%s skipped, "
@@ -448,12 +476,14 @@ int run_work(const std::string& workdir, int jobs, std::string worker,
 /// Returns kShutdownExitCode after a graceful SIGINT/SIGTERM. All
 /// human-facing chatter goes to stderr; stdout is a response channel.
 int run_serve(const std::string& statedir, int jobs, std::size_t queue,
-              double deadline, bool stdio, bool no_socket) {
+              double deadline, bool stdio, bool no_socket,
+              const std::string& incr_cache_dir) {
   sd::install_shutdown_handlers();
   sd::ServeOptions options;
   options.jobs = jobs;
   options.queue_capacity = queue;
   options.budget.deadline_seconds = deadline;
+  options.incr_cache_dir = incr_cache_dir;
   const sd::Stopwatch watch;
   sd::VetService service{statedir, options};
   const sd::ServeStats warm = service.stats();
@@ -592,6 +622,7 @@ int main(int argc, char** argv) {
     std::string db_path;
     std::string journal_path;
     std::string model_cache_dir;
+    std::string incr_cache_dir;
     bool resume = false;
     int shard_index = 0;
     int shard_count = 1;
@@ -606,6 +637,8 @@ int main(int argc, char** argv) {
         resume = true;
       else if (std::strcmp(argv[i], "--model-cache") == 0 && i + 1 < argc)
         model_cache_dir = argv[++i];
+      else if (std::strcmp(argv[i], "--incr-cache") == 0 && i + 1 < argc)
+        incr_cache_dir = argv[++i];
       else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
         if (!parse_shard_spec(argv[++i], shard_index, shard_count))
           return usage();
@@ -618,7 +651,8 @@ int main(int argc, char** argv) {
     if (resume && journal_path.empty()) return usage();
     try {
       return run_batch(paths, jobs, db_path, journal_path, resume,
-                       shard_index, shard_count, model_cache_dir);
+                       shard_index, shard_count, model_cache_dir,
+                       incr_cache_dir);
     } catch (const sd::Error& e) {
       std::fprintf(stderr, "saintdroid: %s\n", e.what());
       return 2;
@@ -685,6 +719,7 @@ int main(int argc, char** argv) {
 
   if (command == "serve") {
     std::string statedir;
+    std::string incr_cache_dir;
     int jobs = 0;  // 0 -> hardware concurrency
     std::size_t queue = 0;  // 0 -> 4 * jobs
     double deadline = 0.0;
@@ -701,6 +736,8 @@ int main(int argc, char** argv) {
         stdio = true;
       else if (std::strcmp(argv[i], "--no-socket") == 0)
         no_socket = true;
+      else if (std::strcmp(argv[i], "--incr-cache") == 0 && i + 1 < argc)
+        incr_cache_dir = argv[++i];
       else if (argv[i][0] == '-')
         return usage();
       else if (statedir.empty())
@@ -711,7 +748,8 @@ int main(int argc, char** argv) {
     if (statedir.empty()) return usage();
     if (no_socket && !stdio) return usage();  // need at least one transport
     try {
-      return run_serve(statedir, jobs, queue, deadline, stdio, no_socket);
+      return run_serve(statedir, jobs, queue, deadline, stdio, no_socket,
+                       incr_cache_dir);
     } catch (const sd::Error& e) {
       std::fprintf(stderr, "saintdroid: %s\n", e.what());
       return 2;
@@ -790,6 +828,7 @@ int main(int argc, char** argv) {
   std::vector<int> levels;
   std::string db_path;
   std::string model_cache_dir;
+  std::string incr_cache_dir;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0)
       json = true;
@@ -801,6 +840,8 @@ int main(int argc, char** argv) {
       db_path = argv[++i];
     else if (std::strcmp(argv[i], "--model-cache") == 0 && i + 1 < argc)
       model_cache_dir = argv[++i];
+    else if (std::strcmp(argv[i], "--incr-cache") == 0 && i + 1 < argc)
+      incr_cache_dir = argv[++i];
     else
       return usage();
   }
@@ -854,7 +895,11 @@ int main(int argc, char** argv) {
       db = cache->api_database(repo);
     else
       db = std::make_shared<const sd::ApiDatabase>(sd::ApiDatabase::mine(repo));
-    sd::SaintDroid tool{repo, std::move(db)};
+    sd::SaintDroidOptions tool_options;
+    if (!incr_cache_dir.empty())
+      tool_options.incr_cache =
+          std::make_shared<const sd::IncrCache>(incr_cache_dir);
+    sd::SaintDroid tool{repo, std::move(db), tool_options};
     const sd::AnalysisResult result =
         levels.empty() ? tool.analyze(apk)
                        : tool.analyze_versions(apk, levels);
